@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestMissingExp(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -exp accepted")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope", "-runs", "1"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunCheapArtifactWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	// table2 is SAMC+MST only: cheap enough for a unit test at 1 run.
+	if err := run([]string{"-exp", "table2", "-runs", "1", "-quiet", "-csv", dir, "-chart"}); err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV written")
+	}
+}

@@ -1,0 +1,162 @@
+// Command sagcli solves a relay deployment for a scenario and prints the
+// placement as JSON.
+//
+// Usage:
+//
+//	sagcli -gen -users 30 -field 500 -save sc.json   # generate + save
+//	sagcli -scenario sc.json                          # solve with SAG
+//	sagcli -scenario sc.json -coverage GAC -power baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/geom"
+	"sagrelay/internal/scenario"
+)
+
+// output is the JSON document sagcli prints for a solved deployment.
+type output struct {
+	Method          string       `json:"method"`
+	Feasible        bool         `json:"feasible"`
+	CoverageRelays  []relayOut   `json:"coverage_relays,omitempty"`
+	ConnectivityRSs []geom.Point `json:"connectivity_relays,omitempty"`
+	PL              float64      `json:"coverage_power,omitempty"`
+	PH              float64      `json:"connectivity_power,omitempty"`
+	PTotal          float64      `json:"total_power,omitempty"`
+	NumCoverage     int          `json:"num_coverage_relays"`
+	NumConnectivity int          `json:"num_connectivity_relays"`
+	ElapsedMillis   float64      `json:"elapsed_ms"`
+	SNRThresholdDB  float64      `json:"snr_threshold_db"`
+	NumSubscribers  int          `json:"num_subscribers"`
+	NumBaseStations int          `json:"num_base_stations"`
+}
+
+type relayOut struct {
+	Pos    geom.Point `json:"pos"`
+	Power  float64    `json:"power"`
+	Covers []int      `json:"covers"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sagcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sagcli", flag.ContinueOnError)
+	var (
+		scPath   = fs.String("scenario", "", "scenario JSON file to solve")
+		gen      = fs.Bool("gen", false, "generate a scenario instead of solving")
+		save     = fs.String("save", "", "write the generated scenario to this file")
+		users    = fs.Int("users", 30, "generated subscribers")
+		field    = fs.Float64("field", 500, "generated field side")
+		numBS    = fs.Int("bs", 4, "generated base stations")
+		snr      = fs.Float64("snr", -15, "SNR threshold (dB)")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		coverage = fs.String("coverage", "SAMC", "coverage method: SAMC, IAC or GAC")
+		power    = fs.String("power", "green", "power stages: green, baseline or optimal")
+		conn     = fs.String("connectivity", "MBMC", "connectivity method: MBMC or MUST")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gen {
+		sc, err := scenario.Generate(scenario.GenConfig{
+			FieldSide: *field, NumSS: *users, NumBS: *numBS, SNRdB: *snr, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if *save == "" {
+			return fmt.Errorf("-gen requires -save <file>")
+		}
+		if err := scenario.Save(sc, *save); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *save)
+		return nil
+	}
+	if *scPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -scenario (or -gen)")
+	}
+	sc, err := scenario.Load(*scPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfig(*coverage, *power, *conn)
+	if err != nil {
+		return err
+	}
+	sol, err := core.Run(sc, cfg)
+	if err != nil {
+		return err
+	}
+	out := output{
+		Method:          sol.Method,
+		Feasible:        sol.Feasible,
+		ElapsedMillis:   float64(sol.Elapsed.Microseconds()) / 1000,
+		SNRThresholdDB:  sc.SNRThresholdDB,
+		NumSubscribers:  sc.NumSS(),
+		NumBaseStations: len(sc.BaseStations),
+	}
+	if sol.Feasible {
+		out.PL, out.PH, out.PTotal = sol.PL, sol.PH, sol.PTotal
+		out.NumCoverage = sol.Coverage.NumRelays()
+		out.NumConnectivity = sol.Connectivity.NumRelays()
+		for i, r := range sol.Coverage.Relays {
+			out.CoverageRelays = append(out.CoverageRelays, relayOut{
+				Pos:    r.Pos,
+				Power:  sol.CoveragePower.Powers[i],
+				Covers: r.Covers,
+			})
+		}
+		for _, r := range sol.Connectivity.Relays {
+			out.ConnectivityRSs = append(out.ConnectivityRSs, r.Pos)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func buildConfig(coverage, power, conn string) (core.Config, error) {
+	var cfg core.Config
+	switch strings.ToUpper(coverage) {
+	case "SAMC":
+		cfg.Coverage = core.CoverSAMC
+	case "IAC":
+		cfg.Coverage = core.CoverIAC
+	case "GAC":
+		cfg.Coverage = core.CoverGAC
+	default:
+		return cfg, fmt.Errorf("unknown coverage method %q", coverage)
+	}
+	switch strings.ToLower(power) {
+	case "green":
+		cfg.CoveragePower, cfg.ConnectivityPower = core.PowerGreen, core.PowerGreen
+	case "baseline":
+		cfg.CoveragePower, cfg.ConnectivityPower = core.PowerBaseline, core.PowerBaseline
+	case "optimal":
+		cfg.CoveragePower, cfg.ConnectivityPower = core.PowerOptimal, core.PowerGreen
+	default:
+		return cfg, fmt.Errorf("unknown power stage %q", power)
+	}
+	switch strings.ToUpper(conn) {
+	case "MBMC":
+		cfg.Connectivity = core.ConnMBMC
+	case "MUST":
+		cfg.Connectivity = core.ConnMUST
+	default:
+		return cfg, fmt.Errorf("unknown connectivity method %q", conn)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sagrelay/internal/core"
+)
+
+func TestGenerateAndSolve(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := run([]string{"-gen", "-users", "8", "-field", "300", "-save", path}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := run([]string{"-scenario", path}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if err := run([]string{"-scenario", path, "-power", "baseline", "-connectivity", "MUST"}); err != nil {
+		t.Fatalf("solve baseline: %v", err)
+	}
+}
+
+func TestGenRequiresSave(t *testing.T) {
+	if err := run([]string{"-gen"}); err == nil {
+		t.Error("-gen without -save accepted")
+	}
+}
+
+func TestMissingScenario(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -scenario accepted")
+	}
+	if err := run([]string{"-scenario", filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+		t.Error("absent scenario file accepted")
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig("gac", "optimal", "must")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Coverage != core.CoverGAC || cfg.CoveragePower != core.PowerOptimal ||
+		cfg.ConnectivityPower != core.PowerGreen || cfg.Connectivity != core.ConnMUST {
+		t.Errorf("config wrong: %+v", cfg)
+	}
+	if _, err := buildConfig("zzz", "green", "MBMC"); err == nil {
+		t.Error("bad coverage accepted")
+	}
+	if _, err := buildConfig("SAMC", "zzz", "MBMC"); err == nil {
+		t.Error("bad power accepted")
+	}
+	if _, err := buildConfig("SAMC", "green", "zzz"); err == nil {
+		t.Error("bad connectivity accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Command sagsweep runs custom parameter sweeps over any pipeline — the
+// generalization of the paper's fixed figures for exploring new operating
+// points.
+//
+// Usage:
+//
+//	sagsweep -dim users -from 5 -to 50 -step 5 -metric total-power
+//	sagsweep -dim snr -from -25 -to -10 -step 2.5 -metric coverage-relays
+//	sagsweep -dim field -from 300 -to 900 -step 200 -metric conn-relays -chart
+//	sagsweep -dim users -from 5 -to 30 -step 5 -coverage GAC -metric runtime-ms
+//
+// Dimensions: users, snr, field, bs. Metrics: total-power, coverage-power,
+// conn-power, coverage-relays, conn-relays, total-relays, runtime-ms,
+// delivery-ratio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/experiment"
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sagsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// sweepPoint solves one scenario and extracts the requested metric.
+func sweepPoint(sc *scenario.Scenario, cfg core.Config, metric string) (float64, error) {
+	sol, err := core.Run(sc, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if !sol.Feasible {
+		return math.NaN(), nil
+	}
+	switch metric {
+	case "total-power":
+		return sol.PTotal, nil
+	case "coverage-power":
+		return sol.PL, nil
+	case "conn-power":
+		return sol.PH, nil
+	case "coverage-relays":
+		return float64(sol.Coverage.NumRelays()), nil
+	case "conn-relays":
+		return float64(sol.Connectivity.NumRelays()), nil
+	case "total-relays":
+		return float64(sol.TotalRelays()), nil
+	case "runtime-ms":
+		return float64(sol.Elapsed.Microseconds()) / 1000, nil
+	case "delivery-ratio":
+		rep, err := sim.RunTraffic(sc, sol, sim.TrafficOptions{Slots: 300, Seed: 1})
+		if err != nil {
+			return 0, err
+		}
+		return rep.DeliveryRatio(), nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", metric)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sagsweep", flag.ContinueOnError)
+	var (
+		dim      = fs.String("dim", "users", "sweep dimension: users, snr, field or bs")
+		from     = fs.Float64("from", 5, "first value")
+		to       = fs.Float64("to", 50, "last value (inclusive)")
+		step     = fs.Float64("step", 5, "increment")
+		metric   = fs.String("metric", "total-power", "metric to record")
+		users    = fs.Int("users", 30, "subscribers (when not swept)")
+		field    = fs.Float64("field", 500, "field side (when not swept)")
+		numBS    = fs.Int("bs", 4, "base stations (when not swept)")
+		snr      = fs.Float64("snr", -15, "SNR threshold dB (when not swept)")
+		runs     = fs.Int("runs", 3, "seeded repetitions per point")
+		seed     = fs.Int64("seed", 1, "base seed")
+		coverage = fs.String("coverage", "SAMC", "coverage method: SAMC, IAC or GAC")
+		chart    = fs.Bool("chart", false, "render an ASCII chart")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *step <= 0 {
+		return fmt.Errorf("step %v must be positive", *step)
+	}
+	if *to < *from {
+		return fmt.Errorf("empty range [%v,%v]", *from, *to)
+	}
+	var cfg core.Config
+	switch *coverage {
+	case "SAMC", "samc":
+		cfg.Coverage = core.CoverSAMC
+	case "IAC", "iac":
+		cfg.Coverage = core.CoverIAC
+	case "GAC", "gac":
+		cfg.Coverage = core.CoverGAC
+	default:
+		return fmt.Errorf("unknown coverage method %q", *coverage)
+	}
+
+	tbl := &experiment.Table{
+		ID:      "sweep",
+		Title:   fmt.Sprintf("%s vs %s (%s coverage)", *metric, *dim, cfg.Coverage),
+		XLabel:  *dim,
+		Columns: []string{*metric},
+	}
+	for x := *from; x <= *to+1e-9; x += *step {
+		gen := scenario.GenConfig{
+			FieldSide: *field, NumSS: *users, NumBS: *numBS, SNRdB: *snr,
+		}
+		switch *dim {
+		case "users":
+			gen.NumSS = int(x)
+		case "snr":
+			gen.SNRdB = x
+		case "field":
+			gen.FieldSide = x
+		case "bs":
+			gen.NumBS = int(x)
+		default:
+			return fmt.Errorf("unknown dimension %q", *dim)
+		}
+		if gen.NumSS <= 0 || gen.NumBS <= 0 || gen.FieldSide <= 0 {
+			return fmt.Errorf("dimension value %v yields an invalid scenario", x)
+		}
+		sum, n := 0.0, 0
+		for r := 0; r < *runs; r++ {
+			gen.Seed = *seed + int64(r) + int64(x*7919)
+			sc, err := scenario.Generate(gen)
+			if err != nil {
+				return err
+			}
+			v, err := sweepPoint(sc, cfg, *metric)
+			if err != nil {
+				return err
+			}
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		val := math.NaN()
+		if n > 0 {
+			val = sum / float64(n)
+		}
+		if err := tbl.AddRow(x, val); err != nil {
+			return err
+		}
+	}
+	fmt.Println(tbl.ASCII())
+	if *chart {
+		fmt.Println(tbl.Chart(0, 0))
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/scenario"
+)
+
+func TestSweepValidation(t *testing.T) {
+	bad := [][]string{
+		{"-step", "0"},
+		{"-from", "10", "-to", "5"},
+		{"-dim", "zzz", "-from", "5", "-to", "5", "-runs", "1"},
+		{"-metric", "zzz", "-from", "5", "-to", "5", "-users", "3", "-bs", "1", "-runs", "1"},
+		{"-coverage", "zzz"},
+		{"-not-a-flag"},
+		{"-dim", "users", "-from", "-5", "-to", "-5"},
+	}
+	for i, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("bad args %d accepted: %v", i, args)
+		}
+	}
+}
+
+func TestSweepUsersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{
+		"-dim", "users", "-from", "4", "-to", "8", "-step", "4",
+		"-field", "300", "-bs", "2", "-runs", "1", "-metric", "total-relays", "-chart",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepPointMetrics(t *testing.T) {
+	sc, err := scenario.Generate(scenario.GenConfig{FieldSide: 300, NumSS: 5, NumBS: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{
+		"total-power", "coverage-power", "conn-power",
+		"coverage-relays", "conn-relays", "total-relays", "runtime-ms",
+	} {
+		v, err := sweepPoint(sc, core.Config{}, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if v < 0 {
+			t.Errorf("%s = %v", m, v)
+		}
+	}
+	if _, err := sweepPoint(sc, core.Config{}, "nope"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestSweepDeliveryRatioMetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc, err := scenario.Generate(scenario.GenConfig{FieldSide: 300, NumSS: 5, NumBS: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sweepPoint(sc, core.Config{}, "delivery-ratio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v > 1 {
+		t.Errorf("delivery ratio %v outside [0,1]", v)
+	}
+}

@@ -1,0 +1,117 @@
+// Command sagviz renders deployment topologies as SVG (the paper's Fig. 6).
+//
+// Usage:
+//
+//	sagviz -out fig6/                           # all four Fig. 6 panels
+//	sagviz -scenario sc.json -scheme SAMC+MBMC -out topo.svg
+//	sagviz -users 30 -field 600 -scheme SAMC+MUST -out topo.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/experiment"
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sagviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sagviz", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "", "output file (single scheme) or directory (all panels)")
+		scheme  = fs.String("scheme", "", "scheme: IAC+MBMC, GAC+MBMC, SAMC+MBMC or SAMC+MUST (empty = all four panels)")
+		scPath  = fs.String("scenario", "", "scenario JSON file (empty = generate)")
+		users   = fs.Int("users", 30, "generated subscribers")
+		field   = fs.Float64("field", 600, "generated field side")
+		numBS   = fs.Int("bs", 4, "generated base stations")
+		seed    = fs.Int64("seed", 1, "generation seed")
+		circles = fs.Bool("circles", false, "draw feasible coverage circles")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -out")
+	}
+	if *scheme == "" {
+		// All four Fig. 6 panels into the directory.
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		paths, err := experiment.Fig6SVGs(experiment.Config{Runs: 1, Seed: *seed}, *out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d panels: %s\n", len(paths), strings.Join(paths, ", "))
+		return nil
+	}
+	var sc *scenario.Scenario
+	var err error
+	if *scPath != "" {
+		sc, err = scenario.Load(*scPath)
+	} else {
+		sc, err = scenario.Generate(scenario.GenConfig{
+			FieldSide: *field, NumSS: *users, NumBS: *numBS, Seed: *seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	cfg, err := parseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	sol, err := core.Run(sc, cfg)
+	if err != nil {
+		return err
+	}
+	if !sol.Feasible {
+		fmt.Fprintln(os.Stderr, "warning: coverage infeasible; rendering the bare scenario")
+		sol = nil
+	}
+	style := viz.Style{ShowEdges: true, ShowCircles: *circles, Title: *scheme}
+	if err := viz.RenderToFile(sc, sol, style, *out); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+func parseScheme(s string) (core.Config, error) {
+	parts := strings.SplitN(s, "+", 2)
+	if len(parts) != 2 {
+		return core.Config{}, fmt.Errorf("scheme %q is not <coverage>+<connectivity>", s)
+	}
+	var cfg core.Config
+	switch strings.ToUpper(parts[0]) {
+	case "SAMC":
+		cfg.Coverage = core.CoverSAMC
+	case "IAC":
+		cfg.Coverage = core.CoverIAC
+	case "GAC":
+		cfg.Coverage = core.CoverGAC
+	default:
+		return cfg, fmt.Errorf("unknown coverage method %q", parts[0])
+	}
+	switch strings.ToUpper(parts[1]) {
+	case "MBMC":
+		cfg.Connectivity = core.ConnMBMC
+	case "MUST":
+		cfg.Connectivity = core.ConnMUST
+	default:
+		return cfg, fmt.Errorf("unknown connectivity method %q", parts[1])
+	}
+	return cfg, nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sagrelay/internal/core"
+)
+
+func TestParseScheme(t *testing.T) {
+	tests := []struct {
+		in       string
+		cover    core.CoverageMethod
+		conn     core.ConnectivityMethod
+		wantsErr bool
+	}{
+		{"SAMC+MBMC", core.CoverSAMC, core.ConnMBMC, false},
+		{"iac+must", core.CoverIAC, core.ConnMUST, false},
+		{"GAC+MBMC", core.CoverGAC, core.ConnMBMC, false},
+		{"SAMC", 0, 0, true},
+		{"XXX+MBMC", 0, 0, true},
+		{"SAMC+XXX", 0, 0, true},
+	}
+	for _, tt := range tests {
+		cfg, err := parseScheme(tt.in)
+		if tt.wantsErr {
+			if err == nil {
+				t.Errorf("parseScheme(%q) accepted", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseScheme(%q): %v", tt.in, err)
+			continue
+		}
+		if cfg.Coverage != tt.cover || cfg.Connectivity != tt.conn {
+			t.Errorf("parseScheme(%q) = %+v", tt.in, cfg)
+		}
+	}
+}
+
+func TestMissingOut(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -out accepted")
+	}
+}
+
+func TestSingleSchemeRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := filepath.Join(t.TempDir(), "topo.svg")
+	err := run([]string{"-out", out, "-scheme", "SAMC+MBMC", "-users", "8", "-field", "300", "-bs", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("output is not SVG")
+	}
+}

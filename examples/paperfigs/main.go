@@ -1,0 +1,49 @@
+// Paper figures in the terminal: regenerate two of the paper's cheaper
+// artifacts through the public experiment API and render them as ASCII
+// tables and charts — the same entry point cmd/sagbench scripts, shown as
+// a library call.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sagrelay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("available artifacts:", sagrelay.ExperimentIDs())
+	fmt.Println()
+
+	// Table II: MUST vs MBMC as base stations are added.
+	table2, err := sagrelay.RunExperiment("table2", sagrelay.ExperimentConfig{Runs: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Println(table2.ASCII())
+
+	// Fig. 4(d): UCPO vs max-power baseline, plotted.
+	fig4d, err := sagrelay.RunExperiment("fig4d", sagrelay.ExperimentConfig{Runs: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig4d.ASCII())
+	fmt.Println(fig4d.Chart(60, 16))
+
+	fmt.Println("CSV export of fig4d (first lines):")
+	csv := fig4d.CSV()
+	for i, line := 0, 0; i < len(csv) && line < 4; i++ {
+		fmt.Print(string(csv[i]))
+		if csv[i] == '\n' {
+			line++
+		}
+	}
+	return nil
+}

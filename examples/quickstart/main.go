@@ -1,0 +1,62 @@
+// Quickstart: generate a random deployment scenario, run the full SAG
+// pipeline (SAMC coverage + PRO + MBMC connectivity + UCPO), and print the
+// resulting deployment and its power savings over the max-power baseline.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sagrelay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 500x500 field with 30 subscriber stations and 4 base stations,
+	// the paper's standard evaluation workload (Section IV-A).
+	sc, err := sagrelay.Generate(sagrelay.GenConfig{
+		FieldSide: 500,
+		NumSS:     30,
+		NumBS:     4,
+		Seed:      2013, // deterministic: same seed, same scenario
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %d subscribers, %d base stations, SNR threshold %.1f dB\n",
+		sc.NumSS(), len(sc.BaseStations), sc.SNRThresholdDB)
+
+	sol, err := sagrelay.SAG(sc, sagrelay.Config{})
+	if err != nil {
+		return err
+	}
+	if !sol.Feasible {
+		return fmt.Errorf("no feasible deployment at this SNR threshold")
+	}
+
+	fmt.Printf("\nSAG deployment (%v):\n", sol.Elapsed.Round(1000))
+	fmt.Printf("  coverage relays:     %d (power %.1f)\n", sol.Coverage.NumRelays(), sol.PL)
+	fmt.Printf("  connectivity relays: %d (power %.1f)\n", sol.Connectivity.NumRelays(), sol.PH)
+	fmt.Printf("  total power:         %.1f\n", sol.PTotal)
+
+	maxPower := sc.PMax * float64(sol.TotalRelays())
+	fmt.Printf("  vs max-power:        %.1f  (%.0f%% saved)\n",
+		maxPower, 100*(1-sol.PTotal/maxPower))
+
+	// Each subscriber's serving relay:
+	fmt.Println("\nfirst five access links:")
+	for j := 0; j < 5 && j < sc.NumSS(); j++ {
+		r := sol.Coverage.AssignOf[j]
+		relay := sol.Coverage.Relays[r]
+		fmt.Printf("  SS %-2d at %v -> relay %d at %v (%.1f away, power %.3f)\n",
+			j, sc.Subscribers[j].Pos, r, relay.Pos,
+			sc.Subscribers[j].Pos.Dist(relay.Pos), sol.CoveragePower.Powers[r])
+	}
+	return nil
+}

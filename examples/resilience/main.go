@@ -1,0 +1,95 @@
+// Resilience audit: after solving a deployment with SAG, evaluate it at the
+// link level (per-hop SNR and Shannon capacity, end-to-end bottlenecks) and
+// then stress it with single-relay failures — the due-diligence pass an
+// operator runs before committing a relay plan.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"sagrelay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resilience:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sc, err := sagrelay.Generate(sagrelay.GenConfig{
+		FieldSide: 500, NumSS: 25, NumBS: 3, Seed: 99,
+	})
+	if err != nil {
+		return err
+	}
+	sol, err := sagrelay.SAG(sc, sagrelay.Config{})
+	if err != nil {
+		return err
+	}
+	if !sol.Feasible {
+		return fmt.Errorf("deployment infeasible")
+	}
+
+	// Link-level evaluation of the as-built network.
+	rep, err := sagrelay.Evaluate(sc, sol, sagrelay.SimOptions{Bandwidth: 10})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployment: %d coverage + %d connectivity relays, %.1f power\n",
+		sol.Coverage.NumRelays(), sol.Connectivity.NumRelays(), sol.PTotal)
+	fmt.Printf("link audit: %d/%d meet SNR, %d/%d meet rate, max path %d hops\n",
+		rep.SatisfiedSNR, len(rep.Subscribers),
+		rep.SatisfiedRate, len(rep.Subscribers), rep.MaxHops)
+	fmt.Printf("end-to-end bottleneck capacity: min %.2f, mean %.2f (b/s/Hz x10)\n\n",
+		rep.MinBottleneck, rep.MeanBottleneck)
+
+	// The five weakest subscribers.
+	idx := make([]int, len(rep.Subscribers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return rep.Subscribers[idx[a]].Bottleneck < rep.Subscribers[idx[b]].Bottleneck
+	})
+	fmt.Println("five tightest paths:")
+	for _, i := range idx[:5] {
+		sr := rep.Subscribers[i]
+		fmt.Printf("  SS %-2d: %d hops to BS %d, bottleneck %.2f, access SNR %.1f dB\n",
+			sr.SS, sr.Hops(), sr.BS, sr.Bottleneck, sr.Access.SNRdB)
+	}
+
+	// Single-failure stress: every relay, both tiers.
+	worst, err := sagrelay.WorstSingleFailure(sc, sol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nworst single failure: %s relay %d -> %d/%d subscribers lost (%.0f%%)\n",
+		worst.Failure.Kind, worst.Failure.Index,
+		len(worst.LostSubscribers), sc.NumSS(), 100*worst.LostFraction)
+
+	// Distribution of failure impact across all coverage relays.
+	hist := map[int]int{}
+	for i := range sol.Coverage.Relays {
+		r, err := sagrelay.InjectFailure(sc, sol, sagrelay.Failure{
+			Kind: sagrelay.FailCoverage, Index: i,
+		})
+		if err != nil {
+			return err
+		}
+		hist[len(r.LostSubscribers)]++
+	}
+	fmt.Println("\ncoverage-relay failure impact (lost subscribers -> #relays):")
+	var keys []int
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Printf("  %2d lost: %d relays\n", k, hist[k])
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Retail park: a hand-built scenario matching the paper's motivation — the
+// subscriber stations are fixed high-demand sites ("Wal-Mart, McDonald's,
+// and gas stations") clustered along two retail strips, with macro base
+// stations at the edge of town. The example solves it with SAG and with the
+// SAMC+DARP baseline, prints the comparison, and renders both topologies as
+// SVG files.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sagrelay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "retailpark:", err)
+		os.Exit(1)
+	}
+}
+
+// site places one subscriber with a distance requirement derived from its
+// demand class: anchor stores request more capacity (shorter feasible
+// distance) than gas stations.
+func site(sc *sagrelay.Scenario, id int, x, y, distReq float64) sagrelay.Subscriber {
+	return sagrelay.Subscriber{
+		ID:         id,
+		Pos:        sagrelay.Pt(x, y),
+		DistReq:    distReq,
+		MinRxPower: sc.DeriveMinRxPower(distReq),
+	}
+}
+
+func buildScenario() (*sagrelay.Scenario, error) {
+	sc := &sagrelay.Scenario{
+		Field:          sagrelay.SquareField(600),
+		Model:          sagrelay.DefaultRadioModel(),
+		PMax:           50,
+		SNRThresholdDB: -15,
+		NMax:           1.5e-5,
+		BaseStations: []sagrelay.BaseStation{
+			{ID: 0, Pos: sagrelay.Pt(-270, -270)}, // edge-of-town macro sites
+			{ID: 1, Pos: sagrelay.Pt(270, 250)},
+		},
+	}
+	// North strip: anchor store + satellites.
+	coords := []struct {
+		x, y, d float64
+	}{
+		{-180, 120, 30}, // big-box anchor (high demand, short range)
+		{-140, 135, 34},
+		{-100, 120, 36},
+		{-60, 140, 38},
+		{-20, 125, 36},
+		// South strip along the highway.
+		{-40, -150, 32},
+		{0, -140, 35},
+		{40, -155, 38},
+		{80, -140, 34},
+		{120, -150, 36},
+		{160, -135, 40},
+		// Isolated gas stations between the strips.
+		{220, 20, 40},
+		{-240, -40, 40},
+	}
+	for i, c := range coords {
+		sc.Subscribers = append(sc.Subscribers, site(sc, i, c.x, c.y, c.d))
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func run() error {
+	sc, err := buildScenario()
+	if err != nil {
+		return err
+	}
+	zones, err := sagrelay.ZonePartition(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retail park: %d sites in %d interference zones, %d base stations\n",
+		sc.NumSS(), len(zones), len(sc.BaseStations))
+
+	sag, err := sagrelay.SAG(sc, sagrelay.Config{})
+	if err != nil {
+		return err
+	}
+	darp, err := sagrelay.DARP(sc, sagrelay.CoverSAMC, sagrelay.Config{})
+	if err != nil {
+		return err
+	}
+	if !sag.Feasible || !darp.Feasible {
+		return fmt.Errorf("deployment infeasible (SAG=%v, DARP=%v)", sag.Feasible, darp.Feasible)
+	}
+
+	fmt.Printf("\n%-12s %10s %12s %12s\n", "pipeline", "relays", "total power", "vs DARP")
+	for _, sol := range []*sagrelay.Solution{sag, darp} {
+		fmt.Printf("%-12s %10d %12.1f %11.0f%%\n",
+			sol.Method, sol.TotalRelays(), sol.PTotal, 100*sol.PTotal/darp.PTotal)
+	}
+
+	for name, sol := range map[string]*sagrelay.Solution{
+		"retailpark_sag.svg":  sag,
+		"retailpark_darp.svg": darp,
+	} {
+		style := sagrelay.VizStyle{ShowEdges: true, ShowCircles: true, Title: sol.Method}
+		if err := sagrelay.RenderSVGFile(sc, sol, style, name); err != nil {
+			return err
+		}
+		fmt.Println("wrote", name)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Traffic planning: specify demand the way an operator would — data rates
+// per site class, not abstract distances — and let the library run the
+// paper's capacity-to-distance transformation (Section II-A) before
+// solving. Uses a clustered town-center workload, where Zone Partition
+// actually decomposes the field, and compares uniform vs clustered
+// deployments.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sagrelay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Demand classes in rate terms (rate units per bandwidth unit): the
+	// anchor store streams inventory video, kiosks mostly idle.
+	classes := []sagrelay.TrafficClass{
+		{Name: "anchor-store", Rate: 8.0, Bandwidth: 1, Weight: 1},
+		{Name: "restaurant", Rate: 6.5, Bandwidth: 1, Weight: 2},
+		{Name: "gas-station", Rate: 5.0, Bandwidth: 1, Weight: 3},
+	}
+	sc, err := sagrelay.GenerateTraffic(sagrelay.TrafficConfig{
+		FieldSide: 500, NumSS: 25, NumBS: 3, Seed: 21,
+		Classes: classes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("rate-derived distance requirements (Section II-A):")
+	hist := map[int]int{}
+	for _, s := range sc.Subscribers {
+		hist[int(s.DistReq)]++
+	}
+	for d := 0; d < 300; d++ {
+		if hist[d] > 0 {
+			fmt.Printf("  ~%3d units: %d sites\n", d, hist[d])
+		}
+	}
+
+	sol, err := sagrelay.SAG(sc, sagrelay.Config{})
+	if err != nil {
+		return err
+	}
+	if !sol.Feasible {
+		return fmt.Errorf("rate-based deployment infeasible")
+	}
+	fmt.Printf("\nuniform field:   %2d coverage + %2d connectivity relays, power %.1f\n",
+		sol.Coverage.NumRelays(), sol.Connectivity.NumRelays(), sol.PTotal)
+
+	// The same subscriber count clustered into three town centres on a
+	// wider field: the clusters fall outside each other's ignorable-noise
+	// radius and Zone Partition decomposes the problem.
+	clustered, err := sagrelay.GenerateClustered(sagrelay.ClusterConfig{
+		FieldSide: 900, NumClusters: 3, NumSS: 25, NumBS: 3, Seed: 21, Spread: 30,
+	})
+	if err != nil {
+		return err
+	}
+	zones, err := sagrelay.ZonePartition(clustered)
+	if err != nil {
+		return err
+	}
+	csol, err := sagrelay.SAG(clustered, sagrelay.Config{})
+	if err != nil {
+		return err
+	}
+	if !csol.Feasible {
+		return fmt.Errorf("clustered deployment infeasible")
+	}
+	fmt.Printf("clustered field: %2d coverage + %2d connectivity relays, power %.1f (%d zones)\n",
+		csol.Coverage.NumRelays(), csol.Connectivity.NumRelays(), csol.PTotal, len(zones))
+
+	fmt.Println("\nclustering concentrates demand — fewer coverage relays per site —")
+	if len(zones) > 1 {
+		fmt.Println("and Zone Partition isolated the clusters' interference domains.")
+	} else {
+		fmt.Println("though these clusters still share one interference zone.")
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package sagrelay
+
+import (
+	"testing"
+)
+
+func TestFacadeDistanceCoverageAndViolations(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 500, NumSS: 12, NumBS: 2, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DistanceCoverage(sc, SAMCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("distance coverage infeasible")
+	}
+	v, err := SNRViolations(sc, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v > sc.NumSS() {
+		t.Errorf("violations = %d", v)
+	}
+}
+
+func TestFacadeDualCoverage(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 500, NumSS: 12, NumBS: 2, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := DualCoverage(sc, SAMCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dual.Feasible {
+		t.Skip("2-fold coverage uncoverable on this draw")
+	}
+	if err := dual.VerifyDual(sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRunTraffic(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 400, NumSS: 8, NumBS: 2, Seed: 46})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SAG(sc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Skip("infeasible draw")
+	}
+	rep, err := RunTraffic(sc, sol, TrafficOptions{Slots: 100, ArrivalRate: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generated == 0 || rep.DeliveryRatio() < 0 || rep.DeliveryRatio() > 1 {
+		t.Errorf("traffic report implausible: %+v", rep)
+	}
+}

@@ -1,0 +1,105 @@
+package sagrelay
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeTrafficGeneration(t *testing.T) {
+	sc, err := GenerateTraffic(TrafficConfig{
+		FieldSide: 500, NumSS: 10, NumBS: 2, Seed: 3,
+		Classes: []TrafficClass{
+			{Name: "heavy", Rate: 8, Bandwidth: 1, Weight: 1},
+			{Name: "light", Rate: 5, Bandwidth: 1, Weight: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumSS() != 10 {
+		t.Fatalf("generated %d subscribers", sc.NumSS())
+	}
+	// Heavier demand -> shorter feasible distance; both classes clamp under
+	// half the field.
+	for _, s := range sc.Subscribers {
+		if s.DistReq <= 0 || s.DistReq > 250 {
+			t.Errorf("distance requirement %v out of range", s.DistReq)
+		}
+	}
+}
+
+func TestFacadeClusteredGeneration(t *testing.T) {
+	sc, err := GenerateClustered(ClusterConfig{
+		FieldSide: 600, NumClusters: 2, NumSS: 12, NumBS: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeEvaluateAndFailures(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 500, NumSS: 12, NumBS: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SAG(sc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Skip("infeasible draw")
+	}
+	rep, err := Evaluate(sc, sol, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Subscribers) != 12 {
+		t.Errorf("evaluated %d subscribers", len(rep.Subscribers))
+	}
+	fr, err := InjectFailure(sc, sol, Failure{Kind: FailCoverage, Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.LostSubscribers) == 0 {
+		t.Error("failing a coverage relay lost nobody")
+	}
+	worst, err := WorstSingleFailure(sc, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worst.LostSubscribers) < len(fr.LostSubscribers) {
+		t.Error("worst failure weaker than an arbitrary one")
+	}
+}
+
+func TestFacadeRenderSVGFile(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 300, NumSS: 5, NumBS: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.svg")
+	if err := RenderSVGFile(sc, nil, VizStyle{}, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeIACGAC(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 300, NumSS: 6, NumBS: 1, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iac, err := IAC(sc, ILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gac, err := GAC(sc, ILPOptions{GridSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iac.Feasible && gac.Feasible && iac.NumRelays() > gac.NumRelays()+2 {
+		t.Errorf("IAC %d much worse than GAC %d", iac.NumRelays(), gac.NumRelays())
+	}
+}

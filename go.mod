@@ -1,0 +1,3 @@
+module sagrelay
+
+go 1.22

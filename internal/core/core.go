@@ -1,0 +1,290 @@
+// Package core assembles the paper's primary contribution: the SNR-Aware
+// Green (SAG) relay pipeline of Algorithm 9, and the DARP-style baseline
+// pipelines it is evaluated against (Section IV-D).
+//
+// A pipeline has four stages, each with the paper's algorithm choices:
+//
+//	coverage            SAMC (Alg. 1) | IAC | GAC (ILPQC, eqs. 3.1-3.5)
+//	coverage power      PRO (Alg. 6) | LPQC-optimal | max-power baseline
+//	connectivity        MBMC (Alg. 7) | MUST (single base station, [1])
+//	connectivity power  UCPO (Alg. 8) | max-power baseline
+//
+// SAG is {SAMC, PRO, MBMC, UCPO}. The Fig. 7 baselines "X+DARP" keep X's
+// coverage but follow [1] upstream: MUST to a single base station with all
+// relays at maximum power and no power optimization on either tier.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sagrelay/internal/lower"
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/upper"
+)
+
+// CoverageMethod selects the lower-tier placement algorithm.
+type CoverageMethod int
+
+// Coverage methods. (Enums start at 1 so the zero value is invalid.)
+const (
+	CoverSAMC CoverageMethod = iota + 1
+	CoverIAC
+	CoverGAC
+)
+
+// String renders the method name as used in the paper's figures.
+func (m CoverageMethod) String() string {
+	switch m {
+	case CoverSAMC:
+		return "SAMC"
+	case CoverIAC:
+		return "IAC"
+	case CoverGAC:
+		return "GAC"
+	default:
+		return fmt.Sprintf("CoverageMethod(%d)", int(m))
+	}
+}
+
+// PowerMethod selects a power-allocation algorithm for either tier.
+type PowerMethod int
+
+// Power methods. (Enums start at 1 so the zero value is invalid.)
+const (
+	// PowerBaseline keeps every relay at PMax.
+	PowerBaseline PowerMethod = iota + 1
+	// PowerGreen runs the tier's green algorithm (PRO below, UCPO above).
+	PowerGreen
+	// PowerOptimal solves the tier's exact optimum (LPQC; lower tier only).
+	PowerOptimal
+)
+
+// String renders the method.
+func (m PowerMethod) String() string {
+	switch m {
+	case PowerBaseline:
+		return "baseline"
+	case PowerGreen:
+		return "green"
+	case PowerOptimal:
+		return "optimal"
+	default:
+		return fmt.Sprintf("PowerMethod(%d)", int(m))
+	}
+}
+
+// ConnectivityMethod selects the upper-tier tree algorithm.
+type ConnectivityMethod int
+
+// Connectivity methods. (Enums start at 1 so the zero value is invalid.)
+const (
+	// ConnMBMC attaches every coverage relay toward its nearest base
+	// station (Alg. 7).
+	ConnMBMC ConnectivityMethod = iota + 1
+	// ConnMUST forces a single base station (the baseline of [1]).
+	ConnMUST
+)
+
+// String renders the method.
+func (m ConnectivityMethod) String() string {
+	switch m {
+	case ConnMBMC:
+		return "MBMC"
+	case ConnMUST:
+		return "MUST"
+	default:
+		return fmt.Sprintf("ConnectivityMethod(%d)", int(m))
+	}
+}
+
+// Config selects and tunes the pipeline stages.
+type Config struct {
+	// Coverage selects the lower-tier algorithm; zero means SAMC.
+	Coverage CoverageMethod
+	// CoveragePower selects the lower-tier power stage; zero means green
+	// (PRO).
+	CoveragePower PowerMethod
+	// Connectivity selects the upper-tier algorithm; zero means MBMC.
+	Connectivity ConnectivityMethod
+	// ConnectivityPower selects the upper-tier power stage; zero means
+	// green (UCPO).
+	ConnectivityPower PowerMethod
+	// MUSTBaseStation is the forced base station index for ConnMUST.
+	MUSTBaseStation int
+	// SAMC tunes the SAMC heuristic.
+	SAMC lower.SAMCOptions
+	// ILP tunes the IAC/GAC formulations.
+	ILP lower.ILPOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Coverage == 0 {
+		c.Coverage = CoverSAMC
+	}
+	if c.CoveragePower == 0 {
+		c.CoveragePower = PowerGreen
+	}
+	if c.Connectivity == 0 {
+		c.Connectivity = ConnMBMC
+	}
+	if c.ConnectivityPower == 0 {
+		c.ConnectivityPower = PowerGreen
+	}
+	return c
+}
+
+// Solution is a fully solved deployment: both tiers plus power allocations.
+type Solution struct {
+	// Feasible is false when the coverage stage could not satisfy every
+	// subscriber; the remaining fields are then zero.
+	Feasible bool
+	// Coverage is the lower-tier placement.
+	Coverage *lower.Result
+	// CoveragePower allocates power to the coverage relays.
+	CoveragePower *lower.PowerAllocation
+	// Connectivity is the upper-tier plan.
+	Connectivity *upper.Result
+	// ConnectivityPower allocates power to the connectivity relays.
+	ConnectivityPower *upper.PowerAllocation
+	// PL, PH and PTotal are the paper's lower-tier, upper-tier and total
+	// power costs (Alg. 9, Steps 3-6).
+	PL, PH, PTotal float64
+	// Elapsed is the end-to-end wall-clock time.
+	Elapsed time.Duration
+	// Method describes the pipeline, e.g. "SAG" or "SAMC+DARP".
+	Method string
+}
+
+// TotalRelays returns the number of placed relays across both tiers.
+func (s *Solution) TotalRelays() int {
+	if !s.Feasible {
+		return 0
+	}
+	return s.Coverage.NumRelays() + s.Connectivity.NumRelays()
+}
+
+// ErrInfeasible mirrors lower.ErrInfeasible at the pipeline level.
+var ErrInfeasible = lower.ErrInfeasible
+
+// SAG runs Algorithm 9 with the default stages (SAMC + PRO + MBMC + UCPO):
+// L_low <- SAMC; P_L <- PRO; L_high <- MBMC; P_H <- UCPO; P_total = P_L+P_H.
+func SAG(sc *scenario.Scenario, cfg Config) (*Solution, error) {
+	cfg = cfg.withDefaults()
+	sol, err := Run(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Coverage == CoverSAMC && cfg.CoveragePower == PowerGreen &&
+		cfg.Connectivity == ConnMBMC && cfg.ConnectivityPower == PowerGreen {
+		sol.Method = "SAG"
+	}
+	return sol, nil
+}
+
+// DARP runs an "X+DARP" baseline pipeline (Section IV-D): coverage by the
+// given method, then the upstream approach of [1] — MUST to a single base
+// station with every relay at maximum power on both tiers.
+func DARP(sc *scenario.Scenario, coverage CoverageMethod, cfg Config) (*Solution, error) {
+	cfg.Coverage = coverage
+	cfg.CoveragePower = PowerBaseline
+	cfg.Connectivity = ConnMUST
+	cfg.ConnectivityPower = PowerBaseline
+	sol, err := Run(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sol.Method = coverage.String() + "+DARP"
+	return sol, nil
+}
+
+// Run executes an arbitrary pipeline configuration.
+func Run(sc *scenario.Scenario, cfg Config) (*Solution, error) {
+	start := time.Now()
+	cfg = cfg.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	var cover *lower.Result
+	var err error
+	switch cfg.Coverage {
+	case CoverSAMC:
+		cover, err = lower.SAMC(sc, cfg.SAMC)
+	case CoverIAC:
+		cover, err = lower.IAC(sc, cfg.ILP)
+	case CoverGAC:
+		cover, err = lower.GAC(sc, cfg.ILP)
+	default:
+		return nil, fmt.Errorf("core: unknown coverage method %v", cfg.Coverage)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: coverage: %w", err)
+	}
+	sol := &Solution{Method: pipelineName(cfg)}
+	if !cover.Feasible {
+		sol.Coverage = cover
+		sol.Elapsed = time.Since(start)
+		return sol, nil
+	}
+
+	var coverPower *lower.PowerAllocation
+	switch cfg.CoveragePower {
+	case PowerBaseline:
+		coverPower = lower.BaselinePower(sc, cover)
+	case PowerGreen:
+		coverPower, err = lower.PRO(sc, cover)
+	case PowerOptimal:
+		coverPower, err = lower.OptimalPower(sc, cover)
+	default:
+		return nil, fmt.Errorf("core: unknown coverage power method %v", cfg.CoveragePower)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: coverage power: %w", err)
+	}
+
+	var conn *upper.Result
+	switch cfg.Connectivity {
+	case ConnMBMC:
+		conn, err = upper.MBMC(sc, cover)
+	case ConnMUST:
+		conn, err = upper.MUST(sc, cover, cfg.MUSTBaseStation)
+	default:
+		return nil, fmt.Errorf("core: unknown connectivity method %v", cfg.Connectivity)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: connectivity: %w", err)
+	}
+
+	var connPower *upper.PowerAllocation
+	switch cfg.ConnectivityPower {
+	case PowerBaseline:
+		connPower = upper.BaselinePower(sc, conn)
+	case PowerGreen:
+		connPower, err = upper.UCPO(sc, cover, conn)
+	case PowerOptimal:
+		return nil, errors.New("core: optimal power is only defined for the lower tier (LPQC)")
+	default:
+		return nil, fmt.Errorf("core: unknown connectivity power method %v", cfg.ConnectivityPower)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: connectivity power: %w", err)
+	}
+
+	sol.Feasible = true
+	sol.Coverage = cover
+	sol.CoveragePower = coverPower
+	sol.Connectivity = conn
+	sol.ConnectivityPower = connPower
+	sol.PL = coverPower.Total
+	sol.PH = connPower.Total
+	sol.PTotal = sol.PL + sol.PH
+	sol.Elapsed = time.Since(start)
+	return sol, nil
+}
+
+func pipelineName(cfg Config) string {
+	return fmt.Sprintf("%s/%s+%s/%s",
+		cfg.Coverage, cfg.CoveragePower, cfg.Connectivity, cfg.ConnectivityPower)
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sagrelay/internal/scenario"
+)
+
+func gen(t *testing.T, side float64, n int, seed int64) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Generate(scenario.GenConfig{FieldSide: side, NumSS: n, NumBS: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestSAGEndToEnd(t *testing.T) {
+	sc := gen(t, 500, 15, 3)
+	sol, err := SAG(sc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatal("SAG infeasible on a benign instance")
+	}
+	if sol.Method != "SAG" {
+		t.Errorf("Method = %q", sol.Method)
+	}
+	if sol.PTotal != sol.PL+sol.PH {
+		t.Errorf("PTotal %v != PL %v + PH %v", sol.PTotal, sol.PL, sol.PH)
+	}
+	if sol.PL <= 0 || sol.PH < 0 {
+		t.Errorf("power costs PL=%v PH=%v", sol.PL, sol.PH)
+	}
+	if sol.TotalRelays() != sol.Coverage.NumRelays()+sol.Connectivity.NumRelays() {
+		t.Error("TotalRelays inconsistent")
+	}
+	if err := sol.Coverage.Verify(sc, true); err != nil {
+		t.Errorf("coverage invalid: %v", err)
+	}
+	if err := sol.Connectivity.Verify(sc, sol.Coverage); err != nil {
+		t.Errorf("connectivity invalid: %v", err)
+	}
+}
+
+func TestDARPBaseline(t *testing.T) {
+	sc := gen(t, 500, 15, 3)
+	sol, err := DARP(sc, CoverSAMC, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatal("SAMC+DARP infeasible")
+	}
+	if sol.Method != "SAMC+DARP" {
+		t.Errorf("Method = %q", sol.Method)
+	}
+	// DARP keeps every relay at PMax.
+	wantPL := sc.PMax * float64(sol.Coverage.NumRelays())
+	if sol.PL != wantPL {
+		t.Errorf("PL = %v, want %v", sol.PL, wantPL)
+	}
+	wantPH := sc.PMax * float64(sol.Connectivity.NumRelays())
+	if sol.PH != wantPH {
+		t.Errorf("PH = %v, want %v", sol.PH, wantPH)
+	}
+}
+
+func TestSAGBeatsDARP(t *testing.T) {
+	// The headline Fig. 7 result: SAG's total power is below SAMC+DARP's.
+	sc := gen(t, 500, 20, 7)
+	sag, err := SAG(sc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	darp, err := DARP(sc, CoverSAMC, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sag.Feasible || !darp.Feasible {
+		t.Skip("instance infeasible for one pipeline")
+	}
+	if sag.PTotal >= darp.PTotal {
+		t.Errorf("SAG %v not below SAMC+DARP %v", sag.PTotal, darp.PTotal)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	sc := gen(t, 300, 5, 1)
+	if _, err := Run(sc, Config{Coverage: CoverageMethod(42)}); err == nil {
+		t.Error("bad coverage method accepted")
+	}
+	if _, err := Run(sc, Config{ConnectivityPower: PowerOptimal}); err == nil {
+		t.Error("optimal upper-tier power accepted (undefined)")
+	}
+	if _, err := Run(sc, Config{CoveragePower: PowerMethod(9)}); err == nil {
+		t.Error("bad power method accepted")
+	}
+	if _, err := Run(sc, Config{Connectivity: ConnectivityMethod(9)}); err == nil {
+		t.Error("bad connectivity method accepted")
+	}
+}
+
+func TestRunWithOptimalCoveragePower(t *testing.T) {
+	sc := gen(t, 500, 10, 9)
+	sol, err := Run(sc, Config{CoveragePower: PowerOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Skip("infeasible draw")
+	}
+	green, err := Run(sc, Config{CoveragePower: PowerGreen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PL > green.PL+1e-6 {
+		t.Errorf("optimal PL %v above PRO PL %v", sol.PL, green.PL)
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if CoverSAMC.String() != "SAMC" || CoverIAC.String() != "IAC" || CoverGAC.String() != "GAC" {
+		t.Error("coverage strings wrong")
+	}
+	if ConnMBMC.String() != "MBMC" || ConnMUST.String() != "MUST" {
+		t.Error("connectivity strings wrong")
+	}
+	if PowerBaseline.String() != "baseline" || PowerGreen.String() != "green" || PowerOptimal.String() != "optimal" {
+		t.Error("power strings wrong")
+	}
+	if !strings.Contains(CoverageMethod(0).String(), "CoverageMethod") {
+		t.Error("invalid enum should stringify diagnostically")
+	}
+}
+
+func TestPipelineNameForCustomRuns(t *testing.T) {
+	sc := gen(t, 300, 5, 11)
+	sol, err := Run(sc, Config{Coverage: CoverSAMC, CoveragePower: PowerBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method == "" || sol.Method == "SAG" {
+		t.Errorf("custom pipeline mislabeled: %q", sol.Method)
+	}
+}
+
+// Property: SAG is never more expensive than the same placement at max
+// power on both tiers.
+func TestSAGNeverAboveFullPower(t *testing.T) {
+	f := func(seed int64) bool {
+		sc, err := scenario.Generate(scenario.GenConfig{FieldSide: 500, NumSS: 10, NumBS: 3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		sag, err := SAG(sc, Config{})
+		if err != nil {
+			return false
+		}
+		if !sag.Feasible {
+			return true
+		}
+		maxPower := sc.PMax * float64(sag.TotalRelays())
+		return sag.PTotal <= maxPower+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInfeasibleCoveragePropagates(t *testing.T) {
+	// A very strict positive-dB threshold with overlapping subscribers is
+	// infeasible for SAMC; the pipeline must report it without error.
+	sc := gen(t, 300, 20, 13)
+	sc.SNRThresholdDB = 20
+	sol, err := SAG(sc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Feasible {
+		t.Skip("surprisingly feasible; nothing to check")
+	}
+	if sol.Coverage == nil || sol.Coverage.Feasible {
+		t.Error("infeasible solution carries inconsistent coverage")
+	}
+	if sol.PTotal != 0 || sol.TotalRelays() != 0 {
+		t.Error("infeasible solution reports non-zero outputs")
+	}
+}

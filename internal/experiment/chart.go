@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chartGlyphs mark the series in ASCII charts, cycled in column order.
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the table as an ASCII scatter chart (x left to right, y
+// bottom to top), one glyph per series, with a legend. It is the terminal
+// stand-in for the paper's matplotlib panels. width and height are the
+// plot-area dimensions in characters; non-positive values pick 64x20.
+func (t *Table) Chart(width, height int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if len(t.Rows) == 0 || len(t.Columns) == 0 {
+		return fmt.Sprintf("%s — %s (no data)\n", t.ID, t.Title)
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, row := range t.Rows {
+		xMin = math.Min(xMin, row.X)
+		xMax = math.Max(xMax, row.X)
+		for _, v := range row.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+	}
+	if math.IsInf(yMin, 1) {
+		return fmt.Sprintf("%s — %s (all values missing)\n", t.ID, t.Title)
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, glyph byte) {
+		cx := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		cy := int(math.Round((y - yMin) / (yMax - yMin) * float64(height-1)))
+		row := height - 1 - cy
+		if row >= 0 && row < height && cx >= 0 && cx < width {
+			if grid[row][cx] != ' ' && grid[row][cx] != glyph {
+				grid[row][cx] = '?' // collision marker
+			} else {
+				grid[row][cx] = glyph
+			}
+		}
+	}
+	for _, row := range t.Rows {
+		for c, v := range row.Values {
+			if !math.IsNaN(v) {
+				plot(row.X, v, chartGlyphs[c%len(chartGlyphs)])
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	yLabelW := len(formatNum(yMax))
+	if w := len(formatNum(yMin)); w > yLabelW {
+		yLabelW = w
+	}
+	for i, line := range grid {
+		label := strings.Repeat(" ", yLabelW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", yLabelW, formatNum(yMax))
+		case height - 1:
+			label = fmt.Sprintf("%*s", yLabelW, formatNum(yMin))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%*s\n", strings.Repeat(" ", yLabelW),
+		width/2, formatNum(xMin), width-width/2, formatNum(xMax))
+	fmt.Fprintf(&b, "x: %s   series:", t.XLabel)
+	for c, name := range t.Columns {
+		fmt.Fprintf(&b, " %c=%s", chartGlyphs[c%len(chartGlyphs)], name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func chartFixture(t *testing.T) *Table {
+	t.Helper()
+	tbl := &Table{ID: "c", Title: "chart", XLabel: "n", Columns: []string{"up", "down"}}
+	for i := 0; i < 5; i++ {
+		if err := tbl.AddRow(float64(i), float64(i*10), float64(40-i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestChartBasics(t *testing.T) {
+	tbl := chartFixture(t)
+	out := tbl.Chart(40, 10)
+	if !strings.Contains(out, "chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs missing")
+	}
+	// Axis labels: min and max of y (0 and 40).
+	if !strings.Contains(out, "40 |") || !strings.Contains(out, " 0 |") {
+		t.Errorf("y axis labels missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Plot rows: height 10 + title + axis + x labels + legend.
+	if len(lines) < 14 {
+		t.Errorf("chart has %d lines", len(lines))
+	}
+}
+
+func TestChartGlyphPositions(t *testing.T) {
+	// Single ascending series: the '*' in the top row must be at the right
+	// edge, the one in the bottom row at the left edge.
+	tbl := &Table{ID: "g", Title: "t", XLabel: "x", Columns: []string{"s"}}
+	_ = tbl.AddRow(0, 0)
+	_ = tbl.AddRow(10, 100)
+	out := tbl.Chart(21, 5)
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	bottom := lines[5]
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "*") {
+		t.Errorf("top-right glyph missing: %q", top)
+	}
+	if !strings.Contains(bottom, "|*") {
+		t.Errorf("bottom-left glyph missing: %q", bottom)
+	}
+}
+
+func TestChartHandlesNaN(t *testing.T) {
+	tbl := &Table{ID: "n", Title: "t", XLabel: "x", Columns: []string{"a"}}
+	_ = tbl.AddRow(0, math.NaN())
+	_ = tbl.AddRow(1, math.NaN())
+	out := tbl.Chart(10, 5)
+	if !strings.Contains(out, "all values missing") {
+		t.Errorf("NaN-only chart should degrade gracefully: %q", out)
+	}
+	// Mixed NaN rows still chart.
+	_ = tbl.AddRow(2, 5)
+	out = tbl.Chart(10, 5)
+	if !strings.Contains(out, "*") {
+		t.Error("valid point not plotted")
+	}
+}
+
+func TestChartEmptyTable(t *testing.T) {
+	tbl := &Table{ID: "e", Title: "t", XLabel: "x", Columns: []string{"a"}}
+	if out := tbl.Chart(10, 5); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	tbl := &Table{ID: "k", Title: "t", XLabel: "x", Columns: []string{"a"}}
+	_ = tbl.AddRow(1, 7)
+	_ = tbl.AddRow(2, 7)
+	out := tbl.Chart(20, 5)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestChartDefaultDims(t *testing.T) {
+	tbl := chartFixture(t)
+	out := tbl.Chart(0, 0)
+	if len(strings.Split(out, "\n")) < 22 {
+		t.Error("default dimensions not applied")
+	}
+}
+
+func TestChartCollisionMarker(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", XLabel: "x", Columns: []string{"a", "b"}}
+	_ = tbl.AddRow(0, 5, 5) // same point for both series
+	_ = tbl.AddRow(1, 0, 10)
+	out := tbl.Chart(10, 5)
+	if !strings.Contains(out, "?") {
+		t.Errorf("collision not marked:\n%s", out)
+	}
+}

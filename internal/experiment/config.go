@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"sagrelay/internal/lower"
+)
+
+// Config controls workload repetition and solver budgets for all
+// experiments.
+type Config struct {
+	// Runs is the number of seeded repetitions averaged per data point; the
+	// paper uses 10. 0 means 10.
+	Runs int
+	// Seed is the base seed; repetition r of a data point uses Seed + r.
+	Seed int64
+	// ILP tunes the IAC/GAC solvers (branch-and-bound budgets, grid size
+	// where not swept by the experiment itself).
+	ILP lower.ILPOptions
+	// Progress, when non-nil, receives one short line per completed data
+	// point (for long-running CLI invocations).
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs <= 0 {
+		c.Runs = 10
+	}
+	return c
+}
+
+// QuickConfig returns a configuration suitable for benchmarks and smoke
+// tests: a single repetition per point with the default solver budgets.
+func QuickConfig() Config { return Config{Runs: 1} }
+
+func (c Config) progress(format string, args ...interface{}) {
+	if c.Progress != nil {
+		_, _ = io.WriteString(c.Progress, fmt.Sprintf(format, args...))
+	}
+}

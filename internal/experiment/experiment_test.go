@@ -1,0 +1,218 @@
+package experiment
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTableASCIIAndCSV(t *testing.T) {
+	tbl := &Table{
+		ID: "t", Title: "demo", XLabel: "x",
+		Columns: []string{"a", "b"},
+	}
+	if err := tbl.AddRow(1, 2, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow(2, 3.5, 4); err != nil {
+		t.Fatal(err)
+	}
+	ascii := tbl.ASCII()
+	if !strings.Contains(ascii, "demo") || !strings.Contains(ascii, "3.50") || !strings.Contains(ascii, "-") {
+		t.Errorf("ASCII rendering wrong:\n%s", ascii)
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "x,a,b\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "1,2,\n") {
+		t.Errorf("NaN cell should be empty: %q", csv)
+	}
+}
+
+func TestAddRowLengthMismatch(t *testing.T) {
+	tbl := &Table{Columns: []string{"a"}}
+	if err := tbl.AddRow(1, 2, 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	_ = tbl.AddRow(1, 10, 20)
+	_ = tbl.AddRow(2, 11, 21)
+	col, ok := tbl.Column("b")
+	if !ok || len(col) != 2 || col[0] != 20 || col[1] != 21 {
+		t.Errorf("Column(b) = %v ok=%v", col, ok)
+	}
+	if _, ok := tbl.Column("zzz"); ok {
+		t.Error("unknown column found")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if m := mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+	if m := mean([]float64{1, math.NaN(), 3}); m != 2 {
+		t.Errorf("mean with NaN = %v", m)
+	}
+	if m := mean(nil); !math.IsNaN(m) {
+		t.Errorf("mean(nil) = %v, want NaN", m)
+	}
+	if s := stddev([]float64{2, 4}); math.Abs(s-math.Sqrt2) > 1e-12 {
+		t.Errorf("stddev = %v", s)
+	}
+	if s := stddev([]float64{5}); s != 0 {
+		t.Errorf("stddev of singleton = %v", s)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape(`a,b`); got != `"a,b"` {
+		t.Errorf("csvEscape = %q", got)
+	}
+	if got := csvEscape(`say "hi"`); got != `"say ""hi"""` {
+		t.Errorf("csvEscape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("csvEscape = %q", got)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3a", "fig3b", "fig3c", "fig3d", "fig3e",
+		"fig4a", "fig4b", "fig4c", "fig4d",
+		"fig5a", "fig5b", "fig5c", "fig5d",
+		"fig6", "fig7a", "fig7b", "fig7c", "table2",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("IDs()[%d] = %q, want %q", i, ids[i], id)
+		}
+	}
+	if _, err := Run("nope", QuickConfig()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestIntsHelper(t *testing.T) {
+	got := ints(5, 20, 5)
+	want := []int{5, 10, 15, 20}
+	if len(got) != len(want) {
+		t.Fatalf("ints = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ints = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSeedForDeterministicAndDistinct(t *testing.T) {
+	if seedFor(1, 10, 2) != seedFor(1, 10, 2) {
+		t.Error("seedFor not deterministic")
+	}
+	if seedFor(1, 10, 2) == seedFor(1, 10, 3) {
+		t.Error("runs share a seed")
+	}
+	if seedFor(1, 10, 2) == seedFor(1, 20, 2) {
+		t.Error("x values share a seed")
+	}
+}
+
+// The full figures run for minutes; smoke-test the harness plumbing with a
+// tiny custom sweep through the same code paths instead.
+func TestFig4dSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := figUCPO("smoke", "smoke", 300, []int{5}, Config{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0].Values) != 2 {
+		t.Fatalf("unexpected table shape: %+v", tbl)
+	}
+	base, ucpo := tbl.Rows[0].Values[0], tbl.Rows[0].Values[1]
+	if !math.IsNaN(base) && !math.IsNaN(ucpo) && ucpo > base+1e-9 {
+		t.Errorf("UCPO %v above baseline %v", ucpo, base)
+	}
+}
+
+func TestFigPROSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := figPRO("smoke", "smoke", 300, []int{5}, Config{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := tbl.Rows[0].Values
+	base, pro, opt := vals[0], vals[1], vals[2]
+	if math.IsNaN(base) || math.IsNaN(pro) || math.IsNaN(opt) {
+		t.Skip("infeasible draw")
+	}
+	if !(opt <= pro+1e-6 && pro <= base+1e-6) {
+		t.Errorf("power ordering violated: opt=%v pro=%v base=%v", opt, pro, base)
+	}
+}
+
+func TestFig3CoverageSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := fig3Coverage("smoke", "smoke", 300, []int{8}, -15, Config{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iac, gac, samc := tbl.Rows[0].Values[0], tbl.Rows[0].Values[1], tbl.Rows[0].Values[2]
+	if math.IsNaN(samc) {
+		t.Fatal("SAMC infeasible on a benign instance")
+	}
+	// The paper's ordering: SAMC <= IAC <= GAC (allowing NaN dropouts).
+	if !math.IsNaN(iac) && samc > iac+1e-9 {
+		t.Errorf("SAMC %v above IAC %v", samc, iac)
+	}
+	_ = gac
+}
+
+func TestFig6SVGs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	paths, err := Fig6SVGs(Config{Runs: 1}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("rendered %d panels, want 4", len(paths))
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "<svg") {
+			t.Errorf("%s is not SVG", p)
+		}
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var sb strings.Builder
+	cfg := Config{Runs: 1, Progress: &sb}
+	if _, err := figUCPO("p", "p", 300, []int{5}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "users=5 done") {
+		t.Errorf("no progress written: %q", sb.String())
+	}
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/viz"
+)
+
+// fig6Schemes are the four panels of Fig. 6.
+var fig6Schemes = []struct {
+	Name     string
+	Coverage core.CoverageMethod
+	Conn     core.ConnectivityMethod
+}{
+	{"IAC+MBMC", core.CoverIAC, core.ConnMBMC},
+	{"GAC+MBMC", core.CoverGAC, core.ConnMBMC},
+	{"SAMC+MBMC", core.CoverSAMC, core.ConnMBMC},
+	{"SAMC+MUST", core.CoverSAMC, core.ConnMUST},
+}
+
+// fig6Scenario builds the Fig. 6 workload: a 600x600 field (the paper's
+// panels span [-300,300]^2) with 30 subscribers and 4 base stations.
+func fig6Scenario(seed int64) (*scenario.Scenario, error) {
+	return scenario.Generate(scenario.GenConfig{
+		FieldSide: 600, NumSS: 30, NumBS: numBS, SNRdB: -15, Seed: seed,
+	})
+}
+
+// fig6Solve runs one Fig. 6 scheme.
+func fig6Solve(sc *scenario.Scenario, idx int, cfg Config) (*core.Solution, error) {
+	s := fig6Schemes[idx]
+	return core.Run(sc, core.Config{
+		Coverage:     s.Coverage,
+		Connectivity: s.Conn,
+		ILP:          cfg.ILP,
+	})
+}
+
+// Fig6 reproduces Fig. 6 numerically: for each scheme it reports the
+// coverage and connectivity relay counts of the rendered topology (the
+// SVG panels themselves come from Fig6SVGs / cmd/sagviz). X is the scheme
+// index (0-3, order as in the paper).
+func Fig6(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID: "fig6", Title: "deployment topologies (scheme index: 0=IAC+MBMC 1=GAC+MBMC 2=SAMC+MBMC 3=SAMC+MUST)",
+		XLabel:  "Scheme",
+		Columns: []string{"coverage RSs", "connectivity RSs"},
+	}
+	sc, err := fig6Scenario(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fig6Schemes {
+		sol, err := fig6Solve(sc, i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !sol.Feasible {
+			if err := t.AddRow(float64(i), math.NaN(), math.NaN()); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := t.AddRow(float64(i), float64(sol.Coverage.NumRelays()), float64(sol.Connectivity.NumRelays())); err != nil {
+			return nil, err
+		}
+		cfg.progress("fig6: %s done\n", fig6Schemes[i].Name)
+	}
+	return t, nil
+}
+
+// Fig6SVGs renders the four Fig. 6 panels as SVG files in dir
+// (fig6a.svg ... fig6d.svg) and returns their paths.
+func Fig6SVGs(cfg Config, dir string) ([]string, error) {
+	cfg = cfg.withDefaults()
+	sc, err := fig6Scenario(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for i, scheme := range fig6Schemes {
+		sol, err := fig6Solve(sc, i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("fig6%c.svg", 'a'+i))
+		style := viz.Style{ShowEdges: true, Title: scheme.Name}
+		if err := viz.RenderToFile(sc, sol, style, path); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+		cfg.progress("fig6: rendered %s\n", path)
+	}
+	return paths, nil
+}

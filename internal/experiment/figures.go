@@ -1,0 +1,532 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/lower"
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/upper"
+)
+
+// numBS is the base station count used throughout the evaluation except
+// Table II (which sweeps it); Fig. 4(c) states 4 base stations.
+const numBS = 4
+
+// seedFor derives a deterministic per-point seed.
+func seedFor(base int64, x, run int) int64 {
+	return base + int64(x)*1009 + int64(run)
+}
+
+// ints returns {from, from+step, ..., <= to}.
+func ints(from, to, step int) []int {
+	var out []int
+	for v := from; v <= to; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// genScenario builds one evaluation workload (Section IV-A): uniform
+// subscribers/base stations, distance requirements in [30,40].
+func genScenario(side float64, users int, snrDB float64, seed int64) (*scenario.Scenario, error) {
+	return scenario.Generate(scenario.GenConfig{
+		FieldSide: side,
+		NumSS:     users,
+		NumBS:     numBS,
+		SNRdB:     snrDB,
+		Seed:      seed,
+	})
+}
+
+// coverageCount runs a coverage method and returns the relay count, or NaN
+// when infeasible.
+func coverageCount(sc *scenario.Scenario, method core.CoverageMethod, ilp lower.ILPOptions) (float64, error) {
+	res, err := runCoverage(sc, method, ilp)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Feasible {
+		return math.NaN(), nil
+	}
+	return float64(res.NumRelays()), nil
+}
+
+func runCoverage(sc *scenario.Scenario, method core.CoverageMethod, ilp lower.ILPOptions) (*lower.Result, error) {
+	switch method {
+	case core.CoverSAMC:
+		return lower.SAMC(sc, lower.SAMCOptions{})
+	case core.CoverIAC:
+		return lower.IAC(sc, ilp)
+	case core.CoverGAC:
+		return lower.GAC(sc, ilp)
+	default:
+		return nil, fmt.Errorf("experiment: unknown coverage method %v", method)
+	}
+}
+
+// fig3Coverage is the shared driver for Figs. 3(a)-3(c): coverage relay
+// counts vs user count for IAC, GAC and SAMC.
+func fig3Coverage(id, title string, side float64, users []int, snrDB float64, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID: id, Title: title,
+		XLabel:  "Number of Users",
+		Columns: []string{"IAC", "GAC", "SAMC"},
+	}
+	methods := []core.CoverageMethod{core.CoverIAC, core.CoverGAC, core.CoverSAMC}
+	for _, n := range users {
+		samples := make([][]float64, len(methods))
+		for r := 0; r < cfg.Runs; r++ {
+			sc, err := genScenario(side, n, snrDB, seedFor(cfg.Seed, n, r))
+			if err != nil {
+				return nil, err
+			}
+			for m, method := range methods {
+				v, err := coverageCount(sc, method, cfg.ILP)
+				if err != nil {
+					return nil, err
+				}
+				samples[m] = append(samples[m], v)
+			}
+		}
+		if err := t.AddRow(float64(n), mean(samples[0]), mean(samples[1]), mean(samples[2])); err != nil {
+			return nil, err
+		}
+		cfg.progress("%s: users=%d done\n", id, n)
+	}
+	return t, nil
+}
+
+// Fig3a reproduces Fig. 3(a): 500x500 field, SNR -15 dB, 15-50 users.
+func Fig3a(cfg Config) (*Table, error) {
+	return fig3Coverage("fig3a", "# coverage RSs, 500x500, SNR=-15dB", 500, ints(15, 50, 5), -15, cfg)
+}
+
+// Fig3b reproduces Fig. 3(b): 800x800 field, SNR -15 dB, 20-70 users.
+func Fig3b(cfg Config) (*Table, error) {
+	return fig3Coverage("fig3b", "# coverage RSs, 800x800, SNR=-15dB", 800, ints(20, 70, 10), -15, cfg)
+}
+
+// Fig3c reproduces Fig. 3(c): 800x800 field, SNR -40 dB, 50-70 users (the
+// regime where IAC/GAC become feasible again).
+func Fig3c(cfg Config) (*Table, error) {
+	return fig3Coverage("fig3c", "# coverage RSs, 800x800, SNR=-40dB", 800, ints(50, 70, 5), -40, cfg)
+}
+
+// Fig3d reproduces Fig. 3(d): coverage relay counts vs SNR threshold
+// (-14 to -10 dB) at 30 users on 500x500; IAC drops out first as the
+// threshold rises (Section IV-B).
+func Fig3d(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID: "fig3d", Title: "# coverage RSs vs SNR threshold, 500x500, SS=30",
+		XLabel:  "SNR (dB)",
+		Columns: []string{"IAC", "GAC", "SAMC"},
+	}
+	methods := []core.CoverageMethod{core.CoverIAC, core.CoverGAC, core.CoverSAMC}
+	for snr := -14.0; snr <= -10.0+1e-9; snr += 0.5 {
+		samples := make([][]float64, len(methods))
+		for r := 0; r < cfg.Runs; r++ {
+			sc, err := genScenario(500, 30, snr, seedFor(cfg.Seed, 30, r))
+			if err != nil {
+				return nil, err
+			}
+			for m, method := range methods {
+				v, err := coverageCount(sc, method, cfg.ILP)
+				if err != nil {
+					return nil, err
+				}
+				samples[m] = append(samples[m], v)
+			}
+		}
+		if err := t.AddRow(snr, mean(samples[0]), mean(samples[1]), mean(samples[2])); err != nil {
+			return nil, err
+		}
+		cfg.progress("fig3d: snr=%.1f done\n", snr)
+	}
+	return t, nil
+}
+
+// Fig3e reproduces Fig. 3(e): coverage relay counts vs GAC grid size
+// (13-20) at 30 users, SNR -11.55 dB, 500x500. IAC and SAMC do not depend
+// on the grid; their flat series are plotted for reference as in the paper.
+func Fig3e(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	const snr = -11.55
+	t := &Table{
+		ID: "fig3e", Title: "# coverage RSs vs grid size, 500x500, SNR=-11.55dB, SS=30",
+		XLabel:  "Grid Size",
+		Columns: []string{"IAC", "GAC", "SAMC"},
+	}
+	// Grid-independent baselines, one sample per run.
+	var iacS, samcS []float64
+	for r := 0; r < cfg.Runs; r++ {
+		sc, err := genScenario(500, 30, snr, seedFor(cfg.Seed, 30, r))
+		if err != nil {
+			return nil, err
+		}
+		v, err := coverageCount(sc, core.CoverIAC, cfg.ILP)
+		if err != nil {
+			return nil, err
+		}
+		iacS = append(iacS, v)
+		v, err = coverageCount(sc, core.CoverSAMC, cfg.ILP)
+		if err != nil {
+			return nil, err
+		}
+		samcS = append(samcS, v)
+	}
+	iacMean, samcMean := mean(iacS), mean(samcS)
+	for grid := 13; grid <= 20; grid++ {
+		var gacS []float64
+		for r := 0; r < cfg.Runs; r++ {
+			sc, err := genScenario(500, 30, snr, seedFor(cfg.Seed, 30, r))
+			if err != nil {
+				return nil, err
+			}
+			ilp := cfg.ILP
+			ilp.GridSize = float64(grid)
+			v, err := coverageCount(sc, core.CoverGAC, ilp)
+			if err != nil {
+				return nil, err
+			}
+			gacS = append(gacS, v)
+		}
+		if err := t.AddRow(float64(grid), iacMean, mean(gacS), samcMean); err != nil {
+			return nil, err
+		}
+		cfg.progress("fig3e: grid=%d done\n", grid)
+	}
+	return t, nil
+}
+
+// figPRO is the shared driver for Figs. 4(a) and 5(a): lower-tier power
+// cost of the max-power baseline, PRO, and the LPQC optimum on the SAMC
+// placement.
+func figPRO(id, title string, side float64, users []int, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID: id, Title: title,
+		XLabel:  "Number of Users",
+		Columns: []string{"baseline", "PRO", "optimal"},
+	}
+	for _, n := range users {
+		var baseS, proS, optS []float64
+		for r := 0; r < cfg.Runs; r++ {
+			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+			if err != nil {
+				return nil, err
+			}
+			res, err := lower.SAMC(sc, lower.SAMCOptions{})
+			if err != nil {
+				return nil, err
+			}
+			if !res.Feasible {
+				continue
+			}
+			baseS = append(baseS, lower.BaselinePower(sc, res).Total)
+			pro, err := lower.PRO(sc, res)
+			if err != nil {
+				return nil, err
+			}
+			proS = append(proS, pro.Total)
+			opt, err := lower.OptimalPower(sc, res)
+			if err != nil {
+				return nil, err
+			}
+			optS = append(optS, opt.Total)
+		}
+		if err := t.AddRow(float64(n), mean(baseS), mean(proS), mean(optS)); err != nil {
+			return nil, err
+		}
+		cfg.progress("%s: users=%d done\n", id, n)
+	}
+	return t, nil
+}
+
+// Fig4a reproduces Fig. 4(a): PRO power cost on the 500x500 field.
+func Fig4a(cfg Config) (*Table, error) {
+	return figPRO("fig4a", "coverage power cost, 500x500, SNR=-15dB", 500, ints(5, 50, 5), cfg)
+}
+
+// Fig5a reproduces Fig. 5(a): PRO power cost on the 800x800 field.
+func Fig5a(cfg Config) (*Table, error) {
+	return figPRO("fig5a", "coverage power cost, 800x800, SNR=-15dB", 800, ints(20, 70, 10), cfg)
+}
+
+// figRuntime is the shared driver for Figs. 4(b) and 5(b): wall-clock
+// running time (milliseconds) of SAMC, IAC and GAC.
+func figRuntime(id, title string, side float64, users []int, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID: id, Title: title,
+		XLabel:  "Number of Users",
+		Columns: []string{"SAMC", "IAC", "GAC"},
+	}
+	methods := []core.CoverageMethod{core.CoverSAMC, core.CoverIAC, core.CoverGAC}
+	for _, n := range users {
+		samples := make([][]float64, len(methods))
+		for r := 0; r < cfg.Runs; r++ {
+			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+			if err != nil {
+				return nil, err
+			}
+			for m, method := range methods {
+				start := time.Now()
+				if _, err := runCoverage(sc, method, cfg.ILP); err != nil {
+					return nil, err
+				}
+				samples[m] = append(samples[m], float64(time.Since(start).Microseconds())/1000.0)
+			}
+		}
+		if err := t.AddRow(float64(n), mean(samples[0]), mean(samples[1]), mean(samples[2])); err != nil {
+			return nil, err
+		}
+		cfg.progress("%s: users=%d done\n", id, n)
+	}
+	return t, nil
+}
+
+// Fig4b reproduces Fig. 4(b): running times on the 500x500 field.
+func Fig4b(cfg Config) (*Table, error) {
+	return figRuntime("fig4b", "running time (ms), 500x500, SNR=-15dB", 500, ints(5, 50, 5), cfg)
+}
+
+// Fig5b reproduces Fig. 5(b): running times on the 800x800 field.
+func Fig5b(cfg Config) (*Table, error) {
+	return figRuntime("fig5b", "running time (ms), 800x800, SNR=-15dB", 800, ints(20, 70, 10), cfg)
+}
+
+// figConnectivity is the shared driver for Figs. 4(c) and 5(c): the number
+// of connectivity relays when every coverage relay is forced to one of the
+// four base stations (MUST, the scheme of [1]) versus attaching to the
+// nearest (MBMC).
+func figConnectivity(id, title string, side float64, users []int, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID: id, Title: title,
+		XLabel: "Number of Users",
+		Columns: []string{
+			"connect to BS1", "connect to BS2", "connect to BS3", "connect to BS4",
+			"connect to optimal BS",
+		},
+	}
+	for _, n := range users {
+		samples := make([][]float64, numBS+1)
+		for r := 0; r < cfg.Runs; r++ {
+			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+			if err != nil {
+				return nil, err
+			}
+			cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+			if err != nil {
+				return nil, err
+			}
+			if !cover.Feasible {
+				continue
+			}
+			for b := 0; b < numBS; b++ {
+				must, err := upper.MUST(sc, cover, b)
+				if err != nil {
+					return nil, err
+				}
+				samples[b] = append(samples[b], float64(must.NumRelays()))
+			}
+			mbmc, err := upper.MBMC(sc, cover)
+			if err != nil {
+				return nil, err
+			}
+			samples[numBS] = append(samples[numBS], float64(mbmc.NumRelays()))
+		}
+		vals := make([]float64, numBS+1)
+		for i := range vals {
+			vals[i] = mean(samples[i])
+		}
+		if err := t.AddRow(float64(n), vals...); err != nil {
+			return nil, err
+		}
+		cfg.progress("%s: users=%d done\n", id, n)
+	}
+	return t, nil
+}
+
+// Fig4c reproduces Fig. 4(c): connectivity relay counts on 500x500.
+func Fig4c(cfg Config) (*Table, error) {
+	return figConnectivity("fig4c", "# connectivity RSs, 500x500, SNR=-15dB", 500, ints(5, 50, 5), cfg)
+}
+
+// Fig5c reproduces Fig. 5(c): connectivity relay counts on 800x800.
+func Fig5c(cfg Config) (*Table, error) {
+	return figConnectivity("fig5c", "# connectivity RSs, 800x800, SNR=-15dB", 800, ints(20, 70, 10), cfg)
+}
+
+// figUCPO is the shared driver for Figs. 4(d) and 5(d): upper-tier power
+// cost of the max-power baseline versus UCPO on the SAMC+MBMC deployment.
+func figUCPO(id, title string, side float64, users []int, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID: id, Title: title,
+		XLabel:  "Number of Users",
+		Columns: []string{"baseline", "UCPO"},
+	}
+	for _, n := range users {
+		var baseS, ucpoS []float64
+		for r := 0; r < cfg.Runs; r++ {
+			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+			if err != nil {
+				return nil, err
+			}
+			cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+			if err != nil {
+				return nil, err
+			}
+			if !cover.Feasible {
+				continue
+			}
+			conn, err := upper.MBMC(sc, cover)
+			if err != nil {
+				return nil, err
+			}
+			baseS = append(baseS, upper.BaselinePower(sc, conn).Total)
+			ucpo, err := upper.UCPO(sc, cover, conn)
+			if err != nil {
+				return nil, err
+			}
+			ucpoS = append(ucpoS, ucpo.Total)
+		}
+		if err := t.AddRow(float64(n), mean(baseS), mean(ucpoS)); err != nil {
+			return nil, err
+		}
+		cfg.progress("%s: users=%d done\n", id, n)
+	}
+	return t, nil
+}
+
+// Fig4d reproduces Fig. 4(d): UCPO power cost on 500x500.
+func Fig4d(cfg Config) (*Table, error) {
+	return figUCPO("fig4d", "connectivity power cost, 500x500, SNR=-15dB", 500, ints(5, 50, 5), cfg)
+}
+
+// Fig5d reproduces Fig. 5(d): UCPO power cost on 800x800.
+func Fig5d(cfg Config) (*Table, error) {
+	return figUCPO("fig5d", "connectivity power cost, 800x800, SNR=-15dB", 800, ints(20, 70, 10), cfg)
+}
+
+// fig7Total is the shared driver for Figs. 7(a)-(c): total power of SAG
+// versus the X+DARP baselines ([1]'s upstream scheme: single base station,
+// maximum power everywhere).
+func fig7Total(id, title string, side float64, users []int, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID: id, Title: title,
+		XLabel:  "Number of Users",
+		Columns: []string{"SAG", "SAMC+DARP", "IAC+DARP", "GAC+DARP"},
+	}
+	for _, n := range users {
+		samples := make([][]float64, 4)
+		for r := 0; r < cfg.Runs; r++ {
+			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+			if err != nil {
+				return nil, err
+			}
+			pcfg := core.Config{ILP: cfg.ILP}
+			sag, err := core.SAG(sc, pcfg)
+			if err != nil {
+				return nil, err
+			}
+			samples[0] = append(samples[0], totalOrNaN(sag))
+			for i, m := range []core.CoverageMethod{core.CoverSAMC, core.CoverIAC, core.CoverGAC} {
+				darp, err := core.DARP(sc, m, pcfg)
+				if err != nil {
+					return nil, err
+				}
+				samples[i+1] = append(samples[i+1], totalOrNaN(darp))
+			}
+		}
+		if err := t.AddRow(float64(n), mean(samples[0]), mean(samples[1]), mean(samples[2]), mean(samples[3])); err != nil {
+			return nil, err
+		}
+		cfg.progress("%s: users=%d done\n", id, n)
+	}
+	return t, nil
+}
+
+func totalOrNaN(s *core.Solution) float64 {
+	if !s.Feasible {
+		return math.NaN()
+	}
+	return s.PTotal
+}
+
+// Fig7a reproduces Fig. 7(a): total power on the 300x300 field.
+func Fig7a(cfg Config) (*Table, error) {
+	return fig7Total("fig7a", "total power, 300x300, SNR=-15dB", 300, ints(5, 40, 5), cfg)
+}
+
+// Fig7b reproduces Fig. 7(b): total power on the 500x500 field.
+func Fig7b(cfg Config) (*Table, error) {
+	return fig7Total("fig7b", "total power, 500x500, SNR=-15dB", 500, ints(5, 50, 5), cfg)
+}
+
+// Fig7c reproduces Fig. 7(c): total power on the 800x800 field.
+func Fig7c(cfg Config) (*Table, error) {
+	return fig7Total("fig7c", "total power, 800x800, SNR=-15dB", 800, ints(20, 70, 10), cfg)
+}
+
+// Table2 reproduces Table II: connectivity relay counts of MUST (per fixed
+// base station) versus MBMC as the number of base stations grows from 1 to
+// 4, at 30 subscribers, SNR -15 dB, 500x500.
+func Table2(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID: "table2", Title: "MBMC vs MUST, 500x500, SS=30, SNR=-15dB",
+		XLabel:  "BS",
+		Columns: []string{"MUST BS1", "MUST BS2", "MUST BS3", "MUST BS4", "MBMC"},
+	}
+	for nbs := 1; nbs <= 4; nbs++ {
+		samples := make([][]float64, 5)
+		for r := 0; r < cfg.Runs; r++ {
+			sc, err := scenario.Generate(scenario.GenConfig{
+				FieldSide: 500, NumSS: 30, NumBS: nbs, SNRdB: -15,
+				Seed: seedFor(cfg.Seed, 30*nbs, r),
+			})
+			if err != nil {
+				return nil, err
+			}
+			cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+			if err != nil {
+				return nil, err
+			}
+			if !cover.Feasible {
+				continue
+			}
+			for b := 0; b < 4; b++ {
+				if b >= nbs {
+					continue
+				}
+				must, err := upper.MUST(sc, cover, b)
+				if err != nil {
+					return nil, err
+				}
+				samples[b] = append(samples[b], float64(must.NumRelays()))
+			}
+			mbmc, err := upper.MBMC(sc, cover)
+			if err != nil {
+				return nil, err
+			}
+			samples[4] = append(samples[4], float64(mbmc.NumRelays()))
+		}
+		vals := make([]float64, 5)
+		for i := range vals {
+			vals[i] = mean(samples[i])
+		}
+		if err := t.AddRow(float64(nbs), vals...); err != nil {
+			return nil, err
+		}
+		cfg.progress("table2: nbs=%d done\n", nbs)
+	}
+	return t, nil
+}

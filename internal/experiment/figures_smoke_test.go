@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"sagrelay/internal/core"
+)
+
+// infeasibleSolution is a zero-value feasibility fixture.
+var infeasibleSolution = core.Solution{Feasible: false}
+
+// These smoke tests drive the shared figure drivers on miniature sweeps so
+// the harness plumbing stays covered without the full multi-minute runs
+// (which cmd/sagbench and the benchmarks exercise).
+
+func TestFigRuntimeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := figRuntime("smoke", "smoke", 300, []int{6}, Config{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := tbl.Rows[0].Values
+	for i, v := range vals {
+		if math.IsNaN(v) || v < 0 {
+			t.Errorf("runtime column %d = %v", i, v)
+		}
+	}
+	// SAMC (col 0) should be the fastest of the three.
+	if vals[0] > vals[1] && vals[0] > vals[2] {
+		t.Errorf("SAMC slowest of all: %v", vals)
+	}
+}
+
+func TestFigConnectivitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := figConnectivity("smoke", "smoke", 400, []int{8}, Config{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := tbl.Rows[0].Values
+	mbmc := vals[len(vals)-1]
+	if math.IsNaN(mbmc) {
+		t.Skip("infeasible draw")
+	}
+	for b := 0; b < numBS; b++ {
+		if !math.IsNaN(vals[b]) && mbmc > vals[b]+1e-9 {
+			t.Errorf("MBMC %v above MUST BS%d %v", mbmc, b+1, vals[b])
+		}
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := fig7Total("smoke", "smoke", 300, []int{6}, Config{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := tbl.Rows[0].Values
+	sag, samcDarp := vals[0], vals[1]
+	if math.IsNaN(sag) || math.IsNaN(samcDarp) {
+		t.Skip("infeasible draw")
+	}
+	if sag > samcDarp+1e-9 {
+		t.Errorf("SAG %v above SAMC+DARP %v", sag, samcDarp)
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := Table2(Config{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Table II has %d rows, want 4", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		nbs := int(row.X)
+		mbmc := row.Values[4]
+		if math.IsNaN(mbmc) {
+			continue
+		}
+		// N/A cells for absent base stations.
+		for b := nbs; b < 4; b++ {
+			if !math.IsNaN(row.Values[b]) {
+				t.Errorf("row nbs=%d has a value for absent BS%d", nbs, b+1)
+			}
+		}
+		// MBMC no worse than any present MUST.
+		for b := 0; b < nbs; b++ {
+			if !math.IsNaN(row.Values[b]) && mbmc > row.Values[b]+1e-9 {
+				t.Errorf("nbs=%d: MBMC %v above MUST BS%d %v", nbs, mbmc, b+1, row.Values[b])
+			}
+		}
+	}
+}
+
+func TestGenScenarioHelper(t *testing.T) {
+	sc, err := genScenario(500, 10, -15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumSS() != 10 || len(sc.BaseStations) != numBS {
+		t.Errorf("sizes wrong: %d SS, %d BS", sc.NumSS(), len(sc.BaseStations))
+	}
+	if sc.SNRThresholdDB != -15 {
+		t.Errorf("SNR = %v", sc.SNRThresholdDB)
+	}
+}
+
+func TestCoverageCountUnknownMethod(t *testing.T) {
+	sc, err := genScenario(300, 4, -15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCoverage(sc, 0, Config{}.ILP); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestTotalOrNaN(t *testing.T) {
+	if !math.IsNaN(totalOrNaN(&infeasibleSolution)) {
+		t.Error("infeasible should be NaN")
+	}
+}

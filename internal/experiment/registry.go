@@ -1,0 +1,38 @@
+package experiment
+
+import "fmt"
+
+// Runner produces one experiment artifact.
+type Runner func(Config) (*Table, error)
+
+// registry maps artifact IDs to runners. It is populated at package
+// construction (a composite literal, not init()) and never mutated.
+var registry = map[string]Runner{
+	"fig3a":  Fig3a,
+	"fig3b":  Fig3b,
+	"fig3c":  Fig3c,
+	"fig3d":  Fig3d,
+	"fig3e":  Fig3e,
+	"fig4a":  Fig4a,
+	"fig4b":  Fig4b,
+	"fig4c":  Fig4c,
+	"fig4d":  Fig4d,
+	"fig5a":  Fig5a,
+	"fig5b":  Fig5b,
+	"fig5c":  Fig5c,
+	"fig5d":  Fig5d,
+	"fig6":   Fig6,
+	"fig7a":  Fig7a,
+	"fig7b":  Fig7b,
+	"fig7c":  Fig7c,
+	"table2": Table2,
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (known: %v)", id, IDs())
+	}
+	return r(cfg)
+}

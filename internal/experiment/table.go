@@ -1,0 +1,191 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section IV): it builds the workloads, runs the algorithm
+// pipelines over seeded repetitions, averages, and renders the series as
+// ASCII tables or CSV. Each artifact has an ID ("fig3a" ... "fig7c",
+// "table2") resolvable through Registry.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a generic experiment result: one row per x value, one column per
+// series. NaN cells mean "no feasible result" (the paper plots these as
+// missing points, e.g. IAC/GAC beyond 50 users in Fig. 3b).
+type Table struct {
+	// ID is the registry key, e.g. "fig3a".
+	ID string
+	// Title describes the artifact, e.g. the paper caption.
+	Title string
+	// XLabel names the x axis (e.g. "Number of Users").
+	XLabel string
+	// Columns are the series names (e.g. "IAC", "GAC", "SAMC").
+	Columns []string
+	// Rows are the measurements in x order.
+	Rows []Row
+}
+
+// Row is one x value and its per-series measurements.
+type Row struct {
+	X      float64
+	Values []float64
+}
+
+// AddRow appends a row; the number of values must match Columns.
+func (t *Table) AddRow(x float64, values ...float64) error {
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("experiment: row has %d values for %d columns", len(values), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, Row{X: x, Values: append([]float64(nil), values...)})
+	return nil
+}
+
+// Column returns the series values of the named column in row order.
+func (t *Table) Column(name string) ([]float64, bool) {
+	idx := -1
+	for i, c := range t.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.Values[idx]
+	}
+	return out, true
+}
+
+// ASCII renders the table with aligned columns; NaN prints as "-".
+func (t *Table) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	headers := append([]string{t.XLabel}, t.Columns...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(headers))
+		cells[r][0] = formatNum(row.X)
+		for c, v := range row.Values {
+			cells[r][c+1] = formatNum(v)
+		}
+		for i, cell := range cells[r] {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row; NaN
+// cells are empty.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(formatNum(row.X))
+		for _, v := range row.Values {
+			b.WriteByte(',')
+			if !math.IsNaN(v) {
+				b.WriteString(formatNum(v))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatNum(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// mean averages the non-NaN entries; all-NaN (or empty) yields NaN.
+func mean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// stddev is the sample standard deviation of the non-NaN entries.
+func stddev(xs []float64) float64 {
+	m := mean(xs)
+	if math.IsNaN(m) {
+		return math.NaN()
+	}
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			d := x - m
+			sum += d * d
+			n++
+		}
+	}
+	if n < 2 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,164 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circle is a circle (and, in containment queries, the closed disk it bounds).
+//
+// In this codebase a circle is almost always the "feasible coverage circle"
+// c_i of a subscriber station: the disk of radius d_i (the subscriber's
+// distance requirement) centred at the subscriber, inside which a relay must
+// sit to provide enough link capacity (paper, Section II-A).
+type Circle struct {
+	Center Point   `json:"center"`
+	R      float64 `json:"r"`
+}
+
+// C is shorthand for constructing a Circle.
+func C(center Point, r float64) Circle { return Circle{Center: center, R: r} }
+
+// Contains reports whether p lies in the closed disk, with tolerance tol
+// added to the radius (pass 0 for exact closed-disk membership).
+func (c Circle) Contains(p Point, tol float64) bool {
+	return c.Center.Dist(p) <= c.R+tol
+}
+
+// OnBoundary reports whether p lies on the circle within tolerance tol.
+func (c Circle) OnBoundary(p Point, tol float64) bool {
+	return math.Abs(c.Center.Dist(p)-c.R) <= tol
+}
+
+// PointAt returns the boundary point at angle theta (radians, measured from
+// the positive x axis).
+func (c Circle) PointAt(theta float64) Point {
+	s, sn := math.Sincos(theta)
+	return Point{c.Center.X + c.R*sn, c.Center.Y + c.R*s}
+}
+
+// AngleOf returns the angle of p relative to the circle center.
+func (c Circle) AngleOf(p Point) float64 {
+	d := p.Sub(c.Center)
+	return math.Atan2(d.Y, d.X)
+}
+
+// ClosestBoundaryPoint returns the point on the circle closest to p. When p
+// coincides with the center the point at angle 0 is returned.
+func (c Circle) ClosestBoundaryPoint(p Point) Point {
+	u, ok := p.Sub(c.Center).Unit()
+	if !ok {
+		u = Point{1, 0}
+	}
+	return c.Center.Add(u.Scale(c.R))
+}
+
+// Area returns the disk area.
+func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
+
+// String renders the circle compactly.
+func (c Circle) String() string { return fmt.Sprintf("circle{%v r=%.4g}", c.Center, c.R) }
+
+// Intersect returns the intersection points of the two circles' boundaries.
+// It returns 0, 1 (tangent) or 2 points. Coincident circles return no points.
+func (c Circle) Intersect(o Circle) []Point {
+	d := c.Center.Dist(o.Center)
+	if d < Eps {
+		return nil // concentric (possibly coincident): no discrete points
+	}
+	if d > c.R+o.R+Eps {
+		return nil // too far apart
+	}
+	if d < math.Abs(c.R-o.R)-Eps {
+		return nil // one strictly inside the other
+	}
+	// a = distance from c.Center to the chord midpoint along the center line.
+	a := (c.R*c.R - o.R*o.R + d*d) / (2 * d)
+	h2 := c.R*c.R - a*a
+	if h2 < 0 {
+		h2 = 0
+	}
+	h := math.Sqrt(h2)
+	dir := o.Center.Sub(c.Center).Scale(1 / d)
+	mid := c.Center.Add(dir.Scale(a))
+	if h < Eps {
+		return []Point{mid}
+	}
+	perp := Point{-dir.Y, dir.X}
+	return []Point{
+		mid.Add(perp.Scale(h)),
+		mid.Sub(perp.Scale(h)),
+	}
+}
+
+// Overlaps reports whether the closed disks of c and o intersect.
+func (c Circle) Overlaps(o Circle) bool {
+	return c.Center.Dist(o.Center) <= c.R+o.R+Eps
+}
+
+// CommonPoint finds a point contained in every disk of disks, if the common
+// intersection is non-empty. It implements the standard candidate argument:
+// if the intersection of a family of disks is non-empty, then it contains
+// either the center of some disk or a boundary intersection point of two of
+// the disks. Among feasible candidates the one with the largest clearance
+// (min over disks of R - dist) is returned, which keeps downstream "move the
+// relay into the common area" steps numerically robust (paper, Algorithm 5).
+//
+// tol is added to every disk radius during the feasibility check; pass a
+// small positive tolerance (e.g. 1e-7) when candidates lie exactly on
+// boundaries.
+func CommonPoint(disks []Circle, tol float64) (Point, bool) {
+	switch len(disks) {
+	case 0:
+		return Point{}, false
+	case 1:
+		return disks[0].Center, true
+	}
+	candidates := make([]Point, 0, len(disks)*(len(disks)+1))
+	for i := range disks {
+		candidates = append(candidates, disks[i].Center)
+		for j := i + 1; j < len(disks); j++ {
+			candidates = append(candidates, disks[i].Intersect(disks[j])...)
+		}
+	}
+	best := Point{}
+	bestClear := math.Inf(-1)
+	found := false
+	for _, p := range candidates {
+		clear := math.Inf(1)
+		for _, d := range disks {
+			margin := d.R + tol - d.Center.Dist(p)
+			if margin < clear {
+				clear = margin
+			}
+			if clear < 0 {
+				break
+			}
+		}
+		if clear >= 0 && clear > bestClear {
+			best, bestClear, found = p, clear, true
+		}
+	}
+	return best, found
+}
+
+// CommonArea reports whether the disks have a non-empty common intersection.
+func CommonArea(disks []Circle, tol float64) bool {
+	_, ok := CommonPoint(disks, tol)
+	return ok
+}
+
+// IntersectionCandidates returns the classic candidate positions used by the
+// IAC scheme (paper, Fig. 2a): all pairwise boundary intersection points of
+// the given circles, plus each circle's center (so isolated subscribers are
+// still coverable). Near-duplicate points are removed.
+func IntersectionCandidates(circles []Circle) []Point {
+	pts := make([]Point, 0, len(circles)*(len(circles)+1))
+	for i := range circles {
+		pts = append(pts, circles[i].Center)
+		for j := i + 1; j < len(circles); j++ {
+			pts = append(pts, circles[i].Intersect(circles[j])...)
+		}
+	}
+	return DedupPoints(pts, 1e-7)
+}

@@ -1,0 +1,198 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCircleContains(t *testing.T) {
+	c := C(Pt(0, 0), 10)
+	tests := []struct {
+		name string
+		p    Point
+		tol  float64
+		want bool
+	}{
+		{"center", Pt(0, 0), 0, true},
+		{"interior", Pt(5, 5), 0, true},
+		{"boundary", Pt(10, 0), 1e-9, true},
+		{"outside", Pt(10.1, 0), 0, false},
+		{"outside-with-tol", Pt(10.05, 0), 0.1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.Contains(tt.p, tt.tol); got != tt.want {
+				t.Errorf("Contains(%v, %v) = %v, want %v", tt.p, tt.tol, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCircleIntersect(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Circle
+		want int
+	}{
+		{"two-points", C(Pt(0, 0), 5), C(Pt(6, 0), 5), 2},
+		{"tangent-external", C(Pt(0, 0), 3), C(Pt(6, 0), 3), 1},
+		{"tangent-internal", C(Pt(0, 0), 5), C(Pt(2, 0), 3), 1},
+		{"disjoint", C(Pt(0, 0), 2), C(Pt(10, 0), 2), 0},
+		{"nested", C(Pt(0, 0), 10), C(Pt(1, 0), 2), 0},
+		{"concentric", C(Pt(0, 0), 5), C(Pt(0, 0), 5), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.a.Intersect(tt.b)
+			if len(got) != tt.want {
+				t.Fatalf("Intersect returned %d points (%v), want %d", len(got), got, tt.want)
+			}
+			for _, p := range got {
+				if !tt.a.OnBoundary(p, 1e-7) || !tt.b.OnBoundary(p, 1e-7) {
+					t.Errorf("intersection point %v not on both boundaries", p)
+				}
+			}
+		})
+	}
+}
+
+// Property: every reported intersection point lies on both circle boundaries.
+func TestIntersectOnBoundariesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := C(Pt(rng.Float64()*100, rng.Float64()*100), 1+rng.Float64()*50)
+		b := C(Pt(rng.Float64()*100, rng.Float64()*100), 1+rng.Float64()*50)
+		for _, p := range a.Intersect(b) {
+			if !a.OnBoundary(p, 1e-6) || !b.OnBoundary(p, 1e-6) {
+				t.Fatalf("case %d: point %v not on boundaries of %v and %v", i, p, a, b)
+			}
+		}
+	}
+}
+
+func TestClosestBoundaryPoint(t *testing.T) {
+	c := C(Pt(0, 0), 5)
+	got := c.ClosestBoundaryPoint(Pt(10, 0))
+	if !got.AlmostEqual(Pt(5, 0), 1e-12) {
+		t.Errorf("ClosestBoundaryPoint = %v, want (5,0)", got)
+	}
+	// From the center: any boundary point is fine, must be on the boundary.
+	got = c.ClosestBoundaryPoint(Pt(0, 0))
+	if !c.OnBoundary(got, 1e-9) {
+		t.Errorf("ClosestBoundaryPoint from center = %v not on boundary", got)
+	}
+}
+
+func TestPointAtAngleOf(t *testing.T) {
+	c := C(Pt(1, 1), 2)
+	for _, theta := range []float64{0, math.Pi / 3, math.Pi, -math.Pi / 4} {
+		p := c.PointAt(theta)
+		if !c.OnBoundary(p, 1e-9) {
+			t.Errorf("PointAt(%v) = %v not on boundary", theta, p)
+		}
+		back := c.AngleOf(p)
+		// Compare angles modulo 2*pi.
+		d := math.Mod(back-theta+3*math.Pi*2, 2*math.Pi)
+		if d > 1e-9 && 2*math.Pi-d > 1e-9 {
+			t.Errorf("AngleOf(PointAt(%v)) = %v", theta, back)
+		}
+	}
+}
+
+func TestCommonPoint(t *testing.T) {
+	tests := []struct {
+		name  string
+		disks []Circle
+		want  bool
+	}{
+		{"empty", nil, false},
+		{"single", []Circle{C(Pt(3, 3), 1)}, true},
+		{"overlapping-pair", []Circle{C(Pt(0, 0), 5), C(Pt(6, 0), 5)}, true},
+		{"disjoint-pair", []Circle{C(Pt(0, 0), 2), C(Pt(10, 0), 2)}, false},
+		{"three-with-core", []Circle{C(Pt(0, 0), 5), C(Pt(4, 0), 5), C(Pt(2, 3), 5)}, true},
+		{
+			// Pairwise-overlapping but no common point (Helly violation shape).
+			"pairwise-only",
+			[]Circle{C(Pt(0, 0), 5.2), C(Pt(10, 0), 5.2), C(Pt(5, 8.66), 5.2)},
+			false,
+		},
+		{"nested", []Circle{C(Pt(0, 0), 10), C(Pt(1, 1), 1)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, ok := CommonPoint(tt.disks, 1e-9)
+			if ok != tt.want {
+				t.Fatalf("CommonPoint ok = %v, want %v", ok, tt.want)
+			}
+			if ok {
+				for _, d := range tt.disks {
+					if !d.Contains(p, 1e-6) {
+						t.Errorf("returned point %v not inside %v", p, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Property: whenever CommonPoint succeeds, the point is in every disk; and
+// shrinking all disks around a shared point keeps it feasible.
+func TestCommonPointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shared := Pt(rng.Float64()*50, rng.Float64()*50)
+		n := 2 + rng.Intn(5)
+		disks := make([]Circle, n)
+		for i := range disks {
+			// Center within r of shared, so shared is in every disk.
+			r := 5 + rng.Float64()*20
+			theta := rng.Float64() * 2 * math.Pi
+			off := rng.Float64() * r * 0.9
+			disks[i] = C(shared.Add(Pt(math.Cos(theta), math.Sin(theta)).Scale(off)), r)
+		}
+		p, ok := CommonPoint(disks, 1e-9)
+		if !ok {
+			return false
+		}
+		for _, d := range disks {
+			if !d.Contains(p, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionCandidates(t *testing.T) {
+	circles := []Circle{C(Pt(0, 0), 5), C(Pt(6, 0), 5), C(Pt(100, 100), 3)}
+	pts := IntersectionCandidates(circles)
+	// 3 centers + 2 intersection points of the overlapping pair.
+	if len(pts) != 5 {
+		t.Fatalf("got %d candidates, want 5: %v", len(pts), pts)
+	}
+	// The isolated circle's center must be among the candidates so it stays
+	// coverable.
+	found := false
+	for _, p := range pts {
+		if p.AlmostEqual(Pt(100, 100), 1e-9) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("isolated circle center missing from candidates")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	if !C(Pt(0, 0), 3).Overlaps(C(Pt(5, 0), 3)) {
+		t.Error("touching disks should overlap")
+	}
+	if C(Pt(0, 0), 2).Overlaps(C(Pt(5, 0), 2)) {
+		t.Error("separated disks should not overlap")
+	}
+}

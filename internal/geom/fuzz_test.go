@@ -1,0 +1,61 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCircleIntersect checks that circle-circle intersection never reports
+// points off either boundary, for arbitrary (finite, sane) inputs.
+func FuzzCircleIntersect(f *testing.F) {
+	f.Add(0.0, 0.0, 5.0, 6.0, 0.0, 5.0)
+	f.Add(1.5, -2.0, 3.0, 1.5, -2.0, 3.0)
+	f.Add(0.0, 0.0, 10.0, 2.0, 0.0, 1.0)
+	f.Fuzz(func(t *testing.T, ax, ay, ar, bx, by, br float64) {
+		sane := func(v float64) bool { return !math.IsNaN(v) && math.Abs(v) < 1e6 }
+		if !sane(ax) || !sane(ay) || !sane(bx) || !sane(by) {
+			t.Skip()
+		}
+		if !sane(ar) || !sane(br) || ar <= 1e-3 || br <= 1e-3 {
+			t.Skip()
+		}
+		a, b := C(Pt(ax, ay), ar), C(Pt(bx, by), br)
+		for _, p := range a.Intersect(b) {
+			tolA := 1e-6 * math.Max(1, ar)
+			tolB := 1e-6 * math.Max(1, br)
+			if !a.OnBoundary(p, tolA) || !b.OnBoundary(p, tolB) {
+				t.Fatalf("intersection %v off boundary of %v / %v", p, a, b)
+			}
+		}
+	})
+}
+
+// FuzzCommonPoint checks that any point CommonPoint returns really lies in
+// every disk.
+func FuzzCommonPoint(f *testing.F) {
+	f.Add(0.0, 0.0, 5.0, 3.0, 0.0, 5.0, 1.5, 1.5, 5.0)
+	f.Add(0.0, 0.0, 2.0, 50.0, 0.0, 2.0, -50.0, 0.0, 2.0)
+	f.Fuzz(func(t *testing.T, x1, y1, r1, x2, y2, r2, x3, y3, r3 float64) {
+		sane := func(v float64) bool { return !math.IsNaN(v) && math.Abs(v) < 1e5 }
+		for _, v := range []float64{x1, y1, x2, y2, x3, y3} {
+			if !sane(v) {
+				t.Skip()
+			}
+		}
+		for _, r := range []float64{r1, r2, r3} {
+			if !sane(r) || r <= 1e-3 {
+				t.Skip()
+			}
+		}
+		disks := []Circle{C(Pt(x1, y1), r1), C(Pt(x2, y2), r2), C(Pt(x3, y3), r3)}
+		p, ok := CommonPoint(disks, 1e-9)
+		if !ok {
+			return
+		}
+		for _, d := range disks {
+			if !d.Contains(p, 1e-5*math.Max(1, d.R)) {
+				t.Fatalf("common point %v outside %v", p, d)
+			}
+		}
+	})
+}

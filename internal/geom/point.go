@@ -1,0 +1,129 @@
+// Package geom provides the computational-geometry substrate used by the
+// relay-placement algorithms: points, circles, rectangles, segments, grids,
+// circle intersections and common-area queries over sets of disks.
+//
+// All coordinates are float64 in an abstract planar unit (the paper uses
+// unit-less field sizes such as 500x500). Comparisons use the package
+// tolerance Eps unless a method documents otherwise.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the default absolute tolerance used for geometric predicates.
+// It is deliberately loose relative to float64 precision because the
+// placement algorithms operate on fields of size O(10^3) and distances
+// of size O(10); exact boundary membership is never load-bearing.
+const Eps = 1e-9
+
+// Point is a location in the plane.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q component-wise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q component-wise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product of p and q viewed as
+// vectors, i.e. p.X*q.Y - p.Y*q.X.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// NormSq returns the squared Euclidean length of p viewed as a vector.
+func (p Point) NormSq() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// DistSq returns the squared Euclidean distance between p and q.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp returns the point (1-t)*p + t*q. t is not clamped.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Unit returns the unit vector in the direction of p. If p is (near) the
+// origin it returns the zero vector and ok=false.
+func (p Point) Unit() (u Point, ok bool) {
+	n := p.Norm()
+	if n < Eps {
+		return Point{}, false
+	}
+	return Point{p.X / n, p.Y / n}, true
+}
+
+// Rotate returns p rotated by theta radians about the origin.
+func (p Point) Rotate(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{p.X*c - p.Y*s, p.X*s + p.Y*c}
+}
+
+// RotateAround returns p rotated by theta radians about center.
+func (p Point) RotateAround(center Point, theta float64) Point {
+	return p.Sub(center).Rotate(theta).Add(center)
+}
+
+// AlmostEqual reports whether p and q coincide within tol in each coordinate.
+func (p Point) AlmostEqual(q Point, tol float64) bool {
+	return math.Abs(p.X-q.X) <= tol && math.Abs(p.Y-q.Y) <= tol
+}
+
+// String renders the point as "(x, y)" with compact precision.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// Midpoint returns the midpoint of p and q.
+func Midpoint(p, q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+// Centroid returns the arithmetic mean of pts. It returns the origin and
+// ok=false when pts is empty.
+func Centroid(pts []Point) (c Point, ok bool) {
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	n := float64(len(pts))
+	return Point{c.X / n, c.Y / n}, true
+}
+
+// DedupPoints returns pts with near-duplicates (within tol) removed,
+// preserving first-seen order. The input slice is not modified.
+func DedupPoints(pts []Point, tol float64) []Point {
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		dup := false
+		for _, q := range out {
+			if p.AlmostEqual(q, tol) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}

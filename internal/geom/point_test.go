@@ -1,0 +1,143 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Point
+		want Point
+	}{
+		{"add", Pt(1, 2).Add(Pt(3, -4)), Pt(4, -2)},
+		{"sub", Pt(1, 2).Sub(Pt(3, -4)), Pt(-2, 6)},
+		{"scale", Pt(1.5, -2).Scale(2), Pt(3, -4)},
+		{"lerp-start", Pt(0, 0).Lerp(Pt(10, 20), 0), Pt(0, 0)},
+		{"lerp-end", Pt(0, 0).Lerp(Pt(10, 20), 1), Pt(10, 20)},
+		{"lerp-mid", Pt(0, 0).Lerp(Pt(10, 20), 0.5), Pt(5, 10)},
+		{"midpoint", Midpoint(Pt(-2, 0), Pt(4, 6)), Pt(1, 3)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.got.AlmostEqual(tt.want, 1e-12) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPointDistances(t *testing.T) {
+	p, q := Pt(0, 0), Pt(3, 4)
+	if got := p.Dist(q); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := p.DistSq(q); math.Abs(got-25) > 1e-12 {
+		t.Errorf("DistSq = %v, want 25", got)
+	}
+	if got := q.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := q.NormSq(); math.Abs(got-25) > 1e-12 {
+		t.Errorf("NormSq = %v, want 25", got)
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	a, b := Pt(1, 2), Pt(3, 4)
+	if got := a.Dot(b); got != 11 {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := a.Cross(b); got != -2 {
+		t.Errorf("Cross = %v, want -2", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u, ok := Pt(3, 4).Unit()
+	if !ok {
+		t.Fatal("Unit of nonzero vector reported not ok")
+	}
+	if !u.AlmostEqual(Pt(0.6, 0.8), 1e-12) {
+		t.Errorf("Unit = %v, want (0.6, 0.8)", u)
+	}
+	if _, ok := Pt(0, 0).Unit(); ok {
+		t.Error("Unit of zero vector reported ok")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	got := Pt(1, 0).Rotate(math.Pi / 2)
+	if !got.AlmostEqual(Pt(0, 1), 1e-12) {
+		t.Errorf("Rotate(pi/2) = %v, want (0,1)", got)
+	}
+	got = Pt(2, 0).RotateAround(Pt(1, 0), math.Pi)
+	if !got.AlmostEqual(Pt(0, 0), 1e-12) {
+		t.Errorf("RotateAround = %v, want (0,0)", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if _, ok := Centroid(nil); ok {
+		t.Error("Centroid(nil) reported ok")
+	}
+	c, ok := Centroid([]Point{Pt(0, 0), Pt(2, 0), Pt(1, 3)})
+	if !ok || !c.AlmostEqual(Pt(1, 1), 1e-12) {
+		t.Errorf("Centroid = %v ok=%v, want (1,1) true", c, ok)
+	}
+}
+
+func TestDedupPoints(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(0, 1e-9), Pt(1, 1), Pt(1, 1), Pt(2, 2)}
+	got := DedupPoints(pts, 1e-6)
+	if len(got) != 3 {
+		t.Fatalf("DedupPoints kept %d points, want 3: %v", len(got), got)
+	}
+	if !got[0].AlmostEqual(Pt(0, 0), 0) || !got[1].AlmostEqual(Pt(1, 1), 0) || !got[2].AlmostEqual(Pt(2, 2), 0) {
+		t.Errorf("DedupPoints order/content wrong: %v", got)
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestDistProperties(t *testing.T) {
+	sym := func(ax, ay, bx, by float64) bool {
+		a, b := clampPt(ax, ay), clampPt(bx, by)
+		return math.Abs(a.Dist(b)-b.Dist(a)) < 1e-9
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	tri := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := clampPt(ax, ay), clampPt(bx, by), clampPt(cx, cy)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+// Property: rotation preserves norms.
+func TestRotatePreservesNorm(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		p := clampPt(x, y)
+		th := math.Mod(theta, 2*math.Pi)
+		return math.Abs(p.Rotate(th).Norm()-p.Norm()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampPt maps arbitrary quick-generated floats into a sane finite range so
+// properties are not voided by infinities or catastrophic magnitudes.
+func clampPt(x, y float64) Point {
+	c := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e6)
+	}
+	return Pt(c(x), c(y))
+}

@@ -1,0 +1,142 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle given by its min and max corners.
+// The playing fields in the paper (300x300, 500x500, 800x800) are Rects
+// centred at the origin.
+type Rect struct {
+	Min Point `json:"min"`
+	Max Point `json:"max"`
+}
+
+// NewRect returns the rectangle spanning the two corner points in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// SquareField returns the side x side square centred at the origin, matching
+// the paper's testing fields (e.g. SquareField(500) is the 500x500 field
+// spanning [-250,250]^2).
+func SquareField(side float64) Rect {
+	h := side / 2
+	return Rect{Min: Point{-h, -h}, Max: Point{h, h}}
+}
+
+// Width returns the extent of r along x.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the extent of r along y.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle center.
+func (r Rect) Center() Point { return Midpoint(r.Min, r.Max) }
+
+// Contains reports whether p lies in the closed rectangle with tolerance tol.
+func (r Rect) Contains(p Point, tol float64) bool {
+	return p.X >= r.Min.X-tol && p.X <= r.Max.X+tol &&
+		p.Y >= r.Min.Y-tol && p.Y <= r.Max.Y+tol
+}
+
+// Clamp returns p clamped into the closed rectangle.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// Expand returns r grown by d on every side (shrunk for negative d; the
+// result may be empty, which Contains handles naturally).
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, o.Min.X), math.Min(r.Min.Y, o.Min.Y)},
+		Max: Point{math.Max(r.Max.X, o.Max.X), math.Max(r.Max.Y, o.Max.Y)},
+	}
+}
+
+// String renders the rectangle compactly.
+func (r Rect) String() string { return fmt.Sprintf("rect[%v..%v]", r.Min, r.Max) }
+
+// BoundingRect returns the smallest rectangle containing all pts.
+// It returns the zero Rect and ok=false for an empty slice.
+func BoundingRect(pts []Point) (Rect, bool) {
+	if len(pts) == 0 {
+		return Rect{}, false
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r, true
+}
+
+// BoundingRectOfCircles returns the smallest rectangle containing all disks.
+func BoundingRectOfCircles(cs []Circle) (Rect, bool) {
+	if len(cs) == 0 {
+		return Rect{}, false
+	}
+	r := Rect{
+		Min: Point{cs[0].Center.X - cs[0].R, cs[0].Center.Y - cs[0].R},
+		Max: Point{cs[0].Center.X + cs[0].R, cs[0].Center.Y + cs[0].R},
+	}
+	for _, c := range cs[1:] {
+		r = r.Union(Rect{
+			Min: Point{c.Center.X - c.R, c.Center.Y - c.R},
+			Max: Point{c.Center.X + c.R, c.Center.Y + c.R},
+		})
+	}
+	return r, true
+}
+
+// GridCenters returns the center points of the square grid cells of the
+// given cell size tiling r, row-major from the min corner. This is the GAC
+// candidate construction (paper, Fig. 2b): every grid-cell center is a
+// candidate relay position. A partial last row/column still contributes
+// cells (their centers are pulled inside the rectangle).
+//
+// cell must be positive; a non-positive cell yields nil.
+func GridCenters(r Rect, cell float64) []Point {
+	if cell <= 0 || r.Width() < 0 || r.Height() < 0 {
+		return nil
+	}
+	nx := int(math.Ceil(r.Width() / cell))
+	ny := int(math.Ceil(r.Height() / cell))
+	if nx == 0 {
+		nx = 1
+	}
+	if ny == 0 {
+		ny = 1
+	}
+	pts := make([]Point, 0, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			p := Point{
+				X: r.Min.X + (float64(ix)+0.5)*cell,
+				Y: r.Min.Y + (float64(iy)+0.5)*cell,
+			}
+			pts = append(pts, r.Clamp(p))
+		}
+	}
+	return pts
+}

@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSquareField(t *testing.T) {
+	r := SquareField(500)
+	if !r.Min.AlmostEqual(Pt(-250, -250), 0) || !r.Max.AlmostEqual(Pt(250, 250), 0) {
+		t.Errorf("SquareField(500) = %v", r)
+	}
+	if r.Width() != 500 || r.Height() != 500 {
+		t.Errorf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if !r.Center().AlmostEqual(Pt(0, 0), 0) {
+		t.Errorf("center = %v", r.Center())
+	}
+}
+
+func TestNewRectOrdersCorners(t *testing.T) {
+	r := NewRect(Pt(5, -1), Pt(-3, 7))
+	if !r.Min.AlmostEqual(Pt(-3, -1), 0) || !r.Max.AlmostEqual(Pt(5, 7), 0) {
+		t.Errorf("NewRect = %v", r)
+	}
+}
+
+func TestRectContainsClamp(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(10, 10))
+	tests := []struct {
+		p    Point
+		in   bool
+		want Point
+	}{
+		{Pt(5, 5), true, Pt(5, 5)},
+		{Pt(0, 0), true, Pt(0, 0)},
+		{Pt(10, 10), true, Pt(10, 10)},
+		{Pt(-1, 5), false, Pt(0, 5)},
+		{Pt(11, 12), false, Pt(10, 10)},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p, 0); got != tt.in {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.in)
+		}
+		if got := r.Clamp(tt.p); !got.AlmostEqual(tt.want, 0) {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRectExpandUnion(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(2, 2)).Expand(1)
+	if !r.Min.AlmostEqual(Pt(-1, -1), 0) || !r.Max.AlmostEqual(Pt(3, 3), 0) {
+		t.Errorf("Expand = %v", r)
+	}
+	u := NewRect(Pt(0, 0), Pt(1, 1)).Union(NewRect(Pt(5, -2), Pt(6, 0)))
+	if !u.Min.AlmostEqual(Pt(0, -2), 0) || !u.Max.AlmostEqual(Pt(6, 1), 0) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	if _, ok := BoundingRect(nil); ok {
+		t.Error("BoundingRect(nil) reported ok")
+	}
+	r, ok := BoundingRect([]Point{Pt(1, 5), Pt(-2, 3), Pt(4, -1)})
+	if !ok || !r.Min.AlmostEqual(Pt(-2, -1), 0) || !r.Max.AlmostEqual(Pt(4, 5), 0) {
+		t.Errorf("BoundingRect = %v ok=%v", r, ok)
+	}
+}
+
+func TestBoundingRectOfCircles(t *testing.T) {
+	if _, ok := BoundingRectOfCircles(nil); ok {
+		t.Error("empty input reported ok")
+	}
+	r, ok := BoundingRectOfCircles([]Circle{C(Pt(0, 0), 2), C(Pt(10, 0), 1)})
+	if !ok || !r.Min.AlmostEqual(Pt(-2, -2), 0) || !r.Max.AlmostEqual(Pt(11, 2), 0) {
+		t.Errorf("BoundingRectOfCircles = %v ok=%v", r, ok)
+	}
+}
+
+func TestGridCenters(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(10, 10))
+	pts := GridCenters(r, 5)
+	if len(pts) != 4 {
+		t.Fatalf("got %d grid centers, want 4: %v", len(pts), pts)
+	}
+	want := []Point{Pt(2.5, 2.5), Pt(7.5, 2.5), Pt(2.5, 7.5), Pt(7.5, 7.5)}
+	for i, w := range want {
+		if !pts[i].AlmostEqual(w, 1e-12) {
+			t.Errorf("pts[%d] = %v, want %v", i, pts[i], w)
+		}
+	}
+}
+
+func TestGridCentersPartialCells(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(7, 3))
+	pts := GridCenters(r, 5)
+	// ceil(7/5)=2 columns, ceil(3/5)=1 row.
+	if len(pts) != 2 {
+		t.Fatalf("got %d centers, want 2: %v", len(pts), pts)
+	}
+	for _, p := range pts {
+		if !r.Contains(p, 0) {
+			t.Errorf("grid center %v outside rect", p)
+		}
+	}
+}
+
+func TestGridCentersInvalid(t *testing.T) {
+	if pts := GridCenters(SquareField(100), 0); pts != nil {
+		t.Errorf("zero cell size should yield nil, got %d pts", len(pts))
+	}
+	if pts := GridCenters(SquareField(100), -2); pts != nil {
+		t.Errorf("negative cell size should yield nil, got %d pts", len(pts))
+	}
+}
+
+func TestGridCentersDensityScaling(t *testing.T) {
+	r := SquareField(100)
+	coarse := len(GridCenters(r, 20))
+	fine := len(GridCenters(r, 10))
+	if coarse != 25 || fine != 100 {
+		t.Errorf("coarse=%d (want 25), fine=%d (want 100)", coarse, fine)
+	}
+	if math.Abs(float64(fine)/float64(coarse)-4) > 1e-12 {
+		t.Error("halving cell size should quadruple candidates")
+	}
+}

@@ -1,0 +1,64 @@
+package geom
+
+import "fmt"
+
+// Segment is the closed line segment between two points. Segments model
+// relay links in the upper tier; steinerization subdivides them with
+// intermediate relay stations (paper, Algorithm 7, Step 7).
+type Segment struct {
+	A Point `json:"a"`
+	B Point `json:"b"`
+}
+
+// Seg is shorthand for constructing a Segment.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the segment length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// PointAt returns the point A + t*(B-A). t is not clamped.
+func (s Segment) PointAt(t float64) Point { return s.A.Lerp(s.B, t) }
+
+// Midpoint returns the segment midpoint.
+func (s Segment) Midpoint() Point { return Midpoint(s.A, s.B) }
+
+// String renders the segment compactly.
+func (s Segment) String() string { return fmt.Sprintf("seg[%v - %v]", s.A, s.B) }
+
+// Subdivide returns n interior points splitting the segment into n+1 equal
+// sections, in order from A to B. n <= 0 yields nil. This is the
+// steinerization primitive: placing w relays on an edge splits it into w+1
+// hops of equal length.
+func (s Segment) Subdivide(n int) []Point {
+	if n <= 0 {
+		return nil
+	}
+	pts := make([]Point, 0, n)
+	for i := 1; i <= n; i++ {
+		pts = append(pts, s.PointAt(float64(i)/float64(n+1)))
+	}
+	return pts
+}
+
+// ClosestPoint returns the point on the closed segment nearest to p and the
+// parameter t in [0,1] at which it occurs.
+func (s Segment) ClosestPoint(p Point) (Point, float64) {
+	d := s.B.Sub(s.A)
+	den := d.NormSq()
+	if den < Eps*Eps {
+		return s.A, 0
+	}
+	t := p.Sub(s.A).Dot(d) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return s.PointAt(t), t
+}
+
+// DistToPoint returns the distance from p to the closed segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	q, _ := s.ClosestPoint(p)
+	return q.Dist(p)
+}

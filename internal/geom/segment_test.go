@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentBasics(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(3, 4))
+	if got := s.Length(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Length = %v, want 5", got)
+	}
+	if got := s.Midpoint(); !got.AlmostEqual(Pt(1.5, 2), 1e-12) {
+		t.Errorf("Midpoint = %v", got)
+	}
+	if got := s.PointAt(0.2); !got.AlmostEqual(Pt(0.6, 0.8), 1e-12) {
+		t.Errorf("PointAt(0.2) = %v", got)
+	}
+}
+
+func TestSubdivide(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		n    int
+		want []Point
+	}{
+		{0, nil},
+		{-3, nil},
+		{1, []Point{Pt(5, 0)}},
+		{3, []Point{Pt(2.5, 0), Pt(5, 0), Pt(7.5, 0)}},
+	}
+	for _, tt := range tests {
+		got := s.Subdivide(tt.n)
+		if len(got) != len(tt.want) {
+			t.Fatalf("Subdivide(%d) returned %d points, want %d", tt.n, len(got), len(tt.want))
+		}
+		for i := range got {
+			if !got[i].AlmostEqual(tt.want[i], 1e-12) {
+				t.Errorf("Subdivide(%d)[%d] = %v, want %v", tt.n, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+// Property: subdividing with n points yields n+1 hops all of equal length,
+// and every hop length equals Length/(n+1). This is the invariant
+// steinerization relies on: each section must fit the feasible distance.
+func TestSubdivideEqualHops(t *testing.T) {
+	f := func(ax, ay, bx, by float64, nRaw uint8) bool {
+		a, b := clampPt(ax, ay), clampPt(bx, by)
+		if a.Dist(b) < 1e-6 {
+			return true
+		}
+		n := int(nRaw%10) + 1
+		s := Seg(a, b)
+		pts := s.Subdivide(n)
+		if len(pts) != n {
+			return false
+		}
+		hop := s.Length() / float64(n+1)
+		prev := a
+		for _, p := range append(pts, b) {
+			if math.Abs(prev.Dist(p)-hop) > 1e-6*math.Max(1, hop) {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosestPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		p     Point
+		want  Point
+		wantT float64
+	}{
+		{Pt(5, 3), Pt(5, 0), 0.5},
+		{Pt(-4, 2), Pt(0, 0), 0},
+		{Pt(20, -1), Pt(10, 0), 1},
+	}
+	for _, tt := range tests {
+		got, gotT := s.ClosestPoint(tt.p)
+		if !got.AlmostEqual(tt.want, 1e-12) || math.Abs(gotT-tt.wantT) > 1e-12 {
+			t.Errorf("ClosestPoint(%v) = %v t=%v, want %v t=%v", tt.p, got, gotT, tt.want, tt.wantT)
+		}
+	}
+}
+
+func TestClosestPointDegenerate(t *testing.T) {
+	s := Seg(Pt(2, 2), Pt(2, 2))
+	got, gotT := s.ClosestPoint(Pt(5, 5))
+	if !got.AlmostEqual(Pt(2, 2), 0) || gotT != 0 {
+		t.Errorf("degenerate ClosestPoint = %v t=%v", got, gotT)
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	if got := s.DistToPoint(Pt(5, 7)); math.Abs(got-7) > 1e-12 {
+		t.Errorf("DistToPoint = %v, want 7", got)
+	}
+	if got := s.DistToPoint(Pt(13, 4)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("DistToPoint past end = %v, want 5", got)
+	}
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bipartite is a bipartite graph between side A (in the paper: subscriber
+// stations) and side B (candidate relay points). It is the structure built
+// by Coverage Link Escape (Alg. 3, Steps 1-2) and consumed by RS Sliding
+// Movement (Alg. 4).
+type Bipartite struct {
+	nA, nB int
+	// adjacency as sorted sets, maintained by add/remove
+	aTo map[int]map[int]bool // a -> set of b
+	bTo map[int]map[int]bool // b -> set of a
+}
+
+// NewBipartite returns an empty bipartite graph with nA vertices on side A
+// and nB on side B.
+func NewBipartite(nA, nB int) *Bipartite {
+	if nA < 0 {
+		nA = 0
+	}
+	if nB < 0 {
+		nB = 0
+	}
+	return &Bipartite{
+		nA:  nA,
+		nB:  nB,
+		aTo: make(map[int]map[int]bool),
+		bTo: make(map[int]map[int]bool),
+	}
+}
+
+// NA returns the number of side-A vertices.
+func (g *Bipartite) NA() int { return g.nA }
+
+// NB returns the number of side-B vertices.
+func (g *Bipartite) NB() int { return g.nB }
+
+// AddEdge inserts edge (a, b). Duplicate inserts are no-ops.
+func (g *Bipartite) AddEdge(a, b int) error {
+	if a < 0 || a >= g.nA || b < 0 || b >= g.nB {
+		return fmt.Errorf("graph: bipartite edge (%d,%d) out of range A[0,%d) B[0,%d)", a, b, g.nA, g.nB)
+	}
+	if g.aTo[a] == nil {
+		g.aTo[a] = make(map[int]bool)
+	}
+	if g.bTo[b] == nil {
+		g.bTo[b] = make(map[int]bool)
+	}
+	g.aTo[a][b] = true
+	g.bTo[b][a] = true
+	return nil
+}
+
+// RemoveEdge deletes edge (a, b) if present.
+func (g *Bipartite) RemoveEdge(a, b int) {
+	if s := g.aTo[a]; s != nil {
+		delete(s, b)
+	}
+	if s := g.bTo[b]; s != nil {
+		delete(s, a)
+	}
+}
+
+// HasEdge reports whether edge (a, b) is present.
+func (g *Bipartite) HasEdge(a, b int) bool { return g.aTo[a][b] }
+
+// BsOfA returns the sorted side-B neighbours of a.
+func (g *Bipartite) BsOfA(a int) []int { return sortedKeys(g.aTo[a]) }
+
+// AsOfB returns the sorted side-A neighbours of b.
+func (g *Bipartite) AsOfB(b int) []int { return sortedKeys(g.bTo[b]) }
+
+// DegA returns the degree of side-A vertex a.
+func (g *Bipartite) DegA(a int) int { return len(g.aTo[a]) }
+
+// DegB returns the degree of side-B vertex b.
+func (g *Bipartite) DegB(b int) int { return len(g.bTo[b]) }
+
+// MaxDegB returns the maximum degree over side B (0 for an edgeless graph).
+// This is n_max of Alg. 3, Step 3.
+func (g *Bipartite) MaxDegB() int {
+	max := 0
+	for b := 0; b < g.nB; b++ {
+		if d := g.DegB(b); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// EdgeCount returns the number of edges.
+func (g *Bipartite) EdgeCount() int {
+	n := 0
+	for _, s := range g.aTo {
+		n += len(s)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Bipartite) Clone() *Bipartite {
+	c := NewBipartite(g.nA, g.nB)
+	for a, s := range g.aTo {
+		for b := range s {
+			_ = c.AddEdge(a, b) // indices are valid by construction
+		}
+	}
+	return c
+}
+
+func sortedKeys(s map[int]bool) []int {
+	out := make([]int, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

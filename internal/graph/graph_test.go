@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, g *Graph, u, v int, w float64) {
+	t.Helper()
+	if err := g.AddEdge(u, v, w); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := New(3)
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	mustAdd(t, g, 0, 1, 2.5)
+	mustAdd(t, g, 1, 2, 1.5)
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Errorf("degrees = %d, %d", g.Degree(1), g.Degree(0))
+	}
+	edges := g.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("Edges = %v", edges)
+	}
+	if edges[0].U != 0 || edges[0].V != 1 || edges[1].U != 1 || edges[1].V != 2 {
+		t.Errorf("edge order wrong: %v", edges)
+	}
+	v := g.AddVertex()
+	if v != 3 || g.N() != 4 {
+		t.Errorf("AddVertex = %d, N = %d", v, g.N())
+	}
+}
+
+func TestGraphAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 0, 1); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := g.AddEdge(1, 1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 4, 5, 1)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components: %v", len(comps), comps)
+	}
+	wants := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	for i, want := range wants {
+		if len(comps[i]) != len(want) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want)
+		}
+		for j := range want {
+			if comps[i][j] != want[j] {
+				t.Errorf("component %d = %v, want %v", i, comps[i], want)
+			}
+		}
+	}
+}
+
+func TestPrimMSTKnownTree(t *testing.T) {
+	// Classic 4-vertex example. MST = {0-1 (1), 1-2 (2), 1-3 (2)} total 5.
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 2, 4)
+	mustAdd(t, g, 1, 2, 2)
+	mustAdd(t, g, 1, 3, 2)
+	mustAdd(t, g, 2, 3, 5)
+	res, err := g.PrimMST(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 5 {
+		t.Errorf("Total = %v, want 5", res.Total)
+	}
+	if res.Parent[1] != 0 || res.Parent[2] != 1 || res.Parent[3] != 1 {
+		t.Errorf("parents = %v", res.Parent)
+	}
+	ch := res.Children()
+	if len(ch[1]) != 2 {
+		t.Errorf("children of 1 = %v", ch[1])
+	}
+	path := res.PathToRoot(3)
+	if len(path) != 3 || path[0] != 3 || path[1] != 1 || path[2] != 0 {
+		t.Errorf("PathToRoot(3) = %v", path)
+	}
+}
+
+func TestPrimMSTDisconnected(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	res, err := g.PrimMST(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InTree(1) || res.InTree(2) || res.InTree(3) {
+		t.Errorf("tree membership wrong: parents %v", res.Parent)
+	}
+	if res.PathToRoot(2) != nil {
+		t.Error("unreachable vertex has a path to root")
+	}
+}
+
+func TestPrimMSTBadRoot(t *testing.T) {
+	g := New(2)
+	if _, err := g.PrimMST(5); err == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+// Property: Prim and Kruskal agree on total MST weight for random connected
+// graphs.
+func TestPrimKruskalAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		// Random spanning chain guarantees connectivity, then extra edges.
+		for v := 1; v < n; v++ {
+			_ = g.AddEdge(rng.Intn(v), v, 1+rng.Float64()*10)
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = g.AddEdge(u, v, 1+rng.Float64()*10)
+			}
+		}
+		prim, err := g.PrimMST(0)
+		if err != nil {
+			return false
+		}
+		_, kw := g.KruskalMST()
+		return math.Abs(prim.Total-kw) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the MST has exactly n-1 parent edges on connected graphs and
+// every non-root vertex's path reaches the root.
+func TestMSTStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := New(n)
+		for v := 1; v < n; v++ {
+			_ = g.AddEdge(rng.Intn(v), v, 1+rng.Float64()*10)
+		}
+		res, err := g.PrimMST(0)
+		if err != nil {
+			return false
+		}
+		edges := 0
+		for v := 0; v < n; v++ {
+			if res.Parent[v] >= 0 {
+				edges++
+			}
+			path := res.PathToRoot(v)
+			if len(path) == 0 || path[len(path)-1] != 0 {
+				return false
+			}
+		}
+		return edges == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets = %d", uf.Sets())
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Fatal("fresh unions returned false")
+	}
+	if uf.Union(0, 2) {
+		t.Error("redundant union returned true")
+	}
+	if !uf.Connected(0, 2) || uf.Connected(0, 3) {
+		t.Error("connectivity wrong")
+	}
+	if uf.Sets() != 3 {
+		t.Errorf("Sets = %d, want 3", uf.Sets())
+	}
+	if uf.Find(-1) != -1 || uf.Find(99) != -1 {
+		t.Error("out-of-range Find should return -1")
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	g := NewBipartite(3, 2)
+	if err := g.AddEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 0); err != nil { // duplicate is a no-op
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 3 {
+		t.Errorf("EdgeCount = %d, want 3", g.EdgeCount())
+	}
+	if g.DegB(0) != 2 || g.DegB(1) != 1 {
+		t.Errorf("DegB = %d, %d", g.DegB(0), g.DegB(1))
+	}
+	if g.MaxDegB() != 2 {
+		t.Errorf("MaxDegB = %d", g.MaxDegB())
+	}
+	as := g.AsOfB(0)
+	if len(as) != 2 || as[0] != 0 || as[1] != 1 {
+		t.Errorf("AsOfB(0) = %v", as)
+	}
+	g.RemoveEdge(0, 0)
+	if g.HasEdge(0, 0) || g.EdgeCount() != 2 {
+		t.Error("RemoveEdge failed")
+	}
+	if err := g.AddEdge(5, 0); err == nil {
+		t.Error("out-of-range bipartite edge accepted")
+	}
+}
+
+func TestBipartiteClone(t *testing.T) {
+	g := NewBipartite(2, 2)
+	_ = g.AddEdge(0, 0)
+	_ = g.AddEdge(1, 1)
+	c := g.Clone()
+	c.RemoveEdge(0, 0)
+	if !g.HasEdge(0, 0) {
+		t.Error("Clone is not independent of the original")
+	}
+	if c.HasEdge(0, 0) || !c.HasEdge(1, 1) {
+		t.Error("Clone content wrong")
+	}
+}

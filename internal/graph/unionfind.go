@@ -1,0 +1,66 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression, used by Kruskal's algorithm and connectivity checks.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// NewUnionFind returns a union-find over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	if n < 0 {
+		n = 0
+	}
+	uf := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]int, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the representative of x's set. Out-of-range x returns -1.
+func (uf *UnionFind) Find(x int) int {
+	if x < 0 || x >= len(uf.parent) {
+		return -1
+	}
+	root := x
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	for uf.parent[x] != root {
+		uf.parent[x], x = root, uf.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of x and y, returning true when they were distinct.
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx < 0 || ry < 0 || rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	return rx >= 0 && rx == ry
+}
+
+// Sets returns the number of disjoint sets remaining.
+func (uf *UnionFind) Sets() int { return uf.sets }

@@ -1,0 +1,480 @@
+// Package hitting solves geometric minimum hitting set instances: given the
+// subscribers' feasible coverage disks and a finite set of candidate relay
+// positions, pick the fewest candidates such that every disk contains at
+// least one chosen point.
+//
+// The paper (Alg. 1, Step 4) invokes the minimum hitting set PTAS of
+// Mustafa & Ray [5], which is greedy-seeded local search over bounded-size
+// swaps. This package implements exactly that scheme: a greedy cover
+// followed by (q -> q-1) improvement swaps for q <= MaxSwap. With unbounded
+// swap size the local optimum approaches (1+eps)OPT; the default MaxSwap of
+// 3 is the standard practical operating point.
+package hitting
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"sagrelay/internal/geom"
+)
+
+// Instance is a hitting set instance over disks and candidate points.
+type Instance struct {
+	// Disks are the sets to hit (subscribers' feasible coverage circles).
+	Disks []geom.Circle
+	// Candidates are the available points (candidate relay positions).
+	Candidates []geom.Point
+	// Tol is added to each disk radius during membership tests; candidate
+	// generators that place points exactly on circle boundaries (IAC) need
+	// a small positive tolerance.
+	Tol float64
+}
+
+// Options tune Solve.
+type Options struct {
+	// LocalSearch enables the improvement phase (on by default via Solve's
+	// documented behaviour when using DefaultOptions).
+	LocalSearch bool
+	// MaxSwap bounds the swap size q in (q -> q-1) local moves; 0 means 3.
+	MaxSwap int
+	// MaxRounds bounds full local-search sweeps; 0 means 50.
+	MaxRounds int
+}
+
+// DefaultOptions enables local search with swap size 3.
+func DefaultOptions() Options { return Options{LocalSearch: true, MaxSwap: 3} }
+
+func (o Options) withDefaults() Options {
+	if o.MaxSwap <= 0 {
+		o.MaxSwap = 3
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 50
+	}
+	return o
+}
+
+// ErrUncoverable reports that some disk contains no candidate at all, so no
+// hitting set exists over the given candidates.
+var ErrUncoverable = errors.New("hitting: some disk contains no candidate point")
+
+// Solution is a feasible hitting set.
+type Solution struct {
+	// Chosen are the selected candidate indices, sorted ascending.
+	Chosen []int
+	// GreedySize is the solution size before local search (== len(Chosen)
+	// when local search is off or made no progress).
+	GreedySize int
+	// Rounds is the number of completed local-search sweeps.
+	Rounds int
+}
+
+// bitset is a fixed-capacity set of disk indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) orInto(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// countAndNotIn returns |o \ b|: bits of o not present in b.
+func (b bitset) countNotIn(o bitset) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(o[i] &^ b[i])
+	}
+	return n
+}
+
+// containsAll reports whether every bit of o is set in b.
+func (b bitset) containsAll(o bitset) bool {
+	for i := range b {
+		if o[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) popcount() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// hitSets returns, per candidate, the bitset of disks it hits.
+func (in *Instance) hitSets() []bitset {
+	sets := make([]bitset, len(in.Candidates))
+	for c, p := range in.Candidates {
+		s := newBitset(len(in.Disks))
+		for d, disk := range in.Disks {
+			if disk.Contains(p, in.Tol) {
+				s.set(d)
+			}
+		}
+		sets[c] = s
+	}
+	return sets
+}
+
+// Verify reports whether the chosen candidate indices hit every disk.
+func (in *Instance) Verify(chosen []int) bool {
+	for _, disk := range in.Disks {
+		hit := false
+		for _, c := range chosen {
+			if c < 0 || c >= len(in.Candidates) {
+				return false
+			}
+			if disk.Contains(in.Candidates[c], in.Tol) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve computes a hitting set. It returns ErrUncoverable when some disk
+// contains no candidate. An instance with no disks yields an empty solution.
+func (in *Instance) Solve(opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	nD := len(in.Disks)
+	if nD == 0 {
+		return &Solution{Chosen: []int{}}, nil
+	}
+	if len(in.Candidates) == 0 {
+		return nil, ErrUncoverable
+	}
+	hit := in.hitSets()
+
+	// Coverage feasibility: every disk needs at least one candidate.
+	coverable := newBitset(nD)
+	for _, s := range hit {
+		coverable.orInto(s)
+	}
+	if coverable.popcount() != nD {
+		return nil, ErrUncoverable
+	}
+
+	chosen := greedy(hit, nD)
+	sol := &Solution{GreedySize: len(chosen)}
+	if opts.LocalSearch {
+		var rounds int
+		chosen, rounds = localSearch(hit, nD, chosen, opts)
+		sol.Rounds = rounds
+	}
+	sort.Ints(chosen)
+	sol.Chosen = chosen
+	if !in.Verify(chosen) {
+		// Defensive: the algorithms above maintain feasibility by
+		// construction; a failure here is an internal bug, not user error.
+		return nil, fmt.Errorf("hitting: internal: produced infeasible solution of size %d", len(chosen))
+	}
+	return sol, nil
+}
+
+// SolveMultiCover returns a set of candidates such that every disk
+// contains at least demand distinct chosen points (a multi-hitting set).
+// demand = 1 reduces to Solve without local search refinement beyond
+// redundancy removal. It returns ErrUncoverable when some disk contains
+// fewer than demand candidates in total.
+//
+// Multi-coverage is the dual-relay architecture of IEEE 802.16j MMR
+// networks ([8], [9] in the paper's related work): every subscriber keeps
+// a backup access relay, so any single relay failure leaves it covered.
+func (in *Instance) SolveMultiCover(demand int) (*Solution, error) {
+	if demand < 1 {
+		return nil, fmt.Errorf("hitting: demand %d must be >= 1", demand)
+	}
+	nD := len(in.Disks)
+	if nD == 0 {
+		return &Solution{Chosen: []int{}}, nil
+	}
+	hit := in.hitSets()
+	// Feasibility: every disk needs >= demand candidates.
+	for d := range in.Disks {
+		avail := 0
+		for _, s := range hit {
+			if s.has(d) {
+				avail++
+			}
+		}
+		if avail < demand {
+			return nil, ErrUncoverable
+		}
+	}
+	// Greedy multi-cover: pick the candidate reducing the most residual
+	// demand, smallest index on ties.
+	need := make([]int, nD)
+	for d := range need {
+		need[d] = demand
+	}
+	remaining := nD * demand
+	chosen := make([]bool, len(in.Candidates))
+	var order []int
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for c, s := range hit {
+			if chosen[c] {
+				continue
+			}
+			gain := 0
+			for d := 0; d < nD; d++ {
+				if need[d] > 0 && s.has(d) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = c, gain
+			}
+		}
+		if best < 0 {
+			return nil, ErrUncoverable // exhausted candidates (shouldn't happen)
+		}
+		chosen[best] = true
+		order = append(order, best)
+		for d := 0; d < nD; d++ {
+			if need[d] > 0 && hit[best].has(d) {
+				need[d]--
+				remaining--
+			}
+		}
+	}
+	// Redundancy removal in reverse pick order.
+	covers := func(sel []int, skip int) bool {
+		for d := 0; d < nD; d++ {
+			cnt := 0
+			for _, c := range sel {
+				if c != skip && hit[c].has(d) {
+					cnt++
+				}
+			}
+			if cnt < demand {
+				return false
+			}
+		}
+		return true
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		if covers(order, order[i]) {
+			order = append(order[:i], order[i+1:]...)
+		}
+	}
+	sort.Ints(order)
+	sol := &Solution{Chosen: order, GreedySize: len(order)}
+	if !in.verifyMulti(order, demand) {
+		return nil, fmt.Errorf("hitting: internal: multi-cover produced infeasible solution")
+	}
+	return sol, nil
+}
+
+// verifyMulti reports whether every disk contains >= demand chosen points.
+func (in *Instance) verifyMulti(chosen []int, demand int) bool {
+	for _, disk := range in.Disks {
+		cnt := 0
+		for _, c := range chosen {
+			if c < 0 || c >= len(in.Candidates) {
+				return false
+			}
+			if disk.Contains(in.Candidates[c], in.Tol) {
+				cnt++
+			}
+		}
+		if cnt < demand {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyMultiCover reports whether chosen satisfies the demand-fold
+// coverage of every disk.
+func (in *Instance) VerifyMultiCover(chosen []int, demand int) bool {
+	return in.verifyMulti(chosen, demand)
+}
+
+// greedy repeatedly picks the candidate hitting the most not-yet-hit disks
+// (smallest index on ties, for determinism).
+func greedy(hit []bitset, nD int) []int {
+	covered := newBitset(nD)
+	var chosen []int
+	remaining := nD
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for c, s := range hit {
+			if gain := covered.countNotIn(s); gain > bestGain {
+				best, bestGain = c, gain
+			}
+		}
+		if best < 0 {
+			// Callers check coverability first; this is unreachable there.
+			break
+		}
+		chosen = append(chosen, best)
+		covered.orInto(hit[best])
+		remaining = nD - covered.popcount()
+	}
+	return chosen
+}
+
+// localSearch improves the solution with (q -> q-1) swaps for q = 1..MaxSwap:
+// q=1 removes redundant points; q=2 replaces two points with one; q=3
+// replaces three with two. Sweeps repeat until a full round makes no
+// progress or MaxRounds is hit.
+func localSearch(hit []bitset, nD int, chosen []int, opts Options) ([]int, int) {
+	rounds := 0
+	for rounds < opts.MaxRounds {
+		rounds++
+		improved := false
+		if removeRedundant(hit, nD, &chosen) {
+			improved = true
+		}
+		if opts.MaxSwap >= 2 && swap21(hit, nD, &chosen) {
+			improved = true
+		}
+		if opts.MaxSwap >= 3 && swap32(hit, nD, &chosen) {
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	return chosen, rounds
+}
+
+// coverageWithout returns the union of hit sets of chosen, skipping indices
+// in the skip set.
+func coverageWithout(hit []bitset, nD int, chosen []int, skip map[int]bool) bitset {
+	cov := newBitset(nD)
+	for _, c := range chosen {
+		if skip[c] {
+			continue
+		}
+		cov.orInto(hit[c])
+	}
+	return cov
+}
+
+// removeRedundant deletes chosen points whose disks are all covered by the
+// rest (1 -> 0 swaps). Returns true when anything was removed.
+func removeRedundant(hit []bitset, nD int, chosen *[]int) bool {
+	removed := false
+	for i := 0; i < len(*chosen); {
+		c := (*chosen)[i]
+		rest := coverageWithout(hit, nD, *chosen, map[int]bool{c: true})
+		if rest.containsAll(hit[c]) && rest.popcount() == nD {
+			*chosen = append((*chosen)[:i], (*chosen)[i+1:]...)
+			removed = true
+			continue
+		}
+		i++
+	}
+	return removed
+}
+
+// swap21 tries to replace a pair of chosen points with a single candidate
+// (2 -> 1 swaps). Returns true on the first successful swap per sweep.
+func swap21(hit []bitset, nD int, chosen *[]int) bool {
+	ch := *chosen
+	for i := 0; i < len(ch); i++ {
+		for j := i + 1; j < len(ch); j++ {
+			rest := coverageWithout(hit, nD, ch, map[int]bool{ch[i]: true, ch[j]: true})
+			// need = disks covered only by the removed pair
+			for c, s := range hit {
+				if c == ch[i] || c == ch[j] {
+					continue
+				}
+				merged := rest.clone()
+				merged.orInto(s)
+				if merged.popcount() == nD {
+					out := make([]int, 0, len(ch)-1)
+					for k, v := range ch {
+						if k != i && k != j {
+							out = append(out, v)
+						}
+					}
+					out = append(out, c)
+					*chosen = out
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// swap32 tries to replace a triple of chosen points with two candidates
+// (3 -> 2 swaps). To stay polynomial it only pairs candidates that each
+// cover at least one disk the triple exclusively covered.
+func swap32(hit []bitset, nD int, chosen *[]int) bool {
+	ch := *chosen
+	if len(ch) < 3 {
+		return false
+	}
+	for i := 0; i < len(ch); i++ {
+		for j := i + 1; j < len(ch); j++ {
+			for k := j + 1; k < len(ch); k++ {
+				skip := map[int]bool{ch[i]: true, ch[j]: true, ch[k]: true}
+				rest := coverageWithout(hit, nD, ch, skip)
+				// Candidates that help at all:
+				var useful []int
+				for c, s := range hit {
+					if skip[c] {
+						continue
+					}
+					if rest.countNotIn(s) > 0 {
+						useful = append(useful, c)
+					}
+				}
+				for a := 0; a < len(useful); a++ {
+					mergedA := rest.clone()
+					mergedA.orInto(hit[useful[a]])
+					if mergedA.popcount() == nD {
+						// Even a single candidate suffices: 3 -> 1.
+						*chosen = rebuild(ch, skip, useful[a])
+						return true
+					}
+					for b := a + 1; b < len(useful); b++ {
+						merged := mergedA.clone()
+						merged.orInto(hit[useful[b]])
+						if merged.popcount() == nD {
+							*chosen = rebuild(ch, skip, useful[a], useful[b])
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// rebuild returns chosen minus the skipped indices plus the replacements.
+func rebuild(chosen []int, skip map[int]bool, add ...int) []int {
+	out := make([]int, 0, len(chosen))
+	for _, v := range chosen {
+		if !skip[v] {
+			out = append(out, v)
+		}
+	}
+	return append(out, add...)
+}

@@ -1,0 +1,123 @@
+package hitting
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sagrelay/internal/geom"
+)
+
+func TestMultiCoverDemandOne(t *testing.T) {
+	in := &Instance{
+		Disks:      []geom.Circle{geom.C(geom.Pt(0, 0), 5), geom.C(geom.Pt(20, 0), 5)},
+		Candidates: []geom.Point{geom.Pt(0, 0), geom.Pt(20, 0), geom.Pt(100, 100)},
+	}
+	sol, err := in.SolveMultiCover(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Chosen) != 2 {
+		t.Errorf("demand 1 chose %v", sol.Chosen)
+	}
+	if !in.VerifyMultiCover(sol.Chosen, 1) {
+		t.Error("solution fails verification")
+	}
+}
+
+func TestMultiCoverDemandTwo(t *testing.T) {
+	disks := []geom.Circle{geom.C(geom.Pt(0, 0), 10)}
+	in := &Instance{
+		Disks:      disks,
+		Candidates: []geom.Point{geom.Pt(1, 0), geom.Pt(-1, 0), geom.Pt(50, 0)},
+	}
+	sol, err := in.SolveMultiCover(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Chosen) != 2 {
+		t.Fatalf("chose %v, want both in-disk candidates", sol.Chosen)
+	}
+	if !in.VerifyMultiCover(sol.Chosen, 2) {
+		t.Error("solution fails 2-fold verification")
+	}
+	if in.VerifyMultiCover(sol.Chosen[:1], 2) {
+		t.Error("1 point passes 2-fold verification")
+	}
+}
+
+func TestMultiCoverUncoverable(t *testing.T) {
+	in := &Instance{
+		Disks:      []geom.Circle{geom.C(geom.Pt(0, 0), 5)},
+		Candidates: []geom.Point{geom.Pt(0, 0)},
+	}
+	if _, err := in.SolveMultiCover(2); !errors.Is(err, ErrUncoverable) {
+		t.Errorf("want ErrUncoverable, got %v", err)
+	}
+}
+
+func TestMultiCoverInvalidDemand(t *testing.T) {
+	in := &Instance{}
+	if _, err := in.SolveMultiCover(0); err == nil {
+		t.Error("demand 0 accepted")
+	}
+}
+
+func TestMultiCoverEmptyInstance(t *testing.T) {
+	in := &Instance{}
+	sol, err := in.SolveMultiCover(3)
+	if err != nil || len(sol.Chosen) != 0 {
+		t.Errorf("empty instance: %v, %v", sol, err)
+	}
+}
+
+func TestMultiCoverRedundancyRemoval(t *testing.T) {
+	// Three candidates all inside one disk; demand 2 should keep exactly 2.
+	in := &Instance{
+		Disks: []geom.Circle{geom.C(geom.Pt(0, 0), 10)},
+		Candidates: []geom.Point{
+			geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(-1, -1),
+		},
+	}
+	sol, err := in.SolveMultiCover(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Chosen) != 2 {
+		t.Errorf("kept %d candidates, want 2", len(sol.Chosen))
+	}
+}
+
+// Property: multi-cover solutions are feasible and never smaller than the
+// demand for a single disk; demand-2 solutions are supersets in size of
+// demand-1 solutions.
+func TestMultiCoverProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nD := 1 + rng.Intn(8)
+		disks := make([]geom.Circle, nD)
+		var cands []geom.Point
+		for i := range disks {
+			disks[i] = geom.C(geom.Pt(rng.Float64()*100, rng.Float64()*100), 20+rng.Float64()*15)
+			// Two candidates per disk guarantee 2-fold coverability.
+			cands = append(cands, disks[i].Center, disks[i].Center.Add(geom.Pt(1, 1)))
+		}
+		in := &Instance{Disks: disks, Candidates: cands}
+		one, err := in.SolveMultiCover(1)
+		if err != nil {
+			return false
+		}
+		two, err := in.SolveMultiCover(2)
+		if err != nil {
+			return false
+		}
+		if !in.VerifyMultiCover(one.Chosen, 1) || !in.VerifyMultiCover(two.Chosen, 2) {
+			return false
+		}
+		return len(two.Chosen) >= len(one.Chosen) && len(two.Chosen) >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package lower
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/hitting"
+	"sagrelay/internal/scenario"
+)
+
+// DistanceCoverage is the lower tier of DARP [1]: minimum hitting set
+// coverage under distance requirements only, with no SNR awareness — the
+// approach the paper improves on ("[1] does not take SNR constraint into
+// account"). It runs Zone Partition and Coverage Link Escape like SAMC but
+// skips RS Sliding Movement entirely and accepts whatever SNR results.
+//
+// The returned result is always "feasible" in DARP's distance-only sense;
+// callers can measure the SNR damage with Result.SIRAtSubscriber or
+// Verify(sc, true) — quantifying exactly the gap the paper's Fig. 3
+// feasibility arguments are about.
+func DistanceCoverage(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: distance coverage: %w", err)
+	}
+	zones, err := ZonePartition(sc)
+	if err != nil {
+		return nil, fmt.Errorf("lower: distance coverage: %w", err)
+	}
+	res := &Result{Method: "DARP-cover", Zones: zones}
+	for _, zone := range zones {
+		disks := make([]geom.Circle, len(zone))
+		for i, s := range zone {
+			disks[i] = sc.Subscribers[s].Circle()
+		}
+		inst := &hitting.Instance{
+			Disks:      disks,
+			Candidates: geom.IntersectionCandidates(disks),
+			Tol:        coverTol,
+		}
+		mhs, err := inst.Solve(opts.Hitting)
+		if err != nil {
+			if errors.Is(err, hitting.ErrUncoverable) {
+				res.Feasible = false
+				res.Relays = nil
+				res.AssignOf = nil
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			return nil, fmt.Errorf("lower: distance coverage: %w", err)
+		}
+		points := make([]geom.Point, len(mhs.Chosen))
+		for i, c := range mhs.Chosen {
+			points[i] = inst.Candidates[c]
+		}
+		relays, err := CoverageLinkEscape(sc, zone, points)
+		if err != nil {
+			return nil, fmt.Errorf("lower: distance coverage: %w", err)
+		}
+		res.Relays = append(res.Relays, relays...)
+	}
+	res.Feasible = true
+	res.AssignOf, err = buildAssign(sc.NumSS(), res.Relays)
+	if err != nil {
+		return nil, fmt.Errorf("lower: distance coverage: %w", err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// SNRViolations counts the subscribers whose Definition 2 SNR (all relays
+// at PMax, zone-local interference) falls below the threshold — the
+// diagnostic that separates SNR-aware placements from distance-only ones.
+func SNRViolations(sc *scenario.Scenario, res *Result) (int, error) {
+	if err := res.Verify(sc, false); err != nil {
+		return 0, err
+	}
+	zoneOf := zoneIndex(sc.NumSS(), res.Zones)
+	violations := 0
+	for j := range sc.Subscribers {
+		if res.SIRAtSubscriber(sc, j, zoneOf) < sc.Beta()-1e-12 {
+			violations++
+		}
+	}
+	return violations, nil
+}

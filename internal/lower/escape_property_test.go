@@ -1,0 +1,92 @@
+package lower
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/hitting"
+	"sagrelay/internal/scenario"
+)
+
+// Property: Coverage Link Escape on a feasible hitting set always produces
+// relays whose every assigned subscriber is within its distance
+// requirement, each subscriber is assigned exactly once, and no returned
+// relay is empty.
+func TestEscapeInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		sc, err := scenario.Generate(scenario.GenConfig{
+			FieldSide: 400, NumSS: n, NumBS: 1, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		zone := make([]int, n)
+		disks := make([]geom.Circle, n)
+		for i := range zone {
+			zone[i] = i
+			disks[i] = sc.Subscribers[i].Circle()
+		}
+		inst := &hitting.Instance{
+			Disks:      disks,
+			Candidates: geom.IntersectionCandidates(disks),
+			Tol:        1e-7,
+		}
+		sol, err := inst.Solve(hitting.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		points := make([]geom.Point, len(sol.Chosen))
+		for i, c := range sol.Chosen {
+			points[i] = inst.Candidates[c]
+		}
+		relays, err := CoverageLinkEscape(sc, zone, points)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, r := range relays {
+			if len(r.Covers) == 0 {
+				return false // empty relays must be dropped
+			}
+			for _, s := range r.Covers {
+				if seen[s] {
+					return false // double assignment
+				}
+				seen[s] = true
+				if r.Pos.Dist(sc.Subscribers[s].Pos) > sc.Subscribers[s].DistReq+1e-6 {
+					return false // out of range
+				}
+			}
+		}
+		return len(seen) == n // everyone assigned
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SlidingMovement never breaks distance coverage — every
+// subscriber remains within range of its (possibly moved) serving relay.
+func TestSlidingPreservesCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		sc, err := scenario.Generate(scenario.GenConfig{
+			FieldSide: 400, NumSS: 10, NumBS: 1, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := SAMC(sc, SAMCOptions{})
+		if err != nil {
+			return false
+		}
+		if !res.Feasible {
+			return true
+		}
+		return res.Verify(sc, true) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

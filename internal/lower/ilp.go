@@ -1,0 +1,350 @@
+package lower
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/hitting"
+	"sagrelay/internal/lp"
+	"sagrelay/internal/milp"
+	"sagrelay/internal/scenario"
+)
+
+// ILPOptions tune the ILPQC-based coverage solvers (IAC and GAC).
+type ILPOptions struct {
+	// GridSize is the GAC grid cell size (paper sweeps 13-20); 0 means 15.
+	GridSize float64
+	// MaxZoneSS caps the subscribers per solved sub-zone; larger zones are
+	// spatially bisected first (see SplitLargeZones). 0 means 10.
+	MaxZoneSS int
+	// MaxNodes caps branch-and-bound nodes per sub-zone; 0 means 3000.
+	MaxNodes int
+	// TimeLimit caps branch-and-bound time per sub-zone; 0 means 2s.
+	TimeLimit time.Duration
+	// MILP carries search-strategy knobs (node order, branching rule,
+	// rounding heuristic) through to the branch-and-bound solver; its
+	// MaxNodes/TimeLimit/Incumbent fields are overridden per zone.
+	MILP milp.Options
+}
+
+func (o ILPOptions) withDefaults() ILPOptions {
+	if o.GridSize <= 0 {
+		o.GridSize = 15
+	}
+	if o.MaxZoneSS <= 0 {
+		o.MaxZoneSS = 10
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 3000
+	}
+	if o.TimeLimit <= 0 {
+		o.TimeLimit = 2 * time.Second
+	}
+	return o
+}
+
+// IAC solves the ILPQC coverage formulation (eqs. 3.1-3.5) with
+// Intersections As Candidates (Fig. 2a): candidate relay positions are the
+// pairwise intersection points of the subscribers' feasible circles (plus
+// the circle centers, so isolated subscribers stay coverable).
+func IAC(sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
+	return solveILP(sc, opts, "IAC", func(zone []int, disks []geom.Circle) []geom.Point {
+		return geom.IntersectionCandidates(disks)
+	})
+}
+
+// GAC solves the ILPQC coverage formulation with Grids As Candidates
+// (Fig. 2b): candidate relay positions are the centers of the square grid
+// cells tiling the field; smaller grid sizes give more accurate results at
+// higher cost (Section III-A).
+func GAC(sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	gridAll := geom.GridCenters(sc.Field, opts.GridSize)
+	return solveILP(sc, opts, "GAC", func(zone []int, disks []geom.Circle) []geom.Point {
+		// Restrict the field-wide grid to points that cover some zone
+		// subscriber; the rest cannot appear in any zone-local solution.
+		var pts []geom.Point
+		for _, p := range gridAll {
+			for _, d := range disks {
+				if d.Contains(p, coverTol) {
+					pts = append(pts, p)
+					break
+				}
+			}
+		}
+		return pts
+	})
+}
+
+// solveILP runs the shared per-zone ILPQC pipeline with the given candidate
+// construction.
+func solveILP(sc *scenario.Scenario, opts ILPOptions, method string, candidatesFor func([]int, []geom.Circle) []geom.Point) (*Result, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: %s: %w", method, err)
+	}
+	zones, err := ZonePartition(sc)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %s: %w", method, err)
+	}
+	zones = SplitLargeZones(sc, zones, opts.MaxZoneSS)
+	res := &Result{Method: method, Zones: zones}
+	for _, zone := range zones {
+		disks := make([]geom.Circle, len(zone))
+		for i, s := range zone {
+			disks[i] = sc.Subscribers[s].Circle()
+		}
+		relays, err := solveZoneILP(sc, zone, disks, candidatesFor(zone, disks), opts)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				res.Feasible = false
+				res.Relays = nil
+				res.AssignOf = nil
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			return nil, fmt.Errorf("lower: %s: %w", method, err)
+		}
+		res.Relays = append(res.Relays, relays...)
+	}
+	res.Feasible = true
+	res.AssignOf, err = buildAssign(sc.NumSS(), res.Relays)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %s: %w", method, err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// solveZoneILP builds and solves the ILPQC for one zone.
+//
+// Variables: T_i (place a relay at candidate i) and T_ij (subscriber j's
+// access link uses candidate i), both binary; T_ij exists only for pairs
+// within the distance requirement (constraint 3.4 by construction).
+//
+// Constraints (numbers from the paper):
+//
+//	(3.2)  T_i <= sum_j T_ij <= n*T_i        placed relays cover >= 1 SS,
+//	                                         links only to placed relays
+//	(3.3)  sum_i T_ij = 1                    exactly one access link per SS
+//	(3.5)  sum_k w_kj*T_k - w_ij*T_i <= w_ij/beta + M_j*(1 - T_ij)
+//
+// (3.5) is the paper's quadratic SNR constraint linearized exactly with
+// M_j = sum_k w_kj (the largest possible interference at j): when T_ij = 1
+// the relay at i serves j, so the total received power minus the serving
+// signal must be at most signal/beta.
+func solveZoneILP(sc *scenario.Scenario, zone []int, disks []geom.Circle, candidates []geom.Point, opts ILPOptions) ([]Relay, error) {
+	if len(zone) == 0 {
+		return nil, nil
+	}
+	// Keep only candidates that cover at least one subscriber.
+	var cands []geom.Point
+	for _, p := range candidates {
+		for _, d := range disks {
+			if d.Contains(p, coverTol) {
+				cands = append(cands, p)
+				break
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, ErrInfeasible
+	}
+	n := len(zone)
+	nC := len(cands)
+	beta := sc.Beta()
+
+	// Path gains w_kj between every candidate and every zone subscriber.
+	w := make([][]float64, nC)
+	for i, p := range cands {
+		w[i] = make([]float64, n)
+		for j, s := range zone {
+			w[i][j] = sc.Model.Gain(p.Dist(sc.Subscribers[s].Pos))
+		}
+	}
+
+	prob := lp.NewProblem()
+	tVar := make([]int, nC)
+	for i := range tVar {
+		tVar[i] = prob.AddVariable(fmt.Sprintf("T%d", i), 1)
+		if err := prob.SetUpperBound(tVar[i], 1); err != nil {
+			return nil, err
+		}
+	}
+	// Feasible pairs and their variables.
+	pairVar := make(map[[2]int]int) // (candidate, zoneSS) -> var
+	pairsOfCand := make([][]int, nC)
+	pairsOfSS := make([][]int, n)
+	for i := range cands {
+		for j := range zone {
+			if disks[j].Contains(cands[i], coverTol) {
+				v := prob.AddVariable(fmt.Sprintf("T%d_%d", i, j), 0)
+				if err := prob.SetUpperBound(v, 1); err != nil {
+					return nil, err
+				}
+				pairVar[[2]int{i, j}] = v
+				pairsOfCand[i] = append(pairsOfCand[i], j)
+				pairsOfSS[j] = append(pairsOfSS[j], i)
+			}
+		}
+	}
+	for j := range zone {
+		if len(pairsOfSS[j]) == 0 {
+			return nil, ErrInfeasible // no candidate covers this subscriber
+		}
+	}
+	// (3.2): T_i - sum_j T_ij <= 0 and sum_j T_ij - n*T_i <= 0.
+	for i := range cands {
+		lowTerms := []lp.Term{{Var: tVar[i], Coef: 1}}
+		highTerms := []lp.Term{{Var: tVar[i], Coef: -float64(n)}}
+		for _, j := range pairsOfCand[i] {
+			v := pairVar[[2]int{i, j}]
+			lowTerms = append(lowTerms, lp.Term{Var: v, Coef: -1})
+			highTerms = append(highTerms, lp.Term{Var: v, Coef: 1})
+		}
+		if err := prob.AddConstraint(lowTerms, lp.LE, 0); err != nil {
+			return nil, err
+		}
+		if err := prob.AddConstraint(highTerms, lp.LE, 0); err != nil {
+			return nil, err
+		}
+	}
+	// (3.3): exactly one access link per subscriber.
+	for j := range zone {
+		terms := make([]lp.Term, 0, len(pairsOfSS[j]))
+		for _, i := range pairsOfSS[j] {
+			terms = append(terms, lp.Term{Var: pairVar[[2]int{i, j}], Coef: 1})
+		}
+		if err := prob.AddConstraint(terms, lp.EQ, 1); err != nil {
+			return nil, err
+		}
+	}
+	// (3.5) big-M linearized per feasible pair.
+	for j := range zone {
+		mj := 0.0
+		for k := range cands {
+			mj += w[k][j]
+		}
+		for _, i := range pairsOfSS[j] {
+			terms := make([]lp.Term, 0, nC+2)
+			for k := range cands {
+				terms = append(terms, lp.Term{Var: tVar[k], Coef: w[k][j]})
+			}
+			terms = append(terms, lp.Term{Var: tVar[i], Coef: -w[i][j]})
+			terms = append(terms, lp.Term{Var: pairVar[[2]int{i, j}], Coef: mj})
+			rhs := w[i][j]/beta + mj
+			if err := prob.AddConstraint(terms, lp.LE, rhs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	isInt := make([]bool, prob.NumVariables())
+	for i := range isInt {
+		isInt[i] = true
+	}
+	mopts := opts.MILP
+	mopts.MaxNodes = opts.MaxNodes
+	mopts.TimeLimit = opts.TimeLimit
+	mopts.Incumbent = nil
+	mopts.IncumbentObj = 0
+	if inc, obj, ok := greedyIncumbent(sc, zone, disks, cands, w, beta, pairVar, prob.NumVariables(), tVar); ok {
+		mopts.Incumbent = inc
+		mopts.IncumbentObj = obj
+	}
+	mres, err := milp.Solve(prob, isInt, mopts)
+	if err != nil {
+		return nil, fmt.Errorf("branch and bound: %w", err)
+	}
+	switch mres.Status {
+	case milp.Optimal, milp.Feasible:
+		// fall through to extraction
+	case milp.Infeasible, milp.Limit:
+		return nil, ErrInfeasible
+	default:
+		return nil, fmt.Errorf("branch and bound: unexpected status %v", mres.Status)
+	}
+	// Extract placement and assignment.
+	covers := make(map[int][]int)
+	for j := range zone {
+		for _, i := range pairsOfSS[j] {
+			if mres.X[pairVar[[2]int{i, j}]] > 0.5 {
+				covers[i] = append(covers[i], zone[j])
+				break
+			}
+		}
+	}
+	var relays []Relay
+	for i := range cands {
+		if mres.X[tVar[i]] > 0.5 && len(covers[i]) > 0 {
+			relays = append(relays, Relay{Pos: cands[i], Covers: covers[i]})
+		}
+	}
+	return relays, nil
+}
+
+// greedyIncumbent warm-starts branch and bound with a greedy hitting set
+// whose max-signal assignment happens to satisfy the SNR constraints.
+// ok=false when greedy's placement violates SNR (the search then starts
+// cold).
+func greedyIncumbent(sc *scenario.Scenario, zone []int, disks []geom.Circle, cands []geom.Point, w [][]float64, beta float64, pairVar map[[2]int]int, numVars int, tVar []int) ([]float64, float64, bool) {
+	inst := &hitting.Instance{Disks: disks, Candidates: cands, Tol: coverTol}
+	sol, err := inst.Solve(hitting.Options{LocalSearch: true, MaxSwap: 2, MaxRounds: 10})
+	if err != nil {
+		return nil, 0, false
+	}
+	chosen := make(map[int]bool, len(sol.Chosen))
+	for _, c := range sol.Chosen {
+		chosen[c] = true
+	}
+	// Assign each subscriber to the strongest chosen covering candidate.
+	assign := make([]int, len(zone))
+	for j := range zone {
+		best, bestW := -1, 0.0
+		for i := range cands {
+			if !chosen[i] || !disks[j].Contains(cands[i], coverTol) {
+				continue
+			}
+			if w[i][j] > bestW {
+				best, bestW = i, w[i][j]
+			}
+		}
+		if best < 0 {
+			return nil, 0, false
+		}
+		assign[j] = best
+	}
+	// Drop chosen candidates that serve nobody (3.2 would be violated).
+	used := make(map[int]bool)
+	for _, a := range assign {
+		used[a] = true
+	}
+	// SNR check under the used set.
+	for j := range zone {
+		signal := w[assign[j]][j]
+		noise := 0.0
+		for i := range used {
+			if i != assign[j] {
+				noise += w[i][j]
+			}
+		}
+		if signal < beta*noise {
+			return nil, 0, false
+		}
+	}
+	x := make([]float64, numVars)
+	for i := range used {
+		x[tVar[i]] = 1
+	}
+	for j, a := range assign {
+		v, ok := pairVar[[2]int{a, j}]
+		if !ok {
+			return nil, 0, false
+		}
+		x[v] = 1
+	}
+	return x, float64(len(used)), true
+}

@@ -1,0 +1,201 @@
+package lower
+
+import (
+	"testing"
+	"time"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/scenario"
+)
+
+// TestILPOptimalCountTinyInstance verifies the ILPQC formulation against a
+// hand-solvable instance: three subscribers whose circles share a common
+// region, so one relay at an intersection point suffices.
+func TestILPOptimalCountTinyInstance(t *testing.T) {
+	sc := handScenario(t, []scenario.Subscriber{
+		{Pos: geom.Pt(0, 0), DistReq: 40},
+		{Pos: geom.Pt(30, 0), DistReq: 40},
+		{Pos: geom.Pt(15, 25), DistReq: 40},
+	}, -15)
+	res, err := IAC(sc, ILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("tiny instance infeasible")
+	}
+	if res.NumRelays() != 1 {
+		t.Errorf("placed %d relays, want 1", res.NumRelays())
+	}
+	if err := res.Verify(sc, true); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+// TestILPNeedsTwoRelays verifies the optimum on a two-cluster instance.
+func TestILPNeedsTwoRelays(t *testing.T) {
+	sc := handScenario(t, []scenario.Subscriber{
+		{Pos: geom.Pt(0, 0), DistReq: 30},
+		{Pos: geom.Pt(20, 0), DistReq: 30},
+		{Pos: geom.Pt(400, 400), DistReq: 30},
+	}, -15)
+	res, err := IAC(sc, ILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.NumRelays() != 2 {
+		t.Errorf("feasible=%v relays=%d, want 2", res.Feasible, res.NumRelays())
+	}
+}
+
+// TestILPSNRConstraintBinds builds an instance where pure coverage would
+// use two relays serving two co-located subscriber pairs, but a strict
+// positive-dB threshold forbids the cross interference; the formulation
+// must either find an SNR-clean layout or report infeasibility — never an
+// SNR-violating "solution".
+func TestILPSNRConstraintBinds(t *testing.T) {
+	sc := handScenario(t, []scenario.Subscriber{
+		{Pos: geom.Pt(0, 0), DistReq: 35},
+		{Pos: geom.Pt(25, 0), DistReq: 35},
+		{Pos: geom.Pt(50, 0), DistReq: 35},
+		{Pos: geom.Pt(75, 0), DistReq: 35},
+	}, 3) // +3 dB: serving signal must exceed 2x total interference
+	res, err := IAC(sc, ILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		if err := res.Verify(sc, true); err != nil {
+			t.Errorf("claimed feasible but: %v", err)
+		}
+	}
+	// Either outcome is acceptable; what matters is consistency, which
+	// Verify checked above.
+}
+
+// TestGACGridSizeQuality: a finer grid never yields more relays than a
+// coarser one on the same instance (more candidates = superset model).
+func TestGACGridSizeQuality(t *testing.T) {
+	sc := testScenario(t, 500, 10, 37)
+	coarse, err := GAC(sc, ILPOptions{GridSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := GAC(sc, ILPOptions{GridSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fine.Feasible {
+		t.Skip("fine grid infeasible (node budget); nothing to compare")
+	}
+	if coarse.Feasible && fine.NumRelays() > coarse.NumRelays()+1 {
+		t.Errorf("fine grid %d relays much worse than coarse %d", fine.NumRelays(), coarse.NumRelays())
+	}
+}
+
+// TestGACInfeasibleWhenGridMissesCircles: a grid far coarser than the
+// circles cannot cover anyone.
+func TestGACInfeasibleWhenGridMisses(t *testing.T) {
+	sc := handScenario(t, []scenario.Subscriber{
+		{Pos: geom.Pt(30, 30), DistReq: 10},
+	}, -15)
+	res, err := GAC(sc, ILPOptions{GridSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		// The single grid center may land inside by luck; verify if so.
+		if err := res.Verify(sc, false); err != nil {
+			t.Errorf("feasible but invalid: %v", err)
+		}
+		return
+	}
+	if res.NumRelays() != 0 {
+		t.Error("infeasible result carries relays")
+	}
+}
+
+// TestILPRespectsTimeLimit: a tiny node budget must not hang and must
+// still produce either a warm-started solution or infeasible.
+func TestILPRespectsTimeLimit(t *testing.T) {
+	sc := testScenario(t, 500, 15, 41)
+	start := time.Now()
+	res, err := IAC(sc, ILPOptions{MaxNodes: 1, TimeLimit: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("time limit ignored")
+	}
+	if res.Feasible {
+		if err := res.Verify(sc, false); err != nil {
+			t.Errorf("warm-start result invalid: %v", err)
+		}
+	}
+}
+
+// TestILPZoneCapChangesDecomposition: capping zones produces more, smaller
+// zones but still a valid cover.
+func TestILPZoneCapChangesDecomposition(t *testing.T) {
+	sc := testScenario(t, 500, 16, 43)
+	res, err := IAC(sc, ILPOptions{MaxZoneSS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skip("infeasible under tight zones")
+	}
+	for _, z := range res.Zones {
+		if len(z) > 4 {
+			t.Errorf("zone of %d subscribers exceeds cap 4", len(z))
+		}
+	}
+	if err := res.Verify(sc, false); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+// TestSkipSlidingAblation: without sliding the relay count cannot shrink
+// and feasibility cannot improve.
+func TestSkipSlidingAblation(t *testing.T) {
+	sc := testScenario(t, 500, 15, 47)
+	with, err := SAMC(sc, SAMCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := SAMC(sc, SAMCOptions{SkipSliding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Feasible && !with.Feasible {
+		t.Error("sliding made a feasible instance infeasible")
+	}
+	if with.Feasible && without.Feasible && with.NumRelays() != without.NumRelays() {
+		t.Errorf("sliding changed the relay count: %d vs %d (it must only move relays)",
+			with.NumRelays(), without.NumRelays())
+	}
+}
+
+// TestPRONaiveOrderNeverBelowOptimal: the ablation variant is still a
+// valid allocation and never beats the LP optimum.
+func TestPRONaiveOrderStillValid(t *testing.T) {
+	sc := testScenario(t, 500, 15, 53)
+	res, err := SAMC(sc, SAMCOptions{})
+	if err != nil || !res.Feasible {
+		t.Fatalf("SAMC failed")
+	}
+	naive, err := PROWithOptions(sc, res, PROOptions{NaiveStuckOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPower(sc, res, naive.Powers); err != nil {
+		t.Errorf("naive allocation invalid: %v", err)
+	}
+	opt, err := OptimalPower(sc, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Total < opt.Total-1e-6 {
+		t.Errorf("naive PRO %v below LP optimum %v", naive.Total, opt.Total)
+	}
+}

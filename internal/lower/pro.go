@@ -1,0 +1,312 @@
+package lower
+
+import (
+	"fmt"
+	"math"
+
+	"sagrelay/internal/lp"
+	"sagrelay/internal/scenario"
+)
+
+// PowerAllocation is a transmission-power assignment for a set of coverage
+// relays.
+type PowerAllocation struct {
+	// Powers holds the transmit power of each relay, indexed like
+	// Result.Relays.
+	Powers []float64
+	// Total is the summed transmit power (the paper's P_L).
+	Total float64
+	// Method names the algorithm that produced the allocation.
+	Method string
+}
+
+// BaselinePower returns the paper's baseline allocation: every placed relay
+// transmits at PMax (the assumption under which coverage was computed).
+func BaselinePower(sc *scenario.Scenario, res *Result) *PowerAllocation {
+	powers := make([]float64, len(res.Relays))
+	for i := range powers {
+		powers[i] = sc.PMax
+	}
+	return &PowerAllocation{
+		Powers: powers,
+		Total:  sc.PMax * float64(len(res.Relays)),
+		Method: "baseline",
+	}
+}
+
+// powerContext precomputes the per-(relay, subscriber) path gains and zone
+// structure used by the power algorithms.
+type powerContext struct {
+	sc     *scenario.Scenario
+	res    *Result
+	gain   [][]float64 // gain[i][j] = path gain between relay i and subscriber j
+	zoneOf []int       // subscriber -> zone
+	rZone  []int       // relay -> zone
+	pmin   []float64   // coverage power Pc per relay
+	beta   float64
+}
+
+func newPowerContext(sc *scenario.Scenario, res *Result) (*powerContext, error) {
+	if err := res.Verify(sc, false); err != nil {
+		return nil, fmt.Errorf("lower: power optimization needs a feasible coverage result: %w", err)
+	}
+	ctx := &powerContext{
+		sc:     sc,
+		res:    res,
+		zoneOf: zoneIndex(sc.NumSS(), res.Zones),
+		beta:   sc.Beta(),
+	}
+	n := len(res.Relays)
+	ctx.gain = make([][]float64, n)
+	ctx.rZone = make([]int, n)
+	ctx.pmin = make([]float64, n)
+	for i, relay := range res.Relays {
+		ctx.gain[i] = make([]float64, sc.NumSS())
+		for j, ss := range sc.Subscribers {
+			ctx.gain[i][j] = sc.Model.Gain(relay.Pos.Dist(ss.Pos))
+		}
+		ctx.rZone[i] = relayZone(relay, ctx.zoneOf)
+		// Coverage power Pc (Section III-A.2): the minimum power meeting
+		// every covered subscriber's received-power demand.
+		for _, j := range relay.Covers {
+			need := sc.Subscribers[j].MinRxPower / ctx.gain[i][j]
+			if need > ctx.pmin[i] {
+				ctx.pmin[i] = need
+			}
+		}
+		if ctx.pmin[i] > sc.PMax {
+			// Coverage was verified, so the demand is met at PMax up to
+			// rounding; clamp.
+			ctx.pmin[i] = sc.PMax
+		}
+	}
+	return ctx, nil
+}
+
+// sameZone reports whether relay k interferes with subscriber j under the
+// zone-independence assumption.
+func (ctx *powerContext) sameZone(k, j int) bool {
+	if ctx.zoneOf == nil {
+		return true
+	}
+	return ctx.rZone[k] == ctx.zoneOf[j]
+}
+
+// interferenceAt returns the total interference power received at
+// subscriber j from all same-zone relays except exclude, under powers.
+func (ctx *powerContext) interferenceAt(j, exclude int, powers []float64) float64 {
+	total := 0.0
+	for k := range ctx.res.Relays {
+		if k == exclude || !ctx.sameZone(k, j) {
+			continue
+		}
+		total += powers[k] * ctx.gain[k][j]
+	}
+	return total
+}
+
+// snrOKForRelay checks the SNR constraint of every subscriber covered by
+// relay i under powers.
+func (ctx *powerContext) snrOKForRelay(i int, powers []float64) bool {
+	for _, j := range ctx.res.Relays[i].Covers {
+		signal := powers[i] * ctx.gain[i][j]
+		if signal < ctx.beta*ctx.interferenceAt(j, i, powers)-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// psnr returns the SNR power P_snr of relay i: the minimum transmit power
+// meeting every covered subscriber's SNR given the other relays' current
+// powers (Section III-A.2).
+func (ctx *powerContext) psnr(i int, powers []float64) float64 {
+	p := 0.0
+	for _, j := range ctx.res.Relays[i].Covers {
+		need := ctx.beta * ctx.interferenceAt(j, i, powers) / ctx.gain[i][j]
+		if need > p {
+			p = need
+		}
+	}
+	return p
+}
+
+// PROOptions tune Power Reduction Optimization for ablation studies.
+type PROOptions struct {
+	// NaiveStuckOrder settles the first stuck relay instead of the one with
+	// the minimal gap Psnr - Pc (Alg. 6, Step 11). The paper's rule settles
+	// the cheapest compromise first so later relays see less interference.
+	NaiveStuckOrder bool
+}
+
+// PRO implements Algorithm 6, Power Reduction Optimization: starting from
+// all relays at PMax, it repeatedly drops to the coverage power Pc every
+// relay whose covered subscribers' SNR survives the drop; when stuck, it
+// settles the relay with the smallest gap Psnr - Pc at its SNR power and
+// continues. The result is a (1+phi)-approximation of the optimal power
+// cost (Theorem 1).
+func PRO(sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
+	return PROWithOptions(sc, res, PROOptions{})
+}
+
+// PROWithOptions runs PRO with explicit knobs (see PROOptions).
+func PROWithOptions(sc *scenario.Scenario, res *Result, popts PROOptions) (*PowerAllocation, error) {
+	ctx, err := newPowerContext(sc, res)
+	if err != nil {
+		return nil, err
+	}
+	n := len(res.Relays)
+	powers := make([]float64, n)
+	inK := make([]bool, n)
+	remaining := n
+	for i := range powers {
+		powers[i] = sc.PMax
+		inK[i] = true
+	}
+	for remaining > 0 {
+		changed := false
+		for i := 0; i < n; i++ {
+			if !inK[i] {
+				continue
+			}
+			old := powers[i]
+			powers[i] = ctx.pmin[i]
+			if ctx.snrOKForRelay(i, powers) {
+				inK[i] = false
+				remaining--
+				changed = true
+			} else {
+				powers[i] = old
+			}
+		}
+		if changed || remaining == 0 {
+			continue
+		}
+		// Stuck: settle the relay with minimal delta = Psnr - Pc at Psnr
+		// (Alg. 6, Steps 10-13).
+		best, bestDelta := -1, math.Inf(1)
+		bestP := 0.0
+		for i := 0; i < n; i++ {
+			if !inK[i] {
+				continue
+			}
+			p := ctx.psnr(i, powers)
+			if p < ctx.pmin[i] {
+				p = ctx.pmin[i]
+			}
+			if p > sc.PMax {
+				p = sc.PMax
+			}
+			if delta := p - ctx.pmin[i]; delta < bestDelta {
+				best, bestDelta, bestP = i, delta, p
+			}
+			if popts.NaiveStuckOrder && best >= 0 {
+				break // ablation: take the first stuck relay as-is
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("lower: PRO: internal: stuck with %d relays unresolved", remaining)
+		}
+		powers[best] = bestP
+		inK[best] = false
+		remaining--
+	}
+	alloc := &PowerAllocation{Powers: powers, Method: "PRO"}
+	for _, p := range powers {
+		alloc.Total += p
+	}
+	if err := VerifyPower(sc, res, powers); err != nil {
+		return nil, fmt.Errorf("lower: PRO: produced invalid allocation: %w", err)
+	}
+	return alloc, nil
+}
+
+// OptimalPower solves the paper's LPQC (eqs. 3.6-3.9) exactly: with the
+// assignment fixed by the coverage result, the quadratic SNR constraint
+// (3.9) is linear in the powers, so the model is a pure LP:
+//
+//	min  sum_i P_i
+//	s.t. P_a(j) * g_a(j),j >= Pss_j                       (3.8, coverage)
+//	     P_a(j) * g_a(j),j >= beta * sum_{k!=a(j)} P_k * g_kj   (3.9, SNR)
+//	     0 <= P_i <= PMax
+//
+// It is the benchmark the paper compares PRO against ("optimal" curves in
+// Figs. 4a and 5a).
+func OptimalPower(sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
+	ctx, err := newPowerContext(sc, res)
+	if err != nil {
+		return nil, err
+	}
+	prob := lp.NewProblem()
+	n := len(res.Relays)
+	vars := make([]int, n)
+	for i := 0; i < n; i++ {
+		vars[i] = prob.AddVariable(fmt.Sprintf("P%d", i), 1)
+		if err := prob.SetUpperBound(vars[i], sc.PMax); err != nil {
+			return nil, fmt.Errorf("lower: optimal power: %w", err)
+		}
+	}
+	for j := range sc.Subscribers {
+		a := res.AssignOf[j]
+		// Coverage (3.8).
+		cov := []lp.Term{{Var: vars[a], Coef: ctx.gain[a][j]}}
+		if err := prob.AddConstraint(cov, lp.GE, sc.Subscribers[j].MinRxPower); err != nil {
+			return nil, fmt.Errorf("lower: optimal power: %w", err)
+		}
+		// SNR (3.9), linear in P with the assignment fixed.
+		terms := []lp.Term{{Var: vars[a], Coef: ctx.gain[a][j]}}
+		for k := 0; k < n; k++ {
+			if k == a || !ctx.sameZone(k, j) {
+				continue
+			}
+			terms = append(terms, lp.Term{Var: vars[k], Coef: -ctx.beta * ctx.gain[k][j]})
+		}
+		if err := prob.AddConstraint(terms, lp.GE, 0); err != nil {
+			return nil, fmt.Errorf("lower: optimal power: %w", err)
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("lower: optimal power: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("lower: optimal power: LP status %v (coverage result should be PMax-feasible)", sol.Status)
+	}
+	alloc := &PowerAllocation{
+		Powers: append([]float64(nil), sol.X[:n]...),
+		Total:  sol.Objective,
+		Method: "optimal",
+	}
+	return alloc, nil
+}
+
+// VerifyPower checks that powers satisfy every subscriber's coverage
+// (received power) and SNR constraints under the zone-independence
+// assumption. A small relative tolerance absorbs float rounding.
+func VerifyPower(sc *scenario.Scenario, res *Result, powers []float64) error {
+	ctx, err := newPowerContext(sc, res)
+	if err != nil {
+		return err
+	}
+	if len(powers) != len(res.Relays) {
+		return fmt.Errorf("lower: power vector has %d entries for %d relays", len(powers), len(res.Relays))
+	}
+	const rel = 1e-6
+	for i, p := range powers {
+		if p < -1e-12 || p > sc.PMax*(1+rel) {
+			return fmt.Errorf("lower: relay %d power %v outside [0, %v]", i, p, sc.PMax)
+		}
+	}
+	for j := range sc.Subscribers {
+		a := res.AssignOf[j]
+		signal := powers[a] * ctx.gain[a][j]
+		if signal < sc.Subscribers[j].MinRxPower*(1-rel)-1e-15 {
+			return fmt.Errorf("lower: subscriber %d received power %.4g below demand %.4g", j, signal, sc.Subscribers[j].MinRxPower)
+		}
+		noise := ctx.interferenceAt(j, a, powers)
+		if signal < ctx.beta*noise*(1-rel)-1e-15 {
+			return fmt.Errorf("lower: subscriber %d SIR %.4g below threshold %.4g", j, signal/noise, ctx.beta)
+		}
+	}
+	return nil
+}

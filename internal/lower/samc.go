@@ -1,0 +1,137 @@
+package lower
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/hitting"
+	"sagrelay/internal/scenario"
+)
+
+// SAMCOptions tune the SAMC heuristic.
+type SAMCOptions struct {
+	// Hitting configures the minimum hitting set PTAS; the zero value
+	// selects hitting.DefaultOptions().
+	Hitting hitting.Options
+	// SkipSliding disables RS Sliding Movement (Alg. 4) for ablation: the
+	// hitting-set points are used verbatim and any SNR violation makes the
+	// zone infeasible. The paper's design rests on sliding rescuing exactly
+	// these cases (Section III-A.1).
+	SkipSliding bool
+}
+
+func (o SAMCOptions) withDefaults() SAMCOptions {
+	if o.Hitting == (hitting.Options{}) {
+		o.Hitting = hitting.DefaultOptions()
+	}
+	return o
+}
+
+// ErrInfeasible reports that an algorithm could not satisfy every
+// subscriber's coverage and SNR requirements (the paper's algorithms return
+// "infeasible" in that case rather than a partial placement).
+var ErrInfeasible = errors.New("lower: no feasible coverage satisfying the SNR threshold")
+
+// SAMC implements Algorithm 1, SNR Aware Minimum Coverage:
+//
+//  1. Zone Partition (Alg. 2) splits the field into independent zones.
+//  2. Per zone: a minimum hitting set over the subscribers' feasible
+//     circles places the coverage relays (candidates are the circles'
+//     intersection points and centers); Coverage Link Escape (Alg. 3)
+//     assigns each subscriber to exactly one relay, maximizing one-on-one
+//     coverage; RS Sliding Movement (Alg. 4) slides relays along/inside
+//     their feasible circles until every subscriber's SNR clears.
+//  3. The union of the zones' relays is returned; if any zone fails, SAMC
+//     is infeasible (Alg. 1, Step 5).
+//
+// The relay count equals the hitting set size per zone (no relays are added
+// or deleted while massaging SNR), so a feasible SAMC result inherits the
+// hitting set PTAS's (1+eps) approximation on the relay count.
+func SAMC(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: SAMC: %w", err)
+	}
+	zones, err := ZonePartition(sc)
+	if err != nil {
+		return nil, fmt.Errorf("lower: SAMC: %w", err)
+	}
+	res := &Result{Method: "SAMC", Zones: zones}
+	for _, zone := range zones {
+		relays, err := samcZone(sc, zone, opts)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) || errors.Is(err, hitting.ErrUncoverable) {
+				res.Feasible = false
+				res.Relays = nil
+				res.AssignOf = nil
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			return nil, fmt.Errorf("lower: SAMC: %w", err)
+		}
+		res.Relays = append(res.Relays, relays...)
+	}
+	res.Feasible = true
+	res.AssignOf, err = buildAssign(sc.NumSS(), res.Relays)
+	if err != nil {
+		return nil, fmt.Errorf("lower: SAMC: %w", err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// samcZone runs steps 4 of Algorithm 1 for one zone.
+func samcZone(sc *scenario.Scenario, zone []int, opts SAMCOptions) ([]Relay, error) {
+	disks := make([]geom.Circle, len(zone))
+	for i, s := range zone {
+		disks[i] = sc.Subscribers[s].Circle()
+	}
+	inst := &hitting.Instance{
+		Disks:      disks,
+		Candidates: geom.IntersectionCandidates(disks),
+		Tol:        coverTol,
+	}
+	mhs, err := inst.Solve(opts.Hitting)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]geom.Point, len(mhs.Chosen))
+	for i, c := range mhs.Chosen {
+		points[i] = inst.Candidates[c]
+	}
+	relays, err := CoverageLinkEscape(sc, zone, points)
+	if err != nil {
+		return nil, err
+	}
+	if opts.SkipSliding {
+		if !snrSatisfied(sc, relays) {
+			return nil, ErrInfeasible
+		}
+		return relays, nil
+	}
+	slid, ok := SlidingMovement(sc, relays)
+	if !ok {
+		return nil, ErrInfeasible
+	}
+	return slid, nil
+}
+
+// snrSatisfied checks every covered subscriber's Definition 2 SNR against
+// the zone's relays at PMax (used by the SkipSliding ablation path).
+func snrSatisfied(sc *scenario.Scenario, relays []Relay) bool {
+	st := &slidingState{
+		sc:        sc,
+		beta:      sc.Beta(),
+		relays:    relays,
+		servingOf: make(map[int]int),
+	}
+	for r, relay := range relays {
+		for _, s := range relay.Covers {
+			st.servingOf[s] = r
+		}
+	}
+	return len(st.violatedSubscribers()) == 0
+}

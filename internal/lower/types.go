@@ -1,0 +1,186 @@
+// Package lower implements the Lower-tier Coverage Relay Allocation (LCRA)
+// problem of the paper: place the minimum number of coverage relay stations
+// so that every subscriber has a feasible-coverage access link (distance +
+// SNR), then minimize the relays' transmission power.
+//
+// It contains:
+//   - Zone Partition (Alg. 2)
+//   - SAMC, the SNR Aware Minimum Coverage heuristic (Alg. 1), built from
+//     minimum hitting set, Coverage Link Escape (Alg. 3), RS Sliding
+//     Movement (Alg. 4) and Update RS Topology (Alg. 5)
+//   - PRO, Power Reduction Optimization (Alg. 6), and the LP-optimal power
+//     allocation (the paper's LPQC, eqs. 3.6-3.9)
+//   - the ILPQC coverage formulations (eqs. 3.1-3.5) under the IAC and GAC
+//     candidate constructions, solved by branch-and-bound with the
+//     quadratic SNR constraint big-M linearized
+package lower
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/scenario"
+)
+
+// Relay is a placed coverage relay with its assigned subscribers.
+type Relay struct {
+	// Pos is the relay position.
+	Pos geom.Point
+	// Covers lists the subscriber indices (into Scenario.Subscribers) with
+	// an access link to this relay. Constraint (3.3): each subscriber has
+	// exactly one access link, so Covers sets partition the covered SSs.
+	Covers []int
+}
+
+// Result is the outcome of a coverage algorithm run.
+type Result struct {
+	// Feasible reports whether every subscriber got feasible coverage
+	// (distance and SNR). The paper's algorithms return "infeasible" rather
+	// than a partial placement.
+	Feasible bool
+	// Relays are the placed coverage relays (empty when infeasible).
+	Relays []Relay
+	// AssignOf maps each subscriber index to its serving relay index in
+	// Relays (-1 when infeasible).
+	AssignOf []int
+	// Zones records the zone partition used (subscriber index groups).
+	Zones [][]int
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+	// Method names the algorithm that produced the result.
+	Method string
+}
+
+// NumRelays returns the number of placed coverage relays.
+func (r *Result) NumRelays() int { return len(r.Relays) }
+
+// assignment-related helpers shared by the algorithms and tests.
+
+// buildAssign derives AssignOf from the relays' Covers lists.
+func buildAssign(nSS int, relays []Relay) ([]int, error) {
+	assign := make([]int, nSS)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for r, relay := range relays {
+		for _, s := range relay.Covers {
+			if s < 0 || s >= nSS {
+				return nil, fmt.Errorf("lower: relay %d covers unknown subscriber %d", r, s)
+			}
+			if assign[s] != -1 {
+				return nil, fmt.Errorf("lower: subscriber %d assigned to relays %d and %d", s, assign[s], r)
+			}
+			assign[s] = r
+		}
+	}
+	return assign, nil
+}
+
+// Verify checks a coverage result against the scenario: every subscriber is
+// assigned exactly once within its distance requirement, and (when
+// checkSNR) meets the SNR threshold with all relays transmitting at PMax.
+// The SNR evaluation follows the paper's zone-independence assumption:
+// interference is summed over the relays serving the subscriber's own zone
+// when zones are recorded, and over all relays otherwise.
+func (r *Result) Verify(sc *scenario.Scenario, checkSNR bool) error {
+	if !r.Feasible {
+		return fmt.Errorf("lower: result marked infeasible")
+	}
+	if len(r.AssignOf) != sc.NumSS() {
+		return fmt.Errorf("lower: AssignOf has %d entries for %d subscribers", len(r.AssignOf), sc.NumSS())
+	}
+	assign, err := buildAssign(sc.NumSS(), r.Relays)
+	if err != nil {
+		return err
+	}
+	for j, a := range assign {
+		if a == -1 {
+			return fmt.Errorf("lower: subscriber %d uncovered", j)
+		}
+		if r.AssignOf[j] != a {
+			return fmt.Errorf("lower: AssignOf[%d]=%d disagrees with Covers (%d)", j, r.AssignOf[j], a)
+		}
+		ss := sc.Subscribers[j]
+		d := ss.Pos.Dist(r.Relays[a].Pos)
+		if d > ss.DistReq+1e-6 {
+			return fmt.Errorf("lower: subscriber %d at distance %.3f from relay %d exceeds requirement %.3f", j, d, a, ss.DistReq)
+		}
+	}
+	if !checkSNR {
+		return nil
+	}
+	zoneOf := zoneIndex(sc.NumSS(), r.Zones)
+	for j := range sc.Subscribers {
+		sir := r.SIRAtSubscriber(sc, j, zoneOf)
+		if sir < sc.Beta()-1e-9 {
+			return fmt.Errorf("lower: subscriber %d SIR %.4g below threshold %.4g", j, sir, sc.Beta())
+		}
+	}
+	return nil
+}
+
+// zoneIndex maps each subscriber to its zone id, or nil when no zones are
+// recorded (meaning: single global zone).
+func zoneIndex(nSS int, zones [][]int) []int {
+	if len(zones) == 0 {
+		return nil
+	}
+	idx := make([]int, nSS)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for z, group := range zones {
+		for _, s := range group {
+			if s >= 0 && s < nSS {
+				idx[s] = z
+			}
+		}
+	}
+	return idx
+}
+
+// relayZone returns the zone a relay belongs to: the zone of its covered
+// subscribers (they are always in one zone by construction), or -1 for an
+// empty relay.
+func relayZone(relay Relay, zoneOf []int) int {
+	if zoneOf == nil || len(relay.Covers) == 0 {
+		return -1
+	}
+	return zoneOf[relay.Covers[0]]
+}
+
+// SIRAtSubscriber evaluates Definition 2 at subscriber j with all relays at
+// PMax: serving signal over summed interference from the other relays of
+// the same zone (inter-zone noise is ignorable by Zone Partition). zoneOf
+// may be nil to evaluate against all relays.
+func (r *Result) SIRAtSubscriber(sc *scenario.Scenario, j int, zoneOf []int) float64 {
+	a := r.AssignOf[j]
+	if a < 0 || a >= len(r.Relays) {
+		return 0
+	}
+	ss := sc.Subscribers[j]
+	myZone := -1
+	if zoneOf != nil {
+		myZone = zoneOf[j]
+	}
+	signal := sc.Model.ReceivedPower(sc.PMax, ss.Pos.Dist(r.Relays[a].Pos))
+	interference := 0.0
+	for k, relay := range r.Relays {
+		if k == a {
+			continue
+		}
+		if zoneOf != nil && relayZone(relay, zoneOf) != myZone {
+			continue
+		}
+		interference += sc.Model.ReceivedPower(sc.PMax, ss.Pos.Dist(relay.Pos))
+	}
+	if interference <= 0 {
+		if signal <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return signal / interference
+}

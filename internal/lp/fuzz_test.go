@@ -1,0 +1,67 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSimplexCovering stresses the solver with randomized covering LPs: it
+// must terminate with status Optimal, and the solution must satisfy every
+// constraint (verified independently by CheckFeasible).
+func FuzzSimplexCovering(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(5))
+	f.Add(int64(42), uint8(9), uint8(12))
+	f.Add(int64(-7), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, mRaw uint8) {
+		n := int(nRaw%12) + 1
+		m := int(mRaw%15) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := NewProblem()
+		for i := 0; i < n; i++ {
+			v := p.AddVariable("x", 0.5+rng.Float64()*5)
+			if err := p.SetUpperBound(v, 1+rng.Float64()*3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < m; k++ {
+			var terms []Term
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					terms = append(terms, Term{Var: i, Coef: 0.5 + rng.Float64()})
+				}
+			}
+			if len(terms) == 0 {
+				terms = []Term{{Var: rng.Intn(n), Coef: 1}}
+			}
+			if err := p.AddConstraint(terms, GE, rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("solve error: %v", err)
+		}
+		switch sol.Status {
+		case Optimal:
+			ok, err := p.CheckFeasible(sol.X, 1e-5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("optimal point violates constraints: %v", sol.X)
+			}
+			obj, err := p.Objective(sol.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(obj-sol.Objective) > 1e-6*math.Max(1, math.Abs(obj)) {
+				t.Fatalf("objective mismatch: %v vs %v", obj, sol.Objective)
+			}
+		case Infeasible:
+			// Possible when a demand exceeds the sum of upper bounds.
+		default:
+			t.Fatalf("unexpected status %v for bounded covering LP", sol.Status)
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c.x
+//	subject to  a_k.x (<=|=|>=) b_k      for each constraint k
+//	            0 <= x_i <= ub_i         (ub optional, +Inf by default)
+//
+// It substitutes for the LP path of Gurobi 5.0 used by the paper: the
+// power-minimization "LPQC" (eqs. 3.6-3.9) becomes a pure LP once the
+// coverage assignment is fixed, and the branch-and-bound MILP solver in
+// sagrelay/internal/milp solves its node relaxations here.
+//
+// The implementation favours robustness over speed: Bland's rule is used
+// for pivot selection (no cycling), all arithmetic is dense float64, and
+// solves are bounded by an iteration budget. Problem sizes in this
+// repository are at most a few hundred variables and constraints per zone,
+// well within dense-simplex territory.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators. (Enums start at 1 so the zero value is invalid.)
+const (
+	LE Op = iota + 1 // a.x <= b
+	GE               // a.x >= b
+	EQ               // a.x == b
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes. (Enums start at 1 so the zero value is invalid.)
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Term is one coefficient of a constraint row: Coef * x[Var].
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+type constraint struct {
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; call NewProblem.
+type Problem struct {
+	obj    []float64 // objective coefficient per variable
+	ub     []float64 // upper bound per variable (+Inf when absent)
+	names  []string
+	cons   []constraint
+	maxIts int
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem {
+	return &Problem{maxIts: 0}
+}
+
+// SetMaxIterations caps simplex pivots per phase; 0 means the default
+// (50000 + 50*(m+n)). ErrIterationLimit is returned when exceeded.
+func (p *Problem) SetMaxIterations(n int) { p.maxIts = n }
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddVariable adds a variable x >= 0 with the given objective coefficient
+// and returns its index. name is for diagnostics only.
+func (p *Problem) AddVariable(name string, obj float64) int {
+	p.obj = append(p.obj, obj)
+	p.ub = append(p.ub, math.Inf(1))
+	p.names = append(p.names, name)
+	return len(p.obj) - 1
+}
+
+// SetObjective replaces the objective coefficient of variable i.
+func (p *Problem) SetObjective(i int, obj float64) error {
+	if i < 0 || i >= len(p.obj) {
+		return fmt.Errorf("lp: variable %d out of range", i)
+	}
+	p.obj[i] = obj
+	return nil
+}
+
+// SetUpperBound sets x_i <= ub (ub must be >= 0; +Inf clears the bound).
+func (p *Problem) SetUpperBound(i int, ub float64) error {
+	if i < 0 || i >= len(p.ub) {
+		return fmt.Errorf("lp: variable %d out of range", i)
+	}
+	if ub < 0 {
+		return fmt.Errorf("lp: negative upper bound %v for variable %d", ub, i)
+	}
+	p.ub[i] = ub
+	return nil
+}
+
+// UpperBound returns the current upper bound of variable i (+Inf if unset).
+func (p *Problem) UpperBound(i int) float64 {
+	if i < 0 || i >= len(p.ub) {
+		return math.Inf(1)
+	}
+	return p.ub[i]
+}
+
+// AddConstraint appends the constraint sum(terms) op rhs. Terms referencing
+// the same variable are summed. Unknown variable indices are an error.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) error {
+	if op != LE && op != GE && op != EQ {
+		return fmt.Errorf("lp: invalid operator %v", op)
+	}
+	merged := make(map[int]float64, len(terms))
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.obj) {
+			return fmt.Errorf("lp: constraint references unknown variable %d", t.Var)
+		}
+		merged[t.Var] += t.Coef
+	}
+	row := make([]Term, 0, len(merged))
+	for v, c := range merged {
+		if c != 0 {
+			row = append(row, Term{Var: v, Coef: c})
+		}
+	}
+	p.cons = append(p.cons, constraint{terms: row, op: op, rhs: rhs})
+	return nil
+}
+
+// CheckFeasible evaluates every constraint and variable bound at the point
+// x (length must match the variable count), with absolute tolerance tol on
+// each row. It lets callers — notably branch-and-bound primal heuristics —
+// test candidate integer points without a solve.
+func (p *Problem) CheckFeasible(x []float64, tol float64) (bool, error) {
+	if len(x) != len(p.obj) {
+		return false, fmt.Errorf("lp: point has %d entries for %d variables", len(x), len(p.obj))
+	}
+	for i, xi := range x {
+		if xi < -tol || xi > p.ub[i]+tol {
+			return false, nil
+		}
+	}
+	for _, c := range p.cons {
+		lhs := 0.0
+		for _, t := range c.terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch c.op {
+		case LE:
+			if lhs > c.rhs+tol {
+				return false, nil
+			}
+		case GE:
+			if lhs < c.rhs-tol {
+				return false, nil
+			}
+		case EQ:
+			if math.Abs(lhs-c.rhs) > tol {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Objective evaluates the objective c.x at the point x.
+func (p *Problem) Objective(x []float64) (float64, error) {
+	if len(x) != len(p.obj) {
+		return 0, fmt.Errorf("lp: point has %d entries for %d variables", len(x), len(p.obj))
+	}
+	obj := 0.0
+	for i, c := range p.obj {
+		obj += c * x[i]
+	}
+	return obj, nil
+}
+
+// Clone returns a deep copy of the problem. Branch-and-bound uses clones to
+// explore subproblems with tightened bounds without disturbing the base
+// relaxation.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		obj:    append([]float64(nil), p.obj...),
+		ub:     append([]float64(nil), p.ub...),
+		names:  append([]string(nil), p.names...),
+		cons:   make([]constraint, len(p.cons)),
+		maxIts: p.maxIts,
+	}
+	for i, con := range p.cons {
+		c.cons[i] = constraint{
+			terms: append([]Term(nil), con.terms...),
+			op:    con.op,
+			rhs:   con.rhs,
+		}
+	}
+	return c
+}
+
+// Solution is the result of a successful Solve with Status Optimal, or a
+// diagnosis (Infeasible/Unbounded) with zeroed values.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Iterations is the total number of simplex pivots across both phases.
+	Iterations int
+}
+
+// ErrIterationLimit is returned when the pivot budget is exhausted; it
+// indicates a degenerate or adversarial instance rather than a model error.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+// Solve runs two-phase simplex and returns the solution. Infeasible and
+// unbounded problems are reported through Solution.Status with a nil error;
+// the error return is reserved for resource exhaustion and internal faults.
+func (p *Problem) Solve() (*Solution, error) {
+	t, err := newTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	return t.solve()
+}

@@ -1,0 +1,332 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// pivotEps is the tolerance below which a coefficient is treated as zero
+// during pivot selection and ratio tests.
+const pivotEps = 1e-9
+
+// feasEps is the tolerance for phase-1 feasibility (artificial residual).
+const feasEps = 1e-7
+
+// blandSwitch is the pivot count after which the solver abandons Dantzig's
+// most-negative rule for Bland's anti-cycling rule.
+const blandSwitch = 2000
+
+// tableau is a dense simplex tableau in canonical form. Columns are laid
+// out [structural | slack/surplus | artificial]; the last entry of each row
+// is the right-hand side.
+type tableau struct {
+	nStruct  int // structural variables
+	nCols    int // total variable columns
+	artStart int // index of the first artificial column
+	rows     [][]float64
+	basis    []int
+	objRow   []float64 // reduced-cost row, len nCols+1; last entry is -z
+	origObj  []float64 // structural objective, installed in phase 2
+	maxIts   int
+	its      int
+}
+
+// newTableau builds the phase-ready tableau from a Problem: finite upper
+// bounds become explicit <= rows, right-hand sides are normalized to be
+// non-negative, LE rows get slacks, GE rows surplus+artificial, EQ rows
+// artificial.
+func newTableau(p *Problem) (*tableau, error) {
+	type row struct {
+		coefs []float64
+		op    Op
+		rhs   float64
+	}
+	n := len(p.obj)
+	rows := make([]row, 0, len(p.cons)+n)
+	for _, c := range p.cons {
+		r := row{coefs: make([]float64, n), op: c.op, rhs: c.rhs}
+		for _, t := range c.terms {
+			r.coefs[t.Var] += t.Coef
+		}
+		rows = append(rows, r)
+	}
+	for i, ub := range p.ub {
+		if !math.IsInf(ub, 1) {
+			r := row{coefs: make([]float64, n), op: LE, rhs: ub}
+			r.coefs[i] = 1
+			rows = append(rows, r)
+		}
+	}
+	// Normalize: rhs >= 0.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			rows[i].rhs = -rows[i].rhs
+			for j := range rows[i].coefs {
+				rows[i].coefs[j] = -rows[i].coefs[j]
+			}
+			switch rows[i].op {
+			case LE:
+				rows[i].op = GE
+			case GE:
+				rows[i].op = LE
+			case EQ:
+				// unchanged
+			}
+		}
+	}
+	m := len(rows)
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		switch r.op {
+		case LE, GE:
+			nSlack++
+		}
+		switch r.op {
+		case GE, EQ:
+			nArt++
+		}
+	}
+	t := &tableau{
+		nStruct:  n,
+		nCols:    n + nSlack + nArt,
+		artStart: n + nSlack,
+		rows:     make([][]float64, m),
+		basis:    make([]int, m),
+		maxIts:   p.maxIts,
+	}
+	if t.maxIts <= 0 {
+		t.maxIts = 50000 + 50*(m+n)
+	}
+	slackCol := n
+	artCol := t.artStart
+	for i, r := range rows {
+		t.rows[i] = make([]float64, t.nCols+1)
+		copy(t.rows[i], r.coefs)
+		t.rows[i][t.nCols] = r.rhs
+		switch r.op {
+		case LE:
+			t.rows[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.rows[i][slackCol] = -1
+			slackCol++
+			t.rows[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.rows[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		default:
+			return nil, fmt.Errorf("lp: internal: invalid op %v", r.op)
+		}
+	}
+	t.objRow = make([]float64, t.nCols+1)
+	// Phase-2 costs are installed after phase 1 completes.
+	t.origObj = make([]float64, n)
+	copy(t.origObj, p.obj)
+	return t, nil
+}
+
+func (t *tableau) pivot(r, c int) {
+	pr := t.rows[r]
+	pv := pr[c]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[c] = 1 // fight rounding
+	for i := range t.rows {
+		if i == r {
+			continue
+		}
+		f := t.rows[i][c]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[c] = 0
+	}
+	f := t.objRow[c]
+	if f != 0 {
+		for j := range t.objRow {
+			t.objRow[j] -= f * pr[j]
+		}
+		t.objRow[c] = 0
+	}
+	t.basis[r] = c
+	t.its++
+}
+
+// chooseEntering returns the entering column or -1 at optimality. allowed
+// limits the candidate columns (nil means all). Dantzig's rule is used
+// until blandSwitch pivots, then Bland's rule.
+func (t *tableau) chooseEntering(limit int) int {
+	if t.its >= blandSwitch {
+		for j := 0; j < limit; j++ {
+			if t.objRow[j] < -pivotEps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -pivotEps
+	for j := 0; j < limit; j++ {
+		if t.objRow[j] < bestVal {
+			best, bestVal = j, t.objRow[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the ratio test on column c, returning the row or -1
+// when the column is unbounded below.
+func (t *tableau) chooseLeaving(c int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i, r := range t.rows {
+		a := r[c]
+		if a <= pivotEps {
+			continue
+		}
+		ratio := r[t.nCols] / a
+		if ratio < bestRatio-pivotEps ||
+			(ratio < bestRatio+pivotEps && (bestRow == -1 || t.basis[i] < t.basis[bestRow])) {
+			bestRow, bestRatio = i, ratio
+		}
+	}
+	return bestRow
+}
+
+// iterate runs simplex to optimality over the first limit columns.
+func (t *tableau) iterate(limit int) (Status, error) {
+	for {
+		if t.its > t.maxIts {
+			return 0, ErrIterationLimit
+		}
+		c := t.chooseEntering(limit)
+		if c < 0 {
+			return Optimal, nil
+		}
+		r := t.chooseLeaving(c)
+		if r < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(r, c)
+	}
+}
+
+// installPhase1 sets the reduced-cost row for minimizing the sum of
+// artificial variables given the initial basis.
+func (t *tableau) installPhase1() {
+	for j := range t.objRow {
+		t.objRow[j] = 0
+	}
+	for j := t.artStart; j < t.nCols; j++ {
+		t.objRow[j] = 1
+	}
+	// Price out the basic artificial columns.
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			for j := range t.objRow {
+				t.objRow[j] -= t.rows[i][j]
+			}
+		}
+	}
+}
+
+// installPhase2 sets the reduced-cost row for the original objective given
+// the current basis, with artificial columns frozen out.
+func (t *tableau) installPhase2() {
+	for j := range t.objRow {
+		t.objRow[j] = 0
+	}
+	for j, c := range t.origObj {
+		t.objRow[j] = c
+	}
+	for i, b := range t.basis {
+		if b < len(t.origObj) && t.origObj[b] != 0 {
+			f := t.origObj[b]
+			for j := range t.objRow {
+				t.objRow[j] -= f * t.rows[i][j]
+			}
+			t.objRow[b] = 0
+		}
+	}
+	// Never re-enter artificials.
+	for j := t.artStart; j < t.nCols; j++ {
+		t.objRow[j] = math.Inf(1)
+	}
+}
+
+// driveOutArtificials pivots basic artificial variables out of the basis
+// after phase 1. Rows that cannot pivot (all-zero structural part) are
+// redundant and are blanked.
+func (t *tableau) driveOutArtificials() {
+	for i, b := range t.basis {
+		if b < t.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > pivotEps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so it never constrains anything.
+			for j := range t.rows[i] {
+				t.rows[i][j] = 0
+			}
+		}
+	}
+}
+
+func (t *tableau) solve() (*Solution, error) {
+	hasArt := t.artStart < t.nCols
+	if hasArt {
+		t.installPhase1()
+		st, err := t.iterate(t.nCols)
+		if err != nil {
+			return nil, err
+		}
+		if st == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded here means
+			// numerical trouble.
+			return nil, fmt.Errorf("lp: internal: phase-1 unbounded")
+		}
+		if -t.objRow[t.nCols] > feasEps {
+			return &Solution{Status: Infeasible, Iterations: t.its}, nil
+		}
+		t.driveOutArtificials()
+	}
+	t.installPhase2()
+	st, err := t.iterate(t.artStart)
+	if err != nil {
+		return nil, err
+	}
+	if st == Unbounded {
+		return &Solution{Status: Unbounded, Iterations: t.its}, nil
+	}
+	x := make([]float64, t.nStruct)
+	for i, b := range t.basis {
+		if b < t.nStruct {
+			x[b] = t.rows[i][t.nCols]
+			if x[b] < 0 && x[b] > -feasEps {
+				x[b] = 0
+			}
+		}
+	}
+	obj := 0.0
+	for j, c := range t.origObj {
+		obj += c * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: t.its}, nil
+}

@@ -1,0 +1,452 @@
+// Package milp implements a branch-and-bound mixed-integer linear
+// programming solver over the simplex relaxations of sagrelay/internal/lp.
+//
+// Together with the big-M linearization in sagrelay/internal/lower, this is
+// the substitute for Gurobi 5.0's integer path: the paper's ILPQC coverage
+// formulation (eqs. 3.1-3.5) has binary placement/assignment variables and a
+// quadratic SNR constraint whose products of binaries linearize exactly, so
+// the solved model is identical — only wall-clock behaviour differs, and the
+// paper reports that behaviour (exponential growth; Figs. 4b, 5b) rather
+// than relying on it.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sagrelay/internal/lp"
+)
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes. (Enums start at 1 so the zero value is invalid.)
+const (
+	// Optimal means the search proved the incumbent optimal.
+	Optimal Status = iota + 1
+	// Feasible means a limit stopped the search with an incumbent in hand.
+	Feasible
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// Unbounded means the relaxation is unbounded below.
+	Unbounded
+	// Limit means a limit stopped the search before any incumbent was found.
+	Limit
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// NodeOrder selects the search-tree exploration strategy.
+type NodeOrder int
+
+// Node orders. (Enums start at 1 so the zero value selects the default.)
+const (
+	// OrderDFS explores depth-first (default): low memory, finds integer
+	// incumbents fast on covering models.
+	OrderDFS NodeOrder = iota + 1
+	// OrderBestBound always expands the node with the smallest parent
+	// bound: fewer nodes to prove optimality, more memory.
+	OrderBestBound
+)
+
+// BranchRule selects the fractional variable to branch on.
+type BranchRule int
+
+// Branch rules. (Enums start at 1 so the zero value selects the default.)
+const (
+	// BranchMostFractional picks the variable farthest from integrality
+	// (default).
+	BranchMostFractional BranchRule = iota + 1
+	// BranchFirstFractional picks the lowest-index fractional variable
+	// (Bland-style; cheap, often deeper trees).
+	BranchFirstFractional
+)
+
+// Options tune the branch-and-bound search. The zero value gives sensible
+// defaults via (Options).withDefaults.
+type Options struct {
+	// MaxNodes caps explored nodes (0 = default 200000).
+	MaxNodes int
+	// TimeLimit caps wall-clock search time (0 = none).
+	TimeLimit time.Duration
+	// IntTol is the integrality tolerance (0 = 1e-6).
+	IntTol float64
+	// Incumbent, when non-nil, warm-starts the search with a known
+	// integer-feasible point (e.g. from a greedy heuristic); its objective
+	// prunes the tree from the first node.
+	Incumbent []float64
+	// IncumbentObj is the objective of Incumbent.
+	IncumbentObj float64
+	// Order selects the node exploration strategy (0 = OrderDFS).
+	Order NodeOrder
+	// Branch selects the branching rule (0 = BranchMostFractional).
+	Branch BranchRule
+	// DisableRounding turns off the rounding primal heuristic that tries
+	// to convert each fractional node relaxation into an incumbent.
+	DisableRounding bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol <= 0 {
+		o.IntTol = 1e-6
+	}
+	if o.Order == 0 {
+		o.Order = OrderDFS
+	}
+	if o.Branch == 0 {
+		o.Branch = BranchMostFractional
+	}
+	return o
+}
+
+// Result is the outcome of a MILP solve.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Bound is the best proven lower bound on the optimum (minimization).
+	Bound float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Gap returns the relative optimality gap |obj-bound|/max(1,|obj|), or 0
+// when the result is proven optimal.
+func (r *Result) Gap() float64 {
+	if r.Status == Optimal {
+		return 0
+	}
+	return math.Abs(r.Objective-r.Bound) / math.Max(1, math.Abs(r.Objective))
+}
+
+// ErrNoIntegers reports a Solve call with no integer variables; use the lp
+// package directly for pure LPs.
+var ErrNoIntegers = errors.New("milp: no integer variables marked")
+
+type node struct {
+	lower map[int]float64 // variable -> tightened lower bound
+	upper map[int]float64 // variable -> tightened upper bound
+	bound float64         // parent LP objective (lower bound for the subtree)
+}
+
+// Solve minimizes the problem with the variables marked in isInt restricted
+// to integer values. The base problem is not modified. Infeasible and
+// unbounded models are reported via Result.Status with a nil error.
+func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
+	if base == nil {
+		return nil, errors.New("milp: nil problem")
+	}
+	if len(isInt) != base.NumVariables() {
+		return nil, fmt.Errorf("milp: isInt length %d != %d variables", len(isInt), base.NumVariables())
+	}
+	anyInt := false
+	for _, b := range isInt {
+		if b {
+			anyInt = true
+			break
+		}
+	}
+	if !anyInt {
+		return nil, ErrNoIntegers
+	}
+	opts = opts.withDefaults()
+
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	res := &Result{Status: Limit, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	if opts.Incumbent != nil {
+		res.X = append([]float64(nil), opts.Incumbent...)
+		res.Objective = opts.IncumbentObj
+		res.Status = Feasible
+	}
+
+	front := newFrontier(opts.Order)
+	front.push(node{lower: nil, upper: nil, bound: math.Inf(-1)})
+	rootSolved := false
+
+	for front.len() > 0 {
+		if res.Nodes >= opts.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		nd, _ := front.pop()
+		if nd.bound >= res.Objective-1e-9 {
+			continue // parent bound already dominated
+		}
+		res.Nodes++
+
+		sub := base.Clone()
+		if err := applyBounds(sub, nd); err != nil {
+			return nil, err
+		}
+		sol, err := sub.Solve()
+		if err != nil {
+			if errors.Is(err, lp.ErrIterationLimit) {
+				// Treat a stalled relaxation as unexplorable; skip the node.
+				continue
+			}
+			return nil, fmt.Errorf("milp: node relaxation: %w", err)
+		}
+		if !rootSolved {
+			rootSolved = true
+			switch sol.Status {
+			case lp.Infeasible:
+				if res.X == nil {
+					res.Status = Infeasible
+					return res, nil
+				}
+			case lp.Unbounded:
+				res.Status = Unbounded
+				return res, nil
+			case lp.Optimal:
+				res.Bound = sol.Objective
+			}
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible subtree
+		}
+		if sol.Objective >= res.Objective-1e-9 {
+			continue // bound prune
+		}
+		branchVar := pickBranch(sol.X, isInt, opts.IntTol, opts.Branch)
+		if branchVar < 0 {
+			// Integer feasible: new incumbent.
+			res.X = append([]float64(nil), sol.X...)
+			res.Objective = sol.Objective
+			res.Status = Feasible
+			continue
+		}
+		if !opts.DisableRounding {
+			if x, obj, ok := tryRounding(base, sol.X, isInt); ok && obj < res.Objective-1e-9 {
+				res.X = x
+				res.Objective = obj
+				res.Status = Feasible
+			}
+		}
+		v := sol.X[branchVar]
+		floorN := nodeWith(nd, branchVar, math.Floor(v), false, sol.Objective)
+		ceilN := nodeWith(nd, branchVar, math.Ceil(v), true, sol.Objective)
+		// Push the floor branch first so DFS pops the ceil ("place it")
+		// branch first — covering models find incumbents faster that way.
+		front.push(floorN)
+		front.push(ceilN)
+	}
+
+	if res.X != nil {
+		// The loop only breaks with nodes still queued; an empty frontier
+		// means the search space was exhausted and the incumbent is optimal.
+		if front.len() == 0 {
+			res.Status = Optimal
+			res.Bound = res.Objective
+		}
+		return res, nil
+	}
+	if front.len() == 0 {
+		res.Status = Infeasible
+	}
+	return res, nil
+}
+
+// tryRounding attempts to convert a fractional relaxation point into an
+// integer-feasible incumbent: first nearest-integer rounding, then
+// rounding every fractional integer variable up (the natural repair for
+// covering constraints). Continuous variables are kept as-is.
+func tryRounding(base *lp.Problem, x []float64, isInt []bool) ([]float64, float64, bool) {
+	candidates := [2][]float64{}
+	nearest := append([]float64(nil), x...)
+	up := append([]float64(nil), x...)
+	for i, xi := range x {
+		if !isInt[i] {
+			continue
+		}
+		nearest[i] = math.Round(xi)
+		up[i] = math.Ceil(xi)
+	}
+	candidates[0] = nearest
+	candidates[1] = up
+	for _, cand := range candidates {
+		ok, err := base.CheckFeasible(cand, 1e-6)
+		if err != nil || !ok {
+			continue
+		}
+		obj, err := base.Objective(cand)
+		if err != nil {
+			continue
+		}
+		return cand, obj, true
+	}
+	return nil, 0, false
+}
+
+// frontier abstracts the open-node container.
+type frontier interface {
+	push(node)
+	pop() (node, bool)
+	len() int
+}
+
+func newFrontier(order NodeOrder) frontier {
+	if order == OrderBestBound {
+		return &boundHeap{}
+	}
+	return &dfsStack{}
+}
+
+// dfsStack is a LIFO frontier.
+type dfsStack struct{ nodes []node }
+
+func (s *dfsStack) push(n node) { s.nodes = append(s.nodes, n) }
+
+func (s *dfsStack) pop() (node, bool) {
+	if len(s.nodes) == 0 {
+		return node{}, false
+	}
+	n := s.nodes[len(s.nodes)-1]
+	s.nodes = s.nodes[:len(s.nodes)-1]
+	return n, true
+}
+
+func (s *dfsStack) len() int { return len(s.nodes) }
+
+// boundHeap is a min-heap on node bounds.
+type boundHeap struct{ nodes []node }
+
+func (h *boundHeap) push(n node) {
+	h.nodes = append(h.nodes, n)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.nodes[parent].bound <= h.nodes[i].bound {
+			break
+		}
+		h.nodes[parent], h.nodes[i] = h.nodes[i], h.nodes[parent]
+		i = parent
+	}
+}
+
+func (h *boundHeap) pop() (node, bool) {
+	if len(h.nodes) == 0 {
+		return node{}, false
+	}
+	top := h.nodes[0]
+	last := len(h.nodes) - 1
+	h.nodes[0] = h.nodes[last]
+	h.nodes = h.nodes[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.nodes) && h.nodes[l].bound < h.nodes[smallest].bound {
+			smallest = l
+		}
+		if r < len(h.nodes) && h.nodes[r].bound < h.nodes[smallest].bound {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.nodes[i], h.nodes[smallest] = h.nodes[smallest], h.nodes[i]
+		i = smallest
+	}
+	return top, true
+}
+
+func (h *boundHeap) len() int { return len(h.nodes) }
+
+// applyBounds installs a node's tightened bounds on the cloned problem.
+func applyBounds(p *lp.Problem, nd node) error {
+	for v, ub := range nd.upper {
+		cur := p.UpperBound(v)
+		if ub < cur {
+			if err := p.SetUpperBound(v, math.Max(ub, 0)); err != nil {
+				return fmt.Errorf("milp: tighten ub: %w", err)
+			}
+		}
+	}
+	for v, lb := range nd.lower {
+		if lb <= 0 {
+			continue // x >= 0 is implicit
+		}
+		if err := p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.GE, lb); err != nil {
+			return fmt.Errorf("milp: tighten lb: %w", err)
+		}
+	}
+	return nil
+}
+
+// pickBranch returns the integer variable to branch on per the rule, or -1
+// when all integer variables are integral within tol.
+func pickBranch(x []float64, isInt []bool, tol float64, rule BranchRule) int {
+	best := -1
+	bestFrac := tol
+	for i, xi := range x {
+		if !isInt[i] {
+			continue
+		}
+		frac := math.Abs(xi - math.Round(xi))
+		if frac <= tol {
+			continue
+		}
+		if rule == BranchFirstFractional {
+			return i
+		}
+		if frac > bestFrac {
+			// Most fractional: distance from nearest integer, maximized.
+			best, bestFrac = i, frac
+		}
+	}
+	return best
+}
+
+// nodeWith derives a child node from parent with one bound tightened.
+func nodeWith(parent node, v int, bound float64, isLower bool, parentObj float64) node {
+	child := node{
+		lower: copyBounds(parent.lower),
+		upper: copyBounds(parent.upper),
+		bound: parentObj,
+	}
+	if isLower {
+		if cur, ok := child.lower[v]; !ok || bound > cur {
+			child.lower[v] = bound
+		}
+	} else {
+		if cur, ok := child.upper[v]; !ok || bound < cur {
+			child.upper[v] = bound
+		}
+	}
+	return child
+}
+
+func copyBounds(m map[int]float64) map[int]float64 {
+	c := make(map[int]float64, len(m)+1)
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

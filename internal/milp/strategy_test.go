@@ -1,0 +1,226 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sagrelay/internal/lp"
+)
+
+// coveringInstance builds a random covering MILP and returns it with its
+// brute-force optimum.
+func coveringInstance(seed int64, n, m int) (*lp.Problem, []bool, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	costs := make([]float64, n)
+	p := lp.NewProblem()
+	isInt := make([]bool, n)
+	for i := range costs {
+		costs[i] = 1 + rng.Float64()*4
+		v := p.AddVariable("t", costs[i])
+		_ = p.SetUpperBound(v, 1)
+		isInt[i] = true
+	}
+	rowsets := make([][]int, m)
+	for k := 0; k < m; k++ {
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				rowsets[k] = append(rowsets[k], i)
+			}
+		}
+		if len(rowsets[k]) == 0 {
+			rowsets[k] = []int{rng.Intn(n)}
+		}
+		terms := make([]lp.Term, len(rowsets[k]))
+		for i, v := range rowsets[k] {
+			terms[i] = lp.Term{Var: v, Coef: 1}
+		}
+		_ = p.AddConstraint(terms, lp.GE, 1)
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, rs := range rowsets {
+			hit := false
+			for _, v := range rs {
+				if mask&(1<<v) != 0 {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		c := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				c += costs[i]
+			}
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return p, isInt, best
+}
+
+// Every strategy combination must find the same optimum.
+func TestStrategiesAgree(t *testing.T) {
+	strategies := []Options{
+		{},
+		{Order: OrderBestBound},
+		{Branch: BranchFirstFractional},
+		{Order: OrderBestBound, Branch: BranchFirstFractional},
+		{DisableRounding: true},
+		{Order: OrderBestBound, DisableRounding: true},
+	}
+	f := func(seed int64) bool {
+		p, isInt, want := coveringInstance(seed, 2+int(uint(seed)%5), 1+int(uint(seed)%7))
+		for _, opts := range strategies {
+			res, err := Solve(p.Clone(), isInt, opts)
+			if err != nil {
+				return false
+			}
+			if math.IsInf(want, 1) {
+				if res.Status != Infeasible {
+					return false
+				}
+				continue
+			}
+			if res.Status != Optimal || math.Abs(res.Objective-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The rounding heuristic must never degrade results and usually saves
+// nodes on pure covering models (where round-up is always feasible).
+func TestRoundingSavesNodesOnCovering(t *testing.T) {
+	p, isInt, want := coveringInstance(7, 12, 18)
+	with, err := Solve(p.Clone(), isInt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Solve(p.Clone(), isInt, Options{DisableRounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Status != Optimal || without.Status != Optimal {
+		t.Fatalf("status: %v / %v", with.Status, without.Status)
+	}
+	if math.Abs(with.Objective-want) > 1e-6 || math.Abs(without.Objective-want) > 1e-6 {
+		t.Errorf("objectives %v / %v, want %v", with.Objective, without.Objective, want)
+	}
+	if with.Nodes > without.Nodes {
+		t.Logf("note: rounding used more nodes (%d vs %d) on this instance", with.Nodes, without.Nodes)
+	}
+}
+
+func TestBestBoundProvesOptimalityEarly(t *testing.T) {
+	// On instances with a tight LP relaxation, best-bound should not need
+	// dramatically more nodes than DFS; sanity-check both terminate with
+	// identical objectives.
+	p, isInt, want := coveringInstance(11, 10, 14)
+	dfs, err := Solve(p.Clone(), isInt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Solve(p.Clone(), isInt, Options{Order: OrderBestBound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dfs.Objective-bb.Objective) > 1e-6 || math.Abs(dfs.Objective-want) > 1e-6 {
+		t.Errorf("objectives differ: dfs %v, best-bound %v, want %v", dfs.Objective, bb.Objective, want)
+	}
+}
+
+func TestBoundHeapOrdering(t *testing.T) {
+	h := &boundHeap{}
+	for _, b := range []float64{5, 1, 3, 2, 4} {
+		h.push(node{bound: b})
+	}
+	prev := math.Inf(-1)
+	for h.len() > 0 {
+		n, ok := h.pop()
+		if !ok {
+			t.Fatal("pop failed with items left")
+		}
+		if n.bound < prev {
+			t.Fatalf("heap emitted %v after %v", n.bound, prev)
+		}
+		prev = n.bound
+	}
+	if _, ok := h.pop(); ok {
+		t.Error("pop on empty heap succeeded")
+	}
+}
+
+func TestDfsStackOrdering(t *testing.T) {
+	s := &dfsStack{}
+	s.push(node{bound: 1})
+	s.push(node{bound: 2})
+	if n, ok := s.pop(); !ok || n.bound != 2 {
+		t.Error("stack not LIFO")
+	}
+	if s.len() != 1 {
+		t.Error("len wrong")
+	}
+	if _, ok := (&dfsStack{}).pop(); ok {
+		t.Error("pop on empty stack succeeded")
+	}
+}
+
+func TestPickBranchRules(t *testing.T) {
+	x := []float64{0.1, 0.5, 0.9}
+	isInt := []bool{true, true, true}
+	if got := pickBranch(x, isInt, 1e-6, BranchMostFractional); got != 1 {
+		t.Errorf("most-fractional picked %d, want 1", got)
+	}
+	if got := pickBranch(x, isInt, 1e-6, BranchFirstFractional); got != 0 {
+		t.Errorf("first-fractional picked %d, want 0", got)
+	}
+	if got := pickBranch([]float64{1, 0, 2}, isInt, 1e-6, BranchMostFractional); got != -1 {
+		t.Errorf("integral point picked %d", got)
+	}
+}
+
+func TestTryRounding(t *testing.T) {
+	// min x0+x1 s.t. x0+x1 >= 1, binaries. Fractional point (0.5, 0.5):
+	// nearest rounds to (1,1) (0.5 rounds up), feasible with obj 2 — any
+	// feasible rounding is acceptable as an incumbent seed.
+	p := lp.NewProblem()
+	a := p.AddVariable("a", 1)
+	b := p.AddVariable("b", 1)
+	_ = p.SetUpperBound(a, 1)
+	_ = p.SetUpperBound(b, 1)
+	_ = p.AddConstraint([]lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}}, lp.GE, 1)
+	x, obj, ok := tryRounding(p, []float64{0.5, 0.5}, []bool{true, true})
+	if !ok {
+		t.Fatal("rounding failed on a trivially roundable point")
+	}
+	if feasible, _ := p.CheckFeasible(x, 1e-9); !feasible {
+		t.Error("rounded point infeasible")
+	}
+	if obj < 1-1e-9 {
+		t.Errorf("objective %v below LP bound", obj)
+	}
+	// An unroundable point: equality constraint x0 == 0.5.
+	p2 := lp.NewProblem()
+	c := p2.AddVariable("c", 1)
+	_ = p2.SetUpperBound(c, 1)
+	_ = p2.AddConstraint([]lp.Term{{Var: c, Coef: 1}}, lp.EQ, 0.5)
+	if _, _, ok := tryRounding(p2, []float64{0.5}, []bool{true}); ok {
+		t.Error("rounding claimed success on an integer-infeasible model")
+	}
+}

@@ -1,0 +1,22 @@
+// Package radio implements the physical-layer model of the paper:
+// the two-ray ground path-loss model (eq. 2.1), Shannon link capacity,
+// dB conversions, and the interference-style SNR of Definition 2
+// ("SNR" in the paper is signal over the sum of the other relays'
+// received powers — an SIR; thermal noise enters only through the
+// capacity-to-distance transformation and the Zone-Partition radius).
+package radio
+
+import "math"
+
+// DBToLinear converts a power ratio in decibels to a linear ratio.
+// Example: -15 dB -> 10^(-1.5) ~= 0.0316.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear power ratio to decibels. Non-positive
+// ratios map to -Inf, matching the mathematical limit.
+func LinearToDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}

@@ -1,0 +1,326 @@
+package radio
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDBConversions(t *testing.T) {
+	tests := []struct {
+		db     float64
+		linear float64
+	}{
+		{0, 1},
+		{10, 10},
+		{-10, 0.1},
+		{-15, 0.0316227766},
+		{3, 1.99526231},
+	}
+	for _, tt := range tests {
+		if got := DBToLinear(tt.db); !almost(got, tt.linear, 1e-6) {
+			t.Errorf("DBToLinear(%v) = %v, want %v", tt.db, got, tt.linear)
+		}
+		if got := LinearToDB(tt.linear); !almost(got, tt.db, 1e-6) {
+			t.Errorf("LinearToDB(%v) = %v, want %v", tt.linear, got, tt.db)
+		}
+	}
+	if got := LinearToDB(0); !math.IsInf(got, -1) {
+		t.Errorf("LinearToDB(0) = %v, want -Inf", got)
+	}
+	if got := LinearToDB(-1); !math.IsInf(got, -1) {
+		t.Errorf("LinearToDB(-1) = %v, want -Inf", got)
+	}
+}
+
+// Property: dB conversions are mutually inverse on sane ranges.
+func TestDBRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		db := math.Mod(raw, 200) // [-200, 200] dB is beyond any physical range
+		return almost(LinearToDB(DBToLinear(db)), db, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	good := DefaultModel()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	bad := []Model{
+		{Gt: 0, Gr: 1, Ht: 1, Hr: 1, Alpha: 3, MinDist: 1},
+		{Gt: 1, Gr: 1, Ht: -1, Hr: 1, Alpha: 3, MinDist: 1},
+		{Gt: 1, Gr: 1, Ht: 1, Hr: 1, Alpha: 0.5, MinDist: 1},
+		{Gt: 1, Gr: 1, Ht: 1, Hr: 1, Alpha: 3, MinDist: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d validated", i)
+		}
+	}
+}
+
+func TestTwoRayEquation(t *testing.T) {
+	// Hand-check eq. (2.1): Pr = Pt*Gt*Gr*ht^2*hr^2*d^-alpha.
+	m := Model{Gt: 2, Gr: 3, Ht: 2, Hr: 1, Alpha: 2, MinDist: 1}
+	// G = 2*3*4*1 = 24; at d=10, gain = 24/100.
+	if got := m.G(); got != 24 {
+		t.Fatalf("G = %v, want 24", got)
+	}
+	if got := m.ReceivedPower(50, 10); !almost(got, 50*0.24, 1e-12) {
+		t.Errorf("ReceivedPower = %v, want 12", got)
+	}
+}
+
+func TestNearFieldClamp(t *testing.T) {
+	m := DefaultModel()
+	atClamp := m.ReceivedPower(10, m.MinDist)
+	closer := m.ReceivedPower(10, m.MinDist/100)
+	if closer != atClamp {
+		t.Errorf("near-field power %v != clamp power %v", closer, atClamp)
+	}
+}
+
+func TestDistanceForPower(t *testing.T) {
+	m := DefaultModel() // G=1, alpha=3
+	d, err := m.DistanceForPower(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d, 10, 1e-9) { // 1000 * d^-3 = 1 => d = 10
+		t.Errorf("DistanceForPower = %v, want 10", d)
+	}
+	// Round trip with PowerForDistance.
+	if got := m.PowerForDistance(d, 1); !almost(got, 1000, 1e-6) {
+		t.Errorf("PowerForDistance = %v, want 1000", got)
+	}
+	if _, err := m.DistanceForPower(0, 1); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("zero power should be unreachable, got %v", err)
+	}
+	if d, err := m.DistanceForPower(5, 0); err != nil || !math.IsInf(d, 1) {
+		t.Errorf("zero demand should be infinite range, got %v, %v", d, err)
+	}
+}
+
+// Property: received power is monotonically non-increasing in distance and
+// DistanceForPower is consistent with ReceivedPower.
+func TestPathLossMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(rawD1, rawD2, rawP float64) bool {
+		clamp := func(v, lo, hi float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return lo
+			}
+			return lo + math.Mod(math.Abs(v), hi-lo)
+		}
+		d1 := clamp(rawD1, 0.1, 1000)
+		d2 := clamp(rawD2, 0.1, 1000)
+		p := clamp(rawP, 0.1, 1e6)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		if m.ReceivedPower(p, d1) < m.ReceivedPower(p, d2)-1e-12 {
+			return false
+		}
+		d, err := m.DistanceForPower(p, m.ReceivedPower(p, d2))
+		if err != nil {
+			return false
+		}
+		// At the returned distance the demand is met (within tolerance).
+		return d+1e-9 >= math.Max(d2, m.MinDist) || almost(d, math.Max(d2, m.MinDist), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacityAndInverse(t *testing.T) {
+	// C = B log2(1+SNR): 10 MHz at SNR 3 -> 20 Mbps.
+	if got := Capacity(10, 3); !almost(got, 20, 1e-9) {
+		t.Errorf("Capacity = %v, want 20", got)
+	}
+	if got := Capacity(10, -5); got != 0 {
+		t.Errorf("negative snr capacity = %v, want 0", got)
+	}
+	if got := SNRForRate(20, 10); !almost(got, 3, 1e-9) {
+		t.Errorf("SNRForRate = %v, want 3", got)
+	}
+	if got := SNRForRate(0, 10); got != 0 {
+		t.Errorf("SNRForRate(0) = %v, want 0", got)
+	}
+	if got := SNRForRate(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("SNRForRate with no bandwidth = %v, want +Inf", got)
+	}
+}
+
+func TestFeasibleDistance(t *testing.T) {
+	m := DefaultModel()
+	// rate 1 over bandwidth 1 -> SNR 1 -> need n0 received power.
+	d, err := m.FeasibleDistance(1, 1, 0.001, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(8/0.001, 1.0/3)
+	if !almost(d, want, 1e-9) {
+		t.Errorf("FeasibleDistance = %v, want %v", d, want)
+	}
+	if _, err := m.FeasibleDistance(1, 1, 0, 8); err == nil {
+		t.Error("zero noise should error")
+	}
+	if _, err := m.FeasibleDistance(5, 0, 0.001, 8); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("no bandwidth should be unreachable, got %v", err)
+	}
+}
+
+// Property: higher rate requests imply shorter (or equal) feasible distance,
+// the monotonicity the capacity->distance transformation relies on.
+func TestFeasibleDistanceMonotoneInRate(t *testing.T) {
+	m := DefaultModel()
+	f := func(r1Raw, r2Raw float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return 0.1 + math.Mod(math.Abs(v), 10)
+		}
+		r1, r2 := clamp(r1Raw), clamp(r2Raw)
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		d1, err1 := m.FeasibleDistance(r1, 1, 1e-6, 100)
+		d2, err2 := m.FeasibleDistance(r2, 1, 1e-6, 100)
+		if err1 != nil || err2 != nil {
+			return true // unreachable cases are fine
+		}
+		return d1+1e-9 >= d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIgnorableNoiseDistance(t *testing.T) {
+	m := DefaultModel()
+	d, err := m.IgnorableNoiseDistance(1000, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d, 100, 1e-9) { // 1000 * d^-3 = 0.001 => d = 100
+		t.Errorf("IgnorableNoiseDistance = %v, want 100", d)
+	}
+	if _, err := m.IgnorableNoiseDistance(0, 1); err == nil {
+		t.Error("zero pmax should error")
+	}
+	if _, err := m.IgnorableNoiseDistance(1, 0); err == nil {
+		t.Error("zero nmax should error")
+	}
+}
+
+func TestSIR(t *testing.T) {
+	tests := []struct {
+		name                 string
+		signal, interference float64
+		want                 float64
+	}{
+		{"plain", 10, 2, 5},
+		{"no-interference", 3, 0, math.Inf(1)},
+		{"no-signal-no-interference", 0, 0, 0},
+		{"no-signal", 0, 5, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SIR(tt.signal, tt.interference); got != tt.want {
+				t.Errorf("SIR = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSIRAt(t *testing.T) {
+	m := DefaultModel()
+	sources := []Source{
+		{X: 0, Y: 0, Power: 100},  // serving, 10 away
+		{X: 40, Y: 0, Power: 100}, // interferer, 30 away
+	}
+	// Receiver at (10, 0): signal = 100*10^-3 = 0.1;
+	// interference = 100*30^-3 = 0.0037037.
+	got := m.SIRAt(sources, 0, 10, 0)
+	want := math.Pow(10, -3) / math.Pow(30, -3) // = 27
+	if !almost(got, want, 1e-9) {
+		t.Errorf("SIRAt = %v, want %v", got, want)
+	}
+	if !m.MeetsSIR(sources, 0, 10, 0, DBToLinear(-15)) {
+		t.Error("SIR of ~14.3dB should meet a -15dB threshold")
+	}
+	if m.MeetsSIR(sources, 0, 10, 0, DBToLinear(20)) {
+		t.Error("SIR of ~14.3dB should fail a 20dB threshold")
+	}
+}
+
+func TestSIRAtOutOfRangeServing(t *testing.T) {
+	m := DefaultModel()
+	sources := []Source{{X: 0, Y: 0, Power: 10}}
+	if got := m.SIRAt(sources, -1, 5, 5); got != 0 {
+		t.Errorf("negative serving index: SIR = %v, want 0", got)
+	}
+	if got := m.SIRAt(sources, 3, 5, 5); got != 0 {
+		t.Errorf("out-of-range serving index: SIR = %v, want 0", got)
+	}
+}
+
+func TestInterferenceAt(t *testing.T) {
+	m := DefaultModel()
+	sources := []Source{
+		{X: 0, Y: 0, Power: 1000},
+		{X: 20, Y: 0, Power: 1000},
+	}
+	// At (10, 0) both are 10 away: each contributes 1000/1000 = 1.
+	if got := m.InterferenceAt(sources, -1, 10, 0); !almost(got, 2, 1e-9) {
+		t.Errorf("total interference = %v, want 2", got)
+	}
+	if got := m.InterferenceAt(sources, 0, 10, 0); !almost(got, 1, 1e-9) {
+		t.Errorf("interference excluding 0 = %v, want 1", got)
+	}
+}
+
+// Property: lowering any interferer's power never lowers the served SIR —
+// the monotonicity PRO's power-reduction loop relies on.
+func TestSIRMonotoneInInterferencePower(t *testing.T) {
+	m := DefaultModel()
+	f := func(seedRaw int64) bool {
+		seed := seedRaw
+		if seed < 0 {
+			seed = -seed
+		}
+		// Deterministic pseudo-random layout from the seed.
+		next := func() float64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			v := (seed >> 33) % 1000
+			if v < 0 {
+				v = -v
+			}
+			return float64(v) / 10
+		}
+		sources := []Source{
+			{X: next(), Y: next(), Power: 50 + next()},
+			{X: next(), Y: next(), Power: 50 + next()},
+			{X: next(), Y: next(), Power: 50 + next()},
+		}
+		x, y := next(), next()
+		before := m.SIRAt(sources, 0, x, y)
+		sources[1].Power /= 2
+		after := m.SIRAt(sources, 0, x, y)
+		return after+1e-12 >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

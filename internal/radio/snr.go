@@ -1,0 +1,79 @@
+package radio
+
+import "math"
+
+// SIR computes the paper's Definition 2 SNR at a subscriber: the received
+// power of the serving relay over the sum of the received powers of all
+// other relays. signal is the serving relay's received power; interference
+// is the summed received power of all other relays (excluding the signal).
+//
+// With zero interference the ratio is +Inf, which compares correctly
+// against any finite threshold.
+func SIR(signal, interference float64) float64 {
+	if interference <= 0 {
+		if signal <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return signal / interference
+}
+
+// Receiver is anything with a position that receives relay signals; the
+// evaluation helpers below are expressed over plain coordinates to keep this
+// package free of scenario types.
+type rxPoint struct{ x, y float64 }
+
+// Source is a transmitter contributing signal or interference at a receiver:
+// a relay station with a position and a transmit power.
+type Source struct {
+	X, Y  float64 // position
+	Power float64 // transmit power (linear units)
+}
+
+// ReceivedFrom returns the power received at (x, y) from src under model m.
+func (m Model) ReceivedFrom(src Source, x, y float64) float64 {
+	d := math.Hypot(src.X-x, src.Y-y)
+	return m.ReceivedPower(src.Power, d)
+}
+
+// SIRAt evaluates Definition 2 at receiver position (x, y): the received
+// power from sources[serving] divided by the summed received power from all
+// other sources. serving must index sources; an out-of-range serving index
+// yields 0 (no signal), never a panic, so callers can treat "unassigned" as
+// failing any positive threshold.
+func (m Model) SIRAt(sources []Source, serving int, x, y float64) float64 {
+	if serving < 0 || serving >= len(sources) {
+		return 0
+	}
+	signal := 0.0
+	interference := 0.0
+	for i, s := range sources {
+		p := m.ReceivedFrom(s, x, y)
+		if i == serving {
+			signal = p
+		} else {
+			interference += p
+		}
+	}
+	return SIR(signal, interference)
+}
+
+// InterferenceAt returns the total received power at (x, y) from all sources
+// except the one at index exclude (pass a negative exclude to sum all).
+func (m Model) InterferenceAt(sources []Source, exclude int, x, y float64) float64 {
+	total := 0.0
+	for i, s := range sources {
+		if i == exclude {
+			continue
+		}
+		total += m.ReceivedFrom(s, x, y)
+	}
+	return total
+}
+
+// MeetsSIR reports whether the Definition 2 SNR at (x, y), served by
+// sources[serving], meets the linear threshold beta.
+func (m Model) MeetsSIR(sources []Source, serving int, x, y, beta float64) bool {
+	return m.SIRAt(sources, serving, x, y) >= beta
+}

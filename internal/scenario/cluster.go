@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/radio"
+)
+
+// ClusterConfig generates non-uniform workloads: subscribers concentrated
+// in Gaussian clusters (retail strips, malls, town centres — the paper's
+// motivating deployments) rather than uniformly spread. Clustered fields
+// are where Zone Partition (Alg. 2) produces genuinely independent zones.
+type ClusterConfig struct {
+	// FieldSide is the square field side (centred at the origin).
+	FieldSide float64
+	// NumClusters is the number of Gaussian clusters; cluster centres are
+	// uniform in the inner 80% of the field.
+	NumClusters int
+	// NumSS subscribers are distributed round-robin over the clusters.
+	NumSS int
+	// Spread is the cluster standard deviation; 0 means FieldSide/20.
+	Spread float64
+	// NumBS base stations are placed uniformly.
+	NumBS int
+	// DistMin and DistMax bound distance requirements; zeros mean [30,40].
+	DistMin, DistMax float64
+	// SNRdB, PMax, NMax and Seed mirror GenConfig (zeros take defaults).
+	SNRdB float64
+	PMax  float64
+	NMax  float64
+	Seed  int64
+}
+
+// GenerateClustered builds a clustered scenario.
+func GenerateClustered(cfg ClusterConfig) (*Scenario, error) {
+	if cfg.FieldSide <= 0 {
+		return nil, fmt.Errorf("scenario: field side %v must be positive", cfg.FieldSide)
+	}
+	if cfg.NumClusters <= 0 {
+		return nil, fmt.Errorf("scenario: NumClusters %d must be positive", cfg.NumClusters)
+	}
+	if cfg.NumSS <= 0 || cfg.NumBS <= 0 {
+		return nil, fmt.Errorf("scenario: NumSS=%d and NumBS=%d must be positive", cfg.NumSS, cfg.NumBS)
+	}
+	if cfg.Spread == 0 {
+		cfg.Spread = cfg.FieldSide / 20
+	}
+	if cfg.Spread <= 0 {
+		return nil, fmt.Errorf("scenario: spread %v must be positive", cfg.Spread)
+	}
+	if cfg.DistMin == 0 {
+		cfg.DistMin = DefaultDistMin
+	}
+	if cfg.DistMax == 0 {
+		cfg.DistMax = DefaultDistMax
+	}
+	if cfg.DistMin <= 0 || cfg.DistMax < cfg.DistMin {
+		return nil, fmt.Errorf("scenario: invalid distance range [%v,%v]", cfg.DistMin, cfg.DistMax)
+	}
+	if cfg.SNRdB == 0 {
+		cfg.SNRdB = DefaultSNRdB
+	}
+	if cfg.PMax == 0 {
+		cfg.PMax = DefaultPMax
+	}
+	if cfg.NMax == 0 {
+		cfg.NMax = DefaultNMax
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	field := geom.SquareField(cfg.FieldSide)
+	inner := field.Expand(-cfg.FieldSide * 0.1)
+	centers := make([]geom.Point, cfg.NumClusters)
+	for i := range centers {
+		centers[i] = geom.Pt(
+			inner.Min.X+rng.Float64()*inner.Width(),
+			inner.Min.Y+rng.Float64()*inner.Height(),
+		)
+	}
+	sc := &Scenario{
+		Field:          field,
+		Model:          radio.DefaultModel(),
+		PMax:           cfg.PMax,
+		SNRThresholdDB: cfg.SNRdB,
+		NMax:           cfg.NMax,
+	}
+	for i := 0; i < cfg.NumSS; i++ {
+		c := centers[i%cfg.NumClusters]
+		// Box-Muller Gaussian offset, clamped into the field.
+		u1, u2 := rng.Float64(), rng.Float64()
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		r := cfg.Spread * math.Sqrt(-2*math.Log(u1))
+		pos := field.Clamp(c.Add(geom.Pt(
+			r*math.Cos(2*math.Pi*u2),
+			r*math.Sin(2*math.Pi*u2),
+		)))
+		d := cfg.DistMin + rng.Float64()*(cfg.DistMax-cfg.DistMin)
+		sc.Subscribers = append(sc.Subscribers, Subscriber{
+			ID:         i,
+			Pos:        pos,
+			DistReq:    d,
+			MinRxPower: sc.DeriveMinRxPower(d),
+		})
+	}
+	for i := 0; i < cfg.NumBS; i++ {
+		sc.BaseStations = append(sc.BaseStations, BaseStation{
+			ID: i,
+			Pos: geom.Pt(
+				field.Min.X+rng.Float64()*field.Width(),
+				field.Min.Y+rng.Float64()*field.Height(),
+			),
+		})
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: generated clustered instance invalid: %w", err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/radio"
+)
+
+// Defaults for the evaluation setup of Section IV-A. Power is in abstract
+// linear units; DefaultPMax is calibrated so that plotted power magnitudes
+// land in the paper's ranges (see EXPERIMENTS.md).
+const (
+	// DefaultPMax is the maximum relay transmit power.
+	DefaultPMax = 50.0
+	// DefaultNMax is the ignorable-noise bound; with the default model
+	// (G=1, alpha=3) it yields dmax = (PMax/NMax)^(1/3) ~= 150 units.
+	DefaultNMax = 1.5e-5
+	// DefaultDistMin and DefaultDistMax bound the subscribers' distance
+	// requirements: "randomly distributed in [30,40]" (Section IV-A).
+	DefaultDistMin = 30.0
+	DefaultDistMax = 40.0
+	// DefaultSNRdB is the headline SNR threshold used by most figures.
+	DefaultSNRdB = -15.0
+)
+
+// GenConfig configures the uniform scenario generator of Section IV-A.
+type GenConfig struct {
+	// FieldSide is the playing-field side length (300, 500 or 800 in the
+	// paper); the field is centred at the origin.
+	FieldSide float64
+	// NumSS is the number of subscriber stations, uniformly placed.
+	NumSS int
+	// NumBS is the number of base stations, uniformly placed.
+	NumBS int
+	// DistMin and DistMax bound the per-subscriber distance requirement;
+	// zero values default to [30,40].
+	DistMin, DistMax float64
+	// SNRdB is the SNR threshold; zero defaults to -15 dB. (A literal 0 dB
+	// threshold is outside the paper's parameter space, so zero-as-default
+	// is safe here.)
+	SNRdB float64
+	// PMax is the maximum relay power; zero defaults to DefaultPMax.
+	PMax float64
+	// NMax is the ignorable-noise bound; zero defaults to DefaultNMax.
+	NMax float64
+	// Seed seeds the deterministic generator; runs with equal configs and
+	// seeds produce identical scenarios.
+	Seed int64
+	// Model optionally overrides the radio model; the zero Model selects
+	// radio.DefaultModel().
+	Model radio.Model
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.DistMin == 0 {
+		c.DistMin = DefaultDistMin
+	}
+	if c.DistMax == 0 {
+		c.DistMax = DefaultDistMax
+	}
+	if c.SNRdB == 0 {
+		c.SNRdB = DefaultSNRdB
+	}
+	if c.PMax == 0 {
+		c.PMax = DefaultPMax
+	}
+	if c.NMax == 0 {
+		c.NMax = DefaultNMax
+	}
+	if c.Model == (radio.Model{}) {
+		c.Model = radio.DefaultModel()
+	}
+	return c
+}
+
+// Generate builds a random scenario: NumSS subscribers and NumBS base
+// stations uniformly distributed in the square field, distance requirements
+// uniform in [DistMin, DistMax], shared SNR threshold (Section IV-A).
+func Generate(cfg GenConfig) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	if cfg.FieldSide <= 0 {
+		return nil, fmt.Errorf("scenario: field side %v must be positive", cfg.FieldSide)
+	}
+	if cfg.NumSS <= 0 {
+		return nil, fmt.Errorf("scenario: NumSS %d must be positive", cfg.NumSS)
+	}
+	if cfg.NumBS <= 0 {
+		return nil, fmt.Errorf("scenario: NumBS %d must be positive", cfg.NumBS)
+	}
+	if cfg.DistMin <= 0 || cfg.DistMax < cfg.DistMin {
+		return nil, fmt.Errorf("scenario: invalid distance requirement range [%v,%v]", cfg.DistMin, cfg.DistMax)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	field := geom.SquareField(cfg.FieldSide)
+	uniform := func() geom.Point {
+		return geom.Pt(
+			field.Min.X+rng.Float64()*field.Width(),
+			field.Min.Y+rng.Float64()*field.Height(),
+		)
+	}
+	sc := &Scenario{
+		Field:          field,
+		Model:          cfg.Model,
+		PMax:           cfg.PMax,
+		SNRThresholdDB: cfg.SNRdB,
+		NMax:           cfg.NMax,
+	}
+	sc.Subscribers = make([]Subscriber, cfg.NumSS)
+	for i := range sc.Subscribers {
+		d := cfg.DistMin + rng.Float64()*(cfg.DistMax-cfg.DistMin)
+		sc.Subscribers[i] = Subscriber{
+			ID:         i,
+			Pos:        uniform(),
+			DistReq:    d,
+			MinRxPower: sc.DeriveMinRxPower(d),
+		}
+	}
+	sc.BaseStations = make([]BaseStation, cfg.NumBS)
+	for i := range sc.BaseStations {
+		sc.BaseStations[i] = BaseStation{ID: i, Pos: uniform()}
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: generated instance invalid: %w", err)
+	}
+	return sc, nil
+}

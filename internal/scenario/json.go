@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MarshalJSON-friendly round-trips: Scenario already carries json tags on
+// every field; these helpers add file I/O with validation for the CLI tools.
+
+// Save writes the scenario to path as indented JSON.
+func Save(sc *Scenario, path string) error {
+	if sc == nil {
+		return fmt.Errorf("scenario: cannot save nil scenario")
+	}
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("scenario: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads and validates a scenario from a JSON file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: read %s: %w", path, err)
+	}
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("scenario: parse %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return &sc, nil
+}

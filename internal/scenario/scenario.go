@@ -1,0 +1,167 @@
+// Package scenario models the wireless relay network instances of the
+// paper: static subscriber stations (SS) with distance (capacity) and SNR
+// requirements, base stations (BS), the playing field, and the radio model.
+// It also provides the seeded uniform generator used by the evaluation
+// (Section IV-A) and JSON serialization for the CLI tools.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/radio"
+)
+
+// Subscriber is a static subscriber station (SS): a fixed user with a large
+// traffic demand (the paper's examples: retail stores, gas stations). Its
+// data-rate request has already been transformed into a distance requirement
+// DistReq = d_i per Section II-A; MinRxPower is P_ss^i, the minimum received
+// power that sustains the requested rate.
+type Subscriber struct {
+	ID  int        `json:"id"`
+	Pos geom.Point `json:"pos"`
+	// DistReq is the feasible coverage distance d_i: a relay provides enough
+	// access-link capacity iff it is within DistReq of the subscriber.
+	DistReq float64 `json:"dist_req"`
+	// MinRxPower is P_ss^i, the minimum received power (linear units)
+	// required to sustain the subscriber's data rate.
+	MinRxPower float64 `json:"min_rx_power"`
+}
+
+// Circle returns the subscriber's feasible coverage circle c_i.
+func (s Subscriber) Circle() geom.Circle { return geom.C(s.Pos, s.DistReq) }
+
+// BaseStation is a macro base station; upper-tier relay trees terminate at
+// base stations.
+type BaseStation struct {
+	ID  int        `json:"id"`
+	Pos geom.Point `json:"pos"`
+}
+
+// Tier identifies which tier a placed relay serves.
+type Tier int
+
+// Relay tiers. (Enums start at 1 so the zero value is invalid.)
+const (
+	// TierCoverage relays cover subscribers on the lower tier.
+	TierCoverage Tier = iota + 1
+	// TierConnectivity relays forward traffic between coverage relays and
+	// base stations on the upper tier.
+	TierConnectivity
+)
+
+// String renders the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierCoverage:
+		return "coverage"
+	case TierConnectivity:
+		return "connectivity"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Relay is a placed relay station with its allocated transmit power.
+type Relay struct {
+	ID    int        `json:"id"`
+	Pos   geom.Point `json:"pos"`
+	Power float64    `json:"power"`
+	Tier  Tier       `json:"tier"`
+}
+
+// Scenario is a full problem instance for the SAG problem (Definition 3).
+type Scenario struct {
+	// Field is the playing field; stations are placed inside it.
+	Field geom.Rect `json:"field"`
+	// Subscribers are the SSs to cover.
+	Subscribers []Subscriber `json:"subscribers"`
+	// BaseStations are the BSs terminating upper-tier trees.
+	BaseStations []BaseStation `json:"base_stations"`
+	// Model is the two-ray propagation model.
+	Model radio.Model `json:"model"`
+	// PMax is the maximum relay transmission power (Definition 3 allocates
+	// powers in [0, PMax]).
+	PMax float64 `json:"p_max"`
+	// SNRThresholdDB is beta in dB; every subscriber shares the same
+	// threshold (Section II-A assumption).
+	SNRThresholdDB float64 `json:"snr_threshold_db"`
+	// NMax is the maximum ignorable noise for Zone Partition (Alg. 2).
+	NMax float64 `json:"n_max"`
+}
+
+// Beta returns the linear SNR threshold.
+func (sc *Scenario) Beta() float64 { return radio.DBToLinear(sc.SNRThresholdDB) }
+
+// NumSS returns the number of subscribers.
+func (sc *Scenario) NumSS() int { return len(sc.Subscribers) }
+
+// FeasibleCircles returns every subscriber's feasible coverage circle, in
+// subscriber order.
+func (sc *Scenario) FeasibleCircles() []geom.Circle {
+	cs := make([]geom.Circle, len(sc.Subscribers))
+	for i, s := range sc.Subscribers {
+		cs[i] = s.Circle()
+	}
+	return cs
+}
+
+// Validate checks structural invariants of the instance.
+func (sc *Scenario) Validate() error {
+	if err := sc.Model.Validate(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if sc.PMax <= 0 {
+		return fmt.Errorf("scenario: PMax=%v must be positive", sc.PMax)
+	}
+	if sc.NMax <= 0 {
+		return fmt.Errorf("scenario: NMax=%v must be positive", sc.NMax)
+	}
+	if len(sc.Subscribers) == 0 {
+		return errors.New("scenario: no subscribers")
+	}
+	if len(sc.BaseStations) == 0 {
+		return errors.New("scenario: no base stations")
+	}
+	seen := make(map[int]bool, len(sc.Subscribers))
+	for _, s := range sc.Subscribers {
+		if s.DistReq <= 0 {
+			return fmt.Errorf("scenario: subscriber %d has non-positive distance requirement %v", s.ID, s.DistReq)
+		}
+		if s.MinRxPower < 0 {
+			return fmt.Errorf("scenario: subscriber %d has negative MinRxPower %v", s.ID, s.MinRxPower)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("scenario: duplicate subscriber id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	seenBS := make(map[int]bool, len(sc.BaseStations))
+	for _, b := range sc.BaseStations {
+		if seenBS[b.ID] {
+			return fmt.Errorf("scenario: duplicate base station id %d", b.ID)
+		}
+		seenBS[b.ID] = true
+	}
+	return nil
+}
+
+// MaxNoiseDistance returns dmax of Zone Partition: the distance beyond which
+// a PMax transmitter's contribution is at most NMax (Alg. 2, Step 1).
+func (sc *Scenario) MaxNoiseDistance() (float64, error) {
+	d, err := sc.Model.IgnorableNoiseDistance(sc.PMax, sc.NMax)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: %w", err)
+	}
+	return d, nil
+}
+
+// DeriveMinRxPower returns the P_ss value consistent with a distance
+// requirement d: the power received at distance exactly d from a PMax
+// transmitter. Using it makes "within distance d at max power" and
+// "received power >= P_ss" the same condition, which is how the paper's
+// capacity-to-distance transformation is defined.
+func (sc *Scenario) DeriveMinRxPower(d float64) float64 {
+	return sc.Model.ReceivedPower(sc.PMax, d)
+}

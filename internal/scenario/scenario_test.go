@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/radio"
+)
+
+func genOrFail(t *testing.T, cfg GenConfig) *Scenario {
+	t.Helper()
+	sc, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return sc
+}
+
+func TestGenerateBasics(t *testing.T) {
+	sc := genOrFail(t, GenConfig{FieldSide: 500, NumSS: 30, NumBS: 4, Seed: 1})
+	if sc.NumSS() != 30 || len(sc.BaseStations) != 4 {
+		t.Fatalf("sizes = %d SS, %d BS", sc.NumSS(), len(sc.BaseStations))
+	}
+	for _, s := range sc.Subscribers {
+		if !sc.Field.Contains(s.Pos, 0) {
+			t.Errorf("subscriber %d at %v outside field", s.ID, s.Pos)
+		}
+		if s.DistReq < DefaultDistMin || s.DistReq > DefaultDistMax {
+			t.Errorf("subscriber %d distance requirement %v outside [30,40]", s.ID, s.DistReq)
+		}
+		want := sc.Model.ReceivedPower(sc.PMax, s.DistReq)
+		if math.Abs(s.MinRxPower-want) > 1e-12 {
+			t.Errorf("subscriber %d MinRxPower inconsistent: %v vs %v", s.ID, s.MinRxPower, want)
+		}
+	}
+	for _, b := range sc.BaseStations {
+		if !sc.Field.Contains(b.Pos, 0) {
+			t.Errorf("base station %d outside field", b.ID)
+		}
+	}
+	if sc.SNRThresholdDB != DefaultSNRdB {
+		t.Errorf("default SNR = %v", sc.SNRThresholdDB)
+	}
+	if got := sc.Beta(); math.Abs(got-radio.DBToLinear(-15)) > 1e-12 {
+		t.Errorf("Beta = %v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{FieldSide: 500, NumSS: 10, NumBS: 2, Seed: 99}
+	a := genOrFail(t, cfg)
+	b := genOrFail(t, cfg)
+	for i := range a.Subscribers {
+		if !a.Subscribers[i].Pos.AlmostEqual(b.Subscribers[i].Pos, 0) {
+			t.Fatal("same seed produced different scenarios")
+		}
+	}
+	c := genOrFail(t, GenConfig{FieldSide: 500, NumSS: 10, NumBS: 2, Seed: 100})
+	same := true
+	for i := range a.Subscribers {
+		if !a.Subscribers[i].Pos.AlmostEqual(c.Subscribers[i].Pos, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical scenarios")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{FieldSide: 0, NumSS: 5, NumBS: 1},
+		{FieldSide: 500, NumSS: 0, NumBS: 1},
+		{FieldSide: 500, NumSS: 5, NumBS: 0},
+		{FieldSide: 500, NumSS: 5, NumBS: 1, DistMin: -3, DistMax: 10},
+		{FieldSide: 500, NumSS: 5, NumBS: 1, DistMin: 40, DistMax: 30},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	sc := genOrFail(t, GenConfig{FieldSide: 300, NumSS: 3, NumBS: 1, Seed: 5})
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"no-subscribers", func(s *Scenario) { s.Subscribers = nil }},
+		{"no-bs", func(s *Scenario) { s.BaseStations = nil }},
+		{"bad-pmax", func(s *Scenario) { s.PMax = 0 }},
+		{"bad-nmax", func(s *Scenario) { s.NMax = -1 }},
+		{"bad-distreq", func(s *Scenario) { s.Subscribers[0].DistReq = 0 }},
+		{"negative-rx", func(s *Scenario) { s.Subscribers[0].MinRxPower = -1 }},
+		{"dup-ss-id", func(s *Scenario) { s.Subscribers[1].ID = s.Subscribers[0].ID }},
+		{"bad-model", func(s *Scenario) { s.Model.Alpha = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := genOrFail(t, GenConfig{FieldSide: 300, NumSS: 3, NumBS: 1, Seed: 5})
+			tt.mutate(c)
+			if err := c.Validate(); err == nil {
+				t.Error("mutated scenario validated")
+			}
+		})
+	}
+}
+
+func TestDuplicateBSID(t *testing.T) {
+	sc := genOrFail(t, GenConfig{FieldSide: 300, NumSS: 3, NumBS: 2, Seed: 5})
+	sc.BaseStations[1].ID = sc.BaseStations[0].ID
+	if err := sc.Validate(); err == nil {
+		t.Error("duplicate BS id validated")
+	}
+}
+
+func TestFeasibleCircles(t *testing.T) {
+	sc := genOrFail(t, GenConfig{FieldSide: 300, NumSS: 5, NumBS: 1, Seed: 2})
+	cs := sc.FeasibleCircles()
+	if len(cs) != 5 {
+		t.Fatalf("got %d circles", len(cs))
+	}
+	for i, c := range cs {
+		if !c.Center.AlmostEqual(sc.Subscribers[i].Pos, 0) || c.R != sc.Subscribers[i].DistReq {
+			t.Errorf("circle %d mismatch", i)
+		}
+	}
+}
+
+func TestMaxNoiseDistance(t *testing.T) {
+	sc := genOrFail(t, GenConfig{FieldSide: 300, NumSS: 3, NumBS: 1, Seed: 1})
+	d, err := sc.MaxNoiseDistance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PMax=50, NMax=1.5e-5, alpha=3: d = (50/1.5e-5)^(1/3) ~ 149.38.
+	want := math.Pow(DefaultPMax/DefaultNMax, 1.0/3)
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("dmax = %v, want %v", d, want)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierCoverage.String() != "coverage" || TierConnectivity.String() != "connectivity" {
+		t.Error("tier strings wrong")
+	}
+	if Tier(0).String() == "coverage" {
+		t.Error("zero tier should not stringify as a valid tier")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sc := genOrFail(t, GenConfig{FieldSide: 500, NumSS: 8, NumBS: 2, Seed: 77})
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := Save(sc, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSS() != sc.NumSS() || got.PMax != sc.PMax || got.SNRThresholdDB != sc.SNRThresholdDB {
+		t.Error("round trip lost scalar fields")
+	}
+	for i := range sc.Subscribers {
+		if !got.Subscribers[i].Pos.AlmostEqual(sc.Subscribers[i].Pos, 0) {
+			t.Fatalf("subscriber %d position changed in round trip", i)
+		}
+		if got.Subscribers[i].DistReq != sc.Subscribers[i].DistReq {
+			t.Fatalf("subscriber %d distance requirement changed", i)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+	if err := Save(nil, filepath.Join(t.TempDir(), "nil.json")); err == nil {
+		t.Error("nil scenario saved")
+	}
+}
+
+// Property: generated subscribers always live inside the field and their
+// derived MinRxPower is achievable at PMax within DistReq.
+func TestGenerateInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		sc, err := Generate(GenConfig{FieldSide: 500, NumSS: n, NumBS: 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, s := range sc.Subscribers {
+			if !sc.Field.Contains(s.Pos, 0) {
+				return false
+			}
+			// Received power at DistReq with PMax meets MinRxPower exactly.
+			got := sc.Model.ReceivedPower(sc.PMax, s.DistReq)
+			if math.Abs(got-s.MinRxPower) > 1e-9*math.Max(1, s.MinRxPower) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveMinRxPowerMonotone(t *testing.T) {
+	sc := genOrFail(t, GenConfig{FieldSide: 300, NumSS: 3, NumBS: 1, Seed: 1})
+	if sc.DeriveMinRxPower(30) <= sc.DeriveMinRxPower(40) {
+		t.Error("shorter distance requirement should demand more received power")
+	}
+}
+
+func TestSubscriberCircle(t *testing.T) {
+	s := Subscriber{ID: 1, Pos: geom.Pt(3, 4), DistReq: 7}
+	c := s.Circle()
+	if !c.Center.AlmostEqual(geom.Pt(3, 4), 0) || c.R != 7 {
+		t.Errorf("Circle = %v", c)
+	}
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/radio"
+)
+
+// TrafficClass describes a category of subscriber demand in physical terms:
+// a data-rate request over a channel. Section II-A of the paper transforms
+// such requests into distance requirements ("the capacity requests of SS
+// are equivalent to distance requests"); this type performs that
+// transformation explicitly so workloads can be specified the way the
+// paper's motivation describes them (anchor stores, restaurants, gas
+// stations with different demands).
+type TrafficClass struct {
+	// Name labels the class (diagnostics only).
+	Name string
+	// Rate is the requested data rate (same unit family as Bandwidth, e.g.
+	// Mbps over MHz).
+	Rate float64
+	// Bandwidth is the channel bandwidth backing the Shannon capacity.
+	Bandwidth float64
+	// Weight is the relative frequency of the class when sampling.
+	Weight float64
+}
+
+// TrafficConfig generates a scenario from rate-based demand classes.
+type TrafficConfig struct {
+	// FieldSide, NumSS, NumBS, Seed, PMax, NMax, SNRdB and Model mirror
+	// GenConfig.
+	FieldSide float64
+	NumSS     int
+	NumBS     int
+	Seed      int64
+	PMax      float64
+	NMax      float64
+	SNRdB     float64
+	Model     radio.Model
+	// Classes are the demand classes to sample from (Weight-proportional).
+	Classes []TrafficClass
+	// NoiseFloor is the thermal noise N0 at the receivers used by the
+	// capacity-to-distance transformation; 0 means 1e-6.
+	NoiseFloor float64
+}
+
+// GenerateTraffic builds a scenario whose distance requirements are derived
+// from sampled traffic classes via the two-ray model and Shannon capacity
+// (Section II-A): d_i is the largest distance at which a PMax transmitter
+// still delivers the class's rate.
+func GenerateTraffic(cfg TrafficConfig) (*Scenario, error) {
+	if cfg.FieldSide <= 0 {
+		return nil, fmt.Errorf("scenario: field side %v must be positive", cfg.FieldSide)
+	}
+	if cfg.NumSS <= 0 || cfg.NumBS <= 0 {
+		return nil, fmt.Errorf("scenario: NumSS=%d and NumBS=%d must be positive", cfg.NumSS, cfg.NumBS)
+	}
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("scenario: no traffic classes")
+	}
+	if cfg.PMax == 0 {
+		cfg.PMax = DefaultPMax
+	}
+	if cfg.NMax == 0 {
+		cfg.NMax = DefaultNMax
+	}
+	if cfg.SNRdB == 0 {
+		cfg.SNRdB = DefaultSNRdB
+	}
+	if cfg.Model == (radio.Model{}) {
+		cfg.Model = radio.DefaultModel()
+	}
+	if cfg.NoiseFloor <= 0 {
+		cfg.NoiseFloor = 1e-6
+	}
+	totalW := 0.0
+	for i, c := range cfg.Classes {
+		if c.Rate <= 0 || c.Bandwidth <= 0 {
+			return nil, fmt.Errorf("scenario: class %d (%s) needs positive rate and bandwidth", i, c.Name)
+		}
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("scenario: class %d (%s) has negative weight", i, c.Name)
+		}
+		totalW += c.Weight
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("scenario: class weights sum to %v", totalW)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	field := geom.SquareField(cfg.FieldSide)
+	uniform := func() geom.Point {
+		return geom.Pt(
+			field.Min.X+rng.Float64()*field.Width(),
+			field.Min.Y+rng.Float64()*field.Height(),
+		)
+	}
+	pick := func() TrafficClass {
+		r := rng.Float64() * totalW
+		for _, c := range cfg.Classes {
+			if r < c.Weight {
+				return c
+			}
+			r -= c.Weight
+		}
+		return cfg.Classes[len(cfg.Classes)-1]
+	}
+	sc := &Scenario{
+		Field:          field,
+		Model:          cfg.Model,
+		PMax:           cfg.PMax,
+		SNRThresholdDB: cfg.SNRdB,
+		NMax:           cfg.NMax,
+	}
+	for i := 0; i < cfg.NumSS; i++ {
+		class := pick()
+		d, err := cfg.Model.FeasibleDistance(class.Rate, class.Bandwidth, cfg.NoiseFloor, cfg.PMax)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: class %s: %w", class.Name, err)
+		}
+		// Clamp absurd ranges: a trivial rate would otherwise cover the
+		// whole field and make coverage degenerate.
+		if max := cfg.FieldSide / 2; d > max {
+			d = max
+		}
+		sc.Subscribers = append(sc.Subscribers, Subscriber{
+			ID:         i,
+			Pos:        uniform(),
+			DistReq:    d,
+			MinRxPower: sc.DeriveMinRxPower(d),
+		})
+	}
+	for i := 0; i < cfg.NumBS; i++ {
+		sc.BaseStations = append(sc.BaseStations, BaseStation{ID: i, Pos: uniform()})
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: generated traffic instance invalid: %w", err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func defaultClasses() []TrafficClass {
+	return []TrafficClass{
+		{Name: "anchor", Rate: 8, Bandwidth: 1, Weight: 1},
+		{Name: "shop", Rate: 6, Bandwidth: 1, Weight: 2},
+		{Name: "kiosk", Rate: 4, Bandwidth: 1, Weight: 3},
+	}
+}
+
+func TestGenerateTraffic(t *testing.T) {
+	sc, err := GenerateTraffic(TrafficConfig{
+		FieldSide: 500, NumSS: 20, NumBS: 2, Seed: 1,
+		Classes: defaultClasses(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumSS() != 20 {
+		t.Fatalf("generated %d subscribers", sc.NumSS())
+	}
+	for _, s := range sc.Subscribers {
+		if s.DistReq <= 0 || s.DistReq > 250 {
+			t.Errorf("subscriber %d distance requirement %v out of range", s.ID, s.DistReq)
+		}
+	}
+}
+
+// Higher rate classes must produce shorter distance requirements: the
+// monotonicity at the heart of the Section II-A transformation.
+func TestTrafficRateDistanceMonotone(t *testing.T) {
+	gen := func(rate float64) float64 {
+		sc, err := GenerateTraffic(TrafficConfig{
+			FieldSide: 800, NumSS: 1, NumBS: 1, Seed: 9,
+			Classes: []TrafficClass{{Name: "c", Rate: rate, Bandwidth: 1, Weight: 1}},
+		})
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		return sc.Subscribers[0].DistReq
+	}
+	d4, d8 := gen(4), gen(8)
+	if d8 >= d4 {
+		t.Errorf("rate 8 distance %v not below rate 4 distance %v", d8, d4)
+	}
+}
+
+func TestGenerateTrafficValidation(t *testing.T) {
+	base := TrafficConfig{FieldSide: 500, NumSS: 5, NumBS: 1, Classes: defaultClasses()}
+	bad := []func(*TrafficConfig){
+		func(c *TrafficConfig) { c.FieldSide = 0 },
+		func(c *TrafficConfig) { c.NumSS = 0 },
+		func(c *TrafficConfig) { c.NumBS = 0 },
+		func(c *TrafficConfig) { c.Classes = nil },
+		func(c *TrafficConfig) { c.Classes = []TrafficClass{{Rate: 0, Bandwidth: 1, Weight: 1}} },
+		func(c *TrafficConfig) { c.Classes = []TrafficClass{{Rate: 1, Bandwidth: 0, Weight: 1}} },
+		func(c *TrafficConfig) { c.Classes = []TrafficClass{{Rate: 1, Bandwidth: 1, Weight: -1}} },
+		func(c *TrafficConfig) { c.Classes = []TrafficClass{{Rate: 1, Bandwidth: 1, Weight: 0}} },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := GenerateTraffic(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateTrafficDeterministic(t *testing.T) {
+	cfg := TrafficConfig{FieldSide: 500, NumSS: 10, NumBS: 2, Seed: 4, Classes: defaultClasses()}
+	a, err := GenerateTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Subscribers {
+		if a.Subscribers[i].DistReq != b.Subscribers[i].DistReq {
+			t.Fatal("same seed, different distances")
+		}
+	}
+}
+
+func TestGenerateClustered(t *testing.T) {
+	sc, err := GenerateClustered(ClusterConfig{
+		FieldSide: 800, NumClusters: 3, NumSS: 30, NumBS: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumSS() != 30 {
+		t.Fatalf("generated %d subscribers", sc.NumSS())
+	}
+	for _, s := range sc.Subscribers {
+		if !sc.Field.Contains(s.Pos, 0) {
+			t.Errorf("subscriber %d at %v outside field", s.ID, s.Pos)
+		}
+	}
+}
+
+// Clustered workloads should have a smaller subscriber bounding spread than
+// uniform ones at the same size — the whole point of the generator.
+func TestClusteredTighterThanUniform(t *testing.T) {
+	spread := func(sc *Scenario) float64 {
+		sum := 0.0
+		n := 0
+		for i := range sc.Subscribers {
+			for j := i + 1; j < len(sc.Subscribers); j++ {
+				sum += sc.Subscribers[i].Pos.Dist(sc.Subscribers[j].Pos)
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	tight, err := GenerateClustered(ClusterConfig{
+		FieldSide: 800, NumClusters: 2, NumSS: 30, NumBS: 2, Seed: 11, Spread: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Generate(GenConfig{FieldSide: 800, NumSS: 30, NumBS: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tight clusters: most pair distances are either ~0 or the
+	// inter-cluster distance; mean should still undercut uniform's ~415.
+	if spread(tight) >= spread(loose) {
+		t.Errorf("clustered spread %v not below uniform %v", spread(tight), spread(loose))
+	}
+}
+
+func TestGenerateClusteredValidation(t *testing.T) {
+	base := ClusterConfig{FieldSide: 500, NumClusters: 2, NumSS: 10, NumBS: 1}
+	bad := []func(*ClusterConfig){
+		func(c *ClusterConfig) { c.FieldSide = -1 },
+		func(c *ClusterConfig) { c.NumClusters = 0 },
+		func(c *ClusterConfig) { c.NumSS = 0 },
+		func(c *ClusterConfig) { c.NumBS = 0 },
+		func(c *ClusterConfig) { c.Spread = -5 },
+		func(c *ClusterConfig) { c.DistMin = 50; c.DistMax = 40 },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := GenerateClustered(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// Property: every clustered scenario validates and respects its distance
+// bounds.
+func TestClusteredInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		sc, err := GenerateClustered(ClusterConfig{
+			FieldSide: 600, NumClusters: 1 + n%4, NumSS: n, NumBS: 2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for _, s := range sc.Subscribers {
+			if s.DistReq < DefaultDistMin-1e-9 || s.DistReq > DefaultDistMax+1e-9 {
+				return false
+			}
+			want := sc.DeriveMinRxPower(s.DistReq)
+			if math.Abs(s.MinRxPower-want) > 1e-9 {
+				return false
+			}
+		}
+		return sc.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

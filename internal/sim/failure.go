@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/scenario"
+)
+
+// FailureKind identifies which tier's relay fails.
+type FailureKind int
+
+// Failure kinds. (Enums start at 1 so the zero value is invalid.)
+const (
+	// FailCoverage fails a coverage relay: its subscribers lose their
+	// access links, and every path routed through it breaks.
+	FailCoverage FailureKind = iota + 1
+	// FailConnectivity fails a connectivity relay: the edge it subdivides
+	// breaks, cutting every subscriber whose path crosses that edge.
+	FailConnectivity
+)
+
+// String renders the kind.
+func (k FailureKind) String() string {
+	switch k {
+	case FailCoverage:
+		return "coverage"
+	case FailConnectivity:
+		return "connectivity"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", int(k))
+	}
+}
+
+// Failure specifies a failed relay.
+type Failure struct {
+	Kind  FailureKind
+	Index int // into Coverage.Relays or Connectivity.Relays
+}
+
+// FailureReport quantifies the impact of a relay failure.
+type FailureReport struct {
+	// Failure echoes the injected fault.
+	Failure Failure
+	// LostSubscribers are the subscriber indices with no working path to a
+	// base station, ascending.
+	LostSubscribers []int
+	// LostFraction is len(LostSubscribers) / #subscribers.
+	LostFraction float64
+}
+
+// InjectFailure computes which subscribers lose service when one relay
+// fails, with no repair: a subscriber is lost when its access relay is the
+// failed one, or its relay path to the base station crosses the failed
+// relay's tree edge.
+func InjectFailure(sc *scenario.Scenario, sol *core.Solution, f Failure) (*FailureReport, error) {
+	if sol == nil || !sol.Feasible {
+		return nil, fmt.Errorf("sim: need a feasible solution")
+	}
+	switch f.Kind {
+	case FailCoverage:
+		if f.Index < 0 || f.Index >= len(sol.Coverage.Relays) {
+			return nil, fmt.Errorf("sim: coverage relay %d out of range [0,%d)", f.Index, len(sol.Coverage.Relays))
+		}
+	case FailConnectivity:
+		if f.Index < 0 || f.Index >= len(sol.Connectivity.Relays) {
+			return nil, fmt.Errorf("sim: connectivity relay %d out of range [0,%d)", f.Index, len(sol.Connectivity.Relays))
+		}
+	default:
+		return nil, fmt.Errorf("sim: invalid failure kind %v", f.Kind)
+	}
+	// deadEdge is the tree edge severed by a connectivity-relay failure.
+	deadEdge := -1
+	if f.Kind == FailConnectivity {
+		deadEdge = sol.Connectivity.Relays[f.Index].Edge
+	}
+	lost := make(map[int]bool)
+	for j := range sc.Subscribers {
+		a := sol.Coverage.AssignOf[j]
+		if f.Kind == FailCoverage && a == f.Index {
+			lost[j] = true
+			continue
+		}
+		// Walk the tree; the path breaks if it crosses the dead edge or a
+		// failed coverage relay acting as a forwarder. Edges are indexed by
+		// their child coverage relay (one uplink edge per coverage relay).
+		cur := a
+		for steps := 0; ; steps++ {
+			if steps > len(sol.Connectivity.Edges)+1 {
+				return nil, fmt.Errorf("sim: path from relay %d does not terminate", a)
+			}
+			if f.Kind == FailCoverage && cur == f.Index {
+				lost[j] = true
+				break
+			}
+			e := sol.Connectivity.Edges[cur]
+			if cur == deadEdge {
+				lost[j] = true
+				break
+			}
+			if e.ParentBS >= 0 {
+				break
+			}
+			cur = e.ParentCoverage
+		}
+	}
+	rep := &FailureReport{
+		Failure:         f,
+		LostSubscribers: sortedKeys(lost),
+	}
+	if n := sc.NumSS(); n > 0 {
+		rep.LostFraction = float64(len(rep.LostSubscribers)) / float64(n)
+	}
+	return rep, nil
+}
+
+// WorstSingleFailure scans every relay on both tiers and returns the
+// failure losing the most subscribers (ties: lowest tier/index). It is the
+// resilience headline number a deployment reviewer asks for.
+func WorstSingleFailure(sc *scenario.Scenario, sol *core.Solution) (*FailureReport, error) {
+	if sol == nil || !sol.Feasible {
+		return nil, fmt.Errorf("sim: need a feasible solution")
+	}
+	var worst *FailureReport
+	consider := func(f Failure) error {
+		rep, err := InjectFailure(sc, sol, f)
+		if err != nil {
+			return err
+		}
+		if worst == nil || len(rep.LostSubscribers) > len(worst.LostSubscribers) {
+			worst = rep
+		}
+		return nil
+	}
+	for i := range sol.Coverage.Relays {
+		if err := consider(Failure{Kind: FailCoverage, Index: i}); err != nil {
+			return nil, err
+		}
+	}
+	for i := range sol.Connectivity.Relays {
+		if err := consider(Failure{Kind: FailConnectivity, Index: i}); err != nil {
+			return nil, err
+		}
+	}
+	if worst == nil {
+		// A deployment with no relays at all cannot fail; report an empty
+		// coverage failure.
+		worst = &FailureReport{Failure: Failure{Kind: FailCoverage, Index: -1}}
+	}
+	return worst, nil
+}

@@ -1,0 +1,262 @@
+// Package sim evaluates solved deployments at the link level: it walks
+// every subscriber's traffic path (access link -> coverage relay ->
+// steinerized relay hops -> base station), computes per-hop SNR and
+// Shannon capacity under the allocated powers, and reports end-to-end
+// bottlenecks. It also injects relay failures and quantifies the coverage
+// they cost.
+//
+// The placement algorithms *construct* deployments that satisfy the
+// paper's constraints; this package *verifies* them by independent
+// simulation, and gives downstream users the per-link numbers the
+// construction never materializes.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/geom"
+	"sagrelay/internal/scenario"
+)
+
+// Options configure the evaluation.
+type Options struct {
+	// Bandwidth normalizes Shannon capacities; 0 means 1 (capacities in
+	// bits/s/Hz).
+	Bandwidth float64
+	// NoiseFloor is the thermal noise N0 used for relay-hop SNRs; 0 means
+	// 1e-6 power units (well below any in-range received power).
+	NoiseFloor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bandwidth <= 0 {
+		o.Bandwidth = 1
+	}
+	if o.NoiseFloor <= 0 {
+		o.NoiseFloor = 1e-6
+	}
+	return o
+}
+
+// Link is one evaluated hop.
+type Link struct {
+	// From and To are the hop endpoints.
+	From, To geom.Point
+	// Distance is the hop length.
+	Distance float64
+	// TxPower is the transmitter's allocated power.
+	TxPower float64
+	// RxPower is the received power under the two-ray model.
+	RxPower float64
+	// SNRdB is the hop SNR in dB (thermal for relay hops; Definition 2
+	// interference SIR for access links).
+	SNRdB float64
+	// Capacity is the Shannon capacity of the hop.
+	Capacity float64
+}
+
+// SubscriberReport is the end-to-end evaluation for one subscriber.
+type SubscriberReport struct {
+	// SS is the subscriber index.
+	SS int
+	// Access is the subscriber's access link (from its coverage relay).
+	Access Link
+	// RelayHops are the upper-tier hops from the coverage relay to the
+	// terminating base station, in order.
+	RelayHops []Link
+	// BS is the terminating base station index.
+	BS int
+	// Bottleneck is the minimum capacity along Access + RelayHops.
+	Bottleneck float64
+	// MeetsSNR reports whether the access link clears the scenario's SNR
+	// threshold.
+	MeetsSNR bool
+	// MeetsRate reports whether the access link's received power meets the
+	// subscriber's demand.
+	MeetsRate bool
+}
+
+// Hops returns the total hop count including the access link.
+func (r *SubscriberReport) Hops() int { return 1 + len(r.RelayHops) }
+
+// Report is a whole-deployment evaluation.
+type Report struct {
+	// Subscribers holds one report per subscriber, in subscriber order.
+	Subscribers []SubscriberReport
+	// MinBottleneck and MeanBottleneck aggregate end-to-end capacities.
+	MinBottleneck, MeanBottleneck float64
+	// SatisfiedSNR and SatisfiedRate count subscribers meeting each
+	// constraint.
+	SatisfiedSNR, SatisfiedRate int
+	// MaxHops is the longest path (in hops) to a base station.
+	MaxHops int
+	// TotalPower is the summed allocated power across both tiers.
+	TotalPower float64
+}
+
+// AllSatisfied reports whether every subscriber meets both constraints.
+func (r *Report) AllSatisfied() bool {
+	n := len(r.Subscribers)
+	return r.SatisfiedSNR == n && r.SatisfiedRate == n
+}
+
+// Evaluate walks every subscriber's path in the solved deployment.
+func Evaluate(sc *scenario.Scenario, sol *core.Solution, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if sol == nil || !sol.Feasible {
+		return nil, fmt.Errorf("sim: need a feasible solution")
+	}
+	if err := sol.Coverage.Verify(sc, false); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := sol.Connectivity.Verify(sc, sol.Coverage); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	// Group connectivity relays per edge, in subdivision order (they are
+	// appended in order during steinerization).
+	relaysOfEdge := make([][]int, len(sol.Connectivity.Edges))
+	for i, cr := range sol.Connectivity.Relays {
+		relaysOfEdge[cr.Edge] = append(relaysOfEdge[cr.Edge], i)
+	}
+	rep := &Report{MinBottleneck: math.Inf(1)}
+	for _, p := range sol.CoveragePower.Powers {
+		rep.TotalPower += p
+	}
+	for _, p := range sol.ConnectivityPower.Powers {
+		rep.TotalPower += p
+	}
+	beta := sc.Beta()
+	for j := range sc.Subscribers {
+		sr, err := evalSubscriber(sc, sol, relaysOfEdge, j, beta, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Subscribers = append(rep.Subscribers, *sr)
+		if sr.Bottleneck < rep.MinBottleneck {
+			rep.MinBottleneck = sr.Bottleneck
+		}
+		rep.MeanBottleneck += sr.Bottleneck
+		if sr.MeetsSNR {
+			rep.SatisfiedSNR++
+		}
+		if sr.MeetsRate {
+			rep.SatisfiedRate++
+		}
+		if h := sr.Hops(); h > rep.MaxHops {
+			rep.MaxHops = h
+		}
+	}
+	if n := len(rep.Subscribers); n > 0 {
+		rep.MeanBottleneck /= float64(n)
+	}
+	return rep, nil
+}
+
+func evalSubscriber(sc *scenario.Scenario, sol *core.Solution, relaysOfEdge [][]int, j int, beta float64, opts Options) (*SubscriberReport, error) {
+	ss := sc.Subscribers[j]
+	a := sol.Coverage.AssignOf[j]
+	relay := sol.Coverage.Relays[a]
+	// Access link with Definition 2 interference from the other coverage
+	// relays under their allocated powers.
+	signal := sc.Model.ReceivedPower(sol.CoveragePower.Powers[a], relay.Pos.Dist(ss.Pos))
+	interference := 0.0
+	for k, other := range sol.Coverage.Relays {
+		if k == a {
+			continue
+		}
+		interference += sc.Model.ReceivedPower(sol.CoveragePower.Powers[k], other.Pos.Dist(ss.Pos))
+	}
+	sir := math.Inf(1)
+	if interference > 0 {
+		sir = signal / interference
+	}
+	sr := &SubscriberReport{
+		SS: j,
+		Access: Link{
+			From:     relay.Pos,
+			To:       ss.Pos,
+			Distance: relay.Pos.Dist(ss.Pos),
+			TxPower:  sol.CoveragePower.Powers[a],
+			RxPower:  signal,
+			SNRdB:    linearToDB(sir),
+			Capacity: shannon(opts.Bandwidth, sir),
+		},
+		MeetsSNR:  sir >= beta*(1-1e-9),
+		MeetsRate: signal >= ss.MinRxPower*(1-1e-9),
+	}
+	// Walk the connectivity tree from the coverage relay to a base station.
+	cur := a
+	for steps := 0; ; steps++ {
+		if steps > len(sol.Connectivity.Edges)+1 {
+			return nil, fmt.Errorf("sim: path from relay %d does not terminate", a)
+		}
+		e := sol.Connectivity.Edges[cur]
+		// Hop chain along this edge: From -> relay1 -> ... -> To.
+		points := []geom.Point{e.From}
+		for _, ri := range relaysOfEdge[cur] {
+			points = append(points, sol.Connectivity.Relays[ri].Pos)
+		}
+		points = append(points, e.To)
+		for h := 0; h+1 < len(points); h++ {
+			var tx float64
+			if h == 0 {
+				// The coverage relay transmits the first hop at its
+				// allocated power.
+				tx = sol.CoveragePower.Powers[e.Child]
+			} else {
+				tx = sol.ConnectivityPower.Powers[relaysOfEdge[cur][h-1]]
+			}
+			d := points[h].Dist(points[h+1])
+			rx := sc.Model.ReceivedPower(tx, d)
+			snr := rx / opts.NoiseFloor
+			sr.RelayHops = append(sr.RelayHops, Link{
+				From:     points[h],
+				To:       points[h+1],
+				Distance: d,
+				TxPower:  tx,
+				RxPower:  rx,
+				SNRdB:    linearToDB(snr),
+				Capacity: shannon(opts.Bandwidth, snr),
+			})
+		}
+		if e.ParentBS >= 0 {
+			sr.BS = e.ParentBS
+			break
+		}
+		cur = e.ParentCoverage
+	}
+	sr.Bottleneck = sr.Access.Capacity
+	for _, h := range sr.RelayHops {
+		if h.Capacity < sr.Bottleneck {
+			sr.Bottleneck = h.Capacity
+		}
+	}
+	return sr, nil
+}
+
+func shannon(b, snr float64) float64 {
+	if snr < 0 {
+		snr = 0
+	}
+	return b * math.Log2(1+snr)
+}
+
+func linearToDB(r float64) float64 {
+	if r <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(r)
+}
+
+// sortedKeys is a small helper for deterministic iteration in summaries.
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

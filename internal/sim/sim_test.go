@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/scenario"
+)
+
+func solved(t *testing.T, nSS int, seed int64) (*scenario.Scenario, *core.Solution) {
+	t.Helper()
+	sc, err := scenario.Generate(scenario.GenConfig{FieldSide: 500, NumSS: nSS, NumBS: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.SAG(sc, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Skip("infeasible draw")
+	}
+	return sc, sol
+}
+
+func TestEvaluateConfirmsConstruction(t *testing.T) {
+	sc, sol := solved(t, 15, 2)
+	rep, err := Evaluate(sc, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Subscribers) != sc.NumSS() {
+		t.Fatalf("report covers %d of %d subscribers", len(rep.Subscribers), sc.NumSS())
+	}
+	// The construction guarantees both constraints; the independent
+	// simulation must agree. (SNR evaluation here uses global interference
+	// while construction uses per-zone; the ignorable-noise margin makes
+	// both pass on benign instances.)
+	if rep.SatisfiedRate != sc.NumSS() {
+		t.Errorf("only %d/%d subscribers meet their rate", rep.SatisfiedRate, sc.NumSS())
+	}
+	if rep.SatisfiedSNR < sc.NumSS()-1 {
+		t.Errorf("only %d/%d subscribers meet SNR", rep.SatisfiedSNR, sc.NumSS())
+	}
+	if rep.MinBottleneck <= 0 || math.IsInf(rep.MinBottleneck, 1) {
+		t.Errorf("MinBottleneck = %v", rep.MinBottleneck)
+	}
+	if rep.MeanBottleneck < rep.MinBottleneck {
+		t.Errorf("mean %v below min %v", rep.MeanBottleneck, rep.MinBottleneck)
+	}
+	if rep.MaxHops < 1 {
+		t.Errorf("MaxHops = %d", rep.MaxHops)
+	}
+	if math.Abs(rep.TotalPower-(sol.PL+sol.PH)) > 1e-6 {
+		t.Errorf("TotalPower %v != PL+PH %v", rep.TotalPower, sol.PL+sol.PH)
+	}
+}
+
+func TestEvaluatePathsTerminateAtBS(t *testing.T) {
+	sc, sol := solved(t, 12, 5)
+	rep, err := Evaluate(sc, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range rep.Subscribers {
+		if sr.BS < 0 || sr.BS >= len(sc.BaseStations) {
+			t.Fatalf("subscriber %d terminates at invalid BS %d", sr.SS, sr.BS)
+		}
+		if len(sr.RelayHops) == 0 {
+			t.Fatalf("subscriber %d has no relay hops", sr.SS)
+		}
+		last := sr.RelayHops[len(sr.RelayHops)-1]
+		if !last.To.AlmostEqual(sc.BaseStations[sr.BS].Pos, 1e-9) {
+			t.Errorf("subscriber %d's last hop ends at %v, not BS %d", sr.SS, last.To, sr.BS)
+		}
+		if sr.Hops() != 1+len(sr.RelayHops) {
+			t.Error("Hops() inconsistent")
+		}
+		// Bottleneck is the min across hops.
+		min := sr.Access.Capacity
+		for _, h := range sr.RelayHops {
+			if h.Capacity < min {
+				min = h.Capacity
+			}
+		}
+		if math.Abs(min-sr.Bottleneck) > 1e-12 {
+			t.Errorf("subscriber %d bottleneck %v != min hop %v", sr.SS, sr.Bottleneck, min)
+		}
+	}
+}
+
+func TestEvaluateRejectsBadInput(t *testing.T) {
+	sc, sol := solved(t, 8, 7)
+	if _, err := Evaluate(sc, nil, Options{}); err == nil {
+		t.Error("nil solution accepted")
+	}
+	bad := *sol
+	bad.Feasible = false
+	if _, err := Evaluate(sc, &bad, Options{}); err == nil {
+		t.Error("infeasible solution accepted")
+	}
+}
+
+func TestBandwidthScalesCapacity(t *testing.T) {
+	sc, sol := solved(t, 8, 9)
+	r1, err := Evaluate(sc, sol, Options{Bandwidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := Evaluate(sc, sol, Options{Bandwidth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r10.MinBottleneck-10*r1.MinBottleneck) > 1e-6*r10.MinBottleneck {
+		t.Errorf("bandwidth scaling broken: %v vs %v", r10.MinBottleneck, r1.MinBottleneck)
+	}
+}
+
+func TestInjectCoverageFailure(t *testing.T) {
+	sc, sol := solved(t, 12, 11)
+	rep, err := InjectFailure(sc, sol, Failure{Kind: FailCoverage, Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least the relay's own subscribers are lost.
+	covered := sol.Coverage.Relays[0].Covers
+	if len(rep.LostSubscribers) < len(covered) {
+		t.Errorf("lost %d < %d direct subscribers", len(rep.LostSubscribers), len(covered))
+	}
+	lost := make(map[int]bool)
+	for _, s := range rep.LostSubscribers {
+		lost[s] = true
+	}
+	for _, s := range covered {
+		if !lost[s] {
+			t.Errorf("direct subscriber %d not reported lost", s)
+		}
+	}
+	wantFrac := float64(len(rep.LostSubscribers)) / float64(sc.NumSS())
+	if math.Abs(rep.LostFraction-wantFrac) > 1e-12 {
+		t.Errorf("LostFraction = %v, want %v", rep.LostFraction, wantFrac)
+	}
+}
+
+func TestInjectConnectivityFailure(t *testing.T) {
+	sc, sol := solved(t, 12, 13)
+	if sol.Connectivity.NumRelays() == 0 {
+		t.Skip("no connectivity relays to fail")
+	}
+	rep, err := InjectFailure(sc, sol, Failure{Kind: FailConnectivity, Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The severed edge's child subtree is cut: at least the child relay's
+	// own subscribers are lost.
+	edge := sol.Connectivity.Relays[0].Edge
+	child := sol.Connectivity.Edges[edge].Child
+	lost := make(map[int]bool)
+	for _, s := range rep.LostSubscribers {
+		lost[s] = true
+	}
+	for _, s := range sol.Coverage.Relays[child].Covers {
+		if !lost[s] {
+			t.Errorf("subscriber %d behind the severed edge not lost", s)
+		}
+	}
+}
+
+func TestInjectFailureValidation(t *testing.T) {
+	sc, sol := solved(t, 8, 15)
+	if _, err := InjectFailure(sc, sol, Failure{Kind: FailCoverage, Index: 999}); err == nil {
+		t.Error("out-of-range coverage failure accepted")
+	}
+	if _, err := InjectFailure(sc, sol, Failure{Kind: FailConnectivity, Index: -1}); err == nil {
+		t.Error("negative connectivity index accepted")
+	}
+	if _, err := InjectFailure(sc, sol, Failure{Kind: FailureKind(0), Index: 0}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := InjectFailure(sc, nil, Failure{Kind: FailCoverage, Index: 0}); err == nil {
+		t.Error("nil solution accepted")
+	}
+}
+
+func TestWorstSingleFailure(t *testing.T) {
+	sc, sol := solved(t, 15, 17)
+	worst, err := WorstSingleFailure(sc, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worst.LostSubscribers) == 0 {
+		t.Error("no failure loses any subscriber?")
+	}
+	// It must actually be the maximum over a few spot checks.
+	for i := 0; i < len(sol.Coverage.Relays); i++ {
+		rep, err := InjectFailure(sc, sol, Failure{Kind: FailCoverage, Index: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.LostSubscribers) > len(worst.LostSubscribers) {
+			t.Errorf("failure %v loses %d > worst %d", rep.Failure, len(rep.LostSubscribers), len(worst.LostSubscribers))
+		}
+	}
+}
+
+func TestFailureKindString(t *testing.T) {
+	if FailCoverage.String() != "coverage" || FailConnectivity.String() != "connectivity" {
+		t.Error("kind strings wrong")
+	}
+}
+
+// Property: failure impact is monotone in scope — failing a coverage relay
+// loses at least its direct subscribers and never more than all of them.
+func TestFailureBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		sc, err := scenario.Generate(scenario.GenConfig{FieldSide: 500, NumSS: 10, NumBS: 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		sol, err := core.SAG(sc, core.Config{})
+		if err != nil || !sol.Feasible {
+			return true
+		}
+		for i := range sol.Coverage.Relays {
+			rep, err := InjectFailure(sc, sol, Failure{Kind: FailCoverage, Index: i})
+			if err != nil {
+				return false
+			}
+			if len(rep.LostSubscribers) < len(sol.Coverage.Relays[i].Covers) {
+				return false
+			}
+			if len(rep.LostSubscribers) > sc.NumSS() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/scenario"
+)
+
+// TrafficOptions configure the slotted store-and-forward downlink
+// simulation.
+type TrafficOptions struct {
+	// Slots is the number of time slots to simulate; 0 means 1000.
+	Slots int
+	// ArrivalRate is the mean Poisson packet arrivals per subscriber per
+	// slot; 0 means 0.5.
+	ArrivalRate float64
+	// QueueCap bounds each link's transmit queue (packets); overflow is
+	// dropped. 0 means 64.
+	QueueCap int
+	// LinkUnits converts a hop's Shannon capacity (b/s/Hz) into a per-slot
+	// packet budget: budget = max(1, floor(LinkUnits * capacity)).
+	// 0 means 1.
+	LinkUnits float64
+	// Seed seeds the arrival process.
+	Seed int64
+	// Sim configures the link-level evaluation backing the capacities.
+	Sim Options
+}
+
+func (o TrafficOptions) withDefaults() TrafficOptions {
+	if o.Slots <= 0 {
+		o.Slots = 1000
+	}
+	if o.ArrivalRate <= 0 {
+		o.ArrivalRate = 0.5
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.LinkUnits <= 0 {
+		o.LinkUnits = 1
+	}
+	return o
+}
+
+// SSTraffic aggregates one subscriber's simulated traffic.
+type SSTraffic struct {
+	// SS is the subscriber index.
+	SS int
+	// Generated, Delivered and Dropped count this subscriber's packets.
+	Generated, Delivered, Dropped int
+	// MeanDelay is the mean slots-in-flight of delivered packets (path
+	// length is a lower bound: one hop per slot).
+	MeanDelay float64
+}
+
+// TrafficReport aggregates a whole simulation run.
+type TrafficReport struct {
+	// PerSS holds per-subscriber statistics in subscriber order.
+	PerSS []SSTraffic
+	// Generated, Delivered and Dropped are the fleet totals.
+	Generated, Delivered, Dropped int
+	// MeanDelay is the mean delivery delay in slots across all delivered
+	// packets.
+	MeanDelay float64
+	// PeakQueue is the largest queue length observed on any link.
+	PeakQueue int
+	// Slots echoes the simulated horizon.
+	Slots int
+}
+
+// DeliveryRatio returns Delivered/Generated (1 when nothing was generated).
+func (r *TrafficReport) DeliveryRatio() float64 {
+	if r.Generated == 0 {
+		return 1
+	}
+	return float64(r.Delivered) / float64(r.Generated)
+}
+
+// packet is one in-flight downlink packet.
+type packet struct {
+	ss    int
+	born  int
+	route []int // remaining link ids, front first
+}
+
+// link is one directed store-and-forward hop.
+type link struct {
+	budget   int // packets per slot
+	queue    []packet
+	incoming []packet
+}
+
+// RunTraffic simulates downlink traffic over a solved deployment: packets
+// for each subscriber arrive Poisson at its terminating base station and
+// are forwarded hop-by-hop (one hop per slot, per-link budgets from the
+// allocated-power Shannon capacities, bounded FIFO queues) down the
+// connectivity tree and across the access link. It reports delivery
+// ratios, delays and queue pressure — the system-level behaviour the
+// placement algorithms' capacity constraints are supposed to guarantee.
+func RunTraffic(sc *scenario.Scenario, sol *core.Solution, opts TrafficOptions) (*TrafficReport, error) {
+	opts = opts.withDefaults()
+	eval, err := Evaluate(sc, sol, opts.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("sim: traffic: %w", err)
+	}
+	// Build the directed link set. Uplink reports list hops coverage->BS;
+	// downlink routes reverse them. Links shared by several subscribers
+	// (tree trunks) are deduplicated by their endpoints.
+	type key struct{ fx, fy, tx, ty float64 }
+	linkID := make(map[key]int)
+	var links []*link
+	budgetOf := func(capacity float64) int {
+		b := int(math.Floor(opts.LinkUnits * capacity))
+		if b < 1 {
+			b = 1
+		}
+		return b
+	}
+	idFor := func(l Link, reversed bool) int {
+		k := key{l.From.X, l.From.Y, l.To.X, l.To.Y}
+		if reversed {
+			k = key{l.To.X, l.To.Y, l.From.X, l.From.Y}
+		}
+		if id, ok := linkID[k]; ok {
+			return id
+		}
+		links = append(links, &link{budget: budgetOf(l.Capacity)})
+		linkID[k] = len(links) - 1
+		return len(links) - 1
+	}
+	routes := make([][]int, sc.NumSS())
+	for _, sr := range eval.Subscribers {
+		var route []int
+		// Downlink: BS -> ... -> coverage relay (reverse relay hops), then
+		// the access link to the subscriber.
+		for i := len(sr.RelayHops) - 1; i >= 0; i-- {
+			route = append(route, idFor(sr.RelayHops[i], true))
+		}
+		route = append(route, idFor(sr.Access, false))
+		routes[sr.SS] = route
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rep := &TrafficReport{Slots: opts.Slots, PerSS: make([]SSTraffic, sc.NumSS())}
+	for j := range rep.PerSS {
+		rep.PerSS[j].SS = j
+	}
+	totalDelay := 0.0
+	perDelay := make([]float64, sc.NumSS())
+
+	for slot := 0; slot < opts.Slots; slot++ {
+		// Arrivals enqueue at the first link of each subscriber's route.
+		for j := range routes {
+			n := poisson(rng, opts.ArrivalRate)
+			for p := 0; p < n; p++ {
+				rep.Generated++
+				rep.PerSS[j].Generated++
+				first := links[routes[j][0]]
+				if len(first.queue)+len(first.incoming) >= opts.QueueCap {
+					rep.Dropped++
+					rep.PerSS[j].Dropped++
+					continue
+				}
+				first.incoming = append(first.incoming, packet{ss: j, born: slot, route: routes[j][1:]})
+			}
+		}
+		// Transmissions: each link forwards up to its budget, two-phase so
+		// a packet moves at most one hop per slot.
+		for _, l := range links {
+			n := l.budget
+			if n > len(l.queue) {
+				n = len(l.queue)
+			}
+			for i := 0; i < n; i++ {
+				pkt := l.queue[i]
+				if len(pkt.route) == 0 {
+					// Delivered to the subscriber.
+					delay := float64(slot - pkt.born + 1)
+					rep.Delivered++
+					rep.PerSS[pkt.ss].Delivered++
+					totalDelay += delay
+					perDelay[pkt.ss] += delay
+					continue
+				}
+				next := links[pkt.route[0]]
+				if len(next.queue)+len(next.incoming) >= opts.QueueCap {
+					rep.Dropped++
+					rep.PerSS[pkt.ss].Dropped++
+					continue
+				}
+				next.incoming = append(next.incoming, packet{ss: pkt.ss, born: pkt.born, route: pkt.route[1:]})
+			}
+			l.queue = l.queue[n:]
+		}
+		// Merge arrivals and track queue pressure.
+		for _, l := range links {
+			l.queue = append(l.queue, l.incoming...)
+			l.incoming = l.incoming[:0]
+			if len(l.queue) > rep.PeakQueue {
+				rep.PeakQueue = len(l.queue)
+			}
+		}
+	}
+	if rep.Delivered > 0 {
+		rep.MeanDelay = totalDelay / float64(rep.Delivered)
+	}
+	for j := range rep.PerSS {
+		if d := rep.PerSS[j].Delivered; d > 0 {
+			rep.PerSS[j].MeanDelay = perDelay[j] / float64(d)
+		}
+	}
+	return rep, nil
+}
+
+// poisson samples a Poisson variate by Knuth's method (fine for the small
+// per-slot rates used here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k // lambda absurdly large; cap defensively
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunTrafficBasics(t *testing.T) {
+	sc, sol := solved(t, 10, 21)
+	rep, err := RunTraffic(sc, sol, TrafficOptions{Slots: 500, ArrivalRate: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generated == 0 {
+		t.Fatal("no packets generated")
+	}
+	if rep.Delivered+rep.Dropped > rep.Generated {
+		t.Errorf("delivered %d + dropped %d exceeds generated %d", rep.Delivered, rep.Dropped, rep.Generated)
+	}
+	if rep.DeliveryRatio() < 0.5 {
+		t.Errorf("delivery ratio %.2f too low at light load", rep.DeliveryRatio())
+	}
+	if rep.MeanDelay < 1 {
+		t.Errorf("mean delay %v below one slot", rep.MeanDelay)
+	}
+	if rep.Slots != 500 {
+		t.Errorf("Slots = %d", rep.Slots)
+	}
+	// Per-SS totals reconcile with fleet totals.
+	g, d, dr := 0, 0, 0
+	for _, s := range rep.PerSS {
+		g += s.Generated
+		d += s.Delivered
+		dr += s.Dropped
+	}
+	if g != rep.Generated || d != rep.Delivered || dr != rep.Dropped {
+		t.Errorf("per-SS totals (%d,%d,%d) != fleet (%d,%d,%d)", g, d, dr, rep.Generated, rep.Delivered, rep.Dropped)
+	}
+}
+
+func TestRunTrafficDeterministic(t *testing.T) {
+	sc, sol := solved(t, 8, 23)
+	opts := TrafficOptions{Slots: 200, ArrivalRate: 0.3, Seed: 7}
+	a, err := RunTraffic(sc, sol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTraffic(sc, sol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Generated != b.Generated || a.Delivered != b.Delivered || a.MeanDelay != b.MeanDelay {
+		t.Error("same seed produced different simulations")
+	}
+}
+
+func TestRunTrafficDelayAtLeastPathLength(t *testing.T) {
+	sc, sol := solved(t, 8, 25)
+	eval, err := Evaluate(sc, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunTraffic(sc, sol, TrafficOptions{Slots: 400, ArrivalRate: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.PerSS {
+		if s.Delivered == 0 {
+			continue
+		}
+		hops := float64(eval.Subscribers[s.SS].Hops())
+		if s.MeanDelay < hops-1e-9 {
+			t.Errorf("SS %d mean delay %.2f below its %v-hop path", s.SS, s.MeanDelay, hops)
+		}
+	}
+}
+
+func TestRunTrafficOverloadDrops(t *testing.T) {
+	sc, sol := solved(t, 10, 27)
+	light, err := RunTraffic(sc, sol, TrafficOptions{Slots: 300, ArrivalRate: 0.05, Seed: 5, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := RunTraffic(sc, sol, TrafficOptions{Slots: 300, ArrivalRate: 5, Seed: 5, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.DeliveryRatio() > light.DeliveryRatio() {
+		t.Errorf("overload improved delivery: %.2f vs %.2f", heavy.DeliveryRatio(), light.DeliveryRatio())
+	}
+	if heavy.Dropped == 0 {
+		t.Error("10x overload with tiny queues dropped nothing")
+	}
+	if heavy.PeakQueue > 8 {
+		t.Errorf("peak queue %d exceeds cap 8", heavy.PeakQueue)
+	}
+}
+
+func TestRunTrafficZeroRateDefaultsApplied(t *testing.T) {
+	sc, sol := solved(t, 6, 29)
+	rep, err := RunTraffic(sc, sol, TrafficOptions{Slots: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: rate 0.5 over 10 slots and 6 subscribers ~ 30 packets.
+	if rep.Generated == 0 {
+		t.Error("default arrival rate produced no packets")
+	}
+}
+
+func TestRunTrafficRejectsInfeasible(t *testing.T) {
+	sc, sol := solved(t, 6, 31)
+	bad := *sol
+	bad.Feasible = false
+	if _, err := RunTraffic(sc, &bad, TrafficOptions{}); err == nil {
+		t.Error("infeasible solution accepted")
+	}
+}
+
+func TestPoissonSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := poisson(rng, 0); got != 0 {
+		t.Errorf("poisson(0) = %d", got)
+	}
+	// Empirical mean of Poisson(2) over many draws.
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 2)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-2) > 0.1 {
+		t.Errorf("Poisson(2) empirical mean %v", mean)
+	}
+}
+
+// Higher link budgets can only help delivery on the same arrival sequence.
+func TestLinkUnitsMonotone(t *testing.T) {
+	sc, sol := solved(t, 10, 33)
+	slow, err := RunTraffic(sc, sol, TrafficOptions{Slots: 300, ArrivalRate: 1.5, Seed: 9, LinkUnits: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunTraffic(sc, sol, TrafficOptions{Slots: 300, ArrivalRate: 1.5, Seed: 9, LinkUnits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.DeliveryRatio() < slow.DeliveryRatio()-1e-9 {
+		t.Errorf("more capacity hurt delivery: %.3f vs %.3f", fast.DeliveryRatio(), slow.DeliveryRatio())
+	}
+}

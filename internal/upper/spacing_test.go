@@ -1,0 +1,86 @@
+package upper
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sagrelay/internal/radio"
+)
+
+// UCPO steinerizes every edge into equal hops. By convexity of d -> d^alpha,
+// equal spacing minimizes the total transmit power for a fixed relay count
+// and demand: sum(P_rs/G * d_i^alpha) with sum(d_i) = L is minimized at
+// d_i = L/(n+1). This test validates that optimality empirically — random
+// perturbed spacings never beat the equal one.
+func TestEqualSpacingOptimal(t *testing.T) {
+	model := radio.DefaultModel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		length := 50 + rng.Float64()*200
+		n := 1 + rng.Intn(6) // relays on the edge: n+1 hops
+		demand := 0.001 + rng.Float64()*0.01
+		power := func(hops []float64) float64 {
+			total := 0.0
+			for _, d := range hops {
+				total += demand / model.Gain(d)
+			}
+			return total
+		}
+		hops := make([]float64, n+1)
+		equal := length / float64(n+1)
+		for i := range hops {
+			hops[i] = equal
+		}
+		base := power(hops)
+		// Random perturbations preserving the total length.
+		for trial := 0; trial < 20; trial++ {
+			perturbed := make([]float64, n+1)
+			remaining := length
+			for i := 0; i < n; i++ {
+				// Keep each hop positive and leave room for the rest.
+				max := remaining - float64(n-i)*1e-3
+				perturbed[i] = 1e-3 + rng.Float64()*(max-1e-3)
+				remaining -= perturbed[i]
+			}
+			perturbed[n] = remaining
+			if perturbed[n] <= 0 {
+				continue
+			}
+			if power(perturbed) < base-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The relay count of steinerization is the minimum achieving per-hop
+// lengths within the feasible distance: one fewer relay would force some
+// hop beyond it.
+func TestSteinerizationMinimal(t *testing.T) {
+	for _, tc := range []struct {
+		length, feas float64
+	}{
+		{100, 30}, {100, 100}, {100, 99.9}, {250, 40}, {31, 30},
+	} {
+		n := int(math.Ceil(tc.length/tc.feas)) - 1
+		if n < 0 {
+			n = 0
+		}
+		// n relays -> n+1 hops of length/ (n+1) <= feas.
+		if hop := tc.length / float64(n+1); hop > tc.feas+1e-9 {
+			t.Errorf("length %v feas %v: %d relays leave hop %v", tc.length, tc.feas, n, hop)
+		}
+		// n-1 relays -> some hop > feas (when n > 0).
+		if n > 0 {
+			if hop := tc.length / float64(n); hop <= tc.feas+1e-9 {
+				t.Errorf("length %v feas %v: %d relays would already suffice", tc.length, tc.feas, n-1)
+			}
+		}
+	}
+}

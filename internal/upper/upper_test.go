@@ -1,0 +1,337 @@
+package upper
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sagrelay/internal/geom"
+	"sagrelay/internal/lower"
+	"sagrelay/internal/radio"
+	"sagrelay/internal/scenario"
+)
+
+// coverFixture builds a scenario plus a hand-made feasible coverage result.
+func coverFixture(t *testing.T, bsPos []geom.Point, relays []lower.Relay, subs []scenario.Subscriber) (*scenario.Scenario, *lower.Result) {
+	t.Helper()
+	sc := &scenario.Scenario{
+		Field:          geom.SquareField(500),
+		Model:          radio.DefaultModel(),
+		PMax:           scenario.DefaultPMax,
+		SNRThresholdDB: -15,
+		NMax:           scenario.DefaultNMax,
+	}
+	for i := range subs {
+		subs[i].ID = i
+		if subs[i].MinRxPower == 0 {
+			subs[i].MinRxPower = sc.DeriveMinRxPower(subs[i].DistReq)
+		}
+	}
+	sc.Subscribers = subs
+	for i, p := range bsPos {
+		sc.BaseStations = append(sc.BaseStations, scenario.BaseStation{ID: i, Pos: p})
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("fixture scenario invalid: %v", err)
+	}
+	assign := make([]int, len(subs))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for r, relay := range relays {
+		for _, s := range relay.Covers {
+			assign[s] = r
+		}
+	}
+	res := &lower.Result{Feasible: true, Relays: relays, AssignOf: assign, Method: "fixture"}
+	if err := res.Verify(sc, false); err != nil {
+		t.Fatalf("fixture coverage invalid: %v", err)
+	}
+	return sc, res
+}
+
+func TestMBMCSingleRelayDirect(t *testing.T) {
+	// One coverage relay 100 from the BS with feasible distance 30:
+	// ceil(100/30)-1 = 3 connectivity relays evenly spaced.
+	sc, cover := coverFixture(t,
+		[]geom.Point{geom.Pt(0, 0)},
+		[]lower.Relay{{Pos: geom.Pt(100, 0), Covers: []int{0}}},
+		[]scenario.Subscriber{{Pos: geom.Pt(110, 0), DistReq: 30}},
+	)
+	res, err := MBMC(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRelays() != 3 {
+		t.Fatalf("placed %d relays, want 3", res.NumRelays())
+	}
+	if err := res.Verify(sc, cover); err != nil {
+		t.Fatal(err)
+	}
+	e := res.Edges[0]
+	if e.ParentBS != 0 || e.ParentCoverage != -1 {
+		t.Errorf("edge parent = BS %d, cover %d", e.ParentBS, e.ParentCoverage)
+	}
+	if math.Abs(e.HopLength()-25) > 1e-9 {
+		t.Errorf("hop length = %v, want 25", e.HopLength())
+	}
+	for _, cr := range res.Relays {
+		if cr.Pos.Y != 0 || cr.Pos.X <= 0 || cr.Pos.X >= 100 {
+			t.Errorf("relay off the segment: %v", cr.Pos)
+		}
+	}
+}
+
+func TestMBMCPicksNearestBS(t *testing.T) {
+	sc, cover := coverFixture(t,
+		[]geom.Point{geom.Pt(-200, 0), geom.Pt(100, 0)},
+		[]lower.Relay{{Pos: geom.Pt(60, 0), Covers: []int{0}}},
+		[]scenario.Subscriber{{Pos: geom.Pt(65, 0), DistReq: 35}},
+	)
+	res, err := MBMC(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges[0].ParentBS != 1 {
+		t.Errorf("attached to BS %d, want nearest (1)", res.Edges[0].ParentBS)
+	}
+}
+
+func TestMUSTForcesGivenBS(t *testing.T) {
+	sc, cover := coverFixture(t,
+		[]geom.Point{geom.Pt(-200, 0), geom.Pt(100, 0)},
+		[]lower.Relay{{Pos: geom.Pt(60, 0), Covers: []int{0}}},
+		[]scenario.Subscriber{{Pos: geom.Pt(65, 0), DistReq: 35}},
+	)
+	res, err := MUST(sc, cover, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges[0].ParentBS != 0 {
+		t.Errorf("attached to BS %d, want forced (0)", res.Edges[0].ParentBS)
+	}
+	// The far BS needs more relays than MBMC's nearest choice.
+	mbmc, err := MBMC(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRelays() <= mbmc.NumRelays() {
+		t.Errorf("MUST to far BS placed %d <= MBMC %d", res.NumRelays(), mbmc.NumRelays())
+	}
+	if _, err := MUST(sc, cover, 7); err == nil {
+		t.Error("out-of-range BS accepted")
+	}
+}
+
+func TestMBMCRoutesThroughRelays(t *testing.T) {
+	// A chain: BS at 0, relay A at 80, relay B at 160. B should parent to A
+	// (hop-count weight 80 vs 160 direct), not straight to the BS.
+	sc, cover := coverFixture(t,
+		[]geom.Point{geom.Pt(0, 0)},
+		[]lower.Relay{
+			{Pos: geom.Pt(80, 0), Covers: []int{0}},
+			{Pos: geom.Pt(160, 0), Covers: []int{1}},
+		},
+		[]scenario.Subscriber{
+			{Pos: geom.Pt(85, 0), DistReq: 30},
+			{Pos: geom.Pt(165, 0), DistReq: 30},
+		},
+	)
+	res, err := MBMC(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(sc, cover); err != nil {
+		t.Fatal(err)
+	}
+	var edgeB *TreeEdge
+	for i := range res.Edges {
+		if res.Edges[i].Child == 1 {
+			edgeB = &res.Edges[i]
+		}
+	}
+	if edgeB == nil || edgeB.ParentCoverage != 0 {
+		t.Errorf("relay B not parented to relay A: %+v", edgeB)
+	}
+}
+
+func TestFeasibleDistancePropagation(t *testing.T) {
+	// Child with a strict requirement (20) behind a parent with a loose one
+	// (40): the parent's uplink must use the child's 20.
+	sc, cover := coverFixture(t,
+		[]geom.Point{geom.Pt(0, 0)},
+		[]lower.Relay{
+			{Pos: geom.Pt(70, 0), Covers: []int{0}},
+			{Pos: geom.Pt(140, 0), Covers: []int{1}},
+		},
+		[]scenario.Subscriber{
+			{Pos: geom.Pt(75, 0), DistReq: 40},
+			{Pos: geom.Pt(145, 0), DistReq: 20},
+		},
+	)
+	res, err := MBMC(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Edges {
+		switch e.Child {
+		case 0: // parent edge carries the subtree: min(40, 20) = 20
+			if math.Abs(e.FeasDist-20) > 1e-9 {
+				t.Errorf("uplink feasible distance = %v, want 20", e.FeasDist)
+			}
+		case 1:
+			if math.Abs(e.FeasDist-20) > 1e-9 {
+				t.Errorf("child feasible distance = %v, want 20", e.FeasDist)
+			}
+		}
+	}
+}
+
+func TestMBMCZeroLengthEdge(t *testing.T) {
+	// Relay exactly at the BS: zero relays, no NaN.
+	sc, cover := coverFixture(t,
+		[]geom.Point{geom.Pt(0, 0)},
+		[]lower.Relay{{Pos: geom.Pt(0, 0), Covers: []int{0}}},
+		[]scenario.Subscriber{{Pos: geom.Pt(5, 0), DistReq: 30}},
+	)
+	res, err := MBMC(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRelays() != 0 {
+		t.Errorf("placed %d relays on a zero-length edge", res.NumRelays())
+	}
+	if err := res.Verify(sc, cover); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUCPOPowers(t *testing.T) {
+	sc, cover := coverFixture(t,
+		[]geom.Point{geom.Pt(0, 0)},
+		[]lower.Relay{{Pos: geom.Pt(100, 0), Covers: []int{0}}},
+		[]scenario.Subscriber{{Pos: geom.Pt(110, 0), DistReq: 30}},
+	)
+	conn, err := MBMC(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := UCPO(sc, cover, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := BaselinePower(sc, conn)
+	if alloc.Total > base.Total+1e-9 {
+		t.Errorf("UCPO total %v above baseline %v", alloc.Total, base.Total)
+	}
+	// Hand check: hop 25, demand = PMax*Gain(30)
+	// power = PMax*Gain(30)/Gain(25) = PMax*(25/30)^3.
+	want := sc.PMax * math.Pow(25.0/30, 3)
+	for i, p := range alloc.Powers {
+		if math.Abs(p-want) > 1e-9 {
+			t.Errorf("relay %d power %v, want %v", i, p, want)
+		}
+	}
+	if math.Abs(alloc.Total-3*want) > 1e-9 {
+		t.Errorf("total %v, want %v", alloc.Total, 3*want)
+	}
+}
+
+func TestUCPONeverExceedsPMax(t *testing.T) {
+	f := func(seed int64) bool {
+		sc, err := scenario.Generate(scenario.GenConfig{FieldSide: 500, NumSS: 12, NumBS: 3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		if err != nil || !cover.Feasible {
+			return true // skip infeasible draws
+		}
+		conn, err := MBMC(sc, cover)
+		if err != nil {
+			return false
+		}
+		alloc, err := UCPO(sc, cover, conn)
+		if err != nil {
+			return false
+		}
+		for _, p := range alloc.Powers {
+			if p < 0 || p > sc.PMax+1e-9 {
+				return false
+			}
+		}
+		return alloc.Total <= BaselinePower(sc, conn).Total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMBMCNeverWorseThanEveryMUST(t *testing.T) {
+	// Table II's claim: MBMC's relay count is <= the best single-BS MUST.
+	f := func(seed int64) bool {
+		sc, err := scenario.Generate(scenario.GenConfig{FieldSide: 500, NumSS: 10, NumBS: 4, Seed: seed})
+		if err != nil {
+			return false
+		}
+		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		if err != nil || !cover.Feasible {
+			return true
+		}
+		mbmc, err := MBMC(sc, cover)
+		if err != nil {
+			return false
+		}
+		for b := range sc.BaseStations {
+			must, err := MUST(sc, cover, b)
+			if err != nil {
+				return false
+			}
+			if mbmc.NumRelays() > must.NumRelays() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyCoverageYieldsEmptyPlan(t *testing.T) {
+	sc, cover := coverFixture(t,
+		[]geom.Point{geom.Pt(0, 0)},
+		[]lower.Relay{{Pos: geom.Pt(10, 0), Covers: []int{0}}},
+		[]scenario.Subscriber{{Pos: geom.Pt(12, 0), DistReq: 30}},
+	)
+	empty := &lower.Result{Feasible: true, Relays: nil, AssignOf: []int{}}
+	// An empty coverage result fails Verify because the subscriber is
+	// uncovered; MBMC must reject it.
+	if _, err := MBMC(sc, empty); err == nil {
+		t.Error("MBMC accepted a coverage result that covers nobody")
+	}
+	_ = cover
+}
+
+func TestVerifyCatchesCorruptPlans(t *testing.T) {
+	sc, cover := coverFixture(t,
+		[]geom.Point{geom.Pt(0, 0)},
+		[]lower.Relay{{Pos: geom.Pt(100, 0), Covers: []int{0}}},
+		[]scenario.Subscriber{{Pos: geom.Pt(110, 0), DistReq: 30}},
+	)
+	res, err := MBMC(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the relay count.
+	res.Edges[0].NumRelays++
+	if err := res.Verify(sc, cover); err == nil {
+		t.Error("relay-count mismatch accepted")
+	}
+	res.Edges[0].NumRelays--
+	// Orphan edge.
+	res.Edges[0].ParentBS = -1
+	if err := res.Verify(sc, cover); err == nil {
+		t.Error("orphan edge accepted")
+	}
+}

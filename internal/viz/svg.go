@@ -1,0 +1,152 @@
+// Package viz renders deployment topologies as SVG, reproducing the
+// paper's Fig. 6 panels: subscriber stations, base stations, coverage
+// relays, connectivity relays, and the upper-tier tree edges.
+package viz
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/geom"
+	"sagrelay/internal/scenario"
+)
+
+// Style configures the rendering.
+type Style struct {
+	// SizePx is the output image width and height in pixels; 0 means 640.
+	SizePx int
+	// Margin is the field-coordinate margin around the plot; 0 means 20.
+	Margin float64
+	// ShowCircles draws each subscriber's feasible coverage circle.
+	ShowCircles bool
+	// ShowEdges draws the upper-tier tree segments.
+	ShowEdges bool
+	// Title is drawn at the top when non-empty.
+	Title string
+}
+
+func (s Style) withDefaults() Style {
+	if s.SizePx <= 0 {
+		s.SizePx = 640
+	}
+	if s.Margin <= 0 {
+		s.Margin = 20
+	}
+	return s
+}
+
+// canvas maps field coordinates to pixel coordinates (y flipped).
+type canvas struct {
+	field geom.Rect
+	size  float64
+}
+
+func (c canvas) x(p geom.Point) float64 {
+	return (p.X - c.field.Min.X) / c.field.Width() * c.size
+}
+
+func (c canvas) y(p geom.Point) float64 {
+	return (1 - (p.Y-c.field.Min.Y)/c.field.Height()) * c.size
+}
+
+func (c canvas) scale(d float64) float64 { return d / c.field.Width() * c.size }
+
+// Render draws the scenario and (optionally) a solved deployment. sol may
+// be nil to plot the raw scenario; an infeasible solution plots like nil.
+func Render(sc *scenario.Scenario, sol *core.Solution, style Style) (string, error) {
+	if err := sc.Validate(); err != nil {
+		return "", fmt.Errorf("viz: %w", err)
+	}
+	style = style.withDefaults()
+	cv := canvas{field: sc.Field.Expand(style.Margin), size: float64(style.SizePx)}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		style.SizePx, style.SizePx, style.SizePx, style.SizePx)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Field boundary.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888" stroke-width="1"/>`+"\n",
+		cv.x(sc.Field.Min), cv.y(sc.Field.Max), cv.scale(sc.Field.Width()), cv.scale(sc.Field.Height()))
+	if style.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="14" font-size="13" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			style.SizePx/2, escape(style.Title))
+	}
+	if style.ShowCircles {
+		for _, s := range sc.Subscribers {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#cfe" stroke-width="1"/>`+"\n",
+				cv.x(s.Pos), cv.y(s.Pos), cv.scale(s.DistReq))
+		}
+	}
+	feasible := sol != nil && sol.Feasible
+	// Tree edges first, so markers draw on top.
+	if feasible && style.ShowEdges {
+		for _, e := range sol.Connectivity.Edges {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bbb" stroke-width="1"/>`+"\n",
+				cv.x(e.From), cv.y(e.From), cv.x(e.To), cv.y(e.To))
+		}
+	}
+	// Subscribers: blue dots.
+	for _, s := range sc.Subscribers {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="#1f77b4"><title>SS %d</title></circle>`+"\n",
+			cv.x(s.Pos), cv.y(s.Pos), s.ID)
+	}
+	// Base stations: red triangles.
+	for _, bs := range sc.BaseStations {
+		x, y := cv.x(bs.Pos), cv.y(bs.Pos)
+		fmt.Fprintf(&b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="#d62728"><title>BS %d</title></polygon>`+"\n",
+			x, y-6, x-5, y+4, x+5, y+4, bs.ID)
+	}
+	if feasible {
+		// Coverage relays: green squares.
+		for i, r := range sol.Coverage.Relays {
+			x, y := cv.x(r.Pos), cv.y(r.Pos)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="8" height="8" fill="#2ca02c"><title>RS(Cover) %d</title></rect>`+"\n",
+				x-4, y-4, i)
+		}
+		// Connectivity relays: purple diamonds.
+		for i, r := range sol.Connectivity.Relays {
+			x, y := cv.x(r.Pos), cv.y(r.Pos)
+			fmt.Fprintf(&b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="#9467bd"><title>RS(Connect) %d</title></polygon>`+"\n",
+				x, y-4, x+4, y, x, y+4, x-4, y, i)
+		}
+	}
+	b.WriteString(legend(style.SizePx, feasible))
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// RenderToFile renders and writes the SVG to path.
+func RenderToFile(sc *scenario.Scenario, sol *core.Solution, style Style, path string) error {
+	svg, err := Render(sc, sol, style)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return fmt.Errorf("viz: write %s: %w", path, err)
+	}
+	return nil
+}
+
+func legend(size int, feasible bool) string {
+	var b strings.Builder
+	y := size - 12
+	x := 10
+	entry := func(marker, label string) {
+		b.WriteString(marker)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n", x+10, y+4, label)
+		x += 20 + 8*len(label)
+	}
+	entry(fmt.Sprintf(`<circle cx="%d" cy="%d" r="3" fill="#1f77b4"/>`, x, y), "SS")
+	entry(fmt.Sprintf(`<polygon points="%d,%d %d,%d %d,%d" fill="#d62728"/>`, x, y-4, x-4, y+3, x+4, y+3), "BS")
+	if feasible {
+		entry(fmt.Sprintf(`<rect x="%d" y="%d" width="7" height="7" fill="#2ca02c"/>`, x-3, y-3), "RS(Cover)")
+		entry(fmt.Sprintf(`<polygon points="%d,%d %d,%d %d,%d %d,%d" fill="#9467bd"/>`, x, y-4, x+4, y, x, y+4, x-4, y), "RS(Connect)")
+	}
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,115 @@
+package viz
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/scenario"
+)
+
+func fixture(t *testing.T) (*scenario.Scenario, *core.Solution) {
+	t.Helper()
+	sc, err := scenario.Generate(scenario.GenConfig{FieldSide: 300, NumSS: 8, NumBS: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.SAG(sc, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, sol
+}
+
+func TestRenderScenarioOnly(t *testing.T) {
+	sc, _ := fixture(t)
+	svg, err := Render(sc, nil, Style{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not a well-formed SVG document")
+	}
+	if got := strings.Count(svg, "<title>SS"); got != 8 {
+		t.Errorf("drew %d subscriber markers, want 8", got)
+	}
+	if got := strings.Count(svg, "<title>BS"); got != 2 {
+		t.Errorf("drew %d base station markers, want 2", got)
+	}
+	if strings.Contains(svg, "RS(Cover)") && strings.Contains(svg, "<title>RS(Cover)") {
+		t.Error("relays drawn without a solution")
+	}
+}
+
+func TestRenderSolution(t *testing.T) {
+	sc, sol := fixture(t)
+	if !sol.Feasible {
+		t.Skip("fixture infeasible")
+	}
+	svg, err := Render(sc, sol, Style{ShowEdges: true, ShowCircles: true, Title: "SAMC+MBMC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<title>RS(Cover)"); got != sol.Coverage.NumRelays() {
+		t.Errorf("drew %d coverage relays, want %d", got, sol.Coverage.NumRelays())
+	}
+	if got := strings.Count(svg, "<title>RS(Connect)"); got != sol.Connectivity.NumRelays() {
+		t.Errorf("drew %d connectivity relays, want %d", got, sol.Connectivity.NumRelays())
+	}
+	if got := strings.Count(svg, "<line "); got != len(sol.Connectivity.Edges) {
+		t.Errorf("drew %d edges, want %d", got, len(sol.Connectivity.Edges))
+	}
+	if !strings.Contains(svg, "SAMC+MBMC") {
+		t.Error("title missing")
+	}
+}
+
+func TestRenderEscapesTitle(t *testing.T) {
+	sc, _ := fixture(t)
+	svg, err := Render(sc, nil, Style{Title: `a<b&"c"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a<b&"c"`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;&quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestRenderToFile(t *testing.T) {
+	sc, sol := fixture(t)
+	path := filepath.Join(t.TempDir(), "topo.svg")
+	if err := RenderToFile(sc, sol, Style{}, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("file does not contain SVG")
+	}
+}
+
+func TestRenderRejectsInvalidScenario(t *testing.T) {
+	sc, _ := fixture(t)
+	sc.Subscribers = nil
+	if _, err := Render(sc, nil, Style{}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestCanvasMapping(t *testing.T) {
+	sc, _ := fixture(t)
+	svg, err := Render(sc, nil, Style{SizePx: 100, Margin: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, `width="100"`) {
+		t.Error("custom size ignored")
+	}
+}

@@ -1,0 +1,164 @@
+package sagrelay
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 500, NumSS: 12, NumBS: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SAG(sc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatal("SAG infeasible")
+	}
+	if sol.TotalRelays() <= 0 || sol.PTotal <= 0 {
+		t.Errorf("relays=%d power=%v", sol.TotalRelays(), sol.PTotal)
+	}
+}
+
+func TestFacadeTierAPIs(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 500, NumSS: 10, NumBS: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones, err := ZonePartition(sc)
+	if err != nil || len(zones) == 0 {
+		t.Fatalf("ZonePartition: %v (%d zones)", err, len(zones))
+	}
+	cover, err := SAMC(sc, SAMCOptions{})
+	if err != nil || !cover.Feasible {
+		t.Fatalf("SAMC: %v", err)
+	}
+	pro, err := PRO(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OptimalCoveragePower(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Total > pro.Total+1e-6 {
+		t.Errorf("optimal %v above PRO %v", opt.Total, pro.Total)
+	}
+	conn, err := MBMC(sc, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must, err := MUST(sc, cover, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.NumRelays() > must.NumRelays() {
+		t.Errorf("MBMC %d above MUST %d", conn.NumRelays(), must.NumRelays())
+	}
+	ucpo, err := UCPO(sc, cover, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ucpo.Total < 0 {
+		t.Errorf("UCPO total %v", ucpo.Total)
+	}
+}
+
+func TestFacadeDBHelpers(t *testing.T) {
+	if math.Abs(DBToLinear(-15)-0.03162277) > 1e-6 {
+		t.Error("DBToLinear wrong")
+	}
+	if math.Abs(LinearToDB(10)-10) > 1e-12 {
+		t.Error("LinearToDB wrong")
+	}
+	if DefaultRadioModel().Alpha != 3 {
+		t.Error("default model alpha")
+	}
+	f := SquareField(500)
+	if f.Width() != 500 || !f.Center().AlmostEqual(Pt(0, 0), 0) {
+		t.Error("SquareField wrong")
+	}
+}
+
+func TestFacadeScenarioIO(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 300, NumSS: 4, NumBS: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := SaveScenario(sc, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSS() != 4 {
+		t.Error("round trip lost subscribers")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 18 {
+		t.Errorf("got %d experiment ids", len(ids))
+	}
+	if _, err := RunExperiment("bogus", ExperimentConfig{}); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+}
+
+func TestFacadeRender(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 300, NumSS: 5, NumBS: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := RenderSVG(sc, nil, VizStyle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<svg") {
+		t.Error("render output not SVG")
+	}
+}
+
+func TestFacadeDARP(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 300, NumSS: 8, NumBS: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	darp, err := DARP(sc, CoverSAMC, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sag, err := SAG(sc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sag.Feasible && darp.Feasible && sag.PTotal > darp.PTotal {
+		t.Errorf("SAG %v above DARP %v", sag.PTotal, darp.PTotal)
+	}
+}
+
+func TestFacadeCustomPipeline(t *testing.T) {
+	sc, err := Generate(GenConfig{FieldSide: 300, NumSS: 6, NumBS: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := RunPipeline(sc, Config{
+		Coverage:          CoverSAMC,
+		CoveragePower:     PowerOptimal,
+		Connectivity:      ConnMUST,
+		ConnectivityPower: PowerBaseline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Feasible && sol.PH != float64(sol.Connectivity.NumRelays())*sc.PMax {
+		t.Error("baseline upper-tier power wrong")
+	}
+}
