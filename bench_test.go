@@ -7,6 +7,7 @@
 package sagrelay
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -59,6 +60,24 @@ func BenchmarkFig7a(b *testing.B)  { benchArtifact(b, "fig7a") }
 func BenchmarkFig7b(b *testing.B)  { benchArtifact(b, "fig7b") }
 func BenchmarkFig7c(b *testing.B)  { benchArtifact(b, "fig7c") }
 func BenchmarkTable2(b *testing.B) { benchArtifact(b, "table2") }
+
+// BenchmarkFig3aWorkers regenerates fig3a at fixed worker counts — the
+// speedup of workers-4 over workers-1 is the parallel solve engine's
+// headline number (on a multi-core host; on one CPU the two coincide).
+func BenchmarkFig3aWorkers(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiment.QuickConfig()
+				cfg.Workers = w
+				cfg.ILP.Workers = w
+				if _, err := experiment.Run("fig3a", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // benchScenario builds the standard 30-user 500x500 workload.
 func benchScenario(b *testing.B, seed int64) *scenario.Scenario {

@@ -1,0 +1,35 @@
+#!/bin/sh
+# ci.sh — the repository's full verification gate.
+#
+#   ./ci.sh          # vet + build + race-enabled tests (includes the
+#                    # worker-count determinism regression)
+#   ./ci.sh -full    # additionally run the full-size Fig3a determinism
+#                    # check (minutes of branch-and-bound)
+#
+# The -race run covers every package, so the parallel experiment harness
+# and the per-zone solvers are exercised under the race detector on every
+# gate. Tests are written to pass with -short except the full-size
+# determinism check, which -full enables by dropping -short.
+set -eu
+
+cd "$(dirname "$0")"
+
+MODE=short
+if [ "${1:-}" = "-full" ]; then
+	MODE=full
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./... ($MODE)"
+if [ "$MODE" = full ]; then
+	go test -race -timeout 60m ./...
+else
+	go test -race -short -timeout 30m ./...
+fi
+
+echo "ci.sh: all checks passed"

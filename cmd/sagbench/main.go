@@ -43,6 +43,7 @@ func run(args []string) error {
 		grid     = fs.Float64("grid", 15, "GAC grid size (where not swept)")
 		maxNodes = fs.Int("max-nodes", 0, "branch-and-bound node cap per zone (0 = default)")
 		timeout  = fs.Duration("zone-timeout", 0, "branch-and-bound time cap per zone (0 = default)")
+		workers  = fs.Int("workers", 0, "concurrent solves per experiment (0 = all CPUs, 1 = sequential)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
 		chart    = fs.Bool("chart", false, "also render each artifact as an ASCII chart")
 	)
@@ -58,12 +59,14 @@ func run(args []string) error {
 		return fmt.Errorf("missing -exp (or -list)")
 	}
 	cfg := experiment.Config{
-		Runs: *runs,
-		Seed: *seed,
+		Runs:    *runs,
+		Seed:    *seed,
+		Workers: *workers,
 		ILP: lower.ILPOptions{
 			GridSize:  *grid,
 			MaxNodes:  *maxNodes,
 			TimeLimit: *timeout,
+			Workers:   *workers,
 		},
 	}
 	if !*quiet {

@@ -64,6 +64,7 @@ func run(args []string) error {
 		coverage = fs.String("coverage", "SAMC", "coverage method: SAMC, IAC or GAC")
 		power    = fs.String("power", "green", "power stages: green, baseline or optimal")
 		conn     = fs.String("connectivity", "MBMC", "connectivity method: MBMC or MUST")
+		workers  = fs.Int("workers", 0, "concurrent per-zone solves (0 = all CPUs, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +97,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	cfg.Workers = *workers
 	sol, err := core.Run(sc, cfg)
 	if err != nil {
 		return err

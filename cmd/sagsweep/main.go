@@ -83,6 +83,7 @@ func run(args []string) error {
 		runs     = fs.Int("runs", 3, "seeded repetitions per point")
 		seed     = fs.Int64("seed", 1, "base seed")
 		coverage = fs.String("coverage", "SAMC", "coverage method: SAMC, IAC or GAC")
+		workers  = fs.Int("workers", 0, "concurrent per-zone solves (0 = all CPUs, 1 = sequential)")
 		chart    = fs.Bool("chart", false, "render an ASCII chart")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +96,7 @@ func run(args []string) error {
 		return fmt.Errorf("empty range [%v,%v]", *from, *to)
 	}
 	var cfg core.Config
+	cfg.Workers = *workers
 	switch *coverage {
 	case "SAMC", "samc":
 		cfg.Coverage = core.CoverSAMC

@@ -117,11 +117,22 @@ type Config struct {
 	SAMC lower.SAMCOptions
 	// ILP tunes the IAC/GAC formulations.
 	ILP lower.ILPOptions
+	// Workers bounds zone-level solve concurrency across the pipeline
+	// stages; 0 means runtime.GOMAXPROCS(0). It fills SAMC.Workers and
+	// ILP.Workers unless those are set individually. Results are identical
+	// for any worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
 	if c.Coverage == 0 {
 		c.Coverage = CoverSAMC
+	}
+	if c.SAMC.Workers == 0 {
+		c.SAMC.Workers = c.Workers
+	}
+	if c.ILP.Workers == 0 {
+		c.ILP.Workers = c.Workers
 	}
 	if c.CoveragePower == 0 {
 		c.CoveragePower = PowerGreen

@@ -3,29 +3,50 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"sagrelay/internal/lower"
+	"sagrelay/internal/par"
 )
 
-// Config controls workload repetition and solver budgets for all
-// experiments.
+// Config controls workload repetition, parallelism and solver budgets for
+// all experiments.
 type Config struct {
 	// Runs is the number of seeded repetitions averaged per data point; the
 	// paper uses 10. 0 means 10.
 	Runs int
-	// Seed is the base seed; repetition r of a data point uses Seed + r.
+	// Seed is the base seed; repetition r of data point x uses
+	// seedFor(Seed, x, r).
 	Seed int64
+	// Workers bounds the number of concurrent (data point, repetition)
+	// solves; 0 means runtime.GOMAXPROCS(0). Every task derives its own
+	// seed and writes into an index-addressed result slot, so any worker
+	// count produces bit-identical tables; Workers == 1 additionally
+	// reproduces the historical sequential execution order, including the
+	// order of Progress lines.
+	Workers int
 	// ILP tunes the IAC/GAC solvers (branch-and-bound budgets, grid size
 	// where not swept by the experiment itself).
 	ILP lower.ILPOptions
 	// Progress, when non-nil, receives one short line per completed data
-	// point (for long-running CLI invocations).
+	// point (for long-running CLI invocations). Writes are mutex-guarded
+	// and each line is issued as a single Write call, so concurrent data
+	// points cannot interleave mid-line.
 	Progress io.Writer
+	// mu guards Progress; installed by withDefaults so all copies of a
+	// defaulted Config share one lock.
+	mu *sync.Mutex
 }
 
 func (c Config) withDefaults() Config {
 	if c.Runs <= 0 {
 		c.Runs = 10
+	}
+	c.Workers = par.DefaultWorkers(c.Workers)
+	if c.Progress != nil && c.mu == nil {
+		c.mu = &sync.Mutex{}
 	}
 	return c
 }
@@ -34,8 +55,59 @@ func (c Config) withDefaults() Config {
 // tests: a single repetition per point with the default solver budgets.
 func QuickConfig() Config { return Config{Runs: 1} }
 
+// progress emits one line to the Progress writer. The line is formatted
+// before the lock is taken and written with a single Write call, so
+// concurrently completing data points produce whole, non-interleaved lines.
 func (c Config) progress(format string, args ...interface{}) {
-	if c.Progress != nil {
-		_, _ = io.WriteString(c.Progress, fmt.Sprintf(format, args...))
+	if c.Progress == nil {
+		return
 	}
+	line := fmt.Sprintf(format, args...)
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	_, _ = io.WriteString(c.Progress, line)
+}
+
+// forEachCell fans the (data point, repetition) grid out over c.Workers
+// workers: task (pi, r) for pi in [0, points) and r in [0, c.Runs). fn must
+// write its result into a pre-sized slot addressed by (pi, r) — never by
+// append order — which is what keeps parallel output bit-identical to
+// sequential. pointDone, when non-nil, runs exactly once per data point,
+// from the worker that completes the point's last repetition (progress
+// reporting). On error the remaining unstarted tasks are cancelled and the
+// lowest-index error is returned.
+func (c Config) forEachCell(points int, fn func(pi, r int) error, pointDone func(pi int)) error {
+	remaining := make([]int32, points)
+	for i := range remaining {
+		remaining[i] = int32(c.Runs)
+	}
+	return par.ForEach(c.Workers, points*c.Runs, func(t int) error {
+		pi, r := t/c.Runs, t%c.Runs
+		if err := fn(pi, r); err != nil {
+			return err
+		}
+		if atomic.AddInt32(&remaining[pi], -1) == 0 && pointDone != nil {
+			pointDone(pi)
+		}
+		return nil
+	})
+}
+
+// nanGrid allocates a [points][cols][runs] sample grid pre-filled with NaN,
+// so repetitions skipped as infeasible naturally drop out of mean().
+func nanGrid(points, cols, runs int) [][][]float64 {
+	g := make([][][]float64, points)
+	for pi := range g {
+		g[pi] = make([][]float64, cols)
+		for c := range g[pi] {
+			row := make([]float64, runs)
+			for r := range row {
+				row[r] = math.NaN()
+			}
+			g[pi][c] = row
+		}
+	}
+	return g
 }

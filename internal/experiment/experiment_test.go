@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -214,5 +215,46 @@ func TestProgressWriter(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "users=5 done") {
 		t.Errorf("no progress written: %q", sb.String())
+	}
+}
+
+// lineRecorder records every Write call it receives verbatim.
+type lineRecorder struct {
+	mu     sync.Mutex
+	writes []string
+}
+
+func (l *lineRecorder) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.writes = append(l.writes, string(p))
+	return len(p), nil
+}
+
+// TestProgressLineAtomic: concurrent data points must emit each progress
+// line as exactly one Write call ending in a newline — interleaved workers
+// can reorder whole lines but never splice fragments mid-line.
+func TestProgressLineAtomic(t *testing.T) {
+	rec := &lineRecorder{}
+	cfg := Config{Runs: 4, Workers: 8, Progress: rec}
+	cfg = cfg.withDefaults()
+	err := cfg.forEachCell(16, func(pi, r int) error { return nil }, func(pi int) {
+		cfg.progress("point %d done\n", pi)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.writes) != 16 {
+		t.Fatalf("%d writes for 16 data points", len(rec.writes))
+	}
+	seen := make(map[string]bool)
+	for _, w := range rec.writes {
+		if !strings.HasSuffix(w, "done\n") || strings.Count(w, "\n") != 1 {
+			t.Errorf("write is not one whole line: %q", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("%d distinct lines, want 16", len(seen))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"sagrelay/internal/core"
+	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
 	"sagrelay/internal/viz"
 )
@@ -55,11 +56,21 @@ func Fig6(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := range fig6Schemes {
+	// The four schemes are independent solves over the same scenario; fan
+	// them out and assemble rows in scheme order afterwards.
+	sols := make([]*core.Solution, len(fig6Schemes))
+	err = par.ForEach(cfg.Workers, len(fig6Schemes), func(i int) error {
 		sol, err := fig6Solve(sc, i, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		sols[i] = sol
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sol := range sols {
 		if !sol.Feasible {
 			if err := t.AddRow(float64(i), math.NaN(), math.NaN()); err != nil {
 				return nil, err

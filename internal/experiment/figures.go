@@ -15,9 +15,13 @@ import (
 // Table II (which sweeps it); Fig. 4(c) states 4 base stations.
 const numBS = 4
 
-// seedFor derives a deterministic per-point seed.
+// seedFor derives a deterministic per-task seed. The data-point key x and
+// the repetition index occupy disjoint bit ranges (x in bits 32+, run in
+// the low 32 bits), so no run count below 2^32 can ever alias an adjacent
+// data point's seed stream — unlike the previous base + x*1009 + run
+// scheme, where run >= 1009 collided with data point x+1.
 func seedFor(base int64, x, run int) int64 {
-	return base + int64(x)*1009 + int64(run)
+	return base ^ (int64(x) << 32) ^ int64(run)
 }
 
 // ints returns {from, from+step, ..., <= to}.
@@ -68,7 +72,10 @@ func runCoverage(sc *scenario.Scenario, method core.CoverageMethod, ilp lower.IL
 }
 
 // fig3Coverage is the shared driver for Figs. 3(a)-3(c): coverage relay
-// counts vs user count for IAC, GAC and SAMC.
+// counts vs user count for IAC, GAC and SAMC. The (point, run) grid fans
+// out over cfg.Workers; every task derives its own seed and writes into
+// its (point, method, run) slot, so the table is identical at any worker
+// count.
 func fig3Coverage(id, title string, side float64, users []int, snrDB float64, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
@@ -77,25 +84,31 @@ func fig3Coverage(id, title string, side float64, users []int, snrDB float64, cf
 		Columns: []string{"IAC", "GAC", "SAMC"},
 	}
 	methods := []core.CoverageMethod{core.CoverIAC, core.CoverGAC, core.CoverSAMC}
-	for _, n := range users {
-		samples := make([][]float64, len(methods))
-		for r := 0; r < cfg.Runs; r++ {
-			sc, err := genScenario(side, n, snrDB, seedFor(cfg.Seed, n, r))
-			if err != nil {
-				return nil, err
-			}
-			for m, method := range methods {
-				v, err := coverageCount(sc, method, cfg.ILP)
-				if err != nil {
-					return nil, err
-				}
-				samples[m] = append(samples[m], v)
-			}
+	samples := nanGrid(len(users), len(methods), cfg.Runs)
+	err := cfg.forEachCell(len(users), func(pi, r int) error {
+		n := users[pi]
+		sc, err := genScenario(side, n, snrDB, seedFor(cfg.Seed, n, r))
+		if err != nil {
+			return err
 		}
-		if err := t.AddRow(float64(n), mean(samples[0]), mean(samples[1]), mean(samples[2])); err != nil {
+		for m, method := range methods {
+			v, err := coverageCount(sc, method, cfg.ILP)
+			if err != nil {
+				return err
+			}
+			samples[pi][m][r] = v
+		}
+		return nil
+	}, func(pi int) {
+		cfg.progress("%s: users=%d done\n", id, users[pi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range users {
+		if err := t.AddRow(float64(n), mean(samples[pi][0]), mean(samples[pi][1]), mean(samples[pi][2])); err != nil {
 			return nil, err
 		}
-		cfg.progress("%s: users=%d done\n", id, n)
 	}
 	return t, nil
 }
@@ -127,25 +140,34 @@ func Fig3d(cfg Config) (*Table, error) {
 		Columns: []string{"IAC", "GAC", "SAMC"},
 	}
 	methods := []core.CoverageMethod{core.CoverIAC, core.CoverGAC, core.CoverSAMC}
+	var snrs []float64
 	for snr := -14.0; snr <= -10.0+1e-9; snr += 0.5 {
-		samples := make([][]float64, len(methods))
-		for r := 0; r < cfg.Runs; r++ {
-			sc, err := genScenario(500, 30, snr, seedFor(cfg.Seed, 30, r))
-			if err != nil {
-				return nil, err
-			}
-			for m, method := range methods {
-				v, err := coverageCount(sc, method, cfg.ILP)
-				if err != nil {
-					return nil, err
-				}
-				samples[m] = append(samples[m], v)
-			}
+		snrs = append(snrs, snr)
+	}
+	samples := nanGrid(len(snrs), len(methods), cfg.Runs)
+	err := cfg.forEachCell(len(snrs), func(pi, r int) error {
+		sc, err := genScenario(500, 30, snrs[pi], seedFor(cfg.Seed, 30, r))
+		if err != nil {
+			return err
 		}
-		if err := t.AddRow(snr, mean(samples[0]), mean(samples[1]), mean(samples[2])); err != nil {
+		for m, method := range methods {
+			v, err := coverageCount(sc, method, cfg.ILP)
+			if err != nil {
+				return err
+			}
+			samples[pi][m][r] = v
+		}
+		return nil
+	}, func(pi int) {
+		cfg.progress("fig3d: snr=%.1f done\n", snrs[pi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, snr := range snrs {
+		if err := t.AddRow(snr, mean(samples[pi][0]), mean(samples[pi][1]), mean(samples[pi][2])); err != nil {
 			return nil, err
 		}
-		cfg.progress("fig3d: snr=%.1f done\n", snr)
 	}
 	return t, nil
 }
@@ -162,50 +184,60 @@ func Fig3e(cfg Config) (*Table, error) {
 		Columns: []string{"IAC", "GAC", "SAMC"},
 	}
 	// Grid-independent baselines, one sample per run.
-	var iacS, samcS []float64
-	for r := 0; r < cfg.Runs; r++ {
+	base := nanGrid(1, 2, cfg.Runs) // [0]: IAC, [1]: SAMC
+	err := cfg.forEachCell(1, func(_, r int) error {
 		sc, err := genScenario(500, 30, snr, seedFor(cfg.Seed, 30, r))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v, err := coverageCount(sc, core.CoverIAC, cfg.ILP)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		iacS = append(iacS, v)
+		base[0][0][r] = v
 		v, err = coverageCount(sc, core.CoverSAMC, cfg.ILP)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		samcS = append(samcS, v)
+		base[0][1][r] = v
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
 	}
-	iacMean, samcMean := mean(iacS), mean(samcS)
-	for grid := 13; grid <= 20; grid++ {
-		var gacS []float64
-		for r := 0; r < cfg.Runs; r++ {
-			sc, err := genScenario(500, 30, snr, seedFor(cfg.Seed, 30, r))
-			if err != nil {
-				return nil, err
-			}
-			ilp := cfg.ILP
-			ilp.GridSize = float64(grid)
-			v, err := coverageCount(sc, core.CoverGAC, ilp)
-			if err != nil {
-				return nil, err
-			}
-			gacS = append(gacS, v)
+	iacMean, samcMean := mean(base[0][0]), mean(base[0][1])
+	grids := ints(13, 20, 1)
+	samples := nanGrid(len(grids), 1, cfg.Runs)
+	err = cfg.forEachCell(len(grids), func(pi, r int) error {
+		sc, err := genScenario(500, 30, snr, seedFor(cfg.Seed, 30, r))
+		if err != nil {
+			return err
 		}
-		if err := t.AddRow(float64(grid), iacMean, mean(gacS), samcMean); err != nil {
+		ilp := cfg.ILP
+		ilp.GridSize = float64(grids[pi])
+		v, err := coverageCount(sc, core.CoverGAC, ilp)
+		if err != nil {
+			return err
+		}
+		samples[pi][0][r] = v
+		return nil
+	}, func(pi int) {
+		cfg.progress("fig3e: grid=%d done\n", grids[pi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, grid := range grids {
+		if err := t.AddRow(float64(grid), iacMean, mean(samples[pi][0]), samcMean); err != nil {
 			return nil, err
 		}
-		cfg.progress("fig3e: grid=%d done\n", grid)
 	}
 	return t, nil
 }
 
 // figPRO is the shared driver for Figs. 4(a) and 5(a): lower-tier power
 // cost of the max-power baseline, PRO, and the LPQC optimum on the SAMC
-// placement.
+// placement. Infeasible repetitions stay NaN and drop out of the mean.
 func figPRO(id, title string, side float64, users []int, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
@@ -213,36 +245,42 @@ func figPRO(id, title string, side float64, users []int, cfg Config) (*Table, er
 		XLabel:  "Number of Users",
 		Columns: []string{"baseline", "PRO", "optimal"},
 	}
-	for _, n := range users {
-		var baseS, proS, optS []float64
-		for r := 0; r < cfg.Runs; r++ {
-			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
-			if err != nil {
-				return nil, err
-			}
-			res, err := lower.SAMC(sc, lower.SAMCOptions{})
-			if err != nil {
-				return nil, err
-			}
-			if !res.Feasible {
-				continue
-			}
-			baseS = append(baseS, lower.BaselinePower(sc, res).Total)
-			pro, err := lower.PRO(sc, res)
-			if err != nil {
-				return nil, err
-			}
-			proS = append(proS, pro.Total)
-			opt, err := lower.OptimalPower(sc, res)
-			if err != nil {
-				return nil, err
-			}
-			optS = append(optS, opt.Total)
+	samples := nanGrid(len(users), 3, cfg.Runs)
+	err := cfg.forEachCell(len(users), func(pi, r int) error {
+		n := users[pi]
+		sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+		if err != nil {
+			return err
 		}
-		if err := t.AddRow(float64(n), mean(baseS), mean(proS), mean(optS)); err != nil {
+		res, err := lower.SAMC(sc, lower.SAMCOptions{})
+		if err != nil {
+			return err
+		}
+		if !res.Feasible {
+			return nil
+		}
+		samples[pi][0][r] = lower.BaselinePower(sc, res).Total
+		pro, err := lower.PRO(sc, res)
+		if err != nil {
+			return err
+		}
+		samples[pi][1][r] = pro.Total
+		opt, err := lower.OptimalPower(sc, res)
+		if err != nil {
+			return err
+		}
+		samples[pi][2][r] = opt.Total
+		return nil
+	}, func(pi int) {
+		cfg.progress("%s: users=%d done\n", id, users[pi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range users {
+		if err := t.AddRow(float64(n), mean(samples[pi][0]), mean(samples[pi][1]), mean(samples[pi][2])); err != nil {
 			return nil, err
 		}
-		cfg.progress("%s: users=%d done\n", id, n)
 	}
 	return t, nil
 }
@@ -258,7 +296,11 @@ func Fig5a(cfg Config) (*Table, error) {
 }
 
 // figRuntime is the shared driver for Figs. 4(b) and 5(b): wall-clock
-// running time (milliseconds) of SAMC, IAC and GAC.
+// running time (milliseconds) of SAMC, IAC and GAC. Each (point, run) task
+// times its three solves back-to-back on one goroutine; with Workers > 1
+// concurrent tasks share the machine, so absolute milliseconds are best
+// measured at Workers=1 while the relative ordering survives any worker
+// count.
 func figRuntime(id, title string, side float64, users []int, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
@@ -267,25 +309,31 @@ func figRuntime(id, title string, side float64, users []int, cfg Config) (*Table
 		Columns: []string{"SAMC", "IAC", "GAC"},
 	}
 	methods := []core.CoverageMethod{core.CoverSAMC, core.CoverIAC, core.CoverGAC}
-	for _, n := range users {
-		samples := make([][]float64, len(methods))
-		for r := 0; r < cfg.Runs; r++ {
-			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
-			if err != nil {
-				return nil, err
-			}
-			for m, method := range methods {
-				start := time.Now()
-				if _, err := runCoverage(sc, method, cfg.ILP); err != nil {
-					return nil, err
-				}
-				samples[m] = append(samples[m], float64(time.Since(start).Microseconds())/1000.0)
-			}
+	samples := nanGrid(len(users), len(methods), cfg.Runs)
+	err := cfg.forEachCell(len(users), func(pi, r int) error {
+		n := users[pi]
+		sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+		if err != nil {
+			return err
 		}
-		if err := t.AddRow(float64(n), mean(samples[0]), mean(samples[1]), mean(samples[2])); err != nil {
+		for m, method := range methods {
+			start := time.Now()
+			if _, err := runCoverage(sc, method, cfg.ILP); err != nil {
+				return err
+			}
+			samples[pi][m][r] = float64(time.Since(start).Microseconds()) / 1000.0
+		}
+		return nil
+	}, func(pi int) {
+		cfg.progress("%s: users=%d done\n", id, users[pi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range users {
+		if err := t.AddRow(float64(n), mean(samples[pi][0]), mean(samples[pi][1]), mean(samples[pi][2])); err != nil {
 			return nil, err
 		}
-		cfg.progress("%s: users=%d done\n", id, n)
 	}
 	return t, nil
 }
@@ -314,41 +362,47 @@ func figConnectivity(id, title string, side float64, users []int, cfg Config) (*
 			"connect to optimal BS",
 		},
 	}
-	for _, n := range users {
-		samples := make([][]float64, numBS+1)
-		for r := 0; r < cfg.Runs; r++ {
-			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
-			if err != nil {
-				return nil, err
-			}
-			cover, err := lower.SAMC(sc, lower.SAMCOptions{})
-			if err != nil {
-				return nil, err
-			}
-			if !cover.Feasible {
-				continue
-			}
-			for b := 0; b < numBS; b++ {
-				must, err := upper.MUST(sc, cover, b)
-				if err != nil {
-					return nil, err
-				}
-				samples[b] = append(samples[b], float64(must.NumRelays()))
-			}
-			mbmc, err := upper.MBMC(sc, cover)
-			if err != nil {
-				return nil, err
-			}
-			samples[numBS] = append(samples[numBS], float64(mbmc.NumRelays()))
+	samples := nanGrid(len(users), numBS+1, cfg.Runs)
+	err := cfg.forEachCell(len(users), func(pi, r int) error {
+		n := users[pi]
+		sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+		if err != nil {
+			return err
 		}
+		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		if err != nil {
+			return err
+		}
+		if !cover.Feasible {
+			return nil
+		}
+		for b := 0; b < numBS; b++ {
+			must, err := upper.MUST(sc, cover, b)
+			if err != nil {
+				return err
+			}
+			samples[pi][b][r] = float64(must.NumRelays())
+		}
+		mbmc, err := upper.MBMC(sc, cover)
+		if err != nil {
+			return err
+		}
+		samples[pi][numBS][r] = float64(mbmc.NumRelays())
+		return nil
+	}, func(pi int) {
+		cfg.progress("%s: users=%d done\n", id, users[pi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range users {
 		vals := make([]float64, numBS+1)
 		for i := range vals {
-			vals[i] = mean(samples[i])
+			vals[i] = mean(samples[pi][i])
 		}
 		if err := t.AddRow(float64(n), vals...); err != nil {
 			return nil, err
 		}
-		cfg.progress("%s: users=%d done\n", id, n)
 	}
 	return t, nil
 }
@@ -372,35 +426,41 @@ func figUCPO(id, title string, side float64, users []int, cfg Config) (*Table, e
 		XLabel:  "Number of Users",
 		Columns: []string{"baseline", "UCPO"},
 	}
-	for _, n := range users {
-		var baseS, ucpoS []float64
-		for r := 0; r < cfg.Runs; r++ {
-			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
-			if err != nil {
-				return nil, err
-			}
-			cover, err := lower.SAMC(sc, lower.SAMCOptions{})
-			if err != nil {
-				return nil, err
-			}
-			if !cover.Feasible {
-				continue
-			}
-			conn, err := upper.MBMC(sc, cover)
-			if err != nil {
-				return nil, err
-			}
-			baseS = append(baseS, upper.BaselinePower(sc, conn).Total)
-			ucpo, err := upper.UCPO(sc, cover, conn)
-			if err != nil {
-				return nil, err
-			}
-			ucpoS = append(ucpoS, ucpo.Total)
+	samples := nanGrid(len(users), 2, cfg.Runs)
+	err := cfg.forEachCell(len(users), func(pi, r int) error {
+		n := users[pi]
+		sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+		if err != nil {
+			return err
 		}
-		if err := t.AddRow(float64(n), mean(baseS), mean(ucpoS)); err != nil {
+		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		if err != nil {
+			return err
+		}
+		if !cover.Feasible {
+			return nil
+		}
+		conn, err := upper.MBMC(sc, cover)
+		if err != nil {
+			return err
+		}
+		samples[pi][0][r] = upper.BaselinePower(sc, conn).Total
+		ucpo, err := upper.UCPO(sc, cover, conn)
+		if err != nil {
+			return err
+		}
+		samples[pi][1][r] = ucpo.Total
+		return nil
+	}, func(pi int) {
+		cfg.progress("%s: users=%d done\n", id, users[pi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range users {
+		if err := t.AddRow(float64(n), mean(samples[pi][0]), mean(samples[pi][1])); err != nil {
 			return nil, err
 		}
-		cfg.progress("%s: users=%d done\n", id, n)
 	}
 	return t, nil
 }
@@ -425,31 +485,37 @@ func fig7Total(id, title string, side float64, users []int, cfg Config) (*Table,
 		XLabel:  "Number of Users",
 		Columns: []string{"SAG", "SAMC+DARP", "IAC+DARP", "GAC+DARP"},
 	}
-	for _, n := range users {
-		samples := make([][]float64, 4)
-		for r := 0; r < cfg.Runs; r++ {
-			sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
-			if err != nil {
-				return nil, err
-			}
-			pcfg := core.Config{ILP: cfg.ILP}
-			sag, err := core.SAG(sc, pcfg)
-			if err != nil {
-				return nil, err
-			}
-			samples[0] = append(samples[0], totalOrNaN(sag))
-			for i, m := range []core.CoverageMethod{core.CoverSAMC, core.CoverIAC, core.CoverGAC} {
-				darp, err := core.DARP(sc, m, pcfg)
-				if err != nil {
-					return nil, err
-				}
-				samples[i+1] = append(samples[i+1], totalOrNaN(darp))
-			}
+	samples := nanGrid(len(users), 4, cfg.Runs)
+	err := cfg.forEachCell(len(users), func(pi, r int) error {
+		n := users[pi]
+		sc, err := genScenario(side, n, -15, seedFor(cfg.Seed, n, r))
+		if err != nil {
+			return err
 		}
-		if err := t.AddRow(float64(n), mean(samples[0]), mean(samples[1]), mean(samples[2]), mean(samples[3])); err != nil {
+		pcfg := core.Config{ILP: cfg.ILP}
+		sag, err := core.SAG(sc, pcfg)
+		if err != nil {
+			return err
+		}
+		samples[pi][0][r] = totalOrNaN(sag)
+		for i, m := range []core.CoverageMethod{core.CoverSAMC, core.CoverIAC, core.CoverGAC} {
+			darp, err := core.DARP(sc, m, pcfg)
+			if err != nil {
+				return err
+			}
+			samples[pi][i+1][r] = totalOrNaN(darp)
+		}
+		return nil
+	}, func(pi int) {
+		cfg.progress("%s: users=%d done\n", id, users[pi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range users {
+		if err := t.AddRow(float64(n), mean(samples[pi][0]), mean(samples[pi][1]), mean(samples[pi][2]), mean(samples[pi][3])); err != nil {
 			return nil, err
 		}
-		cfg.progress("%s: users=%d done\n", id, n)
 	}
 	return t, nil
 }
@@ -486,47 +552,51 @@ func Table2(cfg Config) (*Table, error) {
 		XLabel:  "BS",
 		Columns: []string{"MUST BS1", "MUST BS2", "MUST BS3", "MUST BS4", "MBMC"},
 	}
-	for nbs := 1; nbs <= 4; nbs++ {
-		samples := make([][]float64, 5)
-		for r := 0; r < cfg.Runs; r++ {
-			sc, err := scenario.Generate(scenario.GenConfig{
-				FieldSide: 500, NumSS: 30, NumBS: nbs, SNRdB: -15,
-				Seed: seedFor(cfg.Seed, 30*nbs, r),
-			})
-			if err != nil {
-				return nil, err
-			}
-			cover, err := lower.SAMC(sc, lower.SAMCOptions{})
-			if err != nil {
-				return nil, err
-			}
-			if !cover.Feasible {
-				continue
-			}
-			for b := 0; b < 4; b++ {
-				if b >= nbs {
-					continue
-				}
-				must, err := upper.MUST(sc, cover, b)
-				if err != nil {
-					return nil, err
-				}
-				samples[b] = append(samples[b], float64(must.NumRelays()))
-			}
-			mbmc, err := upper.MBMC(sc, cover)
-			if err != nil {
-				return nil, err
-			}
-			samples[4] = append(samples[4], float64(mbmc.NumRelays()))
+	const points = 4 // nbs = 1..4
+	samples := nanGrid(points, 5, cfg.Runs)
+	err := cfg.forEachCell(points, func(pi, r int) error {
+		nbs := pi + 1
+		sc, err := scenario.Generate(scenario.GenConfig{
+			FieldSide: 500, NumSS: 30, NumBS: nbs, SNRdB: -15,
+			Seed: seedFor(cfg.Seed, 30*nbs, r),
+		})
+		if err != nil {
+			return err
 		}
+		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		if err != nil {
+			return err
+		}
+		if !cover.Feasible {
+			return nil
+		}
+		for b := 0; b < nbs; b++ {
+			must, err := upper.MUST(sc, cover, b)
+			if err != nil {
+				return err
+			}
+			samples[pi][b][r] = float64(must.NumRelays())
+		}
+		mbmc, err := upper.MBMC(sc, cover)
+		if err != nil {
+			return err
+		}
+		samples[pi][4][r] = float64(mbmc.NumRelays())
+		return nil
+	}, func(pi int) {
+		cfg.progress("table2: nbs=%d done\n", pi+1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi := 0; pi < points; pi++ {
 		vals := make([]float64, 5)
 		for i := range vals {
-			vals[i] = mean(samples[i])
+			vals[i] = mean(samples[pi][i])
 		}
-		if err := t.AddRow(float64(nbs), vals...); err != nil {
+		if err := t.AddRow(float64(pi+1), vals...); err != nil {
 			return nil, err
 		}
-		cfg.progress("table2: nbs=%d done\n", nbs)
 	}
 	return t, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"sagrelay/internal/geom"
 	"sagrelay/internal/hitting"
+	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
 )
 
@@ -31,7 +32,11 @@ func DistanceCoverage(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) 
 		return nil, fmt.Errorf("lower: distance coverage: %w", err)
 	}
 	res := &Result{Method: "DARP-cover", Zones: zones}
-	for _, zone := range zones {
+	// Zones are independent: solve them concurrently, then concatenate the
+	// relay lists in zone order for a worker-count-independent result.
+	zoneRelays := make([][]Relay, len(zones))
+	err = par.ForEach(opts.Workers, len(zones), func(zi int) error {
+		zone := zones[zi]
 		disks := make([]geom.Circle, len(zone))
 		for i, s := range zone {
 			disks[i] = sc.Subscribers[s].Circle()
@@ -43,14 +48,7 @@ func DistanceCoverage(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) 
 		}
 		mhs, err := inst.Solve(opts.Hitting)
 		if err != nil {
-			if errors.Is(err, hitting.ErrUncoverable) {
-				res.Feasible = false
-				res.Relays = nil
-				res.AssignOf = nil
-				res.Elapsed = time.Since(start)
-				return res, nil
-			}
-			return nil, fmt.Errorf("lower: distance coverage: %w", err)
+			return err
 		}
 		points := make([]geom.Point, len(mhs.Chosen))
 		for i, c := range mhs.Chosen {
@@ -58,8 +56,20 @@ func DistanceCoverage(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) 
 		}
 		relays, err := CoverageLinkEscape(sc, zone, points)
 		if err != nil {
-			return nil, fmt.Errorf("lower: distance coverage: %w", err)
+			return err
 		}
+		zoneRelays[zi] = relays
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, hitting.ErrUncoverable) {
+			res.Feasible = false
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		return nil, fmt.Errorf("lower: distance coverage: %w", err)
+	}
+	for _, relays := range zoneRelays {
 		res.Relays = append(res.Relays, relays...)
 	}
 	res.Feasible = true

@@ -8,6 +8,7 @@ import (
 
 	"sagrelay/internal/geom"
 	"sagrelay/internal/hitting"
+	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
 )
 
@@ -44,18 +45,26 @@ func DualCoverage(sc *scenario.Scenario, opts SAMCOptions) (*DualResult, error) 
 		return nil, fmt.Errorf("lower: dual coverage: %w", err)
 	}
 	res := &DualResult{Result: Result{Method: "dual-cover", Zones: zones}}
-	for _, zone := range zones {
-		relays, err := dualZone(sc, zone)
+	// Zones are independent: solve them concurrently, then concatenate the
+	// relay lists in zone order for a worker-count-independent result.
+	zoneRelays := make([][]Relay, len(zones))
+	err = par.ForEach(opts.Workers, len(zones), func(zi int) error {
+		relays, err := dualZone(sc, zones[zi])
 		if err != nil {
-			if errors.Is(err, hitting.ErrUncoverable) {
-				res.Feasible = false
-				res.Relays = nil
-				res.AssignOf = nil
-				res.Elapsed = time.Since(start)
-				return res, nil
-			}
-			return nil, fmt.Errorf("lower: dual coverage: %w", err)
+			return err
 		}
+		zoneRelays[zi] = relays
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, hitting.ErrUncoverable) {
+			res.Feasible = false
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		return nil, fmt.Errorf("lower: dual coverage: %w", err)
+	}
+	for _, relays := range zoneRelays {
 		res.Relays = append(res.Relays, relays...)
 	}
 	res.Feasible = true

@@ -9,6 +9,7 @@ import (
 	"sagrelay/internal/hitting"
 	"sagrelay/internal/lp"
 	"sagrelay/internal/milp"
+	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
 )
 
@@ -23,6 +24,12 @@ type ILPOptions struct {
 	MaxNodes int
 	// TimeLimit caps branch-and-bound time per sub-zone; 0 means 2s.
 	TimeLimit time.Duration
+	// Workers bounds the number of Zone-Partition zones solved
+	// concurrently; 0 means runtime.GOMAXPROCS(0), 1 solves zones
+	// sequentially. Zones are independent subproblems (Section IV-A) and
+	// relays are assembled in zone order, so the result is identical at any
+	// worker count.
+	Workers int
 	// MILP carries search-strategy knobs (node order, branching rule,
 	// rounding heuristic) through to the branch-and-bound solver; its
 	// MaxNodes/TimeLimit/Incumbent fields are overridden per zone.
@@ -92,22 +99,33 @@ func solveILP(sc *scenario.Scenario, opts ILPOptions, method string, candidatesF
 	}
 	zones = SplitLargeZones(sc, zones, opts.MaxZoneSS)
 	res := &Result{Method: method, Zones: zones}
-	for _, zone := range zones {
+	// The zones are independent ILPQC subproblems: fan them out over the
+	// worker pool, collect each zone's relays into its index-addressed
+	// slot, and concatenate in zone order so the relay list is identical to
+	// a sequential solve. An infeasible zone cancels the remaining ones.
+	zoneRelays := make([][]Relay, len(zones))
+	err = par.ForEach(opts.Workers, len(zones), func(zi int) error {
+		zone := zones[zi]
 		disks := make([]geom.Circle, len(zone))
 		for i, s := range zone {
 			disks[i] = sc.Subscribers[s].Circle()
 		}
 		relays, err := solveZoneILP(sc, zone, disks, candidatesFor(zone, disks), opts)
 		if err != nil {
-			if errors.Is(err, ErrInfeasible) {
-				res.Feasible = false
-				res.Relays = nil
-				res.AssignOf = nil
-				res.Elapsed = time.Since(start)
-				return res, nil
-			}
-			return nil, fmt.Errorf("lower: %s: %w", method, err)
+			return err
 		}
+		zoneRelays[zi] = relays
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrInfeasible) {
+			res.Feasible = false
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		return nil, fmt.Errorf("lower: %s: %w", method, err)
+	}
+	for _, relays := range zoneRelays {
 		res.Relays = append(res.Relays, relays...)
 	}
 	res.Feasible = true
@@ -318,7 +336,11 @@ func greedyIncumbent(sc *scenario.Scenario, zone []int, disks []geom.Circle, can
 		assign[j] = best
 	}
 	// Drop chosen candidates that serve nobody (3.2 would be violated).
-	used := make(map[int]bool)
+	// used is indexed by candidate so the SNR noise sum below runs in
+	// candidate order: floating-point accumulation order is part of the
+	// bit-identical determinism contract, and ranging over a map here would
+	// let Go's randomized iteration order perturb the rounding.
+	used := make([]bool, len(cands))
 	for _, a := range assign {
 		used[a] = true
 	}
@@ -326,8 +348,8 @@ func greedyIncumbent(sc *scenario.Scenario, zone []int, disks []geom.Circle, can
 	for j := range zone {
 		signal := w[assign[j]][j]
 		noise := 0.0
-		for i := range used {
-			if i != assign[j] {
+		for i, u := range used {
+			if u && i != assign[j] {
 				noise += w[i][j]
 			}
 		}
@@ -336,8 +358,12 @@ func greedyIncumbent(sc *scenario.Scenario, zone []int, disks []geom.Circle, can
 		}
 	}
 	x := make([]float64, numVars)
-	for i := range used {
-		x[tVar[i]] = 1
+	usedCount := 0
+	for i, u := range used {
+		if u {
+			x[tVar[i]] = 1
+			usedCount++
+		}
 	}
 	for j, a := range assign {
 		v, ok := pairVar[[2]int{a, j}]
@@ -346,5 +372,5 @@ func greedyIncumbent(sc *scenario.Scenario, zone []int, disks []geom.Circle, can
 		}
 		x[v] = 1
 	}
-	return x, float64(len(used)), true
+	return x, float64(usedCount), true
 }

@@ -20,6 +20,11 @@ type SAMCOptions struct {
 	// zone infeasible. The paper's design rests on sliding rescuing exactly
 	// these cases (Section III-A.1).
 	SkipSliding bool
+	// Workers bounds the number of Zone-Partition zones solved concurrently
+	// by the zone-parallel pipelines (DistanceCoverage, DualCoverage); 0
+	// means runtime.GOMAXPROCS(0). Zone results are assembled in zone
+	// order, so any worker count yields the identical placement.
+	Workers int
 }
 
 func (o SAMCOptions) withDefaults() SAMCOptions {

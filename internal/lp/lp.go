@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Op is a constraint comparison operator.
@@ -165,6 +166,11 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) error {
 			row = append(row, Term{Var: v, Coef: c})
 		}
 	}
+	// Sort by variable so the stored row is independent of map iteration
+	// order: constraint evaluation (CheckFeasible) sums terms in slice order,
+	// and floating-point addition order must not vary between identical
+	// problem builds.
+	sort.Slice(row, func(i, j int) bool { return row[i].Var < row[j].Var })
 	p.cons = append(p.cons, constraint{terms: row, op: op, rhs: rhs})
 	return nil
 }
@@ -255,10 +261,10 @@ var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 // Solve runs two-phase simplex and returns the solution. Infeasible and
 // unbounded problems are reported through Solution.Status with a nil error;
 // the error return is reserved for resource exhaustion and internal faults.
+//
+// Each call uses a fresh Solver; callers that re-solve the same problem
+// with varying bounds (branch-and-bound) should hold a Solver and call its
+// Solve method to reuse the tableau memory.
 func (p *Problem) Solve() (*Solution, error) {
-	t, err := newTableau(p)
-	if err != nil {
-		return nil, err
-	}
-	return t.solve()
+	return NewSolver().Solve(p, nil, nil)
 }

@@ -18,7 +18,8 @@ const blandSwitch = 2000
 
 // tableau is a dense simplex tableau in canonical form. Columns are laid
 // out [structural | slack/surplus | artificial]; the last entry of each row
-// is the right-hand side.
+// is the right-hand side. Tableaus are assembled by (*Solver).build, which
+// owns (and reuses) the backing memory.
 type tableau struct {
 	nStruct  int // structural variables
 	nCols    int // total variable columns
@@ -29,105 +30,6 @@ type tableau struct {
 	origObj  []float64 // structural objective, installed in phase 2
 	maxIts   int
 	its      int
-}
-
-// newTableau builds the phase-ready tableau from a Problem: finite upper
-// bounds become explicit <= rows, right-hand sides are normalized to be
-// non-negative, LE rows get slacks, GE rows surplus+artificial, EQ rows
-// artificial.
-func newTableau(p *Problem) (*tableau, error) {
-	type row struct {
-		coefs []float64
-		op    Op
-		rhs   float64
-	}
-	n := len(p.obj)
-	rows := make([]row, 0, len(p.cons)+n)
-	for _, c := range p.cons {
-		r := row{coefs: make([]float64, n), op: c.op, rhs: c.rhs}
-		for _, t := range c.terms {
-			r.coefs[t.Var] += t.Coef
-		}
-		rows = append(rows, r)
-	}
-	for i, ub := range p.ub {
-		if !math.IsInf(ub, 1) {
-			r := row{coefs: make([]float64, n), op: LE, rhs: ub}
-			r.coefs[i] = 1
-			rows = append(rows, r)
-		}
-	}
-	// Normalize: rhs >= 0.
-	for i := range rows {
-		if rows[i].rhs < 0 {
-			rows[i].rhs = -rows[i].rhs
-			for j := range rows[i].coefs {
-				rows[i].coefs[j] = -rows[i].coefs[j]
-			}
-			switch rows[i].op {
-			case LE:
-				rows[i].op = GE
-			case GE:
-				rows[i].op = LE
-			case EQ:
-				// unchanged
-			}
-		}
-	}
-	m := len(rows)
-	nSlack := 0
-	nArt := 0
-	for _, r := range rows {
-		switch r.op {
-		case LE, GE:
-			nSlack++
-		}
-		switch r.op {
-		case GE, EQ:
-			nArt++
-		}
-	}
-	t := &tableau{
-		nStruct:  n,
-		nCols:    n + nSlack + nArt,
-		artStart: n + nSlack,
-		rows:     make([][]float64, m),
-		basis:    make([]int, m),
-		maxIts:   p.maxIts,
-	}
-	if t.maxIts <= 0 {
-		t.maxIts = 50000 + 50*(m+n)
-	}
-	slackCol := n
-	artCol := t.artStart
-	for i, r := range rows {
-		t.rows[i] = make([]float64, t.nCols+1)
-		copy(t.rows[i], r.coefs)
-		t.rows[i][t.nCols] = r.rhs
-		switch r.op {
-		case LE:
-			t.rows[i][slackCol] = 1
-			t.basis[i] = slackCol
-			slackCol++
-		case GE:
-			t.rows[i][slackCol] = -1
-			slackCol++
-			t.rows[i][artCol] = 1
-			t.basis[i] = artCol
-			artCol++
-		case EQ:
-			t.rows[i][artCol] = 1
-			t.basis[i] = artCol
-			artCol++
-		default:
-			return nil, fmt.Errorf("lp: internal: invalid op %v", r.op)
-		}
-	}
-	t.objRow = make([]float64, t.nCols+1)
-	// Phase-2 costs are installed after phase 1 completes.
-	t.origObj = make([]float64, n)
-	copy(t.origObj, p.obj)
-	return t, nil
 }
 
 func (t *tableau) pivot(r, c int) {

@@ -1,0 +1,235 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solver runs two-phase simplex with memory reused across solves. It exists
+// for the branch-and-bound hot path: every search-tree node re-solves the
+// same base problem with only per-variable bounds changed, so the dense
+// tableau (by far the largest allocation of a solve) is rebuilt in place
+// inside the Solver's buffers instead of being re-made per node.
+//
+// A Solver is not safe for concurrent use; concurrent solves (e.g. parallel
+// per-zone ILPs) each use their own Solver.
+type Solver struct {
+	flat    []float64   // backing storage for all tableau rows
+	rows    [][]float64 // row views into flat
+	basis   []int
+	objRow  []float64
+	origObj []float64
+	lb, ub  []float64 // effective per-variable bounds for the current solve
+}
+
+// NewSolver returns an empty Solver; buffers grow on first use.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve minimizes p under per-variable bound overrides and returns the
+// solution. lower[v] imposes x_v >= lb (values <= 0 are no-ops: x >= 0 is
+// implicit), upper[v] tightens x_v's upper bound when below the problem's
+// own (negative values clamp to 0). The base problem is not modified, so
+// branch-and-bound can re-solve it with different bounds node after node.
+// Either map may be nil. Solution.X is freshly allocated per call; all
+// other working memory is reused.
+//
+// Bound rows are emitted in ascending variable order, so two solves of the
+// same (problem, bounds) input run the identical pivot sequence — map
+// iteration order never leaks into the result.
+func (s *Solver) Solve(p *Problem, lower, upper map[int]float64) (*Solution, error) {
+	t, err := s.build(p, lower, upper)
+	if err != nil {
+		return nil, err
+	}
+	return t.solve()
+}
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// build assembles the phase-ready tableau inside the Solver's buffers:
+// finite (effective) upper bounds become explicit <= rows, positive lower
+// bounds >= rows, right-hand sides are normalized non-negative, LE rows get
+// slacks, GE rows surplus+artificial, EQ rows artificial — the same
+// canonical form the package has always used, built without per-row
+// allocations.
+func (s *Solver) build(p *Problem, lower, upper map[int]float64) (*tableau, error) {
+	n := len(p.obj)
+
+	// Effective bounds: the problem's own, tightened by the overrides.
+	s.ub = grow(s.ub, n)
+	copy(s.ub, p.ub)
+	for v, ub := range upper {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("lp: upper bound for unknown variable %d", v)
+		}
+		if ub < 0 {
+			ub = 0
+		}
+		if ub < s.ub[v] {
+			s.ub[v] = ub
+		}
+	}
+	s.lb = grow(s.lb, n)
+	for i := range s.lb {
+		s.lb[i] = 0
+	}
+	for v, lb := range lower {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("lp: lower bound for unknown variable %d", v)
+		}
+		if lb > 0 {
+			s.lb[v] = lb
+		}
+	}
+
+	// First pass: classify every row (after rhs normalization) to size the
+	// tableau. Constraint rows flip LE<->GE when rhs < 0; bound rows always
+	// have rhs >= 0.
+	nUB, nLB := 0, 0
+	for i := 0; i < n; i++ {
+		if !math.IsInf(s.ub[i], 1) {
+			nUB++
+		}
+		if s.lb[i] > 0 {
+			nLB++
+		}
+	}
+	m := len(p.cons) + nUB + nLB
+	nSlack, nArt := 0, 0
+	for _, c := range p.cons {
+		op := c.op
+		if c.rhs < 0 {
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		default:
+			return nil, fmt.Errorf("lp: internal: invalid op %v", op)
+		}
+	}
+	nSlack += nUB // ub rows: x_i <= ub, slack
+	nSlack += nLB // lb rows: x_i >= lb, surplus + artificial
+	nArt += nLB
+
+	nCols := n + nSlack + nArt
+	width := nCols + 1
+
+	// Lay the m rows out in one flat backing array, reused across solves.
+	need := m * width
+	s.flat = grow(s.flat, need)
+	clear(s.flat)
+	if cap(s.rows) < m {
+		s.rows = make([][]float64, m)
+	}
+	s.rows = s.rows[:m]
+	for i := 0; i < m; i++ {
+		s.rows[i] = s.flat[i*width : (i+1)*width]
+	}
+	s.basis = growInt(s.basis, m)
+	s.objRow = grow(s.objRow, width)
+	clear(s.objRow)
+	s.origObj = grow(s.origObj, n)
+	copy(s.origObj, p.obj)
+
+	t := &tableau{
+		nStruct:  n,
+		nCols:    nCols,
+		artStart: n + nSlack,
+		rows:     s.rows,
+		basis:    s.basis,
+		objRow:   s.objRow,
+		origObj:  s.origObj,
+		maxIts:   p.maxIts,
+	}
+	if t.maxIts <= 0 {
+		t.maxIts = 50000 + 50*(m+n)
+	}
+
+	// Second pass: fill rows. Order is deterministic — problem constraints
+	// first, then upper-bound rows, then lower-bound rows, each in index
+	// order.
+	slackCol := n
+	artCol := t.artStart
+	row := 0
+	emit := func(op Op) {
+		switch op {
+		case LE:
+			s.rows[row][slackCol] = 1
+			s.basis[row] = slackCol
+			slackCol++
+		case GE:
+			s.rows[row][slackCol] = -1
+			slackCol++
+			s.rows[row][artCol] = 1
+			s.basis[row] = artCol
+			artCol++
+		case EQ:
+			s.rows[row][artCol] = 1
+			s.basis[row] = artCol
+			artCol++
+		}
+		row++
+	}
+	for _, c := range p.cons {
+		sign := 1.0
+		op := c.op
+		if c.rhs < 0 {
+			sign = -1
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		r := s.rows[row]
+		for _, term := range c.terms {
+			r[term.Var] += sign * term.Coef
+		}
+		r[nCols] = sign * c.rhs
+		emit(op)
+	}
+	for i := 0; i < n; i++ {
+		if math.IsInf(s.ub[i], 1) {
+			continue
+		}
+		r := s.rows[row]
+		r[i] = 1
+		r[nCols] = s.ub[i]
+		emit(LE)
+	}
+	for i := 0; i < n; i++ {
+		if s.lb[i] <= 0 {
+			continue
+		}
+		r := s.rows[row]
+		r[i] = 1
+		r[nCols] = s.lb[i]
+		emit(GE)
+	}
+	return t, nil
+}

@@ -1,0 +1,141 @@
+package lp_test
+
+import (
+	"math"
+	"testing"
+
+	"sagrelay/internal/lp"
+)
+
+// TestSolverBoundOverrides checks that per-call bound overrides give the
+// same optimum as baking the bounds into the problem itself — the contract
+// branch-and-bound relies on.
+func TestSolverBoundOverrides(t *testing.T) {
+	// min -x0 - 2*x1 s.t. x0 + x1 <= 4, x0,x1 in [0, 3].
+	build := func() *lp.Problem {
+		p := lp.NewProblem()
+		a := p.AddVariable("a", -1)
+		b := p.AddVariable("b", -2)
+		if err := p.SetUpperBound(a, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.SetUpperBound(b, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddConstraint([]lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}}, lp.LE, 4); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := []struct {
+		name         string
+		lower, upper map[int]float64
+		wantX        []float64
+		wantObj      float64
+	}{
+		{name: "no overrides", wantX: []float64{1, 3}, wantObj: -7},
+		{name: "upper tightens", upper: map[int]float64{1: 2}, wantX: []float64{2, 2}, wantObj: -6},
+		{name: "lower forces", lower: map[int]float64{0: 2.5}, wantX: []float64{2.5, 1.5}, wantObj: -5.5},
+		{name: "both", lower: map[int]float64{0: 1}, upper: map[int]float64{1: 1}, wantX: []float64{3, 1}, wantObj: -5},
+		{name: "negative upper clamps to zero", upper: map[int]float64{0: -2}, wantX: []float64{0, 3}, wantObj: -6},
+		{name: "non-positive lower is a no-op", lower: map[int]float64{0: -1}, wantX: []float64{1, 3}, wantObj: -7},
+	}
+	s := lp.NewSolver()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := build()
+			sol, err := s.Solve(base, tc.lower, tc.upper)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Status != lp.Optimal {
+				t.Fatalf("status %v", sol.Status)
+			}
+			if math.Abs(sol.Objective-tc.wantObj) > 1e-9 {
+				t.Errorf("objective %v, want %v", sol.Objective, tc.wantObj)
+			}
+			for i, want := range tc.wantX {
+				if math.Abs(sol.X[i]-want) > 1e-9 {
+					t.Errorf("x[%d] = %v, want %v", i, sol.X[i], want)
+				}
+			}
+			// The overrides must not leak into the base problem.
+			if base.UpperBound(0) != 3 || base.UpperBound(1) != 3 {
+				t.Error("Solve mutated the base problem's bounds")
+			}
+		})
+	}
+}
+
+// TestSolverInfeasibleOverrides: conflicting overrides (lb > ub) must report
+// Infeasible, not corrupt later solves on the same Solver.
+func TestSolverInfeasibleOverrides(t *testing.T) {
+	p := lp.NewProblem()
+	a := p.AddVariable("a", 1)
+	if err := p.SetUpperBound(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := lp.NewSolver()
+	sol, err := s.Solve(p, map[int]float64{a: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Infeasible {
+		t.Fatalf("lb 2 with ub 1: status %v, want infeasible", sol.Status)
+	}
+	sol, err = s.Solve(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || math.Abs(sol.Objective) > 1e-9 {
+		t.Fatalf("solve after infeasible: status %v obj %v", sol.Status, sol.Objective)
+	}
+}
+
+// TestSolverUnknownVariableBounds: out-of-range override indices are errors.
+func TestSolverUnknownVariableBounds(t *testing.T) {
+	p := lp.NewProblem()
+	p.AddVariable("a", 1)
+	s := lp.NewSolver()
+	if _, err := s.Solve(p, map[int]float64{3: 1}, nil); err == nil {
+		t.Error("lower bound on unknown variable: want error")
+	}
+	if _, err := s.Solve(p, nil, map[int]float64{-1: 1}); err == nil {
+		t.Error("upper bound on unknown variable: want error")
+	}
+}
+
+// TestSolverReuseAcrossShapes reuses one Solver across problems of very
+// different sizes, interleaved, and checks each against a fresh
+// Problem.Solve — stale buffer contents from a larger solve must never
+// bleed into a smaller one.
+func TestSolverReuseAcrossShapes(t *testing.T) {
+	big := buildILPQCRelaxation(t)
+	small := lp.NewProblem()
+	a := small.AddVariable("a", 2)
+	b := small.AddVariable("b", 3)
+	if err := small.AddConstraint([]lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}}, lp.GE, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	s := lp.NewSolver()
+	for round := 0; round < 3; round++ {
+		for _, p := range []*lp.Problem{big, small} {
+			want, err := p.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Solve(p, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Status != want.Status {
+				t.Fatalf("round %d: status %v, want %v", round, got.Status, want.Status)
+			}
+			if math.Abs(got.Objective-want.Objective) > 1e-9 {
+				t.Fatalf("round %d: objective %v, want %v", round, got.Objective, want.Objective)
+			}
+		}
+	}
+}

@@ -188,6 +188,15 @@ func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
 	front.push(node{lower: nil, upper: nil, bound: math.Inf(-1)})
 	rootSolved := false
 
+	// One Solver serves every node: the base problem is never cloned — each
+	// node's tightened bounds are passed straight into the solve, and the
+	// dense tableau memory is recycled across the whole search tree.
+	solver := lp.NewSolver()
+	// Rounding-heuristic scratch, likewise reused across nodes.
+	numVars := base.NumVariables()
+	roundNearest := make([]float64, numVars)
+	roundUp := make([]float64, numVars)
+
 	for front.len() > 0 {
 		if res.Nodes >= opts.MaxNodes {
 			break
@@ -201,11 +210,7 @@ func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
 		}
 		res.Nodes++
 
-		sub := base.Clone()
-		if err := applyBounds(sub, nd); err != nil {
-			return nil, err
-		}
-		sol, err := sub.Solve()
+		sol, err := solver.Solve(base, nd.lower, nd.upper)
 		if err != nil {
 			if errors.Is(err, lp.ErrIterationLimit) {
 				// Treat a stalled relaxation as unexplorable; skip the node.
@@ -236,14 +241,15 @@ func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
 		}
 		branchVar := pickBranch(sol.X, isInt, opts.IntTol, opts.Branch)
 		if branchVar < 0 {
-			// Integer feasible: new incumbent.
-			res.X = append([]float64(nil), sol.X...)
+			// Integer feasible: new incumbent. sol.X is freshly allocated per
+			// solve, so it can be adopted without copying.
+			res.X = sol.X
 			res.Objective = sol.Objective
 			res.Status = Feasible
 			continue
 		}
 		if !opts.DisableRounding {
-			if x, obj, ok := tryRounding(base, sol.X, isInt); ok && obj < res.Objective-1e-9 {
+			if x, obj, ok := tryRounding(base, sol.X, isInt, roundNearest, roundUp); ok && obj < res.Objective-1e-9 {
 				res.X = x
 				res.Objective = obj
 				res.Status = Feasible
@@ -276,11 +282,12 @@ func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
 // tryRounding attempts to convert a fractional relaxation point into an
 // integer-feasible incumbent: first nearest-integer rounding, then
 // rounding every fractional integer variable up (the natural repair for
-// covering constraints). Continuous variables are kept as-is.
-func tryRounding(base *lp.Problem, x []float64, isInt []bool) ([]float64, float64, bool) {
-	candidates := [2][]float64{}
-	nearest := append([]float64(nil), x...)
-	up := append([]float64(nil), x...)
+// covering constraints). Continuous variables are kept as-is. nearest and
+// up are caller-owned scratch buffers (len(x)) reused across nodes; on
+// success the returned point is a fresh copy the caller may keep.
+func tryRounding(base *lp.Problem, x []float64, isInt []bool, nearest, up []float64) ([]float64, float64, bool) {
+	copy(nearest, x)
+	copy(up, x)
 	for i, xi := range x {
 		if !isInt[i] {
 			continue
@@ -288,9 +295,7 @@ func tryRounding(base *lp.Problem, x []float64, isInt []bool) ([]float64, float6
 		nearest[i] = math.Round(xi)
 		up[i] = math.Ceil(xi)
 	}
-	candidates[0] = nearest
-	candidates[1] = up
-	for _, cand := range candidates {
+	for _, cand := range [2][]float64{nearest, up} {
 		ok, err := base.CheckFeasible(cand, 1e-6)
 		if err != nil || !ok {
 			continue
@@ -299,7 +304,7 @@ func tryRounding(base *lp.Problem, x []float64, isInt []bool) ([]float64, float6
 		if err != nil {
 			continue
 		}
-		return cand, obj, true
+		return append([]float64(nil), cand...), obj, true
 	}
 	return nil, 0, false
 }
@@ -378,27 +383,6 @@ func (h *boundHeap) pop() (node, bool) {
 }
 
 func (h *boundHeap) len() int { return len(h.nodes) }
-
-// applyBounds installs a node's tightened bounds on the cloned problem.
-func applyBounds(p *lp.Problem, nd node) error {
-	for v, ub := range nd.upper {
-		cur := p.UpperBound(v)
-		if ub < cur {
-			if err := p.SetUpperBound(v, math.Max(ub, 0)); err != nil {
-				return fmt.Errorf("milp: tighten ub: %w", err)
-			}
-		}
-	}
-	for v, lb := range nd.lower {
-		if lb <= 0 {
-			continue // x >= 0 is implicit
-		}
-		if err := p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.GE, lb); err != nil {
-			return fmt.Errorf("milp: tighten lb: %w", err)
-		}
-	}
-	return nil
-}
 
 // pickBranch returns the integer variable to branch on per the rule, or -1
 // when all integer variables are integral within tol.

@@ -205,7 +205,7 @@ func TestTryRounding(t *testing.T) {
 	_ = p.SetUpperBound(a, 1)
 	_ = p.SetUpperBound(b, 1)
 	_ = p.AddConstraint([]lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}}, lp.GE, 1)
-	x, obj, ok := tryRounding(p, []float64{0.5, 0.5}, []bool{true, true})
+	x, obj, ok := tryRounding(p, []float64{0.5, 0.5}, []bool{true, true}, make([]float64, 2), make([]float64, 2))
 	if !ok {
 		t.Fatal("rounding failed on a trivially roundable point")
 	}
@@ -220,7 +220,7 @@ func TestTryRounding(t *testing.T) {
 	c := p2.AddVariable("c", 1)
 	_ = p2.SetUpperBound(c, 1)
 	_ = p2.AddConstraint([]lp.Term{{Var: c, Coef: 1}}, lp.EQ, 0.5)
-	if _, _, ok := tryRounding(p2, []float64{0.5}, []bool{true}); ok {
+	if _, _, ok := tryRounding(p2, []float64{0.5}, []bool{true}, make([]float64, 1), make([]float64, 1)); ok {
 		t.Error("rounding claimed success on an integer-infeasible model")
 	}
 }

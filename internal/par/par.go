@@ -1,0 +1,78 @@
+// Package par provides the bounded worker pool shared by the experiment
+// harness and the per-zone solvers. It exists so every layer of the solve
+// engine parallelizes the same way: index-addressed tasks fanned out over a
+// fixed worker count, results written into pre-sized slices by the caller
+// (never append order), and deterministic first-error reporting.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker-count knob: values <= 0 mean
+// runtime.GOMAXPROCS(0).
+func DefaultWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS). The first error cancels the remaining
+// unstarted tasks; already-running tasks finish. The returned error is the
+// lowest-index error among the tasks that ran, so error reporting does not
+// depend on goroutine scheduling. With workers == 1 the tasks run inline in
+// index order with classic early-exit semantics and no goroutines at all.
+//
+// Determinism contract: fn must write its result into a caller-provided
+// slot addressed by i. ForEach guarantees nothing about completion order.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next int64 = -1 // atomically incremented task cursor
+		stop atomic.Bool
+		errs = make([]error, n)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

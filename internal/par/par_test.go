@@ -1,0 +1,92 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		got := make([]int, n)
+		err := ForEach(workers, n, func(i int) error {
+			got[i] = i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d: task %d not run (got %d)", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 16, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 11:
+				return errors.New("high")
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: got %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachCancelsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(2, 10000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 10000 {
+		t.Error("no cancellation: every task ran after the first error")
+	}
+}
+
+func TestForEachSequentialEarlyExit(t *testing.T) {
+	var ran int
+	err := ForEach(1, 100, func(i int) error {
+		ran++
+		if i == 4 {
+			return fmt.Errorf("stop at %d", i)
+		}
+		return nil
+	})
+	if err == nil || ran != 5 {
+		t.Fatalf("ran=%d err=%v, want inline early exit after task 4", ran, err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers(5) != 5 {
+		t.Error("explicit count not respected")
+	}
+	if DefaultWorkers(0) < 1 || DefaultWorkers(-3) < 1 {
+		t.Error("default must be at least 1")
+	}
+}
