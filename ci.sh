@@ -32,4 +32,14 @@ else
 	go test -race -short -timeout 30m ./...
 fi
 
+# The solve service gets an extra race-enabled pass without -short (its
+# cancellation and shutdown tests are all quick) plus the sagserved smoke
+# self-test: ephemeral port, solve a tiny scenario twice, assert the second
+# answer is a byte-identical cache hit, shut down cleanly.
+echo "== go test -race ./internal/serve/"
+go test -race -count=1 -timeout 10m ./internal/serve/
+
+echo "== sagserved -smoke"
+go run ./cmd/sagserved -smoke
+
 echo "ci.sh: all checks passed"

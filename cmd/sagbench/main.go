@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +44,8 @@ func run(args []string) error {
 		svgDir   = fs.String("svg", "", "directory to write fig6 SVG panels into (fig6 only)")
 		grid     = fs.Float64("grid", 15, "GAC grid size (where not swept)")
 		maxNodes = fs.Int("max-nodes", 0, "branch-and-bound node cap per zone (0 = default)")
-		timeout  = fs.Duration("zone-timeout", 0, "branch-and-bound time cap per zone (0 = default)")
+		zoneTO   = fs.Duration("zone-timeout", 0, "branch-and-bound time cap per zone (0 = default)")
+		timeout  = fs.Duration("timeout", 0, "deadline for the whole invocation, e.g. 10m (0 = unbounded)")
 		workers  = fs.Int("workers", 0, "concurrent solves per experiment (0 = all CPUs, 1 = sequential)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
 		chart    = fs.Bool("chart", false, "also render each artifact as an ASCII chart")
@@ -58,14 +61,21 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing -exp (or -list)")
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	cfg := experiment.Config{
 		Runs:    *runs,
 		Seed:    *seed,
 		Workers: *workers,
+		Ctx:     ctx,
 		ILP: lower.ILPOptions{
 			GridSize:  *grid,
 			MaxNodes:  *maxNodes,
-			TimeLimit: *timeout,
+			TimeLimit: *zoneTO,
 			Workers:   *workers,
 		},
 	}
@@ -80,6 +90,9 @@ func run(args []string) error {
 		start := time.Now()
 		tbl, err := experiment.Run(id, cfg)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("%s abandoned: deadline of %v exceeded", id, *timeout)
+			}
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println(tbl.ASCII())

@@ -9,11 +9,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sagrelay/internal/core"
 	"sagrelay/internal/geom"
@@ -65,6 +68,7 @@ func run(args []string) error {
 		power    = fs.String("power", "green", "power stages: green, baseline or optimal")
 		conn     = fs.String("connectivity", "MBMC", "connectivity method: MBMC or MUST")
 		workers  = fs.Int("workers", 0, "concurrent per-zone solves (0 = all CPUs, 1 = sequential)")
+		timeout  = fs.Duration("timeout", 0, "overall solve deadline, e.g. 30s (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,8 +102,13 @@ func run(args []string) error {
 		return err
 	}
 	cfg.Workers = *workers
-	sol, err := core.Run(sc, cfg)
+	ctx, cancel := solveContext(*timeout)
+	defer cancel()
+	sol, err := core.RunContext(ctx, sc, cfg)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("solve abandoned: deadline of %v exceeded", *timeout)
+		}
 		return err
 	}
 	out := output{
@@ -128,6 +137,14 @@ func run(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// solveContext bounds the solve by the -timeout flag; 0 means no deadline.
+func solveContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
 }
 
 func buildConfig(coverage, power, conn string) (core.Config, error) {

@@ -1,0 +1,184 @@
+// Command sagserved runs the sagrelay solve service: an HTTP JSON API that
+// accepts scenario solve jobs, runs them on a bounded worker pool with
+// cooperative cancellation, and answers repeated requests from a
+// content-addressed result cache.
+//
+// Usage:
+//
+//	sagserved -addr :8080
+//	sagserved -addr 127.0.0.1:0 -workers 4 -max-job-time 30s
+//	sagserved -smoke            # self-test: solve twice, assert cache hit
+//
+// See the README quickstart for the curl workflow.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sagserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sagserved", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks one)")
+		workers    = fs.Int("workers", 0, "concurrent solve jobs (0 = all CPUs)")
+		queue      = fs.Int("queue", 64, "queued-job bound before submissions get 429")
+		cacheEnts  = fs.Int("cache", 256, "result cache entries")
+		maxJobTime = fs.Duration("max-job-time", 2*time.Minute, "default and maximum per-job deadline")
+		grace      = fs.Duration("grace", 10*time.Second, "shutdown drain budget before in-flight solves are cancelled")
+		smoke      = fs.Bool("smoke", false, "run the self-test (ephemeral port, solve twice, assert cache hit) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := serve.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEnts,
+		MaxJobTime:   *maxJobTime,
+	}
+	if *smoke {
+		return runSmoke(opts)
+	}
+
+	srv := serve.NewServer(opts)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("sagserved: listening on http://%s", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("sagserved: %v: draining (grace %v)", sig, *grace)
+	}
+
+	// Graceful shutdown: stop the listener, then drain in-flight jobs; past
+	// the grace budget every remaining solve is cancelled via its context.
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	httpErr := httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("sagserved: drain expired, in-flight jobs cancelled: %v", err)
+	}
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return httpErr
+	}
+	log.Printf("sagserved: shut down cleanly")
+	return nil
+}
+
+// runSmoke exercises the full service loop against itself on an ephemeral
+// port: submit a tiny scenario twice, assert the second answer is a
+// byte-identical cache hit with no extra solver work, then shut down
+// cleanly. CI runs this as the service's end-to-end gate.
+func runSmoke(opts serve.Options) error {
+	srv := serve.NewServer(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	log.Printf("smoke: serving on %s", base)
+
+	sc, err := scenario.Generate(scenario.GenConfig{
+		FieldSide: 300, NumSS: 10, NumBS: 2, SNRdB: -15, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.SolveRequest{Scenario: sc})
+	if err != nil {
+		return err
+	}
+
+	post := func() ([]byte, error) {
+		resp, err := http.Post(base+"/v1/solve?wait=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		doc, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("solve: %s: %s", resp.Status, doc)
+		}
+		return doc, nil
+	}
+
+	first, err := post()
+	if err != nil {
+		return fmt.Errorf("smoke first solve: %w", err)
+	}
+	second, err := post()
+	if err != nil {
+		return fmt.Errorf("smoke second solve: %w", err)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("smoke: second response is not byte-identical to the first")
+	}
+
+	m := srv.MetricsSnapshot()
+	if m["cache_hits"] != 1 || m["cache_misses"] != 1 || m["solves"] != 1 {
+		return fmt.Errorf("smoke: expected 1 hit / 1 miss / 1 solve, got metrics %v", m)
+	}
+
+	// /healthz and /metrics must answer over HTTP too.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("smoke %s: %w", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("smoke %s: %s", path, resp.Status)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("smoke http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("smoke server shutdown: %w", err)
+	}
+	log.Printf("smoke: ok (1 solve, 1 cache hit, byte-identical replay, clean shutdown)")
+	return nil
+}

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -34,8 +36,8 @@ func main() {
 }
 
 // sweepPoint solves one scenario and extracts the requested metric.
-func sweepPoint(sc *scenario.Scenario, cfg core.Config, metric string) (float64, error) {
-	sol, err := core.Run(sc, cfg)
+func sweepPoint(ctx context.Context, sc *scenario.Scenario, cfg core.Config, metric string) (float64, error) {
+	sol, err := core.RunContext(ctx, sc, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -84,6 +86,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "base seed")
 		coverage = fs.String("coverage", "SAMC", "coverage method: SAMC, IAC or GAC")
 		workers  = fs.Int("workers", 0, "concurrent per-zone solves (0 = all CPUs, 1 = sequential)")
+		timeout  = fs.Duration("timeout", 0, "deadline for the whole sweep, e.g. 2m (0 = unbounded)")
 		chart    = fs.Bool("chart", false, "render an ASCII chart")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +97,12 @@ func run(args []string) error {
 	}
 	if *to < *from {
 		return fmt.Errorf("empty range [%v,%v]", *from, *to)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	var cfg core.Config
 	cfg.Workers = *workers
@@ -140,8 +149,11 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			v, err := sweepPoint(sc, cfg, *metric)
+			v, err := sweepPoint(ctx, sc, cfg, *metric)
 			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					return fmt.Errorf("sweep abandoned at %s=%v: deadline of %v exceeded", *dim, x, *timeout)
+				}
 				return err
 			}
 			if !math.IsNaN(v) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"sagrelay/internal/core"
@@ -46,7 +47,7 @@ func TestSweepPointMetrics(t *testing.T) {
 		"total-power", "coverage-power", "conn-power",
 		"coverage-relays", "conn-relays", "total-relays", "runtime-ms",
 	} {
-		v, err := sweepPoint(sc, core.Config{}, m)
+		v, err := sweepPoint(context.Background(), sc, core.Config{}, m)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -54,7 +55,7 @@ func TestSweepPointMetrics(t *testing.T) {
 			t.Errorf("%s = %v", m, v)
 		}
 	}
-	if _, err := sweepPoint(sc, core.Config{}, "nope"); err == nil {
+	if _, err := sweepPoint(context.Background(), sc, core.Config{}, "nope"); err == nil {
 		t.Error("unknown metric accepted")
 	}
 }
@@ -67,7 +68,7 @@ func TestSweepDeliveryRatioMetric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := sweepPoint(sc, core.Config{}, "delivery-ratio")
+	v, err := sweepPoint(context.Background(), sc, core.Config{}, "delivery-ratio")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -182,8 +183,13 @@ var ErrInfeasible = lower.ErrInfeasible
 // SAG runs Algorithm 9 with the default stages (SAMC + PRO + MBMC + UCPO):
 // L_low <- SAMC; P_L <- PRO; L_high <- MBMC; P_H <- UCPO; P_total = P_L+P_H.
 func SAG(sc *scenario.Scenario, cfg Config) (*Solution, error) {
+	return SAGContext(context.Background(), sc, cfg)
+}
+
+// SAGContext is SAG with cooperative cancellation; see RunContext.
+func SAGContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Solution, error) {
 	cfg = cfg.withDefaults()
-	sol, err := Run(sc, cfg)
+	sol, err := RunContext(ctx, sc, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -198,11 +204,16 @@ func SAG(sc *scenario.Scenario, cfg Config) (*Solution, error) {
 // given method, then the upstream approach of [1] — MUST to a single base
 // station with every relay at maximum power on both tiers.
 func DARP(sc *scenario.Scenario, coverage CoverageMethod, cfg Config) (*Solution, error) {
+	return DARPContext(context.Background(), sc, coverage, cfg)
+}
+
+// DARPContext is DARP with cooperative cancellation; see RunContext.
+func DARPContext(ctx context.Context, sc *scenario.Scenario, coverage CoverageMethod, cfg Config) (*Solution, error) {
 	cfg.Coverage = coverage
 	cfg.CoveragePower = PowerBaseline
 	cfg.Connectivity = ConnMUST
 	cfg.ConnectivityPower = PowerBaseline
-	sol, err := Run(sc, cfg)
+	sol, err := RunContext(ctx, sc, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +223,21 @@ func DARP(sc *scenario.Scenario, coverage CoverageMethod, cfg Config) (*Solution
 
 // Run executes an arbitrary pipeline configuration.
 func Run(sc *scenario.Scenario, cfg Config) (*Solution, error) {
+	return RunContext(context.Background(), sc, cfg)
+}
+
+// RunContext executes an arbitrary pipeline configuration under ctx. The
+// context is threaded through every stage down to the branch-and-bound
+// node loops and simplex pivot iterations, so a client disconnect, per-job
+// deadline or server shutdown cancels an in-flight solve promptly; the
+// returned error then wraps ctx.Err(). Cancellation never changes the
+// result of a solve that completes: the checks only abort work, they do
+// not reorder it.
+func RunContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Solution, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -222,11 +247,11 @@ func Run(sc *scenario.Scenario, cfg Config) (*Solution, error) {
 	var err error
 	switch cfg.Coverage {
 	case CoverSAMC:
-		cover, err = lower.SAMC(sc, cfg.SAMC)
+		cover, err = lower.SAMCContext(ctx, sc, cfg.SAMC)
 	case CoverIAC:
-		cover, err = lower.IAC(sc, cfg.ILP)
+		cover, err = lower.IACContext(ctx, sc, cfg.ILP)
 	case CoverGAC:
-		cover, err = lower.GAC(sc, cfg.ILP)
+		cover, err = lower.GACContext(ctx, sc, cfg.ILP)
 	default:
 		return nil, fmt.Errorf("core: unknown coverage method %v", cfg.Coverage)
 	}
@@ -245,9 +270,9 @@ func Run(sc *scenario.Scenario, cfg Config) (*Solution, error) {
 	case PowerBaseline:
 		coverPower = lower.BaselinePower(sc, cover)
 	case PowerGreen:
-		coverPower, err = lower.PRO(sc, cover)
+		coverPower, err = lower.PROContext(ctx, sc, cover)
 	case PowerOptimal:
-		coverPower, err = lower.OptimalPower(sc, cover)
+		coverPower, err = lower.OptimalPowerContext(ctx, sc, cover)
 	default:
 		return nil, fmt.Errorf("core: unknown coverage power method %v", cfg.CoveragePower)
 	}
@@ -258,9 +283,9 @@ func Run(sc *scenario.Scenario, cfg Config) (*Solution, error) {
 	var conn *upper.Result
 	switch cfg.Connectivity {
 	case ConnMBMC:
-		conn, err = upper.MBMC(sc, cover)
+		conn, err = upper.MBMCContext(ctx, sc, cover)
 	case ConnMUST:
-		conn, err = upper.MUST(sc, cover, cfg.MUSTBaseStation)
+		conn, err = upper.MUSTContext(ctx, sc, cover, cfg.MUSTBaseStation)
 	default:
 		return nil, fmt.Errorf("core: unknown connectivity method %v", cfg.Connectivity)
 	}
@@ -273,7 +298,7 @@ func Run(sc *scenario.Scenario, cfg Config) (*Solution, error) {
 	case PowerBaseline:
 		connPower = upper.BaselinePower(sc, conn)
 	case PowerGreen:
-		connPower, err = upper.UCPO(sc, cover, conn)
+		connPower, err = upper.UCPOContext(ctx, sc, cover, conn)
 	case PowerOptimal:
 		return nil, errors.New("core: optimal power is only defined for the lower tier (LPQC)")
 	default:

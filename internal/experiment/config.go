@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -30,6 +31,10 @@ type Config struct {
 	// ILP tunes the IAC/GAC solvers (branch-and-bound budgets, grid size
 	// where not swept by the experiment itself).
 	ILP lower.ILPOptions
+	// Ctx, when non-nil, bounds the whole experiment: cancellation or a
+	// deadline stops the (data point, repetition) fan-out promptly and Run
+	// returns an error wrapping Ctx.Err(). Nil means no bound.
+	Ctx context.Context
 	// Progress, when non-nil, receives one short line per completed data
 	// point (for long-running CLI invocations). Writes are mutex-guarded
 	// and each line is issued as a single Write call, so concurrent data
@@ -54,6 +59,14 @@ func (c Config) withDefaults() Config {
 // QuickConfig returns a configuration suitable for benchmarks and smoke
 // tests: a single repetition per point with the default solver budgets.
 func QuickConfig() Config { return Config{Runs: 1} }
+
+// ctx returns the experiment-wide context, Background when unset.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
 
 // progress emits one line to the Progress writer. The line is formatted
 // before the lock is taken and written with a single Write call, so
@@ -83,7 +96,7 @@ func (c Config) forEachCell(points int, fn func(pi, r int) error, pointDone func
 	for i := range remaining {
 		remaining[i] = int32(c.Runs)
 	}
-	return par.ForEach(c.Workers, points*c.Runs, func(t int) error {
+	return par.ForEachContext(c.ctx(), c.Workers, points*c.Runs, func(t int) error {
 		pi, r := t/c.Runs, t%c.Runs
 		if err := fn(pi, r); err != nil {
 			return err

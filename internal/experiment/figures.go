@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -47,8 +48,8 @@ func genScenario(side float64, users int, snrDB float64, seed int64) (*scenario.
 
 // coverageCount runs a coverage method and returns the relay count, or NaN
 // when infeasible.
-func coverageCount(sc *scenario.Scenario, method core.CoverageMethod, ilp lower.ILPOptions) (float64, error) {
-	res, err := runCoverage(sc, method, ilp)
+func coverageCount(ctx context.Context, sc *scenario.Scenario, method core.CoverageMethod, ilp lower.ILPOptions) (float64, error) {
+	res, err := runCoverage(ctx, sc, method, ilp)
 	if err != nil {
 		return 0, err
 	}
@@ -58,14 +59,14 @@ func coverageCount(sc *scenario.Scenario, method core.CoverageMethod, ilp lower.
 	return float64(res.NumRelays()), nil
 }
 
-func runCoverage(sc *scenario.Scenario, method core.CoverageMethod, ilp lower.ILPOptions) (*lower.Result, error) {
+func runCoverage(ctx context.Context, sc *scenario.Scenario, method core.CoverageMethod, ilp lower.ILPOptions) (*lower.Result, error) {
 	switch method {
 	case core.CoverSAMC:
-		return lower.SAMC(sc, lower.SAMCOptions{})
+		return lower.SAMCContext(ctx, sc, lower.SAMCOptions{})
 	case core.CoverIAC:
-		return lower.IAC(sc, ilp)
+		return lower.IACContext(ctx, sc, ilp)
 	case core.CoverGAC:
-		return lower.GAC(sc, ilp)
+		return lower.GACContext(ctx, sc, ilp)
 	default:
 		return nil, fmt.Errorf("experiment: unknown coverage method %v", method)
 	}
@@ -92,7 +93,7 @@ func fig3Coverage(id, title string, side float64, users []int, snrDB float64, cf
 			return err
 		}
 		for m, method := range methods {
-			v, err := coverageCount(sc, method, cfg.ILP)
+			v, err := coverageCount(cfg.ctx(), sc, method, cfg.ILP)
 			if err != nil {
 				return err
 			}
@@ -151,7 +152,7 @@ func Fig3d(cfg Config) (*Table, error) {
 			return err
 		}
 		for m, method := range methods {
-			v, err := coverageCount(sc, method, cfg.ILP)
+			v, err := coverageCount(cfg.ctx(), sc, method, cfg.ILP)
 			if err != nil {
 				return err
 			}
@@ -190,12 +191,12 @@ func Fig3e(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		v, err := coverageCount(sc, core.CoverIAC, cfg.ILP)
+		v, err := coverageCount(cfg.ctx(), sc, core.CoverIAC, cfg.ILP)
 		if err != nil {
 			return err
 		}
 		base[0][0][r] = v
-		v, err = coverageCount(sc, core.CoverSAMC, cfg.ILP)
+		v, err = coverageCount(cfg.ctx(), sc, core.CoverSAMC, cfg.ILP)
 		if err != nil {
 			return err
 		}
@@ -215,7 +216,7 @@ func Fig3e(cfg Config) (*Table, error) {
 		}
 		ilp := cfg.ILP
 		ilp.GridSize = float64(grids[pi])
-		v, err := coverageCount(sc, core.CoverGAC, ilp)
+		v, err := coverageCount(cfg.ctx(), sc, core.CoverGAC, ilp)
 		if err != nil {
 			return err
 		}
@@ -252,7 +253,7 @@ func figPRO(id, title string, side float64, users []int, cfg Config) (*Table, er
 		if err != nil {
 			return err
 		}
-		res, err := lower.SAMC(sc, lower.SAMCOptions{})
+		res, err := lower.SAMCContext(cfg.ctx(), sc, lower.SAMCOptions{})
 		if err != nil {
 			return err
 		}
@@ -260,12 +261,12 @@ func figPRO(id, title string, side float64, users []int, cfg Config) (*Table, er
 			return nil
 		}
 		samples[pi][0][r] = lower.BaselinePower(sc, res).Total
-		pro, err := lower.PRO(sc, res)
+		pro, err := lower.PROContext(cfg.ctx(), sc, res)
 		if err != nil {
 			return err
 		}
 		samples[pi][1][r] = pro.Total
-		opt, err := lower.OptimalPower(sc, res)
+		opt, err := lower.OptimalPowerContext(cfg.ctx(), sc, res)
 		if err != nil {
 			return err
 		}
@@ -318,7 +319,7 @@ func figRuntime(id, title string, side float64, users []int, cfg Config) (*Table
 		}
 		for m, method := range methods {
 			start := time.Now()
-			if _, err := runCoverage(sc, method, cfg.ILP); err != nil {
+			if _, err := runCoverage(cfg.ctx(), sc, method, cfg.ILP); err != nil {
 				return err
 			}
 			samples[pi][m][r] = float64(time.Since(start).Microseconds()) / 1000.0
@@ -369,7 +370,7 @@ func figConnectivity(id, title string, side float64, users []int, cfg Config) (*
 		if err != nil {
 			return err
 		}
-		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		cover, err := lower.SAMCContext(cfg.ctx(), sc, lower.SAMCOptions{})
 		if err != nil {
 			return err
 		}
@@ -377,13 +378,13 @@ func figConnectivity(id, title string, side float64, users []int, cfg Config) (*
 			return nil
 		}
 		for b := 0; b < numBS; b++ {
-			must, err := upper.MUST(sc, cover, b)
+			must, err := upper.MUSTContext(cfg.ctx(), sc, cover, b)
 			if err != nil {
 				return err
 			}
 			samples[pi][b][r] = float64(must.NumRelays())
 		}
-		mbmc, err := upper.MBMC(sc, cover)
+		mbmc, err := upper.MBMCContext(cfg.ctx(), sc, cover)
 		if err != nil {
 			return err
 		}
@@ -433,19 +434,19 @@ func figUCPO(id, title string, side float64, users []int, cfg Config) (*Table, e
 		if err != nil {
 			return err
 		}
-		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		cover, err := lower.SAMCContext(cfg.ctx(), sc, lower.SAMCOptions{})
 		if err != nil {
 			return err
 		}
 		if !cover.Feasible {
 			return nil
 		}
-		conn, err := upper.MBMC(sc, cover)
+		conn, err := upper.MBMCContext(cfg.ctx(), sc, cover)
 		if err != nil {
 			return err
 		}
 		samples[pi][0][r] = upper.BaselinePower(sc, conn).Total
-		ucpo, err := upper.UCPO(sc, cover, conn)
+		ucpo, err := upper.UCPOContext(cfg.ctx(), sc, cover, conn)
 		if err != nil {
 			return err
 		}
@@ -493,13 +494,13 @@ func fig7Total(id, title string, side float64, users []int, cfg Config) (*Table,
 			return err
 		}
 		pcfg := core.Config{ILP: cfg.ILP}
-		sag, err := core.SAG(sc, pcfg)
+		sag, err := core.SAGContext(cfg.ctx(), sc, pcfg)
 		if err != nil {
 			return err
 		}
 		samples[pi][0][r] = totalOrNaN(sag)
 		for i, m := range []core.CoverageMethod{core.CoverSAMC, core.CoverIAC, core.CoverGAC} {
-			darp, err := core.DARP(sc, m, pcfg)
+			darp, err := core.DARPContext(cfg.ctx(), sc, m, pcfg)
 			if err != nil {
 				return err
 			}
@@ -563,7 +564,7 @@ func Table2(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		cover, err := lower.SAMCContext(cfg.ctx(), sc, lower.SAMCOptions{})
 		if err != nil {
 			return err
 		}
@@ -571,13 +572,13 @@ func Table2(cfg Config) (*Table, error) {
 			return nil
 		}
 		for b := 0; b < nbs; b++ {
-			must, err := upper.MUST(sc, cover, b)
+			must, err := upper.MUSTContext(cfg.ctx(), sc, cover, b)
 			if err != nil {
 				return err
 			}
 			samples[pi][b][r] = float64(must.NumRelays())
 		}
-		mbmc, err := upper.MBMC(sc, cover)
+		mbmc, err := upper.MBMCContext(cfg.ctx(), sc, cover)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -122,7 +123,7 @@ func TestCoverageCountUnknownMethod(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runCoverage(sc, 0, Config{}.ILP); err == nil {
+	if _, err := runCoverage(context.Background(), sc, 0, Config{}.ILP); err == nil {
 		t.Error("unknown method accepted")
 	}
 }

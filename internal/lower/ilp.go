@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -57,7 +58,14 @@ func (o ILPOptions) withDefaults() ILPOptions {
 // pairwise intersection points of the subscribers' feasible circles (plus
 // the circle centers, so isolated subscribers stay coverable).
 func IAC(sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
-	return solveILP(sc, opts, "IAC", func(zone []int, disks []geom.Circle) []geom.Point {
+	return IACContext(context.Background(), sc, opts)
+}
+
+// IACContext is IAC with cooperative cancellation: a cancelled ctx stops
+// unstarted zones and aborts in-flight branch-and-bound searches between
+// nodes and simplex pivots. The error wraps ctx.Err().
+func IACContext(ctx context.Context, sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
+	return solveILP(ctx, sc, opts, "IAC", func(zone []int, disks []geom.Circle) []geom.Point {
 		return geom.IntersectionCandidates(disks)
 	})
 }
@@ -67,9 +75,14 @@ func IAC(sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
 // cells tiling the field; smaller grid sizes give more accurate results at
 // higher cost (Section III-A).
 func GAC(sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
+	return GACContext(context.Background(), sc, opts)
+}
+
+// GACContext is GAC with cooperative cancellation; see IACContext.
+func GACContext(ctx context.Context, sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
 	opts = opts.withDefaults()
 	gridAll := geom.GridCenters(sc.Field, opts.GridSize)
-	return solveILP(sc, opts, "GAC", func(zone []int, disks []geom.Circle) []geom.Point {
+	return solveILP(ctx, sc, opts, "GAC", func(zone []int, disks []geom.Circle) []geom.Point {
 		// Restrict the field-wide grid to points that cover some zone
 		// subscriber; the rest cannot appear in any zone-local solution.
 		var pts []geom.Point
@@ -87,7 +100,7 @@ func GAC(sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
 
 // solveILP runs the shared per-zone ILPQC pipeline with the given candidate
 // construction.
-func solveILP(sc *scenario.Scenario, opts ILPOptions, method string, candidatesFor func([]int, []geom.Circle) []geom.Point) (*Result, error) {
+func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, method string, candidatesFor func([]int, []geom.Circle) []geom.Point) (*Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
 	if err := sc.Validate(); err != nil {
@@ -102,15 +115,17 @@ func solveILP(sc *scenario.Scenario, opts ILPOptions, method string, candidatesF
 	// The zones are independent ILPQC subproblems: fan them out over the
 	// worker pool, collect each zone's relays into its index-addressed
 	// slot, and concatenate in zone order so the relay list is identical to
-	// a sequential solve. An infeasible zone cancels the remaining ones.
+	// a sequential solve. An infeasible zone cancels the remaining ones,
+	// and a cancelled ctx both stops unstarted zones and aborts in-flight
+	// branch-and-bound searches.
 	zoneRelays := make([][]Relay, len(zones))
-	err = par.ForEach(opts.Workers, len(zones), func(zi int) error {
+	err = par.ForEachContext(ctx, opts.Workers, len(zones), func(zi int) error {
 		zone := zones[zi]
 		disks := make([]geom.Circle, len(zone))
 		for i, s := range zone {
 			disks[i] = sc.Subscribers[s].Circle()
 		}
-		relays, err := solveZoneILP(sc, zone, disks, candidatesFor(zone, disks), opts)
+		relays, err := solveZoneILP(ctx, sc, zone, disks, candidatesFor(zone, disks), opts)
 		if err != nil {
 			return err
 		}
@@ -154,7 +169,7 @@ func solveILP(sc *scenario.Scenario, opts ILPOptions, method string, candidatesF
 // M_j = sum_k w_kj (the largest possible interference at j): when T_ij = 1
 // the relay at i serves j, so the total received power minus the serving
 // signal must be at most signal/beta.
-func solveZoneILP(sc *scenario.Scenario, zone []int, disks []geom.Circle, candidates []geom.Point, opts ILPOptions) ([]Relay, error) {
+func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks []geom.Circle, candidates []geom.Point, opts ILPOptions) ([]Relay, error) {
 	if len(zone) == 0 {
 		return nil, nil
 	}
@@ -273,7 +288,7 @@ func solveZoneILP(sc *scenario.Scenario, zone []int, disks []geom.Circle, candid
 		mopts.Incumbent = inc
 		mopts.IncumbentObj = obj
 	}
-	mres, err := milp.Solve(prob, isInt, mopts)
+	mres, err := milp.SolveContext(ctx, prob, isInt, mopts)
 	if err != nil {
 		return nil, fmt.Errorf("branch and bound: %w", err)
 	}

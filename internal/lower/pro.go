@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -149,8 +150,19 @@ func PRO(sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
 	return PROWithOptions(sc, res, PROOptions{})
 }
 
+// PROContext is PRO with cooperative cancellation: the relaxation sweep
+// checks ctx once per round, so a cancelled context aborts within one
+// O(relays²) pass.
+func PROContext(ctx context.Context, sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
+	return proRun(ctx, sc, res, PROOptions{})
+}
+
 // PROWithOptions runs PRO with explicit knobs (see PROOptions).
 func PROWithOptions(sc *scenario.Scenario, res *Result, popts PROOptions) (*PowerAllocation, error) {
+	return proRun(context.Background(), sc, res, popts)
+}
+
+func proRun(cctx context.Context, sc *scenario.Scenario, res *Result, popts PROOptions) (*PowerAllocation, error) {
 	ctx, err := newPowerContext(sc, res)
 	if err != nil {
 		return nil, err
@@ -164,6 +176,9 @@ func PROWithOptions(sc *scenario.Scenario, res *Result, popts PROOptions) (*Powe
 		inK[i] = true
 	}
 	for remaining > 0 {
+		if err := cctx.Err(); err != nil {
+			return nil, fmt.Errorf("lower: PRO: %w", err)
+		}
 		changed := false
 		for i := 0; i < n; i++ {
 			if !inK[i] {
@@ -233,6 +248,12 @@ func PROWithOptions(sc *scenario.Scenario, res *Result, popts PROOptions) (*Powe
 // It is the benchmark the paper compares PRO against ("optimal" curves in
 // Figs. 4a and 5a).
 func OptimalPower(sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
+	return OptimalPowerContext(context.Background(), sc, res)
+}
+
+// OptimalPowerContext is OptimalPower with cooperative cancellation: the
+// LP solve polls ctx between simplex pivots.
+func OptimalPowerContext(cctx context.Context, sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
 	ctx, err := newPowerContext(sc, res)
 	if err != nil {
 		return nil, err
@@ -265,7 +286,7 @@ func OptimalPower(sc *scenario.Scenario, res *Result) (*PowerAllocation, error) 
 			return nil, fmt.Errorf("lower: optimal power: %w", err)
 		}
 	}
-	sol, err := prob.Solve()
+	sol, err := prob.SolveContext(cctx)
 	if err != nil {
 		return nil, fmt.Errorf("lower: optimal power: %w", err)
 	}

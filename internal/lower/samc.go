@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -55,6 +56,14 @@ var ErrInfeasible = errors.New("lower: no feasible coverage satisfying the SNR t
 // or deleted while massaging SNR), so a feasible SAMC result inherits the
 // hitting set PTAS's (1+eps) approximation on the relay count.
 func SAMC(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
+	return SAMCContext(context.Background(), sc, opts)
+}
+
+// SAMCContext is SAMC with cooperative cancellation: a cancelled ctx stops
+// the zone loop between zones and the error wraps ctx.Err(). Zones are the
+// natural check granularity — each zone's hitting-set and sliding work is
+// bounded — so cancellation is prompt without perturbing any zone's result.
+func SAMCContext(ctx context.Context, sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
 	if err := sc.Validate(); err != nil {
@@ -66,6 +75,9 @@ func SAMC(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
 	}
 	res := &Result{Method: "SAMC", Zones: zones}
 	for _, zone := range zones {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lower: SAMC: %w", err)
+		}
 		relays, err := samcZone(sc, zone, opts)
 		if err != nil {
 			if errors.Is(err, ErrInfeasible) || errors.Is(err, hitting.ErrUncoverable) {

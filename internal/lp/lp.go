@@ -18,6 +18,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -267,4 +268,10 @@ var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 // Solve method to reuse the tableau memory.
 func (p *Problem) Solve() (*Solution, error) {
 	return NewSolver().Solve(p, nil, nil)
+}
+
+// SolveContext is Solve with cooperative cancellation; see
+// (*Solver).SolveContext.
+func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
+	return NewSolver().SolveContext(ctx, p, nil, nil)
 }

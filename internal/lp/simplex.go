@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -16,6 +17,12 @@ const feasEps = 1e-7
 // most-negative rule for Bland's anti-cycling rule.
 const blandSwitch = 2000
 
+// ctxCheckMask gates how often the iteration loop polls the context: every
+// ctxCheckMask+1 pivots. Polling costs an atomic load plus an interface
+// call, which is noise next to a dense pivot but would still be wasteful at
+// every iteration of small tableaus.
+const ctxCheckMask = 63
+
 // tableau is a dense simplex tableau in canonical form. Columns are laid
 // out [structural | slack/surplus | artificial]; the last entry of each row
 // is the right-hand side. Tableaus are assembled by (*Solver).build, which
@@ -30,6 +37,7 @@ type tableau struct {
 	origObj  []float64 // structural objective, installed in phase 2
 	maxIts   int
 	its      int
+	ctx      context.Context // polled during iteration; nil means no check
 }
 
 func (t *tableau) pivot(r, c int) {
@@ -105,11 +113,19 @@ func (t *tableau) chooseLeaving(c int) int {
 	return bestRow
 }
 
-// iterate runs simplex to optimality over the first limit columns.
+// iterate runs simplex to optimality over the first limit columns. A
+// cancelled context aborts the solve between pivots, returning the
+// context's error so callers can distinguish cancellation from
+// ErrIterationLimit.
 func (t *tableau) iterate(limit int) (Status, error) {
 	for {
 		if t.its > t.maxIts {
 			return 0, ErrIterationLimit
+		}
+		if t.ctx != nil && t.its&ctxCheckMask == 0 {
+			if err := t.ctx.Err(); err != nil {
+				return 0, err
+			}
 		}
 		c := t.chooseEntering(limit)
 		if c < 0 {

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -37,9 +38,21 @@ func NewSolver() *Solver { return &Solver{} }
 // same (problem, bounds) input run the identical pivot sequence — map
 // iteration order never leaks into the result.
 func (s *Solver) Solve(p *Problem, lower, upper map[int]float64) (*Solution, error) {
+	return s.SolveContext(context.Background(), p, lower, upper)
+}
+
+// SolveContext is Solve with cooperative cancellation: the simplex
+// iteration loop polls ctx every few pivots and aborts with ctx's error
+// (context.Canceled or context.DeadlineExceeded) when it is done. The
+// cancellation check never changes the pivot sequence of a solve that runs
+// to completion, so determinism is unaffected.
+func (s *Solver) SolveContext(ctx context.Context, p *Problem, lower, upper map[int]float64) (*Solution, error) {
 	t, err := s.build(p, lower, upper)
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil && ctx != context.Background() {
+		t.ctx = ctx
 	}
 	return t.solve()
 }

@@ -1,0 +1,98 @@
+package milp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sagrelay/internal/lp"
+)
+
+// hardCovering builds a covering instance large enough that branch-and-bound
+// cannot finish within a tight deadline: n binary variables with jittered
+// costs under m random >=1 covering constraints.
+func hardCovering(t *testing.T, n, m int, seed int64) (*lp.Problem, []bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1 + rng.Float64()
+	}
+	p, isInt := binProblem(costs)
+	for k := 0; k < m; k++ {
+		var terms []lp.Term
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				terms = append(terms, lp.Term{Var: i, Coef: 1})
+			}
+		}
+		if len(terms) == 0 {
+			terms = []lp.Term{{Var: k % n, Coef: 1}}
+		}
+		if err := p.AddConstraint(terms, lp.GE, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, isInt
+}
+
+// TestContextDeadline is the ISSUE's cancellation acceptance check: an
+// oversized instance under a 50ms deadline must come back with
+// context.DeadlineExceeded well before it could ever finish, not run to
+// completion. The elapsed bound is generous (2s) to stay robust on loaded
+// CI machines; the point is "promptly", not "exactly 50ms".
+func TestContextDeadline(t *testing.T) {
+	p, isInt := hardCovering(t, 48, 90, 7)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	_, err := SolveContext(ctx, p, isInt, Options{MaxNodes: 1 << 30})
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt return after the 50ms deadline", elapsed)
+	}
+}
+
+func TestContextPreCancelled(t *testing.T) {
+	p, isInt := binProblem([]float64{1, 1})
+	if err := p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.GE, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveContext(ctx, p, isInt, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestContextDoesNotChangeResults: a solve that completes under a context
+// must be identical to the plain solve — cancellation checks only abort
+// work, they never reorder it.
+func TestContextDoesNotChangeResults(t *testing.T) {
+	p, isInt := hardCovering(t, 12, 20, 3)
+	plain, err := Solve(p, isInt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	under, err := SolveContext(ctx, p, isInt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Status != under.Status || plain.Objective != under.Objective || plain.Nodes != under.Nodes {
+		t.Errorf("context changed the solve: %+v vs %+v", plain, under)
+	}
+	for i := range plain.X {
+		if plain.X[i] != under.X[i] {
+			t.Errorf("x[%d]: %v vs %v", i, plain.X[i], under.X[i])
+		}
+	}
+}

@@ -11,13 +11,25 @@
 package milp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"sagrelay/internal/lp"
 )
+
+// totalNodes counts branch-and-bound nodes explored process-wide, across
+// all solves and goroutines. It feeds expvar-style observability (the
+// serve subsystem's /metrics endpoint) without threading counters through
+// every caller.
+var totalNodes atomic.Int64
+
+// TotalNodes returns the number of branch-and-bound nodes explored by this
+// process so far.
+func TotalNodes() int64 { return totalNodes.Load() }
 
 // Status is the outcome of a MILP solve.
 type Status int
@@ -154,6 +166,20 @@ type node struct {
 // to integer values. The base problem is not modified. Infeasible and
 // unbounded models are reported via Result.Status with a nil error.
 func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), base, isInt, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the search checks
+// ctx before expanding each node and the node relaxations poll it between
+// simplex pivots, so a cancelled context aborts the solve promptly even
+// mid-relaxation. Cancellation is reported as an error wrapping ctx.Err()
+// (errors.Is against context.Canceled / context.DeadlineExceeded works); it
+// is distinct from Options.TimeLimit, which stops the search but still
+// returns the incumbent via Result.Status.
+func SolveContext(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if base == nil {
 		return nil, errors.New("milp: nil problem")
 	}
@@ -198,6 +224,9 @@ func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
 	roundUp := make([]float64, numVars)
 
 	for front.len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("milp: cancelled after %d nodes: %w", res.Nodes, err)
+		}
 		if res.Nodes >= opts.MaxNodes {
 			break
 		}
@@ -209,12 +238,16 @@ func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
 			continue // parent bound already dominated
 		}
 		res.Nodes++
+		totalNodes.Add(1)
 
-		sol, err := solver.Solve(base, nd.lower, nd.upper)
+		sol, err := solver.SolveContext(ctx, base, nd.lower, nd.upper)
 		if err != nil {
 			if errors.Is(err, lp.ErrIterationLimit) {
 				// Treat a stalled relaxation as unexplorable; skip the node.
 				continue
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("milp: cancelled after %d nodes: %w", res.Nodes, err)
 			}
 			return nil, fmt.Errorf("milp: node relaxation: %w", err)
 		}

@@ -1,11 +1,14 @@
 // Package par provides the bounded worker pool shared by the experiment
-// harness and the per-zone solvers. It exists so every layer of the solve
-// engine parallelizes the same way: index-addressed tasks fanned out over a
-// fixed worker count, results written into pre-sized slices by the caller
-// (never append order), and deterministic first-error reporting.
+// harness, the per-zone solvers and the solve service. It exists so every
+// layer of the solve engine parallelizes the same way: index-addressed
+// tasks fanned out over a fixed worker count, results written into
+// pre-sized slices by the caller (never append order), and deterministic
+// first-error reporting. Pool adds the long-lived variant used by the HTTP
+// job server: a fixed worker set draining a bounded queue.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,8 +33,21 @@ func DefaultWorkers(workers int) int {
 // Determinism contract: fn must write its result into a caller-provided
 // slot addressed by i. ForEach guarantees nothing about completion order.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachContext(context.Background(), workers, n, fn)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: a cancelled ctx
+// stops new tasks from starting (already-running tasks finish) and, when no
+// task itself failed, the context's error is returned. Task errors keep
+// priority over the cancellation error so deterministic lowest-index error
+// reporting survives cancellation races. fn itself is responsible for
+// observing ctx inside long-running tasks.
+func ForEachContext(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers = DefaultWorkers(workers)
 	if workers > n {
@@ -39,11 +55,14 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 
 	var (
@@ -58,7 +77,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= n || stop.Load() {
+				if i >= n || stop.Load() || ctx.Err() != nil {
 					return
 				}
 				if err := fn(i); err != nil {
@@ -74,5 +93,5 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

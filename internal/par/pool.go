@@ -1,0 +1,78 @@
+package par
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull reports a Submit against a Pool whose bounded queue is at
+// capacity. Callers translate it into backpressure (the job server answers
+// 429).
+var ErrQueueFull = errors.New("par: task queue full")
+
+// ErrPoolClosed reports a Submit against a Pool that has begun shutting
+// down.
+var ErrPoolClosed = errors.New("par: pool closed")
+
+// Pool is a long-lived bounded worker pool: a fixed set of goroutines
+// draining a bounded FIFO task queue. It is the service-shaped counterpart
+// of ForEach — instead of fanning a known index range out and joining, a
+// Pool accepts tasks over its lifetime and applies backpressure when the
+// queue is full. The HTTP job server runs every solve through one.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool of workers goroutines (<= 0 means GOMAXPROCS)
+// behind a queue holding up to depth pending tasks (depth < 0 is treated
+// as 0: Submit only succeeds when a worker is free to take the task soon).
+func NewPool(workers, depth int) *Pool {
+	if depth < 0 {
+		depth = 0
+	}
+	p := &Pool{tasks: make(chan func(), depth)}
+	for w := 0; w < DefaultWorkers(workers); w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues task for execution. It never blocks: when the queue is
+// full it returns ErrQueueFull, and after Close it returns ErrPoolClosed.
+func (p *Pool) Submit(task func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- task:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Close stops accepting tasks, waits for the queue to drain and every
+// running task to finish, then returns. It is idempotent. Tasks that must
+// abort early instead of draining should observe their own context; Close
+// only guarantees the pool's goroutines are gone when it returns.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,106 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	if n := ran.Load(); n != 50 {
+		t.Fatalf("ran %d of 50 tasks", n)
+	}
+}
+
+func TestPoolQueueFullBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := p.Submit(func() { defer wg.Done(); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	// One task occupies the worker; fill the depth-1 queue, then expect
+	// backpressure. The occupying task may not have been picked up yet, so
+	// allow one extra enqueue before demanding ErrQueueFull.
+	full := false
+	for i := 0; i < 3; i++ {
+		if err := p.Submit(func() {}); errors.Is(err, ErrQueueFull) {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Error("queue never reported ErrQueueFull")
+	}
+	close(release)
+	wg.Wait()
+	p.Close()
+}
+
+func TestPoolClosedRejectsAndIsIdempotent(t *testing.T) {
+	p := NewPool(2, 4)
+	p.Close()
+	p.Close() // must not panic
+	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after close: %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachContext(ctx, workers, 100000, func(i int) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n == 100000 {
+			t.Errorf("workers=%d: cancellation did not stop the fan-out", workers)
+		}
+	}
+}
+
+func TestForEachContextTaskErrorWinsOverCancel(t *testing.T) {
+	// When a task fails and the context is cancelled afterwards, the
+	// deterministic lowest-index task error must still be reported.
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachContext(ctx, 4, 1000, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the task error", err)
+	}
+}
+
+func TestForEachContextNilBehavesLikeBackground(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEachContext(context.Background(), 3, 20, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d of 20", ran.Load())
+	}
+}

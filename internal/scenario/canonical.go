@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+)
+
+// Canonical encoding — a deterministic byte serialization of a scenario for
+// content addressing. Two Scenario values that would drive the solvers
+// identically produce identical bytes, and any semantic difference changes
+// them. The solve service hashes this (together with its canonical options
+// encoding) with SHA-256 to key its result cache.
+//
+// Properties the encoding guarantees:
+//
+//   - Floats are written as exact hexadecimal float64 literals
+//     (strconv 'x'), so every distinct bit pattern is distinct text and no
+//     decimal shortening can collide or drift across Go versions.
+//   - Entity order is preserved, not sorted: subscriber and base-station
+//     order is part of the problem statement (zone construction and result
+//     indexing follow it), so reordering is a different instance.
+//   - Every field is prefixed by a label and terminated by a newline, so
+//     adjacent fields can never re-associate ("ab","c" vs "a","bc").
+//   - A leading format version tag makes future encoding changes safe: a
+//     new version invalidates old cache keys instead of silently aliasing
+//     them.
+//
+// The encoding intentionally covers only solver-relevant state. IDs are
+// included (they name entities in result documents); nothing else exists
+// on the types today.
+
+// canonicalVersion tags the encoding format; bump it whenever the byte
+// layout or the covered field set changes.
+const canonicalVersion = "sagsc/1"
+
+// canonicalBuf accumulates labeled fields of the canonical form.
+type canonicalBuf struct{ bytes.Buffer }
+
+func (b *canonicalBuf) field(label string, vals ...float64) {
+	b.WriteString(label)
+	for _, v := range vals {
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+	}
+	b.WriteByte('\n')
+}
+
+func (b *canonicalBuf) count(label string, n int) {
+	b.WriteString(label)
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(n))
+	b.WriteByte('\n')
+}
+
+// CanonicalBytes returns the canonical byte encoding of the scenario.
+func (sc *Scenario) CanonicalBytes() []byte {
+	var b canonicalBuf
+	b.WriteString(canonicalVersion)
+	b.WriteByte('\n')
+	b.field("field", sc.Field.Min.X, sc.Field.Min.Y, sc.Field.Max.X, sc.Field.Max.Y)
+	b.field("model", sc.Model.Gt, sc.Model.Gr, sc.Model.Ht, sc.Model.Hr, sc.Model.Alpha, sc.Model.MinDist)
+	b.field("pmax", sc.PMax)
+	b.field("snrdb", sc.SNRThresholdDB)
+	b.field("nmax", sc.NMax)
+	b.count("ss", len(sc.Subscribers))
+	for _, s := range sc.Subscribers {
+		b.count("id", s.ID)
+		b.field("s", s.Pos.X, s.Pos.Y, s.DistReq, s.MinRxPower)
+	}
+	b.count("bs", len(sc.BaseStations))
+	for _, bs := range sc.BaseStations {
+		b.count("id", bs.ID)
+		b.field("b", bs.Pos.X, bs.Pos.Y)
+	}
+	return b.Bytes()
+}
+
+// CanonicalHash returns the SHA-256 of CanonicalBytes as lowercase hex —
+// the scenario's content address.
+func (sc *Scenario) CanonicalHash() string {
+	sum := sha256.Sum256(sc.CanonicalBytes())
+	return hex.EncodeToString(sum[:])
+}

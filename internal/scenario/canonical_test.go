@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testScenario(t *testing.T) *Scenario {
+	t.Helper()
+	sc, err := Generate(GenConfig{FieldSide: 300, NumSS: 8, NumBS: 2, SNRdB: -15, Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return sc
+}
+
+func TestCanonicalBytesDeterministic(t *testing.T) {
+	sc := testScenario(t)
+	a := sc.CanonicalBytes()
+	b := sc.CanonicalBytes()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical encoding not deterministic")
+	}
+	// An equal scenario built independently (same generator inputs) must
+	// encode identically.
+	sc2 := testScenario(t)
+	if !bytes.Equal(a, sc2.CanonicalBytes()) {
+		t.Fatalf("equal scenarios produced different canonical bytes")
+	}
+	if sc.CanonicalHash() != sc2.CanonicalHash() {
+		t.Fatalf("equal scenarios produced different hashes")
+	}
+}
+
+func TestCanonicalBytesSensitivity(t *testing.T) {
+	base := testScenario(t)
+	baseHash := base.CanonicalHash()
+
+	mutations := map[string]func(*Scenario){
+		"pmax":        func(sc *Scenario) { sc.PMax *= 1.0000001 },
+		"snr":         func(sc *Scenario) { sc.SNRThresholdDB += 1e-9 },
+		"subscriber":  func(sc *Scenario) { sc.Subscribers[0].Pos.X += 1e-9 },
+		"distreq":     func(sc *Scenario) { sc.Subscribers[3].DistReq += 1e-9 },
+		"basestation": func(sc *Scenario) { sc.BaseStations[1].Pos.Y -= 1e-9 },
+		"field":       func(sc *Scenario) { sc.Field.Max.X += 1e-9 },
+		"model":       func(sc *Scenario) { sc.Model.Alpha += 1e-12 },
+		"ss-order": func(sc *Scenario) {
+			sc.Subscribers[0], sc.Subscribers[1] = sc.Subscribers[1], sc.Subscribers[0]
+		},
+		"drop-ss": func(sc *Scenario) { sc.Subscribers = sc.Subscribers[:len(sc.Subscribers)-1] },
+	}
+	for name, mutate := range mutations {
+		sc := testScenario(t)
+		mutate(sc)
+		if sc.CanonicalHash() == baseHash {
+			t.Errorf("%s: mutation did not change the canonical hash", name)
+		}
+	}
+}
+
+func TestCanonicalBytesExactFloats(t *testing.T) {
+	// Two floats that round-trip identically through short decimal printing
+	// must still be distinguished: the encoding uses exact hex floats.
+	a := testScenario(t)
+	b := testScenario(t)
+	b.Subscribers[0].Pos.X = math.Nextafter(a.Subscribers[0].Pos.X, math.Inf(1))
+	if bytes.Equal(a.CanonicalBytes(), b.CanonicalBytes()) {
+		t.Fatalf("adjacent float64 values encoded identically")
+	}
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	cases := map[string]func(*Scenario){
+		"nan-ss-x":    func(sc *Scenario) { sc.Subscribers[2].Pos.X = math.NaN() },
+		"inf-ss-y":    func(sc *Scenario) { sc.Subscribers[0].Pos.Y = math.Inf(1) },
+		"nan-bs":      func(sc *Scenario) { sc.BaseStations[0].Pos.X = math.NaN() },
+		"nan-distreq": func(sc *Scenario) { sc.Subscribers[1].DistReq = math.NaN() },
+		"inf-pmax":    func(sc *Scenario) { sc.PMax = math.Inf(1) },
+		"nan-snr":     func(sc *Scenario) { sc.SNRThresholdDB = math.NaN() },
+		"nan-field":   func(sc *Scenario) { sc.Field.Min.X = math.NaN() },
+	}
+	for name, mutate := range cases {
+		sc := testScenario(t)
+		mutate(sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a non-finite value", name)
+			continue
+		}
+		if !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: error %v is not ErrNonFinite", name, err)
+		}
+		var ve *ValueError
+		if !errors.As(err, &ve) || ve.Field == "" {
+			t.Errorf("%s: error %v lacks a field path", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsNonPositive(t *testing.T) {
+	cases := map[string]func(*Scenario){
+		"empty-field-w": func(sc *Scenario) { sc.Field.Max.X = sc.Field.Min.X },
+		"neg-field-h":   func(sc *Scenario) { sc.Field.Max.Y = sc.Field.Min.Y - 5 },
+		"zero-pmax":     func(sc *Scenario) { sc.PMax = 0 },
+		"zero-distreq":  func(sc *Scenario) { sc.Subscribers[0].DistReq = 0 },
+	}
+	for name, mutate := range cases {
+		sc := testScenario(t)
+		mutate(sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a non-positive value", name)
+			continue
+		}
+		if !errors.Is(err, ErrNonPositive) {
+			t.Errorf("%s: error %v is not ErrNonPositive", name, err)
+		}
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	dir := t.TempDir()
+	sc := testScenario(t)
+	good := filepath.Join(dir, "good.json")
+	if err := Save(sc, good); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	// Corrupt the document on disk: a zero-width field must be rejected at
+	// load time with the typed error.
+	flat := *sc
+	flat.Field.Max.X = flat.Field.Min.X
+	bad, err := json.Marshal(&flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badPath); !errors.Is(err, ErrNonPositive) {
+		t.Fatalf("Load of zero-size field: got %v, want ErrNonPositive", err)
+	}
+
+	// Save must refuse a scenario that cannot round-trip.
+	sc.Subscribers[0].Pos.X = math.NaN()
+	if err := Save(sc, filepath.Join(dir, "nan.json")); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Save with NaN: got %v, want ErrNonFinite", err)
+	}
+}

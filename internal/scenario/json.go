@@ -9,10 +9,16 @@ import (
 // MarshalJSON-friendly round-trips: Scenario already carries json tags on
 // every field; these helpers add file I/O with validation for the CLI tools.
 
-// Save writes the scenario to path as indented JSON.
+// Save writes the scenario to path as indented JSON. The scenario is
+// validated first, so a document produced by Save always loads back: in
+// particular NaN/Inf values — which encoding/json cannot represent and
+// which Validate rejects with typed errors — never reach the file.
 func Save(sc *Scenario, path string) error {
 	if sc == nil {
 		return fmt.Errorf("scenario: cannot save nil scenario")
+	}
+	if err := sc.Validate(); err != nil {
+		return fmt.Errorf("scenario: refusing to save invalid scenario: %w", err)
 	}
 	data, err := json.MarshalIndent(sc, "", "  ")
 	if err != nil {
@@ -24,7 +30,10 @@ func Save(sc *Scenario, path string) error {
 	return nil
 }
 
-// Load reads and validates a scenario from a JSON file.
+// Load reads and validates a scenario from a JSON file. Invalid numeric
+// fields (NaN/Inf coordinates, non-positive field sizes or power caps) are
+// rejected here with *ValueError diagnostics rather than flowing silently
+// into geometry and the LP.
 func Load(path string) (*Scenario, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

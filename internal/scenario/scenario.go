@@ -8,10 +8,59 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"sagrelay/internal/geom"
 	"sagrelay/internal/radio"
 )
+
+// ErrNonFinite reports a NaN or ±Inf where a finite number is required.
+// NaN coordinates poison every geometric predicate downstream (distance
+// comparisons silently evaluate false), so they are rejected at the edge.
+var ErrNonFinite = errors.New("scenario: non-finite value")
+
+// ErrNonPositive reports a zero or negative value where a strictly
+// positive one is required (field extents, distance requirements, power
+// caps).
+var ErrNonPositive = errors.New("scenario: non-positive value")
+
+// ValueError pinpoints an invalid numeric field in a scenario document. It
+// wraps ErrNonFinite or ErrNonPositive, so errors.Is classifies the
+// failure while the Field path names the offending entry for diagnostics.
+type ValueError struct {
+	// Field is the path of the offending field, e.g. "subscriber[3].pos.x".
+	Field string
+	// Value is the rejected number.
+	Value float64
+	// Err is the category sentinel: ErrNonFinite or ErrNonPositive.
+	Err error
+}
+
+func (e *ValueError) Error() string {
+	return fmt.Sprintf("%v: %s = %v", e.Err, e.Field, e.Value)
+}
+
+// Unwrap exposes the category sentinel to errors.Is.
+func (e *ValueError) Unwrap() error { return e.Err }
+
+// finite returns a ValueError when v is NaN or infinite.
+func finite(field string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return &ValueError{Field: field, Value: v, Err: ErrNonFinite}
+	}
+	return nil
+}
+
+// positive returns a ValueError when v is non-finite or <= 0.
+func positive(field string, v float64) error {
+	if err := finite(field, v); err != nil {
+		return err
+	}
+	if v <= 0 {
+		return &ValueError{Field: field, Value: v, Err: ErrNonPositive}
+	}
+	return nil
+}
 
 // Subscriber is a static subscriber station (SS): a fixed user with a large
 // traffic demand (the paper's examples: retail stores, gas stations). Its
@@ -107,16 +156,31 @@ func (sc *Scenario) FeasibleCircles() []geom.Circle {
 	return cs
 }
 
-// Validate checks structural invariants of the instance.
+// Validate checks structural invariants of the instance: positive power
+// caps and field extents, finite coordinates everywhere, positive distance
+// requirements, and unique IDs. Numeric failures are *ValueError values
+// wrapping ErrNonFinite / ErrNonPositive, so loaders can classify bad
+// input without string matching; NaN and Inf are rejected here rather than
+// being allowed to flow into geometry and the LP, where they would corrupt
+// results silently (every comparison against NaN is false).
 func (sc *Scenario) Validate() error {
 	if err := sc.Model.Validate(); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
-	if sc.PMax <= 0 {
-		return fmt.Errorf("scenario: PMax=%v must be positive", sc.PMax)
-	}
-	if sc.NMax <= 0 {
-		return fmt.Errorf("scenario: NMax=%v must be positive", sc.NMax)
+	for _, check := range []error{
+		finite("field.min.x", sc.Field.Min.X),
+		finite("field.min.y", sc.Field.Min.Y),
+		finite("field.max.x", sc.Field.Max.X),
+		finite("field.max.y", sc.Field.Max.Y),
+		positive("field.width", sc.Field.Width()),
+		positive("field.height", sc.Field.Height()),
+		positive("p_max", sc.PMax),
+		positive("n_max", sc.NMax),
+		finite("snr_threshold_db", sc.SNRThresholdDB),
+	} {
+		if check != nil {
+			return check
+		}
 	}
 	if len(sc.Subscribers) == 0 {
 		return errors.New("scenario: no subscribers")
@@ -125,9 +189,16 @@ func (sc *Scenario) Validate() error {
 		return errors.New("scenario: no base stations")
 	}
 	seen := make(map[int]bool, len(sc.Subscribers))
-	for _, s := range sc.Subscribers {
-		if s.DistReq <= 0 {
-			return fmt.Errorf("scenario: subscriber %d has non-positive distance requirement %v", s.ID, s.DistReq)
+	for i, s := range sc.Subscribers {
+		for _, check := range []error{
+			finite(fmt.Sprintf("subscriber[%d].pos.x", i), s.Pos.X),
+			finite(fmt.Sprintf("subscriber[%d].pos.y", i), s.Pos.Y),
+			positive(fmt.Sprintf("subscriber[%d].dist_req", i), s.DistReq),
+			finite(fmt.Sprintf("subscriber[%d].min_rx_power", i), s.MinRxPower),
+		} {
+			if check != nil {
+				return check
+			}
 		}
 		if s.MinRxPower < 0 {
 			return fmt.Errorf("scenario: subscriber %d has negative MinRxPower %v", s.ID, s.MinRxPower)
@@ -138,7 +209,15 @@ func (sc *Scenario) Validate() error {
 		seen[s.ID] = true
 	}
 	seenBS := make(map[int]bool, len(sc.BaseStations))
-	for _, b := range sc.BaseStations {
+	for i, b := range sc.BaseStations {
+		for _, check := range []error{
+			finite(fmt.Sprintf("base_station[%d].pos.x", i), b.Pos.X),
+			finite(fmt.Sprintf("base_station[%d].pos.y", i), b.Pos.Y),
+		} {
+			if check != nil {
+				return check
+			}
+		}
 		if seenBS[b.ID] {
 			return fmt.Errorf("scenario: duplicate base station id %d", b.ID)
 		}

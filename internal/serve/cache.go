@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a bounded, mutex-guarded LRU mapping content-address keys
+// (SHA-256 hex over the canonical request encoding) to finished result
+// documents. Values are the exact marshaled bytes of the first solve, so a
+// cache hit replays a byte-identical document — the determinism guarantee
+// of the solver stack extends through the service layer.
+type cache struct {
+	mu      sync.Mutex
+	maxEnts int
+	ll      *list.List // front = most recently used
+	ents    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	doc []byte
+}
+
+func newCache(maxEnts int) *cache {
+	if maxEnts <= 0 {
+		maxEnts = 256
+	}
+	return &cache{
+		maxEnts: maxEnts,
+		ll:      list.New(),
+		ents:    make(map[string]*list.Element, maxEnts),
+	}
+}
+
+// get returns the cached document for key and marks it most recently used.
+// The returned slice is shared; callers must not modify it.
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ents[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).doc, true
+}
+
+// put stores doc under key, evicting the least recently used entry when
+// over capacity. Re-putting an existing key refreshes its recency but
+// keeps the original bytes: the first stored document is authoritative
+// (deterministic solves make any successor identical anyway).
+func (c *cache) put(key string, doc []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ents[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, doc: doc})
+	c.ents[key] = el
+	for c.ll.Len() > c.maxEnts {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.ents, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached documents.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"sagrelay/internal/scenario"
+)
+
+// Handler returns the service's HTTP routes on a fresh mux:
+//
+//	POST   /v1/solve            submit {scenario, options}; ?wait=1 blocks
+//	GET    /v1/jobs             list retained jobs, newest first
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/result the finished result document
+//	DELETE /v1/jobs/{id}        request cancellation
+//	GET    /healthz             liveness probe
+//	GET    /metrics             counters (JSON, expvar-style)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	doc := errorDoc{Error: err.Error()}
+	var ve *scenario.ValueError
+	if errors.As(err, &ve) {
+		doc.Field = ve.Field
+	}
+	writeJSON(w, code, doc)
+}
+
+// writeRawResult serves pre-marshaled result bytes untouched, preserving
+// the byte-identical replay guarantee of the cache.
+func writeRawResult(w http.ResponseWriter, doc []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(doc)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+
+	if r.URL.Query().Get("wait") == "1" {
+		// Synchronous mode: block until the job finishes. A client
+		// disconnect cancels the solve — the whole point of the context
+		// plumbing — and the handler just unwinds.
+		select {
+		case <-job.done:
+		case <-r.Context().Done():
+			job.cancel()
+			<-job.done
+			return
+		}
+		if doc, state := job.resultBytes(); state == StateDone {
+			writeRawResult(w, doc)
+			return
+		}
+		st := job.status()
+		writeJSON(w, http.StatusUnprocessableEntity, st)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.status())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]jobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobStatus `json:"jobs"`
+	}{out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	doc, state := job.resultBytes()
+	switch state {
+	case StateDone:
+		writeRawResult(w, doc)
+	case StateQueued, StateRunning:
+		// 202: try again later.
+		writeJSON(w, http.StatusAccepted, job.status())
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, job.status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Cancel(id) {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	job, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len()))
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of a submitted solve.
+type JobState string
+
+// Job states. A job moves queued -> running -> one of the terminal states;
+// cache hits jump straight to done.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Job tracks one submitted solve through its lifecycle. All mutable fields
+// are guarded by mu; snapshots for the HTTP layer go through status().
+type Job struct {
+	// ID is the job identifier ("j-<seq>"), unique per server instance.
+	ID string
+	// Key is the content address of (scenario, options).
+	Key string
+
+	cancel context.CancelFunc
+	// done is closed exactly once when the job reaches a terminal state;
+	// synchronous waiters (POST /v1/solve?wait=1) select on it.
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   []byte
+}
+
+// jobStatus is the JSON shape of GET /v1/jobs/{id}.
+type jobStatus struct {
+	ID       string   `json:"id"`
+	Key      string   `json:"key"`
+	State    JobState `json:"state"`
+	CacheHit bool     `json:"cache_hit"`
+	Error    string   `json:"error,omitempty"`
+	Created  string   `json:"created"`
+	// ElapsedMS is queue+solve wall-clock so far (or total once terminal).
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+func (j *Job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return jobStatus{
+		ID:        j.ID,
+		Key:       j.Key,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Error:     j.err,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+		ElapsedMS: end.Sub(j.created).Milliseconds(),
+	}
+}
+
+// resultBytes returns the finished document, or nil when the job is not
+// done yet. The slice is shared; callers must not modify it.
+func (j *Job) resultBytes() ([]byte, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state
+}
+
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.started = time.Now()
+}
+
+func (j *Job) finish(state JobState, result []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+		return // already terminal; first finish wins
+	}
+	j.state = state
+	j.result = result
+	j.err = errMsg
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"sagrelay/internal/milp"
+)
+
+// Metrics holds the service's expvar-style counters: monotonically
+// increasing atomics read without locks, published as one JSON document by
+// the /metrics endpoint. Counters are process-lifetime; there is no reset.
+type Metrics struct {
+	// JobsAccepted counts solve submissions admitted to the queue
+	// (cache hits included — they are accepted work, just free).
+	JobsAccepted atomic.Int64
+	// JobsRejected counts submissions refused with backpressure (queue
+	// full) or during shutdown.
+	JobsRejected atomic.Int64
+	// JobsCompleted counts jobs that finished with a result document.
+	JobsCompleted atomic.Int64
+	// JobsFailed counts jobs that ended in a non-cancellation error.
+	JobsFailed atomic.Int64
+	// JobsCancelled counts jobs ended by deadline, client cancel or
+	// shutdown.
+	JobsCancelled atomic.Int64
+	// CacheHits and CacheMisses count result-cache lookups at submit time.
+	CacheHits, CacheMisses atomic.Int64
+	// SolveMicros accumulates wall-clock solver time (cache hits excluded),
+	// and Solves the number of solves it spans, so mean latency is
+	// SolveMicros/Solves.
+	SolveMicros atomic.Int64
+	Solves      atomic.Int64
+}
+
+// metricsDoc is the JSON shape served by /metrics.
+type metricsDoc struct {
+	JobsAccepted  int64 `json:"jobs_accepted"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheEntries  int   `json:"cache_entries"`
+	SolveMicros   int64 `json:"solve_micros_total"`
+	Solves        int64 `json:"solves"`
+	// BBNodes is the process-wide branch-and-bound node count from
+	// internal/milp — the solver-effort odometer behind ILP requests.
+	BBNodes int64 `json:"bb_nodes_total"`
+}
+
+func (m *Metrics) snapshot(cacheEntries int) metricsDoc {
+	return metricsDoc{
+		JobsAccepted:  m.JobsAccepted.Load(),
+		JobsRejected:  m.JobsRejected.Load(),
+		JobsCompleted: m.JobsCompleted.Load(),
+		JobsFailed:    m.JobsFailed.Load(),
+		JobsCancelled: m.JobsCancelled.Load(),
+		CacheHits:     m.CacheHits.Load(),
+		CacheMisses:   m.CacheMisses.Load(),
+		CacheEntries:  cacheEntries,
+		SolveMicros:   m.SolveMicros.Load(),
+		Solves:        m.Solves.Load(),
+		BBNodes:       milp.TotalNodes(),
+	}
+}

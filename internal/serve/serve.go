@@ -1,0 +1,326 @@
+// Package serve is the solve service: an HTTP JSON API over the sagrelay
+// pipeline with a bounded job queue (internal/par.Pool), a content-addressed
+// LRU result cache keyed by the canonical scenario/options encoding, and
+// cooperative cancellation threaded from the request context down to the
+// simplex pivot loop. A repeated request is answered from the cache with a
+// byte-identical result document and no solver work.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/par"
+	"sagrelay/internal/scenario"
+)
+
+// ErrShuttingDown reports a submission against a server that has begun
+// graceful shutdown.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// ErrQueueFull re-exports the pool's backpressure signal for callers that
+// do not import internal/par.
+var ErrQueueFull = par.ErrQueueFull
+
+// Options tunes a Server. Zero values mean the documented defaults.
+type Options struct {
+	// Workers is the number of concurrent solve jobs; 0 means GOMAXPROCS.
+	// (Each job may additionally parallelize across zones; see
+	// SolveOptions.Workers.)
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs before
+	// submissions are rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256 documents).
+	CacheEntries int
+	// MaxJobTime is the deadline applied to jobs that do not request their
+	// own (default 2m). A request's timeout_ms may shorten but not exceed it.
+	MaxJobTime time.Duration
+	// MaxJobs bounds the in-memory job table; the oldest finished jobs are
+	// forgotten beyond it (default 1024).
+	MaxJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.MaxJobTime <= 0 {
+		o.MaxJobTime = 2 * time.Minute
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	return o
+}
+
+// Server owns the job table, worker pool, result cache and metrics. Create
+// one with NewServer, expose it with Handler, stop it with Shutdown.
+type Server struct {
+	opts    Options
+	pool    *par.Pool
+	cache   *cache
+	metrics Metrics
+
+	// baseCtx parents every job context; cancelAll aborts all in-flight
+	// solves during forced shutdown.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	// inFlight counts accepted-but-unfinished jobs for shutdown draining.
+	inFlight sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // job IDs in submission order, oldest first
+	seq    int64
+	closed bool
+}
+
+// NewServer starts the worker pool and returns a ready server.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:      opts,
+		pool:      par.NewPool(opts.Workers, opts.QueueDepth),
+		cache:     newCache(opts.CacheEntries),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		jobs:      make(map[string]*Job),
+	}
+}
+
+// Submit validates, content-addresses and enqueues one solve request. A
+// cache hit returns an already-done job without touching the solver. The
+// error is ErrShuttingDown, ErrQueueFull, or a validation error from the
+// scenario or options (the HTTP layer maps these to 503, 429 and 400).
+func (s *Server) Submit(req SolveRequest) (*Job, error) {
+	if req.Scenario == nil {
+		return nil, fmt.Errorf("serve: request has no scenario")
+	}
+	if err := req.Scenario.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	opts := req.Options.normalized()
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	key := requestKey(req.Scenario, opts)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.metrics.JobsRejected.Add(1)
+		return nil, ErrShuttingDown
+	}
+	s.seq++
+	job := &Job{
+		ID:      "j-" + strconv.FormatInt(s.seq, 10),
+		Key:     key,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.evictOldLocked()
+	s.mu.Unlock()
+
+	if doc, ok := s.cache.get(key); ok {
+		s.metrics.JobsAccepted.Add(1)
+		s.metrics.CacheHits.Add(1)
+		s.metrics.JobsCompleted.Add(1)
+		job.mu.Lock()
+		job.cacheHit = true
+		job.mu.Unlock()
+		job.cancel = func() {}
+		job.finish(StateDone, doc, "")
+		return job, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	timeout := s.opts.MaxJobTime
+	if ms := opts.TimeoutMS; ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	job.cancel = cancel
+
+	s.inFlight.Add(1)
+	if err := s.pool.Submit(func() { s.runJob(ctx, job, req.Scenario, cfg) }); err != nil {
+		s.inFlight.Done()
+		cancel()
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		if n := len(s.order); n > 0 && s.order[n-1] == job.ID {
+			s.order = s.order[:n-1]
+		}
+		s.mu.Unlock()
+		s.metrics.JobsRejected.Add(1)
+		if errors.Is(err, par.ErrPoolClosed) {
+			return nil, ErrShuttingDown
+		}
+		return nil, err
+	}
+	s.metrics.JobsAccepted.Add(1)
+	return job, nil
+}
+
+// runJob executes one queued solve on a pool worker.
+func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cfg core.Config) {
+	defer s.inFlight.Done()
+	defer job.cancel()
+
+	if err := ctx.Err(); err != nil {
+		// Cancelled or timed out while still queued.
+		s.metrics.JobsCancelled.Add(1)
+		job.finish(StateCancelled, nil, err.Error())
+		return
+	}
+	job.markRunning()
+
+	start := time.Now()
+	sol, err := core.RunContext(ctx, sc, cfg)
+	elapsed := time.Since(start)
+
+	if err != nil {
+		if ctx.Err() != nil {
+			s.metrics.JobsCancelled.Add(1)
+			job.finish(StateCancelled, nil, err.Error())
+		} else {
+			s.metrics.JobsFailed.Add(1)
+			job.finish(StateFailed, nil, err.Error())
+		}
+		return
+	}
+
+	doc, err := buildResultDoc(sol)
+	if err != nil {
+		s.metrics.JobsFailed.Add(1)
+		job.finish(StateFailed, nil, "encode result: "+err.Error())
+		return
+	}
+	s.cache.put(job.Key, doc)
+	s.metrics.Solves.Add(1)
+	s.metrics.SolveMicros.Add(elapsed.Microseconds())
+	s.metrics.JobsCompleted.Add(1)
+	job.finish(StateDone, doc, "")
+}
+
+// Job returns the job with the given ID, if it is still in the table.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all retained jobs, newest first.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if j, ok := s.jobs[s.order[i]]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a queued or running job. It reports
+// whether the job exists; cancelling a finished job is a harmless no-op.
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// evictOldLocked trims the oldest terminal jobs beyond Options.MaxJobs.
+// Live (queued/running) jobs are never evicted, so the table can transiently
+// exceed the bound under extreme load; it shrinks as jobs finish.
+func (s *Server) evictOldLocked() {
+	for len(s.order) > s.opts.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			if j == nil || j.terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// Shutdown stops accepting jobs and drains in-flight ones. If ctx expires
+// first, every remaining solve is cancelled (they observe their contexts
+// within a few simplex pivots) and Shutdown still waits for them to unwind
+// before returning ctx's error, so no solver goroutine outlives the call.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if alreadyClosed {
+		s.inFlight.Wait()
+		return nil
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.inFlight.Wait()
+		close(drained)
+	}()
+
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelAll()
+		<-drained
+	}
+	s.cancelAll()
+	s.pool.Close()
+	return err
+}
+
+// MetricsSnapshot returns the current counters (exported for tests and the
+// smoke harness; the HTTP layer serves the same document at /metrics).
+func (s *Server) MetricsSnapshot() map[string]int64 {
+	d := s.metrics.snapshot(s.cache.len())
+	return map[string]int64{
+		"jobs_accepted":      d.JobsAccepted,
+		"jobs_rejected":      d.JobsRejected,
+		"jobs_completed":     d.JobsCompleted,
+		"jobs_failed":        d.JobsFailed,
+		"jobs_cancelled":     d.JobsCancelled,
+		"cache_hits":         d.CacheHits,
+		"cache_misses":       d.CacheMisses,
+		"cache_entries":      int64(d.CacheEntries),
+		"solve_micros_total": d.SolveMicros,
+		"solves":             d.Solves,
+		"bb_nodes_total":     d.BBNodes,
+	}
+}

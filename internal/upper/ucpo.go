@@ -1,6 +1,7 @@
 package upper
 
 import (
+	"context"
 	"fmt"
 
 	"sagrelay/internal/lower"
@@ -44,6 +45,15 @@ func BaselinePower(sc *scenario.Scenario, conn *Result) *PowerAllocation {
 // sections, so the hop length here is distance/(N_i+1) — the spacing that
 // actually realizes the feasible-distance guarantee.)
 func UCPO(sc *scenario.Scenario, cover *lower.Result, conn *Result) (*PowerAllocation, error) {
+	return UCPOContext(context.Background(), sc, cover, conn)
+}
+
+// UCPOContext is UCPO with cooperative cancellation: a single entry check,
+// since the per-relay power formula is closed form.
+func UCPOContext(ctx context.Context, sc *scenario.Scenario, cover *lower.Result, conn *Result) (*PowerAllocation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("upper: UCPO: %w", err)
+	}
 	if err := conn.Verify(sc, cover); err != nil {
 		return nil, fmt.Errorf("upper: UCPO: %w", err)
 	}

@@ -13,6 +13,7 @@
 package upper
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -94,6 +95,16 @@ func MBMC(sc *scenario.Scenario, cover *lower.Result) (*Result, error) {
 	return buildTree(sc, cover, -1, "MBMC")
 }
 
+// MBMCContext is MBMC with cooperative cancellation. Tree construction is
+// fast (an MST over the coverage relays), so a single entry check keeps
+// the context chain unbroken through the pipeline without per-edge cost.
+func MBMCContext(ctx context.Context, sc *scenario.Scenario, cover *lower.Result) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("upper: MBMC: %w", err)
+	}
+	return buildTree(sc, cover, -1, "MBMC")
+}
+
 // MUST is the single-base-station baseline of [1]: identical tree
 // construction, but every coverage relay may only attach to the given base
 // station. MBMC reduces to MUST when one base station exists.
@@ -102,6 +113,14 @@ func MUST(sc *scenario.Scenario, cover *lower.Result, bsIndex int) (*Result, err
 		return nil, fmt.Errorf("upper: MUST: base station %d out of range [0,%d)", bsIndex, len(sc.BaseStations))
 	}
 	return buildTree(sc, cover, bsIndex, "MUST")
+}
+
+// MUSTContext is MUST with cooperative cancellation; see MBMCContext.
+func MUSTContext(ctx context.Context, sc *scenario.Scenario, cover *lower.Result, bsIndex int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("upper: MUST: %w", err)
+	}
+	return MUST(sc, cover, bsIndex)
 }
 
 // buildTree is the shared MBMC/MUST construction; onlyBS restricts base
