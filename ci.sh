@@ -42,4 +42,15 @@ go test -race -count=1 -timeout 10m ./internal/serve/
 echo "== sagserved -smoke"
 go run ./cmd/sagserved -smoke
 
+# Resilience gates. The chaos suite (build-tagged so it never runs by
+# accident) arms every registered fault-injection site with every failure
+# kind and asserts jobs stay terminal and the server stays alive; the
+# recovery smoke kills a journaled child server with SIGKILL mid-solve and
+# asserts the journal replays the job to a byte-identical served result.
+echo "== go test -race -tags faultinject -run Chaos ./internal/serve/"
+go test -race -tags faultinject -run Chaos -count=1 -timeout 20m ./internal/serve/
+
+echo "== sagserved -smoke-recovery"
+go run ./cmd/sagserved -smoke-recovery
+
 echo "ci.sh: all checks passed"

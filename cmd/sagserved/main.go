@@ -1,15 +1,20 @@
 // Command sagserved runs the sagrelay solve service: an HTTP JSON API that
 // accepts scenario solve jobs, runs them on a bounded worker pool with
 // cooperative cancellation, and answers repeated requests from a
-// content-addressed result cache.
+// content-addressed result cache. With -data-dir it is also crash-safe:
+// every job is journaled to disk and replayed after a restart.
 //
 // Usage:
 //
 //	sagserved -addr :8080
 //	sagserved -addr 127.0.0.1:0 -workers 4 -max-job-time 30s
+//	sagserved -data-dir /var/lib/sagserved      # durable journal + results
+//	sagserved -fault 'milp.node=error:p=0.01'   # chaos: arm fault injection
 //	sagserved -smoke            # self-test: solve twice, assert cache hit
+//	sagserved -smoke-recovery   # self-test: kill -9 mid-solve, replay journal
 //
-// See the README quickstart for the curl workflow.
+// See the README quickstart for the curl workflow and the crash-recovery
+// runbook for -data-dir operations.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"sagrelay/internal/fault"
 	"sagrelay/internal/scenario"
 	"sagrelay/internal/serve"
 )
@@ -47,11 +53,25 @@ func run(args []string) error {
 		queue      = fs.Int("queue", 64, "queued-job bound before submissions get 429")
 		cacheEnts  = fs.Int("cache", 256, "result cache entries")
 		maxJobTime = fs.Duration("max-job-time", 2*time.Minute, "default and maximum per-job deadline")
-		grace      = fs.Duration("grace", 10*time.Second, "shutdown drain budget before in-flight solves are cancelled")
-		smoke      = fs.Bool("smoke", false, "run the self-test (ephemeral port, solve twice, assert cache hit) and exit")
+		dataDir    = fs.String("data-dir", "", "durable job journal + results directory (empty = in-memory only)")
+		faultSpec  = fs.String("fault", os.Getenv("SAGFAULT"),
+			"fault-injection spec, e.g. 'milp.node=error:p=0.01,serve.job=panic:n=3' (default $SAGFAULT; empty = off)")
+		faultSeed       = fs.Int64("fault-seed", 1, "fault-injection rng seed")
+		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second,
+			"SIGINT/SIGTERM drain budget before in-flight solves are cancelled (and journaled as interrupted)")
+		smoke    = fs.Bool("smoke", false, "run the self-test (ephemeral port, solve twice, assert cache hit) and exit")
+		smokeRec = fs.Bool("smoke-recovery", false,
+			"run the crash-recovery self-test (kill -9 a child server mid-solve, replay its journal) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *faultSpec != "" {
+		if err := fault.EnableSpec(*faultSpec, *faultSeed); err != nil {
+			return err
+		}
+		log.Printf("sagserved: fault injection armed: %s (seed %d)", *faultSpec, *faultSeed)
 	}
 
 	opts := serve.Options{
@@ -59,12 +79,24 @@ func run(args []string) error {
 		QueueDepth:   *queue,
 		CacheEntries: *cacheEnts,
 		MaxJobTime:   *maxJobTime,
+		DataDir:      *dataDir,
 	}
 	if *smoke {
 		return runSmoke(opts)
 	}
+	if *smokeRec {
+		return runSmokeRecovery(opts)
+	}
 
-	srv := serve.NewServer(opts)
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		m := srv.MetricsSnapshot()
+		log.Printf("sagserved: journal %s: restored %d finished jobs, replaying %d unfinished",
+			*dataDir, m["journal_restored_jobs"], m["journal_replayed_jobs"])
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -81,16 +113,17 @@ func run(args []string) error {
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		log.Printf("sagserved: %v: draining (grace %v)", sig, *grace)
+		log.Printf("sagserved: %v: draining (budget %v)", sig, *shutdownTimeout)
 	}
 
 	// Graceful shutdown: stop the listener, then drain in-flight jobs; past
-	// the grace budget every remaining solve is cancelled via its context.
-	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	// the budget every remaining solve is cancelled via its context and, with
+	// a journal, recorded as interrupted so the next start re-runs it.
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	httpErr := httpSrv.Shutdown(ctx)
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("sagserved: drain expired, in-flight jobs cancelled: %v", err)
+		log.Printf("sagserved: drain budget expired, in-flight jobs interrupted: %v", err)
 	}
 	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
 		return httpErr
@@ -104,7 +137,10 @@ func run(args []string) error {
 // byte-identical cache hit with no extra solver work, then shut down
 // cleanly. CI runs this as the service's end-to-end gate.
 func runSmoke(opts serve.Options) error {
-	srv := serve.NewServer(opts)
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/serve"
+)
+
+// runSmokeRecovery is the crash-recovery end-to-end gate:
+//
+//  1. spawn a child sagserved with a journal (-data-dir) and a fault plan
+//     that slows every simplex solve to a crawl, so the submitted job is
+//     reliably still running when the axe falls;
+//  2. submit a GAC solve, wait until the child reports it running, then
+//     kill -9 the child — no drain, no goodbye, a torn journal tail is fair;
+//  3. restart the service in-process on the same data dir (without the
+//     slowdown) and assert the journal replays the job under its original
+//     ID to a served 200 result;
+//  4. bounce the service once more and assert the finished job is restored
+//     from disk byte-identically with zero solver work.
+func runSmokeRecovery(opts serve.Options) error {
+	dir, err := os.MkdirTemp("", "sagserved-recovery-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	// Stage 1: child server, journaled, deliberately slow.
+	child := exec.Command(exe,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dir,
+		"-workers", "2",
+		"-fault", "lp.pivot=delay:d=5ms",
+		"-fault-seed", "1",
+	)
+	stderr, err := child.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := child.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if child.Process != nil {
+			child.Process.Kill()
+			child.Wait()
+		}
+	}()
+
+	base, err := scanListenAddr(stderr)
+	if err != nil {
+		return fmt.Errorf("recovery: child did not report a listen address: %w", err)
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+	log.Printf("recovery: child serving on %s (journal %s)", base, dir)
+
+	sc, err := scenario.Generate(scenario.GenConfig{
+		FieldSide: 300, NumSS: 10, NumBS: 2, SNRdB: -15, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.SolveRequest{
+		Scenario: sc,
+		Options:  serve.SolveOptions{Coverage: "GAC", TimeoutMS: 600_000},
+	})
+	if err != nil {
+		return err
+	}
+
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var submitted struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil || submitted.ID == "" {
+		return fmt.Errorf("recovery: submit answered %s (%v)", resp.Status, err)
+	}
+	jobID := submitted.ID
+
+	// Wait for the job to actually be solving, so the kill lands mid-run.
+	if err := pollState(base, jobID, "running", 30*time.Second); err != nil {
+		return err
+	}
+	log.Printf("recovery: job %s running; killing child with SIGKILL", jobID)
+	if err := child.Process.Kill(); err != nil {
+		return err
+	}
+	child.Wait()
+	child.Process = nil
+
+	// Stage 2: restart on the same journal, full speed. The replay must
+	// resurrect the job under its original ID and drive it to completion.
+	srv, err := serve.NewServer(serve.Options{Workers: opts.Workers, DataDir: dir})
+	if err != nil {
+		return fmt.Errorf("recovery: restart: %w", err)
+	}
+	if m := srv.MetricsSnapshot(); m["journal_replayed_jobs"] != 1 {
+		return fmt.Errorf("recovery: journal_replayed_jobs = %d, want 1", m["journal_replayed_jobs"])
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base = "http://" + ln.Addr().String()
+	log.Printf("recovery: restarted on %s; polling replayed job %s", base, jobID)
+
+	result, err := pollResult(base, jobID, 120*time.Second)
+	if err != nil {
+		return fmt.Errorf("recovery: replayed job: %w", err)
+	}
+	var doc serve.ResultDoc
+	if err := json.Unmarshal(result, &doc); err != nil {
+		return fmt.Errorf("recovery: result not JSON: %w", err)
+	}
+	if !doc.Feasible {
+		return fmt.Errorf("recovery: replayed solve infeasible: %s", result)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+
+	// Stage 3: one more restart. The finished job must now be restored from
+	// the journal and served byte-identically with no solver work at all.
+	srv2, err := serve.NewServer(serve.Options{Workers: opts.Workers, DataDir: dir})
+	if err != nil {
+		return fmt.Errorf("recovery: second restart: %w", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv2.Shutdown(ctx)
+	}()
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv2 := &http.Server{Handler: srv2.Handler()}
+	go httpSrv2.Serve(ln2)
+	defer httpSrv2.Close()
+	restored, err := pollResult("http://"+ln2.Addr().String(), jobID, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("recovery: restored job: %w", err)
+	}
+	if !bytes.Equal(restored, result) {
+		return errors.New("recovery: restored result is not byte-identical to the solved one")
+	}
+	m := srv2.MetricsSnapshot()
+	if m["journal_restored_jobs"] < 1 || m["solves"] != 0 {
+		return fmt.Errorf("recovery: second restart restored=%d solves=%d, want >=1 and 0",
+			m["journal_restored_jobs"], m["solves"])
+	}
+	log.Printf("recovery: ok (kill -9 mid-solve, journal replayed %s to a 200, restored byte-identically with 0 solves)", jobID)
+	return nil
+}
+
+// scanListenAddr reads the child's stderr until the "listening on" line and
+// returns the base URL.
+func scanListenAddr(r io.Reader) (string, error) {
+	scanner := bufio.NewScanner(r)
+	deadline := time.Now().Add(30 * time.Second)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if i := strings.Index(line, "listening on http://"); i >= 0 {
+			return strings.TrimSpace(line[i+len("listening on "):]), nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return "", err
+	}
+	return "", errors.New("stderr closed before the listen line")
+}
+
+// pollState waits until GET /v1/jobs/{id} reports the wanted state.
+func pollState(base, id, want string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if st.State == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in %q, want %q", id, st.State, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// pollResult waits until GET /v1/jobs/{id}/result answers 200 and returns
+// the document.
+func pollResult(base, id string, within time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			return nil, err
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return b, nil
+		case http.StatusAccepted:
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("job %s did not finish within %v", id, within)
+			}
+			time.Sleep(50 * time.Millisecond)
+		default:
+			return nil, fmt.Errorf("result: %s: %s", resp.Status, b)
+		}
+	}
+}

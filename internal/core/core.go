@@ -123,6 +123,19 @@ type Config struct {
 	// ILP.Workers unless those are set individually. Results are identical
 	// for any worker count.
 	Workers int
+	// Degrade enables the graceful-degradation ladder: a pipeline stage
+	// that fails or blows its deadline is retried once after RetryBackoff,
+	// then replaced by the paper's heuristic for that stage (coverage
+	// ILP -> SAMC, optimal power -> PRO, green power -> max-power
+	// baseline). A solution produced this way is tagged Degraded with the
+	// reason. Caller-initiated cancellation (context.Canceled) never
+	// degrades — it aborts, as before.
+	Degrade bool
+	// RetryBackoff is the pause before the single retry (default 100ms).
+	RetryBackoff time.Duration
+	// DegradeTimeout bounds retry/fallback work when the original context
+	// deadline has already expired (default 30s).
+	DegradeTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +156,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ConnectivityPower == 0 {
 		c.ConnectivityPower = PowerGreen
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.DegradeTimeout <= 0 {
+		c.DegradeTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -165,8 +184,15 @@ type Solution struct {
 	PL, PH, PTotal float64
 	// Elapsed is the end-to-end wall-clock time.
 	Elapsed time.Duration
-	// Method describes the pipeline, e.g. "SAG" or "SAMC+DARP".
+	// Method describes the requested pipeline, e.g. "SAG" or "SAMC+DARP".
+	// When Degraded is true one or more stages actually ran a heuristic
+	// substitute instead; DegradedReason says which and why.
 	Method string
+	// Degraded reports that at least one stage fell back to a heuristic
+	// after the exact algorithm failed or blew its deadline (Config.Degrade).
+	Degraded bool
+	// DegradedReason records each degraded stage and its cause.
+	DegradedReason string
 }
 
 // TotalRelays returns the number of placed relays across both tiers.
@@ -233,6 +259,11 @@ func Run(sc *scenario.Scenario, cfg Config) (*Solution, error) {
 // returned error then wraps ctx.Err(). Cancellation never changes the
 // result of a solve that completes: the checks only abort work, they do
 // not reorder it.
+//
+// With Config.Degrade set, a stage that fails or exceeds the deadline is
+// retried once and then replaced by the paper's heuristic for that stage
+// (see Config.Degrade); the solution is then tagged Degraded. A context
+// cancelled by the caller (context.Canceled) still aborts unconditionally.
 func RunContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Solution, error) {
 	start := time.Now()
 	if ctx == nil {
@@ -242,71 +273,144 @@ func RunContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Soluti
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-
-	var cover *lower.Result
-	var err error
+	// Validate method selections before any stage runs: a configuration
+	// error must fail fast, never be retried or masked by a heuristic
+	// fallback.
 	switch cfg.Coverage {
-	case CoverSAMC:
-		cover, err = lower.SAMCContext(ctx, sc, cfg.SAMC)
-	case CoverIAC:
-		cover, err = lower.IACContext(ctx, sc, cfg.ILP)
-	case CoverGAC:
-		cover, err = lower.GACContext(ctx, sc, cfg.ILP)
+	case CoverSAMC, CoverIAC, CoverGAC:
 	default:
 		return nil, fmt.Errorf("core: unknown coverage method %v", cfg.Coverage)
 	}
+	switch cfg.CoveragePower {
+	case PowerBaseline, PowerGreen, PowerOptimal:
+	default:
+		return nil, fmt.Errorf("core: unknown coverage power method %v", cfg.CoveragePower)
+	}
+	switch cfg.Connectivity {
+	case ConnMBMC, ConnMUST:
+	default:
+		return nil, fmt.Errorf("core: unknown connectivity method %v", cfg.Connectivity)
+	}
+	switch cfg.ConnectivityPower {
+	case PowerBaseline, PowerGreen:
+	case PowerOptimal:
+		return nil, errors.New("core: optimal power is only defined for the lower tier (LPQC)")
+	default:
+		return nil, fmt.Errorf("core: unknown connectivity power method %v", cfg.ConnectivityPower)
+	}
+
+	l := newLadder(ctx, cfg)
+	defer l.close()
+
+	// Coverage: the exact ILP formulations degrade to the paper's SAMC
+	// heuristic; SAMC itself has no cheaper substitute (it still gets the
+	// single retry for transient faults).
+	coverRun := func(c context.Context) (*lower.Result, error) {
+		switch cfg.Coverage {
+		case CoverSAMC:
+			return lower.SAMCContext(c, sc, cfg.SAMC)
+		case CoverIAC:
+			return lower.IACContext(c, sc, cfg.ILP)
+		case CoverGAC:
+			return lower.GACContext(c, sc, cfg.ILP)
+		default:
+			return nil, fmt.Errorf("core: unknown coverage method %v", cfg.Coverage)
+		}
+	}
+	var coverFallback func(context.Context) (*lower.Result, error)
+	if cfg.Coverage != CoverSAMC {
+		coverFallback = func(c context.Context) (*lower.Result, error) {
+			return lower.SAMCContext(c, sc, cfg.SAMC)
+		}
+	}
+	cover, coverReason, err := degradeRun(l, coverRun, coverFallback)
 	if err != nil {
 		return nil, fmt.Errorf("core: coverage: %w", err)
 	}
 	sol := &Solution{Method: pipelineName(cfg)}
+	sol.degrade("coverage: "+cfg.Coverage.String()+" -> SAMC", coverReason)
 	if !cover.Feasible {
 		sol.Coverage = cover
 		sol.Elapsed = time.Since(start)
 		return sol, nil
 	}
 
-	var coverPower *lower.PowerAllocation
-	switch cfg.CoveragePower {
-	case PowerBaseline:
-		coverPower = lower.BaselinePower(sc, cover)
-	case PowerGreen:
-		coverPower, err = lower.PROContext(ctx, sc, cover)
-	case PowerOptimal:
-		coverPower, err = lower.OptimalPowerContext(ctx, sc, cover)
-	default:
-		return nil, fmt.Errorf("core: unknown coverage power method %v", cfg.CoveragePower)
+	// Coverage power: the exact LPQC optimum degrades to PRO, PRO to the
+	// max-power baseline (always feasible by construction).
+	powerRun := func(c context.Context) (*lower.PowerAllocation, error) {
+		switch cfg.CoveragePower {
+		case PowerBaseline:
+			return lower.BaselinePower(sc, cover), nil
+		case PowerGreen:
+			return lower.PROContext(c, sc, cover)
+		case PowerOptimal:
+			return lower.OptimalPowerContext(c, sc, cover)
+		default:
+			return nil, fmt.Errorf("core: unknown coverage power method %v", cfg.CoveragePower)
+		}
 	}
+	var powerFallback func(context.Context) (*lower.PowerAllocation, error)
+	var powerLadder string
+	switch cfg.CoveragePower {
+	case PowerOptimal:
+		powerLadder = "coverage power: LPQC -> PRO"
+		powerFallback = func(c context.Context) (*lower.PowerAllocation, error) {
+			return lower.PROContext(c, sc, cover)
+		}
+	case PowerGreen:
+		powerLadder = "coverage power: PRO -> baseline"
+		powerFallback = func(context.Context) (*lower.PowerAllocation, error) {
+			return lower.BaselinePower(sc, cover), nil
+		}
+	}
+	coverPower, powerReason, err := degradeRun(l, powerRun, powerFallback)
 	if err != nil {
 		return nil, fmt.Errorf("core: coverage power: %w", err)
 	}
+	sol.degrade(powerLadder, powerReason)
 
-	var conn *upper.Result
-	switch cfg.Connectivity {
-	case ConnMBMC:
-		conn, err = upper.MBMCContext(ctx, sc, cover)
-	case ConnMUST:
-		conn, err = upper.MUSTContext(ctx, sc, cover, cfg.MUSTBaseStation)
-	default:
-		return nil, fmt.Errorf("core: unknown connectivity method %v", cfg.Connectivity)
+	// Connectivity: MBMC/MUST are cheap tree constructions with no cheaper
+	// substitute, so the ladder has no fallback here — only the retry (which
+	// detaches from a blown deadline) applies.
+	connRun := func(c context.Context) (*upper.Result, error) {
+		switch cfg.Connectivity {
+		case ConnMBMC:
+			return upper.MBMCContext(c, sc, cover)
+		case ConnMUST:
+			return upper.MUSTContext(c, sc, cover, cfg.MUSTBaseStation)
+		default:
+			return nil, fmt.Errorf("core: unknown connectivity method %v", cfg.Connectivity)
+		}
 	}
+	conn, _, err := degradeRun(l, connRun, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: connectivity: %w", err)
 	}
 
-	var connPower *upper.PowerAllocation
-	switch cfg.ConnectivityPower {
-	case PowerBaseline:
-		connPower = upper.BaselinePower(sc, conn)
-	case PowerGreen:
-		connPower, err = upper.UCPOContext(ctx, sc, cover, conn)
-	case PowerOptimal:
-		return nil, errors.New("core: optimal power is only defined for the lower tier (LPQC)")
-	default:
-		return nil, fmt.Errorf("core: unknown connectivity power method %v", cfg.ConnectivityPower)
+	// Connectivity power: UCPO degrades to the max-power baseline.
+	connPowerRun := func(c context.Context) (*upper.PowerAllocation, error) {
+		switch cfg.ConnectivityPower {
+		case PowerBaseline:
+			return upper.BaselinePower(sc, conn), nil
+		case PowerGreen:
+			return upper.UCPOContext(c, sc, cover, conn)
+		case PowerOptimal:
+			return nil, errors.New("core: optimal power is only defined for the lower tier (LPQC)")
+		default:
+			return nil, fmt.Errorf("core: unknown connectivity power method %v", cfg.ConnectivityPower)
+		}
 	}
+	var connPowerFallback func(context.Context) (*upper.PowerAllocation, error)
+	if cfg.ConnectivityPower == PowerGreen {
+		connPowerFallback = func(context.Context) (*upper.PowerAllocation, error) {
+			return upper.BaselinePower(sc, conn), nil
+		}
+	}
+	connPower, connPowerReason, err := degradeRun(l, connPowerRun, connPowerFallback)
 	if err != nil {
 		return nil, fmt.Errorf("core: connectivity power: %w", err)
 	}
+	sol.degrade("connectivity power: UCPO -> baseline", connPowerReason)
 
 	sol.Feasible = true
 	sol.Coverage = cover

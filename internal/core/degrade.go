@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// totalRetries and totalFallbacks count degradation-ladder activity
+// process-wide, mirroring milp.TotalNodes: observability without threading
+// counters through every caller. The solve service publishes both on
+// /metrics.
+var (
+	totalRetries   atomic.Int64
+	totalFallbacks atomic.Int64
+)
+
+// TotalRetries returns how many failed pipeline stages have been retried
+// by the degradation ladder since process start.
+func TotalRetries() int64 { return totalRetries.Load() }
+
+// TotalFallbacks returns how many pipeline stages have fallen back to a
+// heuristic algorithm since process start.
+func TotalFallbacks() int64 { return totalFallbacks.Load() }
+
+// ladder carries the degradation state of one pipeline run. Once the
+// caller's deadline has expired it hands every remaining stage a single
+// shared detached context bounded by Config.DegradeTimeout: degraded work
+// deliberately outlives the original job deadline — the paper's heuristics
+// are cheap, and a late approximate answer beats returning nothing — but
+// the total overtime is bounded once, not per stage. Caller-initiated
+// cancellation (context.Canceled) is never detached from: the client is
+// gone or the server is shutting down, so the run aborts as before.
+type ladder struct {
+	cfg      Config
+	caller   context.Context
+	detached context.Context
+	cancel   context.CancelFunc
+}
+
+func newLadder(ctx context.Context, cfg Config) *ladder {
+	return &ladder{cfg: cfg, caller: ctx}
+}
+
+func (l *ladder) close() {
+	if l.cancel != nil {
+		l.cancel()
+	}
+}
+
+// stageCtx returns the context the next stage attempt should run under:
+// the caller's while it is usable (or when degradation is off, or the
+// caller cancelled), else the shared detached overtime context.
+func (l *ladder) stageCtx() context.Context {
+	if !l.cfg.Degrade || l.caller.Err() == nil || errors.Is(l.caller.Err(), context.Canceled) {
+		return l.caller
+	}
+	if l.detached == nil {
+		l.detached, l.cancel = context.WithTimeout(context.WithoutCancel(l.caller), l.cfg.DegradeTimeout)
+	}
+	return l.detached
+}
+
+// degradeRun executes one pipeline stage under the degradation ladder:
+// run once; on a transient failure (injected fault, numerical breakdown)
+// retry once after cfg.RetryBackoff; on failure again run the heuristic
+// fallback (when the stage has one). A deadline-driven failure skips the
+// exact retry when a fallback exists — re-running the same solve that just
+// outran the clock would mostly burn the recovery budget the heuristic
+// needs — and degrades immediately; without a fallback the retry under the
+// detached context is the only recovery and is attempted anyway.
+//
+// A non-empty reason in the return marks the result as degraded — it came
+// from the fallback, and reason records why the exact stage was abandoned.
+// A retry that succeeds is not degraded: it produced the exact result,
+// merely late.
+func degradeRun[T any](l *ladder, run, fallback func(context.Context) (T, error)) (out T, reason string, err error) {
+	sctx := l.stageCtx()
+	out, err = run(sctx)
+	if err == nil || !l.cfg.Degrade {
+		return out, "", err
+	}
+	if errors.Is(l.caller.Err(), context.Canceled) {
+		return out, "", err
+	}
+	firstErr := err
+
+	if sctx.Err() == nil || fallback == nil {
+		totalRetries.Add(1)
+		time.Sleep(l.cfg.RetryBackoff)
+		if errors.Is(l.caller.Err(), context.Canceled) {
+			return out, "", firstErr
+		}
+		out, err = run(l.stageCtx())
+		if err == nil {
+			return out, "", nil
+		}
+		if fallback == nil {
+			return out, "", firstErr
+		}
+	}
+
+	totalFallbacks.Add(1)
+	out, ferr := fallback(l.stageCtx())
+	if ferr != nil {
+		var zero T
+		return zero, "", fmt.Errorf("%w (heuristic fallback also failed: %v)", firstErr, ferr)
+	}
+	return out, firstErr.Error(), nil
+}
+
+// degrade appends a stage's degradation reason to the solution.
+func (s *Solution) degrade(stage, reason string) {
+	if reason == "" {
+		return
+	}
+	s.Degraded = true
+	entry := stage + ": " + reason
+	if s.DegradedReason != "" {
+		s.DegradedReason += "; " + entry
+	} else {
+		s.DegradedReason = entry
+	}
+}

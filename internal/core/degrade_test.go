@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sagrelay/internal/fault"
+	"sagrelay/internal/scenario"
+)
+
+func degradeScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Generate(scenario.GenConfig{
+		FieldSide: 300, NumSS: 8, NumBS: 2, SNRdB: -15, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// armFault installs a fault plan for the test and disarms it at cleanup.
+func armFault(t *testing.T, spec string) {
+	t.Helper()
+	if err := fault.EnableSpec(spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Disable)
+}
+
+func TestDegradeFallsBackToSAMC(t *testing.T) {
+	sc := degradeScenario(t)
+	armFault(t, "milp.node=error") // every B&B solve fails -> GAC cannot succeed
+	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
+
+	retriesBefore, fallbacksBefore := TotalRetries(), TotalFallbacks()
+	sol, err := RunContext(context.Background(), sc, cfg)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if !sol.Degraded {
+		t.Fatal("solution not marked Degraded after coverage fallback")
+	}
+	if !strings.Contains(sol.DegradedReason, "GAC -> SAMC") {
+		t.Fatalf("DegradedReason = %q, want mention of GAC -> SAMC", sol.DegradedReason)
+	}
+	if !sol.Feasible {
+		t.Fatal("degraded solution infeasible; SAMC should cover this scenario")
+	}
+	if err := sol.Coverage.Verify(sc, true); err != nil {
+		t.Fatalf("degraded coverage does not verify: %v", err)
+	}
+	if TotalRetries() <= retriesBefore {
+		t.Fatal("TotalRetries did not increase")
+	}
+	if TotalFallbacks() <= fallbacksBefore {
+		t.Fatal("TotalFallbacks did not increase")
+	}
+}
+
+func TestDegradeDisabledStillFails(t *testing.T) {
+	sc := degradeScenario(t)
+	armFault(t, "milp.node=error")
+	cfg := Config{Coverage: CoverGAC} // Degrade off
+
+	_, err := RunContext(context.Background(), sc, cfg)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want wrapping fault.ErrInjected", err)
+	}
+}
+
+func TestDegradeSkipsOnCallerCancel(t *testing.T) {
+	sc := degradeScenario(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
+
+	fallbacksBefore := TotalFallbacks()
+	_, err := RunContext(ctx, sc, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if TotalFallbacks() != fallbacksBefore {
+		t.Fatal("caller cancellation must not trigger a fallback")
+	}
+}
+
+func TestDegradeExpiredDeadlineRunsInOvertime(t *testing.T) {
+	// A deadline that expired before the pipeline even started: every stage
+	// runs under the shared detached overtime budget and succeeds at full
+	// fidelity — the result is NOT degraded, just late.
+	sc := degradeScenario(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
+
+	sol, err := RunContext(ctx, sc, cfg)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if sol.Degraded {
+		t.Fatalf("overtime run succeeded at full fidelity but solution marked Degraded: %q", sol.DegradedReason)
+	}
+	if !sol.Feasible {
+		t.Fatal("expected feasible solution from overtime run")
+	}
+}
+
+func TestDegradeMidRunDeadlineFallsBackWithoutRetry(t *testing.T) {
+	// The deadline blows while the first attempt is inside branch-and-bound
+	// (an injected delay outlasts it). Re-running the exact solve that just
+	// outran the clock would burn the recovery budget, so the ladder skips
+	// the retry and goes straight to the SAMC fallback.
+	sc := degradeScenario(t)
+	armFault(t, "milp.node=delay:d=500ms:n=1")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
+
+	retriesBefore, fallbacksBefore := TotalRetries(), TotalFallbacks()
+	sol, err := RunContext(ctx, sc, cfg)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if !sol.Degraded || !sol.Feasible {
+		t.Fatalf("Degraded = %v, Feasible = %v; want degraded feasible solution", sol.Degraded, sol.Feasible)
+	}
+	if !strings.Contains(sol.DegradedReason, "GAC -> SAMC") {
+		t.Fatalf("DegradedReason = %q, want mention of GAC -> SAMC", sol.DegradedReason)
+	}
+	if TotalFallbacks() <= fallbacksBefore {
+		t.Fatal("TotalFallbacks did not increase")
+	}
+	if TotalRetries() != retriesBefore {
+		t.Fatalf("deadline failure with a fallback must not retry the exact solve (retries %d -> %d)",
+			retriesBefore, TotalRetries())
+	}
+}
+
+func TestDegradeTransientErrorRecoveredByRetry(t *testing.T) {
+	// A fault that fires exactly once: the first attempt fails, the retry
+	// runs clean and produces the full-fidelity result — no fallback.
+	sc := degradeScenario(t)
+	armFault(t, "milp.node=error:n=1")
+	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
+
+	retriesBefore, fallbacksBefore := TotalRetries(), TotalFallbacks()
+	sol, err := RunContext(context.Background(), sc, cfg)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if sol.Degraded {
+		t.Fatalf("retry succeeded at full fidelity but solution marked Degraded: %q", sol.DegradedReason)
+	}
+	if !sol.Feasible {
+		t.Fatal("expected feasible solution from retry")
+	}
+	if TotalRetries() <= retriesBefore {
+		t.Fatal("TotalRetries did not increase")
+	}
+	if TotalFallbacks() != fallbacksBefore {
+		t.Fatal("transient failure recovered by retry must not fall back")
+	}
+}
+
+func TestDegradeInjectedCancelIsNotCallerCancel(t *testing.T) {
+	// A fault-injected "cancel" looks like context.Canceled to the stage
+	// but the caller's context is alive, so the ladder must engage.
+	sc := degradeScenario(t)
+	armFault(t, "milp.node=cancel")
+	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
+
+	sol, err := RunContext(context.Background(), sc, cfg)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if !sol.Degraded || !sol.Feasible {
+		t.Fatalf("Degraded = %v, Feasible = %v; want degraded feasible solution", sol.Degraded, sol.Feasible)
+	}
+}
+
+func TestUnknownMethodFailsFastEvenWithDegrade(t *testing.T) {
+	sc := degradeScenario(t)
+	cfg := Config{Coverage: CoverageMethod(99), Degrade: true}
+	if _, err := RunContext(context.Background(), sc, cfg); err == nil ||
+		!strings.Contains(err.Error(), "unknown coverage method") {
+		t.Fatalf("err = %v, want unknown coverage method", err)
+	}
+}

@@ -1,0 +1,357 @@
+// Package fault is a deterministic, seedable fault-injection registry for
+// chaos-testing the solve stack. Packages declare named injection sites
+// (Register) and poll them on their hot paths (Check); a test or operator
+// arms a Plan — parsed from a compact spec string — that makes chosen sites
+// return errors, panic, sleep, or report cancellation, with probability or
+// hit-count triggers.
+//
+// Production cost is designed to be negligible: with no plan armed, Check
+// is a single atomic pointer load and an immediate return. Arming happens
+// only through explicit runtime configuration (the sagserved -fault flag,
+// the SAGFAULT environment variable, or a test calling Enable), never by
+// default.
+//
+// Determinism: every rule owns a rand source seeded from the plan seed and
+// the site name, so a single-threaded run with the same spec, seed and hit
+// sequence fires identically. Under concurrency the per-site hit order
+// depends on scheduling, as any injected fault would in production.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is what a rule does when it fires.
+type Kind int
+
+// Rule kinds. (Enums start at 1 so the zero value is invalid.)
+const (
+	// KindError makes Check return an error wrapping ErrInjected.
+	KindError Kind = iota + 1
+	// KindPanic makes Check panic; isolation boundaries (par.Pool workers,
+	// par.ForEachContext tasks, serve job execution) recover it into a
+	// *PanicError.
+	KindPanic
+	// KindDelay makes Check sleep for the rule's duration, then continue.
+	KindDelay
+	// KindCancel makes Check return an error wrapping context.Canceled, so
+	// the call site's cancellation handling runs without any real context
+	// being cancelled.
+	KindCancel
+)
+
+// String renders the kind as it appears in specs.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the base error of every injected failure; test assertions
+// use errors.Is against it to tell injected faults from organic ones.
+var ErrInjected = errors.New("fault: injected error")
+
+// PanicError describes a panic recovered at an isolation boundary: the
+// boundary's site name, the recovered value, and the stack at recovery.
+// Boundaries construct it with NewPanicError, which also feeds the
+// process-wide RecoveredPanics counter behind /metrics.
+type PanicError struct {
+	// Site names the isolation boundary that recovered the panic (not
+	// necessarily an injection site — organic panics are captured too).
+	Site string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error renders the site and panic value; the stack is available on the
+// struct for logs.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Site, e.Value)
+}
+
+// recovered counts panics converted into *PanicError process-wide.
+var recovered atomic.Int64
+
+// RecoveredPanics returns the number of panics recovered at isolation
+// boundaries since process start.
+func RecoveredPanics() int64 { return recovered.Load() }
+
+// NewPanicError captures the current stack into a *PanicError and
+// increments the process-wide recovered-panic counter. Call it directly
+// from the deferred recover handler so the stack still shows the panic
+// origin.
+func NewPanicError(site string, v any) *PanicError {
+	recovered.Add(1)
+	return &PanicError{Site: site, Value: v, Stack: debug.Stack()}
+}
+
+// Site registry — the set of names packages have registered, so chaos
+// harnesses can enumerate every injection point without hard-coding them.
+var (
+	sitesMu sync.Mutex
+	sites   = map[string]bool{}
+)
+
+// Register records a site name and returns it, for use in package-level
+// variable declarations:
+//
+//	var siteNode = fault.Register("milp.node")
+//
+// Registering the same name twice is harmless.
+func Register(name string) string {
+	sitesMu.Lock()
+	sites[name] = true
+	sitesMu.Unlock()
+	return name
+}
+
+// Sites returns every registered site name, sorted.
+func Sites() []string {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rule is one armed trigger at one site.
+type rule struct {
+	site  string
+	kind  Kind
+	prob  float64       // per-hit fire probability; used when after == 0
+	after int64         // fire exactly on the Nth hit (one-shot); 0 = probabilistic
+	delay time.Duration // KindDelay sleep
+
+	hits  atomic.Int64
+	fired atomic.Int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (r *rule) shouldFire() bool {
+	h := r.hits.Add(1)
+	if r.after > 0 {
+		return h == r.after
+	}
+	if r.prob >= 1 {
+		return true
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return f < r.prob
+}
+
+// Plan is a parsed, armed set of rules. Plans are immutable after Parse;
+// arm one with Enable.
+type Plan struct {
+	rules map[string][]*rule
+	seed  int64
+	spec  string
+}
+
+// active is the armed plan; nil means injection is off and Check is one
+// atomic load.
+var active atomic.Pointer[Plan]
+
+// Enabled reports whether a plan is armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Enable arms the plan (replacing any previous one). A nil plan disables
+// injection.
+func Enable(p *Plan) { active.Store(p) }
+
+// Disable disarms injection.
+func Disable() { active.Store(nil) }
+
+// EnableSpec parses spec with Parse and arms the result. An empty spec
+// disables injection.
+func EnableSpec(spec string, seed int64) error {
+	if strings.TrimSpace(spec) == "" {
+		Disable()
+		return nil
+	}
+	p, err := Parse(spec, seed)
+	if err != nil {
+		return err
+	}
+	Enable(p)
+	return nil
+}
+
+// Parse builds a Plan from a comma-separated clause list. Each clause is
+//
+//	site=kind[:p=<prob>][:n=<hit>][:d=<duration>]
+//
+// kind is error, panic, delay or cancel. p is the per-hit fire probability
+// (default 1 — fire on every hit); n fires exactly on the Nth hit instead
+// (one-shot, overrides p); d is the sleep for delay rules (default 1ms).
+// Examples:
+//
+//	milp.node=error:p=0.01
+//	serve.job=panic:n=3
+//	lp.pivot=delay:p=0.1:d=2ms,par.pool.task=cancel:n=1
+func Parse(spec string, seed int64) (*Plan, error) {
+	p := &Plan{rules: map[string][]*rule{}, seed: seed, spec: spec}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(clause, "=")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("fault: clause %q is not site=kind[...]", clause)
+		}
+		parts := strings.Split(rest, ":")
+		r := &rule{site: site, prob: 1, delay: time.Millisecond}
+		switch parts[0] {
+		case "error":
+			r.kind = KindError
+		case "panic":
+			r.kind = KindPanic
+		case "delay":
+			r.kind = KindDelay
+		case "cancel":
+			r.kind = KindCancel
+		default:
+			return nil, fmt.Errorf("fault: clause %q: unknown kind %q", clause, parts[0])
+		}
+		for _, opt := range parts[1:] {
+			key, val, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: clause %q: option %q is not key=value", clause, opt)
+			}
+			switch key {
+			case "p":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f < 0 || f > 1 {
+					return nil, fmt.Errorf("fault: clause %q: probability %q not in [0,1]", clause, val)
+				}
+				r.prob = f
+			case "n":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("fault: clause %q: hit count %q not a positive integer", clause, val)
+				}
+				r.after = n
+			case "d":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("fault: clause %q: bad duration %q", clause, val)
+				}
+				r.delay = d
+			default:
+				return nil, fmt.Errorf("fault: clause %q: unknown option %q", clause, key)
+			}
+		}
+		// Seed each rule from the plan seed and the site name so rule
+		// streams are independent and reproducible.
+		h := fnv.New64a()
+		h.Write([]byte(site))
+		r.rng = rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+		p.rules[site] = append(p.rules[site], r)
+	}
+	if len(p.rules) == 0 {
+		return nil, errors.New("fault: empty spec")
+	}
+	return p, nil
+}
+
+// Fired returns how many times rules at site have fired under this plan.
+func (p *Plan) Fired(site string) int64 {
+	var n int64
+	for _, r := range p.rules[site] {
+		n += r.fired.Load()
+	}
+	return n
+}
+
+// FiredTotal returns the total fires across all sites.
+func (p *Plan) FiredTotal() int64 {
+	var n int64
+	for site := range p.rules {
+		n += p.Fired(site)
+	}
+	return n
+}
+
+// String renders the plan's original spec.
+func (p *Plan) String() string { return p.spec }
+
+// Fired returns how many times rules at site have fired under the armed
+// plan; 0 when injection is off.
+func Fired(site string) int64 {
+	if p := active.Load(); p != nil {
+		return p.Fired(site)
+	}
+	return 0
+}
+
+// FiredTotal returns the armed plan's total fires across all sites; 0 when
+// injection is off.
+func FiredTotal() int64 {
+	if p := active.Load(); p != nil {
+		return p.FiredTotal()
+	}
+	return 0
+}
+
+// Check consults the armed plan for site. With no plan armed it is a
+// single atomic load. When a rule fires: delay rules sleep and Check
+// continues; error rules return an error wrapping ErrInjected; cancel
+// rules return an error wrapping both ErrInjected and context.Canceled;
+// panic rules panic (isolation boundaries convert the panic into a
+// *PanicError).
+func Check(site string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.check(site)
+}
+
+func (p *Plan) check(site string) error {
+	for _, r := range p.rules[site] {
+		if !r.shouldFire() {
+			continue
+		}
+		r.fired.Add(1)
+		switch r.kind {
+		case KindDelay:
+			time.Sleep(r.delay)
+		case KindError:
+			return fmt.Errorf("%w at %s", ErrInjected, site)
+		case KindCancel:
+			return fmt.Errorf("%w at %s: %w", ErrInjected, site, context.Canceled)
+		case KindPanic:
+			panic(fmt.Sprintf("fault: injected panic at %s", site))
+		}
+	}
+	return nil
+}

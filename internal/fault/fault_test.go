@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// arm installs a plan for the test and disarms it at cleanup, so no fault
+// state leaks into other tests in the package.
+func arm(t *testing.T, spec string, seed int64) *Plan {
+	t.Helper()
+	p, err := Parse(spec, seed)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	Enable(p)
+	t.Cleanup(Disable)
+	return p
+}
+
+func TestDisabledCheckIsNil(t *testing.T) {
+	Disable()
+	if err := Check("any.site"); err != nil {
+		t.Fatalf("Check with no plan armed = %v, want nil", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled() = true with no plan armed")
+	}
+}
+
+func TestErrorRuleFiresEveryHit(t *testing.T) {
+	p := arm(t, "a.site=error", 1)
+	for i := 0; i < 3; i++ {
+		err := Check("a.site")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if got := p.Fired("a.site"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+	if err := Check("other.site"); err != nil {
+		t.Fatalf("unrelated site: err = %v, want nil", err)
+	}
+}
+
+func TestCountTriggerFiresOnNthHitOnly(t *testing.T) {
+	arm(t, "a.site=error:n=3", 1)
+	for i := 1; i <= 5; i++ {
+		err := Check("a.site")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestCancelRuleWrapsContextCanceled(t *testing.T) {
+	arm(t, "a.site=cancel", 1)
+	err := Check("a.site")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrapping ErrInjected", err)
+	}
+}
+
+func TestPanicRulePanics(t *testing.T) {
+	arm(t, "a.site=panic:n=1", 1)
+	var pe *PanicError
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				pe = NewPanicError("test.boundary", v)
+			}
+		}()
+		_ = Check("a.site")
+	}()
+	if pe == nil {
+		t.Fatal("panic rule did not panic")
+	}
+	if pe.Site != "test.boundary" || !strings.Contains(pe.Error(), "injected panic at a.site") {
+		t.Fatalf("PanicError = %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError has no stack")
+	}
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	arm(t, "a.site=delay:d=30ms:n=1", 1)
+	start := time.Now()
+	if err := Check("a.site"); err != nil {
+		t.Fatalf("delay rule returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay rule slept %v, want >= ~30ms", d)
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	// Same spec + seed + hit sequence -> identical fire pattern.
+	pattern := func(seed int64) []bool {
+		p, err := Parse("a.site=error:p=0.5", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Enable(p)
+		defer Disable()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Check("a.site") != nil
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire pattern diverged at hit %d with equal seeds", i)
+		}
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("fire pattern identical across different seeds (suspicious)")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"nosite",
+		"a.site=frobnicate",
+		"a.site=error:p=2",
+		"a.site=error:n=0",
+		"a.site=delay:d=-1s",
+		"a.site=error:zzz",
+		"",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestEnableSpecEmptyDisables(t *testing.T) {
+	arm(t, "a.site=error", 1)
+	if err := EnableSpec("", 0); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("EnableSpec(\"\") left injection enabled")
+	}
+}
+
+func TestRegisterAndSites(t *testing.T) {
+	name := Register("fault_test.site")
+	found := false
+	for _, s := range Sites() {
+		if s == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Sites() = %v does not contain %q", Sites(), name)
+	}
+}

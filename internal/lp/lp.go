@@ -259,6 +259,13 @@ type Solution struct {
 // indicates a degenerate or adversarial instance rather than a model error.
 var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 
+// ErrNumerical is returned when a non-finite value (NaN or Inf) is found in
+// the model inputs or appears in the tableau during pivoting. It turns a
+// silent numerical breakdown — which would otherwise propagate NaN
+// objectives into branch-and-bound bounds and poison pruning — into a typed,
+// recoverable failure the degradation ladder can act on.
+var ErrNumerical = errors.New("lp: non-finite value (numerical breakdown)")
+
 // Solve runs two-phase simplex and returns the solution. Infeasible and
 // unbounded problems are reported through Solution.Status with a nil error;
 // the error return is reserved for resource exhaustion and internal faults.

@@ -1,0 +1,90 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// smallProblem returns min x0 s.t. x0 + x1 >= 1, both in [0,1].
+func smallProblem(t *testing.T) *Problem {
+	t.Helper()
+	p := NewProblem()
+	x0 := p.AddVariable("x0", 1)
+	x1 := p.AddVariable("x1", 0)
+	for _, v := range []int{x0, x1} {
+		if err := p.SetUpperBound(v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AddConstraint([]Term{{Var: x0, Coef: 1}, {Var: x1, Coef: 1}}, GE, 1); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNumericalNaNObjective(t *testing.T) {
+	p := smallProblem(t)
+	if err := p.SetObjective(0, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Solve()
+	if !errors.Is(err, ErrNumerical) {
+		t.Fatalf("Solve with NaN objective: err = %v, want ErrNumerical", err)
+	}
+}
+
+func TestNumericalNonFiniteConstraint(t *testing.T) {
+	for name, build := range map[string]func(p *Problem) error{
+		"nan rhs": func(p *Problem) error {
+			return p.AddConstraint([]Term{{Var: 0, Coef: 1}}, LE, math.NaN())
+		},
+		"inf rhs": func(p *Problem) error {
+			return p.AddConstraint([]Term{{Var: 0, Coef: 1}}, LE, math.Inf(1))
+		},
+		"nan coef": func(p *Problem) error {
+			return p.AddConstraint([]Term{{Var: 0, Coef: math.NaN()}, {Var: 1, Coef: 1}}, LE, 1)
+		},
+		"inf coef": func(p *Problem) error {
+			return p.AddConstraint([]Term{{Var: 0, Coef: math.Inf(-1)}}, GE, 0)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := smallProblem(t)
+			if err := build(p); err != nil {
+				t.Fatal(err)
+			}
+			_, err := p.Solve()
+			if !errors.Is(err, ErrNumerical) {
+				t.Fatalf("err = %v, want ErrNumerical", err)
+			}
+		})
+	}
+}
+
+func TestNumericalBoundOverrides(t *testing.T) {
+	p := smallProblem(t)
+	s := NewSolver()
+	if _, err := s.Solve(p, map[int]float64{0: math.NaN()}, nil); !errors.Is(err, ErrNumerical) {
+		t.Fatalf("NaN lower override: err = %v, want ErrNumerical", err)
+	}
+	if _, err := s.Solve(p, nil, map[int]float64{1: math.NaN()}); !errors.Is(err, ErrNumerical) {
+		t.Fatalf("NaN upper override: err = %v, want ErrNumerical", err)
+	}
+	// +Inf upper override is a legitimate "no tightening" value.
+	sol, err := s.Solve(p, nil, map[int]float64{1: math.Inf(1)})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("+Inf upper override: sol = %+v, err = %v", sol, err)
+	}
+}
+
+func TestNumericalCleanProblemUnaffected(t *testing.T) {
+	p := smallProblem(t)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective) > 1e-9 {
+		t.Fatalf("sol = %+v, want optimal objective 0", sol)
+	}
+}

@@ -4,7 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"sagrelay/internal/fault"
 )
+
+// sitePivot is the fault-injection point inside the simplex iteration loop,
+// polled at the same cadence as the context check (every ctxCheckMask+1
+// pivots) so chaos tests can fail, stall or "cancel" a solve mid-pivot.
+var sitePivot = fault.Register("lp.pivot")
 
 // pivotEps is the tolerance below which a coefficient is treated as zero
 // during pivot selection and ratio tests.
@@ -122,9 +129,20 @@ func (t *tableau) iterate(limit int) (Status, error) {
 		if t.its > t.maxIts {
 			return 0, ErrIterationLimit
 		}
-		if t.ctx != nil && t.its&ctxCheckMask == 0 {
-			if err := t.ctx.Err(); err != nil {
+		if t.its&ctxCheckMask == 0 {
+			if t.ctx != nil {
+				if err := t.ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			if err := fault.Check(sitePivot); err != nil {
 				return 0, err
+			}
+			// The running objective value is the cheapest breakdown sentinel:
+			// any NaN/Inf produced by a degenerate pivot reaches it within a
+			// pivot or two via the reduced-cost update.
+			if z := t.objRow[t.nCols]; math.IsNaN(z) || math.IsInf(z, 0) {
+				return 0, ErrNumerical
 			}
 		}
 		c := t.chooseEntering(limit)
@@ -244,7 +262,13 @@ func (t *tableau) solve() (*Solution, error) {
 	}
 	obj := 0.0
 	for j, c := range t.origObj {
+		if math.IsNaN(x[j]) || math.IsInf(x[j], 0) {
+			return nil, ErrNumerical
+		}
 		obj += c * x[j]
+	}
+	if math.IsNaN(obj) || math.IsInf(obj, 0) {
+		return nil, ErrNumerical
 	}
 	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: t.its}, nil
 }

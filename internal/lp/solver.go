@@ -81,6 +81,40 @@ func growInt(buf []int, n int) []int {
 func (s *Solver) build(p *Problem, lower, upper map[int]float64) (*tableau, error) {
 	n := len(p.obj)
 
+	// Reject non-finite inputs up front: a single NaN coefficient would
+	// otherwise spread through the tableau and surface as garbage bounds
+	// far from its source.
+	for i, c := range p.obj {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("%w: objective coefficient of variable %d is %v", ErrNumerical, i, c)
+		}
+	}
+	for i, ub := range p.ub {
+		if math.IsNaN(ub) || math.IsInf(ub, -1) {
+			return nil, fmt.Errorf("%w: upper bound of variable %d is %v", ErrNumerical, i, ub)
+		}
+	}
+	for k, c := range p.cons {
+		if math.IsNaN(c.rhs) || math.IsInf(c.rhs, 0) {
+			return nil, fmt.Errorf("%w: right-hand side of constraint %d is %v", ErrNumerical, k, c.rhs)
+		}
+		for _, term := range c.terms {
+			if math.IsNaN(term.Coef) || math.IsInf(term.Coef, 0) {
+				return nil, fmt.Errorf("%w: coefficient of variable %d in constraint %d is %v", ErrNumerical, term.Var, k, term.Coef)
+			}
+		}
+	}
+	for v, b := range lower {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("%w: lower bound override of variable %d is %v", ErrNumerical, v, b)
+		}
+	}
+	for v, b := range upper {
+		if math.IsNaN(b) || math.IsInf(b, -1) {
+			return nil, fmt.Errorf("%w: upper bound override of variable %d is %v", ErrNumerical, v, b)
+		}
+	}
+
 	// Effective bounds: the problem's own, tightened by the overrides.
 	s.ub = grow(s.ub, n)
 	copy(s.ub, p.ub)

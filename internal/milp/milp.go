@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sagrelay/internal/fault"
 	"sagrelay/internal/lp"
 )
 
@@ -26,6 +27,10 @@ import (
 // serve subsystem's /metrics endpoint) without threading counters through
 // every caller.
 var totalNodes atomic.Int64
+
+// siteNode is the fault-injection point checked before each
+// branch-and-bound node expansion; one atomic load when injection is off.
+var siteNode = fault.Register("milp.node")
 
 // TotalNodes returns the number of branch-and-bound nodes explored by this
 // process so far.
@@ -227,6 +232,9 @@ func SolveContext(ctx context.Context, base *lp.Problem, isInt []bool, opts Opti
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("milp: cancelled after %d nodes: %w", res.Nodes, err)
 		}
+		if err := fault.Check(siteNode); err != nil {
+			return nil, fmt.Errorf("milp: after %d nodes: %w", res.Nodes, err)
+		}
 		if res.Nodes >= opts.MaxNodes {
 			break
 		}
@@ -268,6 +276,13 @@ func SolveContext(ctx context.Context, base *lp.Problem, isInt []bool, opts Opti
 		}
 		if sol.Status != lp.Optimal {
 			continue // infeasible subtree
+		}
+		if math.IsNaN(sol.Objective) {
+			// Defensive: a NaN bound would poison every pruning comparison
+			// below (NaN comparisons are all false). The relaxation layer
+			// reports breakdowns as lp.ErrNumerical, so this should be
+			// unreachable — fail loudly rather than search on garbage.
+			return nil, fmt.Errorf("milp: node relaxation: %w", lp.ErrNumerical)
 		}
 		if sol.Objective >= res.Objective-1e-9 {
 			continue // bound prune

@@ -12,7 +12,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"sagrelay/internal/fault"
 )
+
+// callTask invokes fn(i) with panic isolation: a panicking task becomes a
+// *fault.PanicError for its index (counted process-wide), failing the
+// fan-out like any other task error instead of killing the process. The
+// boundary matters most for the per-zone solver fan-outs, which run on
+// bare goroutines far from any recover the service layer installs.
+func callTask(fn func(int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fault.NewPanicError("par.foreach", v)
+		}
+	}()
+	return fn(i)
+}
 
 // DefaultWorkers resolves a worker-count knob: values <= 0 mean
 // runtime.GOMAXPROCS(0).
@@ -58,7 +74,7 @@ func ForEachContext(ctx context.Context, workers, n int, fn func(i int) error) e
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := callTask(fn, i); err != nil {
 				return err
 			}
 		}
@@ -80,7 +96,7 @@ func ForEachContext(ctx context.Context, workers, n int, fn func(i int) error) e
 				if i >= n || stop.Load() || ctx.Err() != nil {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := callTask(fn, i); err != nil {
 					errs[i] = err
 					stop.Store(true)
 				}

@@ -74,6 +74,78 @@ func TestCanonicalBytesExactFloats(t *testing.T) {
 	}
 }
 
+func TestCanonicalBytesNegativeZero(t *testing.T) {
+	// +0 and -0 compare equal as float64 but are different bit patterns, and
+	// the encoding promises distinct text per bit pattern: a scenario built
+	// with -0 coordinates must not alias one built with +0.
+	a := testScenario(t)
+	b := testScenario(t)
+	a.Subscribers[0].Pos.X = 0
+	b.Subscribers[0].Pos.X = math.Copysign(0, -1)
+	if a.Subscribers[0].Pos.X != b.Subscribers[0].Pos.X {
+		t.Fatal("test premise broken: +0 != -0")
+	}
+	if a.CanonicalHash() == b.CanonicalHash() {
+		t.Fatal("-0 and +0 coordinates produced the same canonical hash")
+	}
+}
+
+func TestCanonicalBytesSubnormals(t *testing.T) {
+	// Subnormal floats sit where decimal printing is most likely to lose
+	// bits; the hex encoding must keep adjacent subnormals distinct, and a
+	// JSON round-trip of the scenario must preserve the hash exactly.
+	sc := testScenario(t)
+	sc.Subscribers[0].DistReq = math.SmallestNonzeroFloat64
+	neighbor := testScenario(t)
+	neighbor.Subscribers[0].DistReq = math.Nextafter(math.SmallestNonzeroFloat64, 1)
+	if sc.CanonicalHash() == neighbor.CanonicalHash() {
+		t.Fatal("adjacent subnormals produced the same canonical hash")
+	}
+
+	blob, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CanonicalHash() != sc.CanonicalHash() {
+		t.Fatal("JSON round-trip changed the canonical hash of a subnormal scenario")
+	}
+}
+
+func TestCanonicalBytesEmptyEntityLists(t *testing.T) {
+	// Degenerate scenarios still need unambiguous encodings: no subscribers,
+	// no base stations, and neither must all hash apart (the count prefix
+	// carries the information), while nil and empty slices must agree.
+	base := testScenario(t)
+	noSS := testScenario(t)
+	noSS.Subscribers = nil
+	noBS := testScenario(t)
+	noBS.BaseStations = nil
+	empty := testScenario(t)
+	empty.Subscribers = nil
+	empty.BaseStations = nil
+
+	hashes := map[string]bool{
+		base.CanonicalHash():  true,
+		noSS.CanonicalHash():  true,
+		noBS.CanonicalHash():  true,
+		empty.CanonicalHash(): true,
+	}
+	if len(hashes) != 4 {
+		t.Fatalf("empty-list variants collided: %d distinct hashes, want 4", len(hashes))
+	}
+
+	emptySlices := testScenario(t)
+	emptySlices.Subscribers = []Subscriber{}
+	emptySlices.BaseStations = []BaseStation{}
+	if emptySlices.CanonicalHash() != empty.CanonicalHash() {
+		t.Fatal("nil and empty entity slices encoded differently")
+	}
+}
+
 func TestValidateRejectsNonFinite(t *testing.T) {
 	cases := map[string]func(*Scenario){
 		"nan-ss-x":    func(sc *Scenario) { sc.Subscribers[2].Pos.X = math.NaN() },

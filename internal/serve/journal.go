@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal record types. A job's durable lifecycle is submit -> start ->
+// done|fail|cancel|interrupt. Records whose job never reached done, fail or
+// cancel are replayed (re-run) on the next startup: submit/start mean the
+// process died mid-job, and interrupt means a graceful shutdown drained the
+// job before it could finish — both owe the client a result. cancel is a
+// deliberate client- or deadline-initiated abort and stays dead.
+const (
+	recSubmit    = "submit"
+	recStart     = "start"
+	recDone      = "done"
+	recFail      = "fail"
+	recCancel    = "cancel"
+	recInterrupt = "interrupt"
+)
+
+// jrec is one JSONL line in the journal. Submit records carry the full
+// request so a replay can re-run the job; done records for degraded results
+// carry the document inline (degraded results are timing-dependent and are
+// deliberately kept out of the content-addressed results directory — see
+// runJob), while normal done records point at results/<key>.json via Key.
+type jrec struct {
+	T   string          `json:"t"`
+	ID  string          `json:"id"`
+	Key string          `json:"key,omitempty"`
+	Req json.RawMessage `json:"req,omitempty"`
+	Err string          `json:"err,omitempty"`
+	Doc json.RawMessage `json:"doc,omitempty"`
+}
+
+// journal is the append-only JSONL write-ahead log plus the
+// content-addressed results directory under one data dir:
+//
+//	<dir>/journal.jsonl      lifecycle records, appended and fsynced per job event
+//	<dir>/results/<key>.json finished result documents, written tmp+rename
+//
+// Every append is flushed and fsynced before it returns: a record the
+// server acted on (a 202 answered, a result served) survives kill -9. The
+// reader tolerates a torn final line — the one partial write a crash can
+// leave behind — by stopping at the first line that does not parse.
+type journal struct {
+	dir string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+func journalPath(dir string) string { return filepath.Join(dir, "journal.jsonl") }
+func resultsDir(dir string) string  { return filepath.Join(dir, "results") }
+
+// openJournal creates dir (and its results subdirectory) as needed, reads
+// whatever journal survives there, and returns the parsed records alongside
+// a journal opened for appending.
+func openJournal(dir string) (*journal, []jrec, error) {
+	if err := os.MkdirAll(resultsDir(dir), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	recs, err := readJournal(journalPath(dir))
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(journalPath(dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	return &journal{dir: dir, f: f}, recs, nil
+}
+
+// readJournal parses a JSONL journal, stopping silently at the first
+// malformed line (a torn tail from a crash mid-append). A missing file is
+// an empty journal.
+func readJournal(path string) ([]jrec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	defer f.Close()
+	var recs []jrec
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r jrec
+		if err := json.Unmarshal(line, &r); err != nil || r.T == "" || r.ID == "" {
+			break
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	return recs, nil
+}
+
+// append writes one record, flushed and fsynced before returning.
+func (j *journal) append(r jrec) error {
+	line, err := json.Marshal(&r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// compact atomically replaces the journal with just the given records —
+// called at startup after replay folds history down to retained jobs, so
+// the log does not grow without bound across restarts. The append handle is
+// reopened on the new file.
+func (j *journal) compact(recs []jrec) error {
+	tmp := journalPath(j.dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		line, err := json.Marshal(&r)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, journalPath(j.dir)); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.Close()
+	nf, err := os.OpenFile(journalPath(j.dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = nf
+	return nil
+}
+
+// close releases the append handle.
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.Close()
+}
+
+// writeResult durably stores a finished result document under its content
+// address via tmp+rename, so a crash can never leave a half-written file at
+// the final path.
+func (j *journal) writeResult(key string, doc []byte) error {
+	final := filepath.Join(resultsDir(j.dir), key+".json")
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// loadResult reads a stored result document back; ok is false when the key
+// has no durable result (the job must then be re-run).
+func (j *journal) loadResult(key string) ([]byte, bool) {
+	doc, err := os.ReadFile(filepath.Join(resultsDir(j.dir), key+".json"))
+	if err != nil || len(doc) == 0 {
+		return nil, false
+	}
+	return doc, true
+}

@@ -3,6 +3,8 @@ package serve
 import (
 	"sync/atomic"
 
+	"sagrelay/internal/core"
+	"sagrelay/internal/fault"
 	"sagrelay/internal/milp"
 )
 
@@ -23,6 +25,12 @@ type Metrics struct {
 	// JobsCancelled counts jobs ended by deadline, client cancel or
 	// shutdown.
 	JobsCancelled atomic.Int64
+	// JobsPanicked counts jobs whose solve panicked; each is also counted
+	// in JobsFailed (the panic fails the job, never the process).
+	JobsPanicked atomic.Int64
+	// JobsDegraded counts completed jobs whose solution used a heuristic
+	// fallback for at least one pipeline stage.
+	JobsDegraded atomic.Int64
 	// CacheHits and CacheMisses count result-cache lookups at submit time.
 	CacheHits, CacheMisses atomic.Int64
 	// SolveMicros accumulates wall-clock solver time (cache hits excluded),
@@ -30,6 +38,13 @@ type Metrics struct {
 	// SolveMicros/Solves.
 	SolveMicros atomic.Int64
 	Solves      atomic.Int64
+	// JournalErrors counts journal append/compact/result-file failures;
+	// they never fail the job, only this counter.
+	JournalErrors atomic.Int64
+	// JournalRestored counts jobs restored to a terminal state from the
+	// journal at startup, and JournalReplayed counts journaled jobs the
+	// previous process never finished that were re-submitted for solving.
+	JournalRestored, JournalReplayed atomic.Int64
 }
 
 // metricsDoc is the JSON shape served by /metrics.
@@ -39,6 +54,8 @@ type metricsDoc struct {
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
+	JobsPanicked  int64 `json:"jobs_panicked"`
+	JobsDegraded  int64 `json:"jobs_degraded"`
 	CacheHits     int64 `json:"cache_hits"`
 	CacheMisses   int64 `json:"cache_misses"`
 	CacheEntries  int   `json:"cache_entries"`
@@ -47,20 +64,41 @@ type metricsDoc struct {
 	// BBNodes is the process-wide branch-and-bound node count from
 	// internal/milp — the solver-effort odometer behind ILP requests.
 	BBNodes int64 `json:"bb_nodes_total"`
+	// PanicsRecovered is the process-wide count of panics converted into
+	// errors (internal/fault) — job solves plus pool-level recoveries.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// SolverRetries and SolverFallbacks are the process-wide degradation
+	// ladder odometers from internal/core.
+	SolverRetries   int64 `json:"solver_retries_total"`
+	SolverFallbacks int64 `json:"solver_fallbacks_total"`
+	// FaultsInjected counts fired fault-injection rules (0 in production).
+	FaultsInjected  int64 `json:"faults_injected_total"`
+	JournalErrors   int64 `json:"journal_errors"`
+	JournalRestored int64 `json:"journal_restored_jobs"`
+	JournalReplayed int64 `json:"journal_replayed_jobs"`
 }
 
 func (m *Metrics) snapshot(cacheEntries int) metricsDoc {
 	return metricsDoc{
-		JobsAccepted:  m.JobsAccepted.Load(),
-		JobsRejected:  m.JobsRejected.Load(),
-		JobsCompleted: m.JobsCompleted.Load(),
-		JobsFailed:    m.JobsFailed.Load(),
-		JobsCancelled: m.JobsCancelled.Load(),
-		CacheHits:     m.CacheHits.Load(),
-		CacheMisses:   m.CacheMisses.Load(),
-		CacheEntries:  cacheEntries,
-		SolveMicros:   m.SolveMicros.Load(),
-		Solves:        m.Solves.Load(),
-		BBNodes:       milp.TotalNodes(),
+		JobsAccepted:    m.JobsAccepted.Load(),
+		JobsRejected:    m.JobsRejected.Load(),
+		JobsCompleted:   m.JobsCompleted.Load(),
+		JobsFailed:      m.JobsFailed.Load(),
+		JobsCancelled:   m.JobsCancelled.Load(),
+		JobsPanicked:    m.JobsPanicked.Load(),
+		JobsDegraded:    m.JobsDegraded.Load(),
+		CacheHits:       m.CacheHits.Load(),
+		CacheMisses:     m.CacheMisses.Load(),
+		CacheEntries:    cacheEntries,
+		SolveMicros:     m.SolveMicros.Load(),
+		Solves:          m.Solves.Load(),
+		BBNodes:         milp.TotalNodes(),
+		PanicsRecovered: fault.RecoveredPanics(),
+		SolverRetries:   core.TotalRetries(),
+		SolverFallbacks: core.TotalFallbacks(),
+		FaultsInjected:  fault.FiredTotal(),
+		JournalErrors:   m.JournalErrors.Load(),
+		JournalRestored: m.JournalRestored.Load(),
+		JournalReplayed: m.JournalReplayed.Load(),
 	}
 }

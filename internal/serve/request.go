@@ -53,6 +53,12 @@ type SolveOptions struct {
 	// are identical for any worker count (the PR 1 determinism contract),
 	// so it too is excluded from the cache key.
 	Workers int `json:"workers,omitempty"`
+	// NoDegrade disables the graceful-degradation ladder for this job: a
+	// failed or deadline-blown stage then fails the job instead of falling
+	// back to the paper's heuristics. Degradation only changes what happens
+	// on failure, never the content of a full-fidelity result (and degraded
+	// results are never cached), so this is excluded from the cache key too.
+	NoDegrade bool `json:"no_degrade,omitempty"`
 }
 
 // normalized returns a copy with every cache-key-relevant zero value
@@ -138,6 +144,7 @@ func (o SolveOptions) coreConfig() (core.Config, error) {
 		return cfg, fmt.Errorf("unknown connectivity power %q", o.ConnectivityPower)
 	}
 	cfg.Workers = o.Workers
+	cfg.Degrade = !o.NoDegrade
 	cfg.ILP = lower.ILPOptions{
 		GridSize:  o.GridSize,
 		MaxZoneSS: o.MaxZoneSS,
@@ -196,10 +203,14 @@ func requestKey(sc *scenario.Scenario, opts SolveOptions) string {
 // ResultDoc is the deterministic solve result served by the API and stored
 // in the cache. It deliberately carries no timing: wall-clock varies run
 // to run and would break the byte-identical replay guarantee. Timing lives
-// on the job status instead.
+// on the job status instead. The one exception is Degraded: a document with
+// Degraded set came from a heuristic fallback, is timing-dependent, and is
+// therefore never cached or content-addressed (see runJob).
 type ResultDoc struct {
 	Method             string       `json:"method"`
 	Feasible           bool         `json:"feasible"`
+	Degraded           bool         `json:"degraded,omitempty"`
+	DegradedReason     string       `json:"degraded_reason,omitempty"`
 	CoverageRelays     []RelayDoc   `json:"coverage_relays,omitempty"`
 	ConnectivityRelays []geom.Point `json:"connectivity_relays,omitempty"`
 	PL                 float64      `json:"coverage_power,omitempty"`
@@ -221,7 +232,12 @@ type RelayDoc struct {
 // field order, shortest-round-trip floats), so equal solutions yield equal
 // bytes.
 func buildResultDoc(sol *core.Solution) ([]byte, error) {
-	doc := ResultDoc{Method: sol.Method, Feasible: sol.Feasible}
+	doc := ResultDoc{
+		Method:         sol.Method,
+		Feasible:       sol.Feasible,
+		Degraded:       sol.Degraded,
+		DegradedReason: sol.DegradedReason,
+	}
 	if sol.Feasible {
 		doc.PL, doc.PH, doc.PTotal = sol.PL, sol.PH, sol.PTotal
 		doc.NumCoverage = sol.Coverage.NumRelays()

@@ -4,20 +4,34 @@
 // cooperative cancellation threaded from the request context down to the
 // simplex pivot loop. A repeated request is answered from the cache with a
 // byte-identical result document and no solver work.
+//
+// With Options.DataDir set the server is also durable: every job lifecycle
+// transition is appended to a JSONL write-ahead journal and finished results
+// are stored content-addressed on disk, so a crashed or killed server
+// replays its journal on the next start — completed jobs are served again
+// byte-identically without re-solving, and jobs that were queued or running
+// when the process died are re-run to a terminal state (at-least-once).
 package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"sagrelay/internal/core"
+	"sagrelay/internal/fault"
 	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
 )
+
+// siteJob is the fault-injection point at the top of job execution; one
+// atomic load per job when injection is off.
+var siteJob = fault.Register("serve.job")
 
 // ErrShuttingDown reports a submission against a server that has begun
 // graceful shutdown.
@@ -44,6 +58,13 @@ type Options struct {
 	// MaxJobs bounds the in-memory job table; the oldest finished jobs are
 	// forgotten beyond it (default 1024).
 	MaxJobs int
+	// DataDir, when non-empty, enables the durable job journal: lifecycle
+	// records are appended to <DataDir>/journal.jsonl and finished results
+	// stored under <DataDir>/results/. On startup the journal is replayed —
+	// finished jobs are restored (and served without re-solving), while jobs
+	// the previous process never finished are re-run. Empty means fully
+	// in-memory operation, as before.
+	DataDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -77,24 +98,214 @@ type Server struct {
 	// inFlight counts accepted-but-unfinished jobs for shutdown draining.
 	inFlight sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // job IDs in submission order, oldest first
-	seq    int64
-	closed bool
+	// journal is the durable WAL, nil when Options.DataDir is empty.
+	journal *journal
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order, oldest first
+	seq      int64
+	closed   bool
+	draining bool // Shutdown has begun: cancelled jobs journal as interrupted
 }
 
-// NewServer starts the worker pool and returns a ready server.
-func NewServer(opts Options) *Server {
+// NewServer starts the worker pool and returns a ready server. With
+// Options.DataDir set it first replays the journal left by the previous
+// process: finished jobs are restored into the job table (and result cache)
+// and unfinished ones are re-submitted to the pool, so their original IDs
+// answer again once NewServer returns.
+func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		opts:      opts,
 		pool:      par.NewPool(opts.Workers, opts.QueueDepth),
 		cache:     newCache(opts.CacheEntries),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*Job),
+	}
+	if opts.DataDir != "" {
+		j, recs, err := openJournal(opts.DataDir)
+		if err != nil {
+			cancel()
+			s.pool.Close()
+			return nil, err
+		}
+		s.journal = j
+		s.replay(recs)
+	}
+	return s, nil
+}
+
+// jappend writes a journal record when the journal is enabled. A journal
+// write failure must not fail the job — the solve result is still correct —
+// so it only increments the journal_errors counter.
+func (s *Server) jappend(r jrec) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(r); err != nil {
+		s.metrics.JournalErrors.Add(1)
+	}
+}
+
+// replay folds the journal records left by the previous process into the
+// job table: jobs with a durable terminal state are restored as-is (done
+// jobs load their result document — and feed the cache — from results/, or
+// from the inline copy journaled for degraded results), and every other
+// journaled job is re-submitted to the pool under a fresh deadline, keeping
+// its original ID. The journal is compacted to the retained state before
+// the re-runs start appending to it.
+func (s *Server) replay(recs []jrec) {
+	type folded struct {
+		submit jrec
+		term   *jrec // first terminal record, nil while the job owes a run
+	}
+	byID := make(map[string]*folded)
+	var order []string
+	var maxSeq int64
+	for _, r := range recs {
+		if r.T == recSubmit {
+			if _, ok := byID[r.ID]; !ok {
+				byID[r.ID] = &folded{submit: r}
+				order = append(order, r.ID)
+				if n, err := strconv.ParseInt(strings.TrimPrefix(r.ID, "j-"), 10, 64); err == nil && n > maxSeq {
+					maxSeq = n
+				}
+			}
+			continue
+		}
+		f, ok := byID[r.ID]
+		if !ok || f.term != nil {
+			continue // torn history or duplicate terminal; first wins
+		}
+		switch r.T {
+		case recDone, recFail, recCancel:
+			rc := r
+			f.term = &rc
+		}
+		// recStart and recInterrupt leave the job pending: it owes a re-run.
+	}
+	s.seq = maxSeq
+
+	type pendingJob struct {
+		job  *Job
+		sc   *scenario.Scenario
+		opts SolveOptions
+		cfg  core.Config
+	}
+	var pending []pendingJob
+	termRecs := make(map[string]jrec) // synthesized terminal records for compaction
+	for _, id := range order {
+		f := byID[id]
+		job := &Job{
+			ID:      id,
+			Key:     f.submit.Key,
+			done:    make(chan struct{}),
+			state:   StateQueued,
+			created: time.Now(),
+			cancel:  func() {},
+		}
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+
+		if f.term != nil {
+			switch f.term.T {
+			case recFail:
+				job.finish(StateFailed, nil, f.term.Err)
+				s.metrics.JournalRestored.Add(1)
+				termRecs[id] = jrec{T: recFail, ID: id, Err: f.term.Err}
+				continue
+			case recCancel:
+				job.finish(StateCancelled, nil, f.term.Err)
+				s.metrics.JournalRestored.Add(1)
+				termRecs[id] = jrec{T: recCancel, ID: id, Err: f.term.Err}
+				continue
+			case recDone:
+				if len(f.term.Doc) > 0 {
+					// Degraded result, journaled inline.
+					job.finish(StateDone, []byte(f.term.Doc), "")
+					s.metrics.JournalRestored.Add(1)
+					termRecs[id] = jrec{T: recDone, ID: id, Key: job.Key, Doc: f.term.Doc}
+					continue
+				}
+				if doc, ok := s.journal.loadResult(job.Key); ok {
+					s.cache.put(job.Key, doc)
+					job.finish(StateDone, doc, "")
+					s.metrics.JournalRestored.Add(1)
+					termRecs[id] = jrec{T: recDone, ID: id, Key: job.Key}
+					continue
+				}
+				// done record without its result file (lost or deleted):
+				// fall through and re-run the job.
+			}
+		}
+
+		var req SolveRequest
+		if err := json.Unmarshal(f.submit.Req, &req); err != nil || req.Scenario == nil {
+			s.metrics.JournalErrors.Add(1)
+			msg := "journal: submit record has no readable request"
+			job.finish(StateFailed, nil, msg)
+			termRecs[id] = jrec{T: recFail, ID: id, Err: msg}
+			continue
+		}
+		opts := req.Options.normalized()
+		cfg, err := opts.coreConfig()
+		if err != nil {
+			msg := "journal: " + err.Error()
+			job.finish(StateFailed, nil, msg)
+			termRecs[id] = jrec{T: recFail, ID: id, Err: msg}
+			continue
+		}
+		if doc, ok := s.cache.get(job.Key); ok {
+			// An already-restored job with the same content address pays for
+			// this one too.
+			job.mu.Lock()
+			job.cacheHit = true
+			job.mu.Unlock()
+			job.finish(StateDone, doc, "")
+			s.metrics.JournalRestored.Add(1)
+			termRecs[id] = jrec{T: recDone, ID: id, Key: job.Key}
+			continue
+		}
+		pending = append(pending, pendingJob{job: job, sc: req.Scenario, opts: opts, cfg: cfg})
+	}
+	s.evictOldLocked() // NewServer is single-threaded here; lock not yet needed
+
+	// Compact before the re-runs append fresh start/terminal records.
+	var compacted []jrec
+	for _, id := range s.order {
+		f := byID[id]
+		compacted = append(compacted, f.submit)
+		if tr, ok := termRecs[id]; ok {
+			compacted = append(compacted, tr)
+		}
+	}
+	if err := s.journal.compact(compacted); err != nil {
+		s.metrics.JournalErrors.Add(1)
+	}
+
+	for _, p := range pending {
+		timeout := s.opts.MaxJobTime
+		if ms := p.opts.TimeoutMS; ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+		ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+		p.job.cancel = cancel
+		s.inFlight.Add(1)
+		job, sc, cfg := p.job, p.sc, p.cfg
+		// The recovered backlog may exceed the queue depth; block rather
+		// than drop — these jobs were already accepted in a previous life.
+		if err := s.pool.SubmitBlocking(func() { s.runJob(ctx, job, sc, cfg) }); err != nil {
+			s.inFlight.Done()
+			cancel()
+			s.failJob(job, "journal replay: "+err.Error())
+			continue
+		}
+		s.metrics.JournalReplayed.Add(1)
 	}
 }
 
@@ -143,10 +354,25 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 		job.cacheHit = true
 		job.mu.Unlock()
 		job.cancel = func() {}
+		// Cached documents always have a durable twin under results/ when
+		// the journal is on, so submit+done suffices for replay.
+		s.jappend(jrec{T: recSubmit, ID: job.ID, Key: key})
+		s.jappend(jrec{T: recDone, ID: job.ID, Key: key})
 		job.finish(StateDone, doc, "")
 		return job, nil
 	}
 	s.metrics.CacheMisses.Add(1)
+
+	// Journal the submission before the pool can run it: the WAL must know
+	// about a job before any of its later records, and before the client is
+	// told it was accepted.
+	if s.journal != nil {
+		reqBytes, err := json.Marshal(SolveRequest{Scenario: req.Scenario, Options: opts})
+		if err != nil {
+			return nil, fmt.Errorf("serve: encode request for journal: %w", err)
+		}
+		s.jappend(jrec{T: recSubmit, ID: job.ID, Key: key, Req: reqBytes})
+	}
 
 	timeout := s.opts.MaxJobTime
 	if ms := opts.TimeoutMS; ms > 0 {
@@ -167,6 +393,9 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 			s.order = s.order[:n-1]
 		}
 		s.mu.Unlock()
+		// The submission was journaled; record the rejection so replay does
+		// not resurrect a job the client was refused.
+		s.jappend(jrec{T: recCancel, ID: job.ID, Err: "rejected: " + err.Error()})
 		s.metrics.JobsRejected.Add(1)
 		if errors.Is(err, par.ErrPoolClosed) {
 			return nil, ErrShuttingDown
@@ -181,14 +410,30 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cfg core.Config) {
 	defer s.inFlight.Done()
 	defer job.cancel()
+	// Own the job's fate under panic: the pool's recover is only a
+	// process-survival backstop and cannot settle job state (it has no idea
+	// what a half-run task left behind). Without this, a panicking solve
+	// would leave the job "running" forever and its done channel never
+	// closed. Registered after inFlight.Done/job.cancel so it runs first.
+	defer func() {
+		if v := recover(); v != nil {
+			pe := fault.NewPanicError("serve.job", v)
+			s.metrics.JobsPanicked.Add(1)
+			s.failJob(job, pe.Error())
+		}
+	}()
 
 	if err := ctx.Err(); err != nil {
 		// Cancelled or timed out while still queued.
-		s.metrics.JobsCancelled.Add(1)
-		job.finish(StateCancelled, nil, err.Error())
+		s.cancelJob(job, err.Error())
 		return
 	}
 	job.markRunning()
+	s.jappend(jrec{T: recStart, ID: job.ID, Key: job.Key})
+	if err := fault.Check(siteJob); err != nil {
+		s.failJob(job, err.Error())
+		return
+	}
 
 	start := time.Now()
 	sol, err := core.RunContext(ctx, sc, cfg)
@@ -196,26 +441,70 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 
 	if err != nil {
 		if ctx.Err() != nil {
-			s.metrics.JobsCancelled.Add(1)
-			job.finish(StateCancelled, nil, err.Error())
+			s.cancelJob(job, err.Error())
 		} else {
-			s.metrics.JobsFailed.Add(1)
-			job.finish(StateFailed, nil, err.Error())
+			s.failJob(job, err.Error())
 		}
 		return
 	}
 
 	doc, err := buildResultDoc(sol)
 	if err != nil {
-		s.metrics.JobsFailed.Add(1)
-		job.finish(StateFailed, nil, "encode result: "+err.Error())
+		s.failJob(job, "encode result: "+err.Error())
 		return
 	}
-	s.cache.put(job.Key, doc)
 	s.metrics.Solves.Add(1)
 	s.metrics.SolveMicros.Add(elapsed.Microseconds())
 	s.metrics.JobsCompleted.Add(1)
+	if sol.Degraded {
+		// Degraded results are timing-dependent (which stage fell back
+		// depends on when the deadline hit), so they must never enter the
+		// content-addressed cache or results directory — both promise
+		// byte-identical replay. The journal carries the document inline so
+		// a restart can still serve this job's result.
+		s.metrics.JobsDegraded.Add(1)
+		s.jappend(jrec{T: recDone, ID: job.ID, Key: job.Key, Doc: doc})
+		job.finish(StateDone, doc, "")
+		return
+	}
+	s.cache.put(job.Key, doc)
+	if s.journal != nil {
+		// Result file before the done record: a done in the WAL promises a
+		// loadable result (a crash between the two replays the job instead).
+		if err := s.journal.writeResult(job.Key, doc); err != nil {
+			s.metrics.JournalErrors.Add(1)
+		}
+		s.jappend(jrec{T: recDone, ID: job.ID, Key: job.Key})
+	}
 	job.finish(StateDone, doc, "")
+}
+
+// failJob finishes a job as failed, with the journal and counters agreeing.
+func (s *Server) failJob(job *Job, msg string) {
+	s.metrics.JobsFailed.Add(1)
+	s.jappend(jrec{T: recFail, ID: job.ID, Err: msg})
+	job.finish(StateFailed, nil, msg)
+}
+
+// cancelJob finishes a cancelled job. During shutdown the journal records an
+// interrupt instead of a cancel: the client never asked for the abort, so
+// the next start re-runs the job; a deliberate cancel (client DELETE or
+// per-job deadline) stays dead across restarts.
+func (s *Server) cancelJob(job *Job, msg string) {
+	s.metrics.JobsCancelled.Add(1)
+	if s.isDraining() {
+		s.jappend(jrec{T: recInterrupt, ID: job.ID, Err: msg})
+		job.finish(StateCancelled, nil, "interrupted by shutdown: "+msg)
+		return
+	}
+	s.jappend(jrec{T: recCancel, ID: job.ID, Err: msg})
+	job.finish(StateCancelled, nil, msg)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Job returns the job with the given ID, if it is still in the table.
@@ -281,6 +570,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	alreadyClosed := s.closed
 	s.closed = true
+	s.draining = true
 	s.mu.Unlock()
 	if alreadyClosed {
 		s.inFlight.Wait()
@@ -303,6 +593,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.cancelAll()
 	s.pool.Close()
+	if s.journal != nil {
+		s.journal.close()
+	}
 	return err
 }
 
@@ -311,16 +604,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) MetricsSnapshot() map[string]int64 {
 	d := s.metrics.snapshot(s.cache.len())
 	return map[string]int64{
-		"jobs_accepted":      d.JobsAccepted,
-		"jobs_rejected":      d.JobsRejected,
-		"jobs_completed":     d.JobsCompleted,
-		"jobs_failed":        d.JobsFailed,
-		"jobs_cancelled":     d.JobsCancelled,
-		"cache_hits":         d.CacheHits,
-		"cache_misses":       d.CacheMisses,
-		"cache_entries":      int64(d.CacheEntries),
-		"solve_micros_total": d.SolveMicros,
-		"solves":             d.Solves,
-		"bb_nodes_total":     d.BBNodes,
+		"jobs_accepted":          d.JobsAccepted,
+		"jobs_rejected":          d.JobsRejected,
+		"jobs_completed":         d.JobsCompleted,
+		"jobs_failed":            d.JobsFailed,
+		"jobs_cancelled":         d.JobsCancelled,
+		"jobs_panicked":          d.JobsPanicked,
+		"jobs_degraded":          d.JobsDegraded,
+		"cache_hits":             d.CacheHits,
+		"cache_misses":           d.CacheMisses,
+		"cache_entries":          int64(d.CacheEntries),
+		"solve_micros_total":     d.SolveMicros,
+		"solves":                 d.Solves,
+		"bb_nodes_total":         d.BBNodes,
+		"panics_recovered":       d.PanicsRecovered,
+		"solver_retries_total":   d.SolverRetries,
+		"solver_fallbacks_total": d.SolverFallbacks,
+		"faults_injected_total":  d.FaultsInjected,
+		"journal_errors":         d.JournalErrors,
+		"journal_restored_jobs":  d.JournalRestored,
+		"journal_replayed_jobs":  d.JournalReplayed,
 	}
 }

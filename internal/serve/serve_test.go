@@ -50,7 +50,10 @@ func waitDone(t *testing.T, j *Job, within time.Duration) {
 
 func newTestServer(t *testing.T, opts Options) *Server {
 	t.Helper()
-	s := NewServer(opts)
+	s, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -142,7 +145,11 @@ func TestDifferentOptionsSplitTheCache(t *testing.T) {
 	}
 }
 
-func TestDeadlineCancelsOversizedJobPromptly(t *testing.T) {
+func TestDeadlineDegradesOversizedJobToHeuristic(t *testing.T) {
+	// An IAC solve that cannot finish inside its 50ms deadline no longer
+	// dies empty-handed: the degradation ladder abandons the exact solve and
+	// answers with the SAMC heuristic, tagged degraded — and the
+	// timing-dependent result stays out of the byte-identical cache.
 	s := newTestServer(t, Options{})
 	req := SolveRequest{
 		Scenario: bigScenario(t),
@@ -152,6 +159,55 @@ func TestDeadlineCancelsOversizedJobPromptly(t *testing.T) {
 			MaxNodes:      1 << 30, // only the deadline can stop it
 			ZoneTimeoutMS: 600_000,
 			TimeoutMS:     50,
+		},
+	}
+	start := time.Now()
+	job, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job, 30*time.Second)
+	elapsed := time.Since(start)
+
+	doc, state := job.resultBytes()
+	if state != StateDone {
+		t.Fatalf("state = %v (err %q), want done via degradation", state, job.status().Error)
+	}
+	var res ResultDoc
+	if err := json.Unmarshal(doc, &res); err != nil {
+		t.Fatalf("result not JSON: %v", err)
+	}
+	if !res.Degraded || !strings.Contains(res.DegradedReason, "IAC -> SAMC") {
+		t.Fatalf("Degraded = %v, reason %q; want SAMC fallback recorded", res.Degraded, res.DegradedReason)
+	}
+	if !res.Feasible {
+		t.Error("degraded solution infeasible; SAMC should cover this scenario")
+	}
+	if elapsed > 15*time.Second {
+		t.Errorf("degraded answer took %v; the fallback must stay prompt", elapsed)
+	}
+	m := s.MetricsSnapshot()
+	if m["jobs_degraded"] != 1 {
+		t.Errorf("jobs_degraded = %d, want 1", m["jobs_degraded"])
+	}
+	if m["cache_entries"] != 0 {
+		t.Errorf("cache_entries = %d; degraded results must never be cached", m["cache_entries"])
+	}
+}
+
+func TestDeadlineCancelsOversizedJobWithDegradeDisabled(t *testing.T) {
+	// no_degrade restores the strict contract: a blown deadline cancels the
+	// job promptly instead of answering with a heuristic.
+	s := newTestServer(t, Options{})
+	req := SolveRequest{
+		Scenario: bigScenario(t),
+		Options: SolveOptions{
+			Coverage:      "IAC",
+			MaxZoneSS:     64,
+			MaxNodes:      1 << 30,
+			ZoneTimeoutMS: 600_000,
+			TimeoutMS:     50,
+			NoDegrade:     true,
 		},
 	}
 	start := time.Now()
@@ -180,7 +236,10 @@ func TestDeadlineCancelsOversizedJobPromptly(t *testing.T) {
 func TestShutdownDrainsInFlightJobsWithoutLeaks(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	s := NewServer(Options{Workers: 2})
+	s, err := NewServer(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var jobs []*Job
 	for i := 0; i < 3; i++ {
 		j, err := s.Submit(SolveRequest{Scenario: tinyScenario(t)})
@@ -214,7 +273,10 @@ func TestShutdownDrainsInFlightJobsWithoutLeaks(t *testing.T) {
 }
 
 func TestForcedShutdownCancelsLongJob(t *testing.T) {
-	s := NewServer(Options{})
+	s, err := NewServer(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	req := SolveRequest{
 		Scenario: bigScenario(t),
 		Options: SolveOptions{
