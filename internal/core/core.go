@@ -136,6 +136,13 @@ type Config struct {
 	// DegradeTimeout bounds retry/fallback work when the original context
 	// deadline has already expired (default 30s).
 	DegradeTimeout time.Duration
+	// HardStop, when non-nil, force-aborts degrade overtime: the ladder's
+	// detached overtime context — which deliberately outlives the caller's
+	// *deadline* — is additionally cancelled when this channel closes, so
+	// overtime work never outlives a forced shutdown. The solve service
+	// passes its shutdown signal here; a nil channel preserves the plain
+	// deadline-detached behaviour.
+	HardStop <-chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -188,8 +195,12 @@ type Solution struct {
 	// When Degraded is true one or more stages actually ran a heuristic
 	// substitute instead; DegradedReason says which and why.
 	Method string
-	// Degraded reports that at least one stage fell back to a heuristic
-	// after the exact algorithm failed or blew its deadline (Config.Degrade).
+	// Degraded reports an approximate, timing-dependent solution: either a
+	// stage fell back to a heuristic after the exact algorithm failed or
+	// blew its deadline (Config.Degrade), or a zone's branch-and-bound
+	// search was truncated by its wall-clock time limit and contributed a
+	// load-dependent incumbent (lower.Result.Truncated). Degraded results
+	// must never enter deterministic, content-addressed caches.
 	Degraded bool
 	// DegradedReason records each degraded stage and its cause.
 	DegradedReason string
@@ -329,6 +340,14 @@ func RunContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Soluti
 	}
 	sol := &Solution{Method: pipelineName(cfg)}
 	sol.degrade("coverage: "+cfg.Coverage.String()+" -> SAMC", coverReason)
+	if cover.Truncated {
+		// A zone's branch-and-bound was cut short by the wall-clock zone time
+		// limit: the incumbent is approximate and load-dependent, so the
+		// solution must carry the Degraded tag that keeps it out of the
+		// byte-identical result cache (see internal/serve).
+		sol.degrade("coverage: "+cfg.Coverage.String(),
+			"zone time limit truncated branch and bound; incumbent is load-dependent")
+	}
 	if !cover.Feasible {
 		sol.Coverage = cover
 		sol.Elapsed = time.Since(start)

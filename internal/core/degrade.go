@@ -32,7 +32,9 @@ func TotalFallbacks() int64 { return totalFallbacks.Load() }
 // are cheap, and a late approximate answer beats returning nothing — but
 // the total overtime is bounded once, not per stage. Caller-initiated
 // cancellation (context.Canceled) is never detached from: the client is
-// gone or the server is shutting down, so the run aborts as before.
+// gone or the server is shutting down, so the run aborts as before. A
+// closed Config.HardStop likewise cancels the detached context, so forced
+// shutdown interrupts overtime work that started before the shutdown.
 type ladder struct {
 	cfg      Config
 	caller   context.Context
@@ -59,6 +61,20 @@ func (l *ladder) stageCtx() context.Context {
 	}
 	if l.detached == nil {
 		l.detached, l.cancel = context.WithTimeout(context.WithoutCancel(l.caller), l.cfg.DegradeTimeout)
+		if stop := l.cfg.HardStop; stop != nil {
+			// Overtime detaches from the caller's deadline, never from a
+			// forced shutdown: cancel the detached context as soon as
+			// HardStop closes. The watcher exits when the detached context
+			// dies (ladder.close cancels it), so it cannot leak.
+			cancel, done := l.cancel, l.detached.Done()
+			go func() {
+				select {
+				case <-stop:
+					cancel()
+				case <-done:
+				}
+			}()
+		}
 	}
 	return l.detached
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sagrelay/internal/fault"
+	"sagrelay/internal/lower"
 	"sagrelay/internal/scenario"
 )
 
@@ -95,7 +96,13 @@ func TestDegradeExpiredDeadlineRunsInOvertime(t *testing.T) {
 	sc := degradeScenario(t)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
+	// Full fidelity requires the deterministic node cap to be the binding
+	// budget: a reachable wall-clock zone limit would truncate the search
+	// and (correctly) mark the solution Degraded.
+	cfg := Config{
+		Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond,
+		ILP: lower.ILPOptions{TimeLimit: time.Hour},
+	}
 
 	sol, err := RunContext(ctx, sc, cfg)
 	if err != nil {
@@ -106,6 +113,36 @@ func TestDegradeExpiredDeadlineRunsInOvertime(t *testing.T) {
 	}
 	if !sol.Feasible {
 		t.Fatal("expected feasible solution from overtime run")
+	}
+}
+
+func TestDegradeHardStopAbortsOvertime(t *testing.T) {
+	// Same setup as TestDegradeExpiredDeadlineRunsInOvertime — the caller's
+	// deadline expired before the pipeline started, so every stage runs on
+	// the detached overtime context — but HardStop is already closed (the
+	// server force-shut down). Overtime must abort instead of running out
+	// the DegradeTimeout budget.
+	sc := degradeScenario(t)
+	armFault(t, "milp.node=delay:d=200ms:n=1") // hold the stage until the watcher fires
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	stop := make(chan struct{})
+	close(stop)
+	cfg := Config{
+		Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond,
+		HardStop: stop,
+	}
+
+	start := time.Now()
+	_, err := RunContext(ctx, sc, cfg)
+	if err == nil {
+		t.Fatal("overtime run under a closed HardStop succeeded; want cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("HardStop took %v to unwind; want prompt abort", elapsed)
 	}
 }
 
@@ -145,7 +182,12 @@ func TestDegradeTransientErrorRecoveredByRetry(t *testing.T) {
 	// runs clean and produces the full-fidelity result — no fallback.
 	sc := degradeScenario(t)
 	armFault(t, "milp.node=error:n=1")
-	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
+	// Wall-clock zone limit out of reach: the retry must reach full
+	// fidelity, which a truncated (Degraded) search would not be.
+	cfg := Config{
+		Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond,
+		ILP: lower.ILPOptions{TimeLimit: time.Hour},
+	}
 
 	retriesBefore, fallbacksBefore := TotalRetries(), TotalFallbacks()
 	sol, err := RunContext(context.Background(), sc, cfg)

@@ -119,20 +119,25 @@ func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, metho
 	// and a cancelled ctx both stops unstarted zones and aborts in-flight
 	// branch-and-bound searches.
 	zoneRelays := make([][]Relay, len(zones))
+	zoneTrunc := make([]bool, len(zones))
 	err = par.ForEachContext(ctx, opts.Workers, len(zones), func(zi int) error {
 		zone := zones[zi]
 		disks := make([]geom.Circle, len(zone))
 		for i, s := range zone {
 			disks[i] = sc.Subscribers[s].Circle()
 		}
-		relays, err := solveZoneILP(ctx, sc, zone, disks, candidatesFor(zone, disks), opts)
+		relays, truncated, err := solveZoneILP(ctx, sc, zone, disks, candidatesFor(zone, disks), opts)
 		if err != nil {
 			return err
 		}
 		zoneRelays[zi] = relays
+		zoneTrunc[zi] = truncated
 		return nil
 	})
 	if err != nil {
+		// ErrZoneDeadline deliberately falls through to the error return:
+		// "out of wall-clock before any incumbent" is load-dependent and must
+		// not be reported as (cacheable, deterministic) infeasibility.
 		if errors.Is(err, ErrInfeasible) {
 			res.Feasible = false
 			res.Elapsed = time.Since(start)
@@ -140,8 +145,9 @@ func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, metho
 		}
 		return nil, fmt.Errorf("lower: %s: %w", method, err)
 	}
-	for _, relays := range zoneRelays {
+	for zi, relays := range zoneRelays {
 		res.Relays = append(res.Relays, relays...)
+		res.Truncated = res.Truncated || zoneTrunc[zi]
 	}
 	res.Feasible = true
 	res.AssignOf, err = buildAssign(sc.NumSS(), res.Relays)
@@ -169,9 +175,9 @@ func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, metho
 // M_j = sum_k w_kj (the largest possible interference at j): when T_ij = 1
 // the relay at i serves j, so the total received power minus the serving
 // signal must be at most signal/beta.
-func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks []geom.Circle, candidates []geom.Point, opts ILPOptions) ([]Relay, error) {
+func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks []geom.Circle, candidates []geom.Point, opts ILPOptions) (relays []Relay, truncated bool, err error) {
 	if len(zone) == 0 {
-		return nil, nil
+		return nil, false, nil
 	}
 	// Keep only candidates that cover at least one subscriber.
 	var cands []geom.Point
@@ -184,7 +190,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 		}
 	}
 	if len(cands) == 0 {
-		return nil, ErrInfeasible
+		return nil, false, ErrInfeasible
 	}
 	n := len(zone)
 	nC := len(cands)
@@ -204,7 +210,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 	for i := range tVar {
 		tVar[i] = prob.AddVariable(fmt.Sprintf("T%d", i), 1)
 		if err := prob.SetUpperBound(tVar[i], 1); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	// Feasible pairs and their variables.
@@ -216,7 +222,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			if disks[j].Contains(cands[i], coverTol) {
 				v := prob.AddVariable(fmt.Sprintf("T%d_%d", i, j), 0)
 				if err := prob.SetUpperBound(v, 1); err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				pairVar[[2]int{i, j}] = v
 				pairsOfCand[i] = append(pairsOfCand[i], j)
@@ -226,7 +232,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 	}
 	for j := range zone {
 		if len(pairsOfSS[j]) == 0 {
-			return nil, ErrInfeasible // no candidate covers this subscriber
+			return nil, false, ErrInfeasible // no candidate covers this subscriber
 		}
 	}
 	// (3.2): T_i - sum_j T_ij <= 0 and sum_j T_ij - n*T_i <= 0.
@@ -239,10 +245,10 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			highTerms = append(highTerms, lp.Term{Var: v, Coef: 1})
 		}
 		if err := prob.AddConstraint(lowTerms, lp.LE, 0); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if err := prob.AddConstraint(highTerms, lp.LE, 0); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	// (3.3): exactly one access link per subscriber.
@@ -252,7 +258,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			terms = append(terms, lp.Term{Var: pairVar[[2]int{i, j}], Coef: 1})
 		}
 		if err := prob.AddConstraint(terms, lp.EQ, 1); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	// (3.5) big-M linearized per feasible pair.
@@ -270,7 +276,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			terms = append(terms, lp.Term{Var: pairVar[[2]int{i, j}], Coef: mj})
 			rhs := w[i][j]/beta + mj
 			if err := prob.AddConstraint(terms, lp.LE, rhs); err != nil {
-				return nil, err
+				return nil, false, err
 			}
 		}
 	}
@@ -290,15 +296,10 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 	}
 	mres, err := milp.SolveContext(ctx, prob, isInt, mopts)
 	if err != nil {
-		return nil, fmt.Errorf("branch and bound: %w", err)
+		return nil, false, fmt.Errorf("branch and bound: %w", err)
 	}
-	switch mres.Status {
-	case milp.Optimal, milp.Feasible:
-		// fall through to extraction
-	case milp.Infeasible, milp.Limit:
-		return nil, ErrInfeasible
-	default:
-		return nil, fmt.Errorf("branch and bound: unexpected status %v", mres.Status)
+	if err := zoneStatusErr(mres.Status, mres.DeadlineHit); err != nil {
+		return nil, false, err
 	}
 	// Extract placement and assignment.
 	covers := make(map[int][]int)
@@ -310,13 +311,36 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			}
 		}
 	}
-	var relays []Relay
 	for i := range cands {
 		if mres.X[tVar[i]] > 0.5 && len(covers[i]) > 0 {
 			relays = append(relays, Relay{Pos: cands[i], Covers: covers[i]})
 		}
 	}
-	return relays, nil
+	return relays, mres.DeadlineHit, nil
+}
+
+// zoneStatusErr maps a zone's branch-and-bound outcome to the error the
+// zone solve reports. Optimal and Feasible proceed to extraction (a
+// Feasible incumbent truncated by the wall-clock deadline is usable but
+// marks the result Truncated). A Limit caused by the wall-clock deadline
+// is ErrZoneDeadline: running out of time before any incumbent is a
+// load-dependent non-answer, not proof of infeasibility. A node-cap Limit
+// is deterministic — the same nodes are explored on every machine — and
+// keeps the historical infeasible mapping.
+func zoneStatusErr(status milp.Status, deadlineHit bool) error {
+	switch status {
+	case milp.Optimal, milp.Feasible:
+		return nil
+	case milp.Infeasible:
+		return ErrInfeasible
+	case milp.Limit:
+		if deadlineHit {
+			return ErrZoneDeadline
+		}
+		return ErrInfeasible
+	default:
+		return fmt.Errorf("branch and bound: unexpected status %v", status)
+	}
 }
 
 // greedyIncumbent warm-starts branch and bound with a greedy hitting set

@@ -1,10 +1,12 @@
 package lower
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"sagrelay/internal/geom"
+	"sagrelay/internal/milp"
 	"sagrelay/internal/scenario"
 )
 
@@ -116,12 +118,16 @@ func TestGACInfeasibleWhenGridMisses(t *testing.T) {
 }
 
 // TestILPRespectsTimeLimit: a tiny node budget must not hang and must
-// still produce either a warm-started solution or infeasible.
+// still produce a warm-started solution, infeasible, or — if the wall
+// clock beats the node cap — ErrZoneDeadline.
 func TestILPRespectsTimeLimit(t *testing.T) {
 	sc := testScenario(t, 500, 15, 41)
 	start := time.Now()
 	res, err := IAC(sc, ILPOptions{MaxNodes: 1, TimeLimit: 50 * time.Millisecond})
 	if err != nil {
+		if errors.Is(err, ErrZoneDeadline) {
+			return // deadline fired before the single node on a loaded machine
+		}
 		t.Fatal(err)
 	}
 	if time.Since(start) > 30*time.Second {
@@ -131,6 +137,54 @@ func TestILPRespectsTimeLimit(t *testing.T) {
 		if err := res.Verify(sc, false); err != nil {
 			t.Errorf("warm-start result invalid: %v", err)
 		}
+	}
+}
+
+// TestILPDeadlineTruncationSurfaces: an already-expired wall-clock zone
+// budget must never produce a clean (cacheable) result — either the warm
+// start is returned with Truncated set, or the solve errors with
+// ErrZoneDeadline. Silently reporting "infeasible" would let a transient
+// timeout poison deterministic caches.
+func TestILPDeadlineTruncationSurfaces(t *testing.T) {
+	sc := testScenario(t, 500, 15, 41)
+	res, err := IAC(sc, ILPOptions{TimeLimit: time.Nanosecond})
+	if err != nil {
+		if !errors.Is(err, ErrZoneDeadline) {
+			t.Fatalf("err = %v, want wrapping ErrZoneDeadline", err)
+		}
+		return
+	}
+	if !res.Feasible {
+		t.Fatal("expired deadline reported infeasible: load-dependent non-answer leaked")
+	}
+	if !res.Truncated {
+		t.Fatal("deadline-truncated incumbent not marked Truncated")
+	}
+	if err := res.Verify(sc, false); err != nil {
+		t.Errorf("truncated warm-start result invalid: %v", err)
+	}
+}
+
+func TestZoneStatusErr(t *testing.T) {
+	cases := []struct {
+		status      milp.Status
+		deadlineHit bool
+		want        error
+	}{
+		{milp.Optimal, false, nil},
+		{milp.Feasible, false, nil},
+		{milp.Feasible, true, nil}, // truncated incumbent: usable, flagged by caller
+		{milp.Infeasible, false, ErrInfeasible},
+		{milp.Limit, false, ErrInfeasible},  // node cap: deterministic
+		{milp.Limit, true, ErrZoneDeadline}, // wall clock: load-dependent
+	}
+	for _, c := range cases {
+		if got := zoneStatusErr(c.status, c.deadlineHit); !errors.Is(got, c.want) || (c.want == nil && got != nil) {
+			t.Errorf("zoneStatusErr(%v, %v) = %v, want %v", c.status, c.deadlineHit, got, c.want)
+		}
+	}
+	if err := zoneStatusErr(milp.Unbounded, false); err == nil {
+		t.Error("unexpected status must error")
 	}
 }
 

@@ -40,6 +40,15 @@ func (o SAMCOptions) withDefaults() SAMCOptions {
 // "infeasible" in that case rather than a partial placement).
 var ErrInfeasible = errors.New("lower: no feasible coverage satisfying the SNR threshold")
 
+// ErrZoneDeadline reports that a zone's branch-and-bound search exhausted
+// its wall-clock time limit (ILPOptions.TimeLimit) before finding any
+// integer-feasible point. Unlike a proven-infeasible zone this is a
+// load-dependent non-answer — a faster or idler machine might have found a
+// cover — so it surfaces as an error (letting the degradation ladder retry
+// or fall back to SAMC) instead of masquerading as infeasibility, which
+// would poison deterministic result caches.
+var ErrZoneDeadline = errors.New("lower: zone time limit exhausted before any feasible placement was found")
+
 // SAMC implements Algorithm 1, SNR Aware Minimum Coverage:
 //
 //  1. Zone Partition (Alg. 2) splits the field into independent zones.

@@ -51,6 +51,15 @@ type Result struct {
 	Elapsed time.Duration
 	// Method names the algorithm that produced the result.
 	Method string
+	// Truncated reports that at least one zone's branch-and-bound search was
+	// stopped by the wall-clock ILPOptions.TimeLimit and contributed its
+	// best incumbent instead of a proven optimum. How much search fits in a
+	// wall-clock budget depends on machine load, so a Truncated result is
+	// excluded from the bit-identical determinism contract; the pipeline
+	// marks such solutions Degraded and the solve service never caches or
+	// content-addresses them. Node-cap (MaxNodes) truncation is
+	// deterministic and does not set this flag.
+	Truncated bool
 }
 
 // NumRelays returns the number of placed coverage relays.

@@ -146,6 +146,15 @@ type Result struct {
 	Bound float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// DeadlineHit reports that the wall-clock Options.TimeLimit stopped the
+	// search. Such a result is load-dependent: how many nodes fit inside a
+	// wall-clock budget varies with machine speed and load, so the incumbent
+	// (Status Feasible) or the absence of one (Status Limit) may differ
+	// between runs. A MaxNodes-limited search, by contrast, is deterministic
+	// and leaves DeadlineHit false. Callers with a reproducibility contract
+	// must treat DeadlineHit results as approximate (see internal/lower's
+	// Truncated flag and the solve service's no-cache rule).
+	DeadlineHit bool
 }
 
 // Gap returns the relative optimality gap |obj-bound|/max(1,|obj|), or 0
@@ -180,7 +189,8 @@ func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
 // mid-relaxation. Cancellation is reported as an error wrapping ctx.Err()
 // (errors.Is against context.Canceled / context.DeadlineExceeded works); it
 // is distinct from Options.TimeLimit, which stops the search but still
-// returns the incumbent via Result.Status.
+// returns the incumbent via Result.Status, flagging the load-dependent
+// truncation in Result.DeadlineHit.
 func SolveContext(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -239,6 +249,7 @@ func SolveContext(ctx context.Context, base *lp.Problem, isInt []bool, opts Opti
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.DeadlineHit = true
 			break
 		}
 		nd, _ := front.pop()

@@ -231,6 +231,25 @@ func TestTimeLimit(t *testing.T) {
 	if res.Status != Limit {
 		t.Errorf("status = %v, want limit", res.Status)
 	}
+	if !res.DeadlineHit {
+		t.Error("wall-clock limit stopped the search but DeadlineHit is false")
+	}
+}
+
+func TestNodeLimitIsNotDeadlineHit(t *testing.T) {
+	// A node-cap stop is deterministic and must not carry the
+	// load-dependent DeadlineHit marker.
+	p, isInt := binProblem([]float64{1, 1, 1})
+	if err := p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}, {Var: 2, Coef: 1}}, lp.GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(p, isInt, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineHit {
+		t.Errorf("node-limited search (status %v) marked DeadlineHit", res.Status)
+	}
 }
 
 // Property: on random covering instances, branch-and-bound matches brute

@@ -86,7 +86,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-job.done:
 		case <-r.Context().Done():
-			job.cancel()
+			job.cancelNow()
 			<-job.done
 			return
 		}
@@ -140,12 +140,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !s.Cancel(id) {
+	// Use the job Cancel returns: a concurrent Submit may evict the table
+	// entry between the cancel and a re-lookup, and the status must come
+	// from the job that was actually cancelled.
+	job, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("no such job"))
 		return
 	}
-	job, _ := s.Job(id)
 	writeJSON(w, http.StatusOK, job.status())
 }
 

@@ -27,12 +27,15 @@ type Job struct {
 	// Key is the content address of (scenario, options).
 	Key string
 
-	cancel context.CancelFunc
 	// done is closed exactly once when the job reaches a terminal state;
 	// synchronous waiters (POST /v1/solve?wait=1) select on it.
 	done chan struct{}
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// cancel aborts the job's solve context. It is mu-guarded because
+	// Server.Cancel (HTTP DELETE) may read it from another goroutine while
+	// replay installs the real cancel func; use setCancel/cancelNow.
+	cancel   context.CancelFunc
 	state    JobState
 	err      string
 	cacheHit bool
@@ -98,6 +101,25 @@ func (j *Job) finish(state JobState, result []byte, errMsg string) {
 	j.err = errMsg
 	j.finished = time.Now()
 	close(j.done)
+}
+
+// setCancel installs the job's cancel function after publication.
+func (j *Job) setCancel(fn context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = fn
+	j.mu.Unlock()
+}
+
+// cancelNow invokes the job's cancel function, if one is installed. It is
+// safe to call concurrently and repeatedly; cancelling a finished job is a
+// harmless no-op.
+func (j *Job) cancelNow() {
+	j.mu.Lock()
+	fn := j.cancel
+	j.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // terminal reports whether the job has reached a final state.

@@ -237,7 +237,7 @@ func TestClientCancelStaysDeadAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitState(t, job, StateRunning, 30*time.Second)
-	if !a.Cancel(job.ID) {
+	if _, ok := a.Cancel(job.ID); !ok {
 		t.Fatal("Cancel: no such job")
 	}
 	waitDone(t, job, 30*time.Second)
@@ -259,6 +259,55 @@ func TestClientCancelStaysDeadAcrossRestart(t *testing.T) {
 	}
 	if state := dead.status().State; state != StateCancelled {
 		t.Fatalf("restored state = %v, want cancelled", state)
+	}
+}
+
+func TestZoneTimeoutTruncationNeverCached(t *testing.T) {
+	// A per-zone wall-clock budget that expires mid-search yields a
+	// load-dependent result (truncated incumbent, or heuristic fallback when
+	// no incumbent exists). Such a result must reach the client marked
+	// degraded but never the content-addressed cache or results directory —
+	// a transient timeout under machine load must not be replayed as the
+	// canonical answer for that content address.
+	dir := t.TempDir()
+	armFault(t, "milp.node=delay:d=20ms") // outlast the 1ms zone budget before the first node
+	s := newTestServer(t, Options{DataDir: dir})
+	req := SolveRequest{
+		Scenario: tinyScenario(t),
+		Options:  SolveOptions{Coverage: "GAC", ZoneTimeoutMS: 1, TimeoutMS: 600_000},
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job, 60*time.Second)
+	doc, state := job.resultBytes()
+	if state != StateDone {
+		t.Fatalf("job finished %v (err %q), want done (degraded)", state, job.status().Error)
+	}
+	var rd ResultDoc
+	if err := json.Unmarshal(doc, &rd); err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Degraded {
+		t.Fatalf("zone-timeout result not marked degraded: %s", doc)
+	}
+	if entries, _ := os.ReadDir(filepath.Join(dir, "results")); len(entries) != 0 {
+		t.Fatalf("timing-dependent result persisted to results/: %d files", len(entries))
+	}
+	if m := s.MetricsSnapshot(); m["cache_entries"] != 0 {
+		t.Fatalf("timing-dependent result entered the cache (%d entries)", m["cache_entries"])
+	}
+
+	// A repeat of the same request must be a cache miss, not a replay of
+	// the truncated answer.
+	again, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, again, 60*time.Second)
+	if m := s.MetricsSnapshot(); m["cache_hits"] != 0 {
+		t.Fatalf("truncated result served from cache (%d hits)", m["cache_hits"])
 	}
 }
 

@@ -204,8 +204,9 @@ func requestKey(sc *scenario.Scenario, opts SolveOptions) string {
 // in the cache. It deliberately carries no timing: wall-clock varies run
 // to run and would break the byte-identical replay guarantee. Timing lives
 // on the job status instead. The one exception is Degraded: a document with
-// Degraded set came from a heuristic fallback, is timing-dependent, and is
-// therefore never cached or content-addressed (see runJob).
+// Degraded set came from a heuristic fallback or a wall-clock-truncated
+// branch-and-bound incumbent, is timing-dependent, and is therefore never
+// cached or content-addressed (see runJob).
 type ResultDoc struct {
 	Method             string       `json:"method"`
 	Feasible           bool         `json:"feasible"`

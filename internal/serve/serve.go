@@ -294,7 +294,7 @@ func (s *Server) replay(recs []jrec) {
 			}
 		}
 		ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
-		p.job.cancel = cancel
+		p.job.setCancel(cancel)
 		s.inFlight.Add(1)
 		job, sc, cfg := p.job, p.sc, p.cfg
 		// The recovered backlog may exceed the queue depth; block rather
@@ -327,9 +327,21 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 	}
 	key := requestKey(req.Scenario, opts)
 
+	// The job's context (and its cancel func) exist before the job is
+	// published into the table, so a concurrent DELETE /v1/jobs/{id} can
+	// never observe a job without a cancel function.
+	timeout := s.opts.MaxJobTime
+	if ms := opts.TimeoutMS; ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		cancel()
 		s.metrics.JobsRejected.Add(1)
 		return nil, ErrShuttingDown
 	}
@@ -337,6 +349,7 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 	job := &Job{
 		ID:      "j-" + strconv.FormatInt(s.seq, 10),
 		Key:     key,
+		cancel:  cancel,
 		done:    make(chan struct{}),
 		state:   StateQueued,
 		created: time.Now(),
@@ -347,13 +360,13 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 	s.mu.Unlock()
 
 	if doc, ok := s.cache.get(key); ok {
+		cancel() // nothing will run; release the deadline timer
 		s.metrics.JobsAccepted.Add(1)
 		s.metrics.CacheHits.Add(1)
 		s.metrics.JobsCompleted.Add(1)
 		job.mu.Lock()
 		job.cacheHit = true
 		job.mu.Unlock()
-		job.cancel = func() {}
 		// Cached documents always have a durable twin under results/ when
 		// the journal is on, so submit+done suffices for replay.
 		s.jappend(jrec{T: recSubmit, ID: job.ID, Key: key})
@@ -369,30 +382,21 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 	if s.journal != nil {
 		reqBytes, err := json.Marshal(SolveRequest{Scenario: req.Scenario, Options: opts})
 		if err != nil {
+			// Nothing was journaled and nothing will run: unpublish the job
+			// so the table does not retain a phantom queued entry forever.
+			cancel()
+			s.removeJob(job.ID)
+			s.metrics.JobsRejected.Add(1)
 			return nil, fmt.Errorf("serve: encode request for journal: %w", err)
 		}
 		s.jappend(jrec{T: recSubmit, ID: job.ID, Key: key, Req: reqBytes})
 	}
 
-	timeout := s.opts.MaxJobTime
-	if ms := opts.TimeoutMS; ms > 0 {
-		if d := time.Duration(ms) * time.Millisecond; d < timeout {
-			timeout = d
-		}
-	}
-	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
-	job.cancel = cancel
-
 	s.inFlight.Add(1)
 	if err := s.pool.Submit(func() { s.runJob(ctx, job, req.Scenario, cfg) }); err != nil {
 		s.inFlight.Done()
 		cancel()
-		s.mu.Lock()
-		delete(s.jobs, job.ID)
-		if n := len(s.order); n > 0 && s.order[n-1] == job.ID {
-			s.order = s.order[:n-1]
-		}
-		s.mu.Unlock()
+		s.removeJob(job.ID)
 		// The submission was journaled; record the rejection so replay does
 		// not resurrect a job the client was refused.
 		s.jappend(jrec{T: recCancel, ID: job.ID, Err: "rejected: " + err.Error()})
@@ -406,10 +410,24 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 	return job, nil
 }
 
+// removeJob unpublishes an accepted-but-never-run job from the table (pool
+// rejection or journal-encode failure in Submit).
+func (s *Server) removeJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
 // runJob executes one queued solve on a pool worker.
 func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cfg core.Config) {
 	defer s.inFlight.Done()
-	defer job.cancel()
+	defer job.cancelNow()
 	// Own the job's fate under panic: the pool's recover is only a
 	// process-survival backstop and cannot settle job state (it has no idea
 	// what a half-run task left behind). Without this, a panicking solve
@@ -434,6 +452,11 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 		s.failJob(job, err.Error())
 		return
 	}
+
+	// Bind degrade overtime to forced shutdown: once the job's deadline has
+	// expired the ladder's detached context ignores ctx, so cancelAll must
+	// reach it through HardStop or Shutdown would block out DegradeTimeout.
+	cfg.HardStop = s.baseCtx.Done()
 
 	start := time.Now()
 	sol, err := core.RunContext(ctx, sc, cfg)
@@ -528,17 +551,17 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// Cancel requests cancellation of a queued or running job. It reports
-// whether the job exists; cancelling a finished job is a harmless no-op.
-func (s *Server) Cancel(id string) bool {
+// Cancel requests cancellation of a queued or running job and returns the
+// job it acted on, so callers keep a live reference even if a concurrent
+// Submit evicts the table entry. The boolean reports whether the job
+// exists; cancelling a finished job is a harmless no-op.
+func (s *Server) Cancel(id string) (*Job, bool) {
 	j, ok := s.Job(id)
 	if !ok {
-		return false
+		return nil, false
 	}
-	if j.cancel != nil {
-		j.cancel()
-	}
-	return true
+	j.cancelNow()
+	return j, true
 }
 
 // evictOldLocked trims the oldest terminal jobs beyond Options.MaxJobs.
