@@ -7,6 +7,7 @@
 package sagrelay
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -99,7 +100,7 @@ func BenchmarkAblationLocalSearch(b *testing.B) {
 		relays := 0.0
 		for i := 0; i < b.N; i++ {
 			sc := benchScenario(b, int64(i%5))
-			res, err := lower.SAMC(sc, lower.SAMCOptions{Hitting: opts})
+			res, err := lower.SAMC(context.Background(), sc, lower.SAMCOptions{Hitting: opts})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -132,7 +133,7 @@ func BenchmarkAblationSliding(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := lower.SAMC(sc, lower.SAMCOptions{SkipSliding: skip})
+				res, err := lower.SAMC(context.Background(), sc, lower.SAMCOptions{SkipSliding: skip})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -155,11 +156,11 @@ func BenchmarkAblationProOrder(b *testing.B) {
 		power := 0.0
 		for i := 0; i < b.N; i++ {
 			sc := benchScenario(b, int64(i%5))
-			res, err := lower.SAMC(sc, lower.SAMCOptions{})
+			res, err := lower.SAMC(context.Background(), sc, lower.SAMCOptions{})
 			if err != nil || !res.Feasible {
 				b.Fatal("coverage failed")
 			}
-			alloc, err := lower.PROWithOptions(sc, res, opts)
+			alloc, err := lower.PROWithOptions(context.Background(), sc, res, opts)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -180,7 +181,7 @@ func BenchmarkAblationZones(b *testing.B) {
 			relays := 0.0
 			for i := 0; i < b.N; i++ {
 				sc := benchScenario(b, 3)
-				res, err := lower.IAC(sc, lower.ILPOptions{MaxZoneSS: cap})
+				res, err := lower.IAC(context.Background(), sc, lower.ILPOptions{MaxZoneSS: cap})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -201,7 +202,7 @@ func BenchmarkAblationBnBStrategy(b *testing.B) {
 		relays := 0.0
 		for i := 0; i < b.N; i++ {
 			sc := benchScenario(b, 3)
-			res, err := lower.IAC(sc, lower.ILPOptions{MILP: opts})
+			res, err := lower.IAC(context.Background(), sc, lower.ILPOptions{MILP: opts})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -223,7 +224,7 @@ func BenchmarkSAMC30(b *testing.B) {
 	sc := benchScenario(b, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lower.SAMC(sc, lower.SAMCOptions{}); err != nil {
+		if _, err := lower.SAMC(context.Background(), sc, lower.SAMCOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -231,13 +232,13 @@ func BenchmarkSAMC30(b *testing.B) {
 
 func BenchmarkMBMC30(b *testing.B) {
 	sc := benchScenario(b, 1)
-	cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+	cover, err := lower.SAMC(context.Background(), sc, lower.SAMCOptions{})
 	if err != nil || !cover.Feasible {
 		b.Fatal("coverage failed")
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := upper.MBMC(sc, cover); err != nil {
+		if _, err := upper.MBMC(context.Background(), sc, cover); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -245,13 +246,13 @@ func BenchmarkMBMC30(b *testing.B) {
 
 func BenchmarkPRO30(b *testing.B) {
 	sc := benchScenario(b, 1)
-	cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+	cover, err := lower.SAMC(context.Background(), sc, lower.SAMCOptions{})
 	if err != nil || !cover.Feasible {
 		b.Fatal("coverage failed")
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lower.PRO(sc, cover); err != nil {
+		if _, err := lower.PRO(context.Background(), sc, cover); err != nil {
 			b.Fatal(err)
 		}
 	}

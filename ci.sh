@@ -53,4 +53,23 @@ go test -race -tags faultinject -run Chaos -count=1 -timeout 20m ./internal/serv
 echo "== sagserved -smoke-recovery"
 go run ./cmd/sagserved -smoke-recovery
 
+# Observability gate: a traced sagcli solve must emit a span tree covering
+# every pipeline stage. (The Prometheus exposition grammar is gated inside
+# sagserved -smoke above.)
+echo "== sagcli -trace-out"
+TRACEDIR=$(mktemp -d)
+trap 'rm -rf "$TRACEDIR"' EXIT
+go run ./cmd/sagcli -gen -users 12 -field 400 -bs 2 -save "$TRACEDIR/sc.json" >/dev/null
+go run ./cmd/sagcli -scenario "$TRACEDIR/sc.json" -trace-out "$TRACEDIR/trace.json" >/dev/null
+for stage in sagcli solve zone_partition zone coverage coverage_power connectivity connectivity_power; do
+	if ! grep -q "\"name\": \"$stage\"" "$TRACEDIR/trace.json"; then
+		echo "ci.sh: trace.json lacks a \"$stage\" span" >&2
+		exit 1
+	fi
+done
+if grep -q '"dur_ns": 0' "$TRACEDIR/trace.json"; then
+	echo "ci.sh: trace.json contains a zero-duration span" >&2
+	exit 1
+fi
+
 echo "ci.sh: all checks passed"

@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 
 	"sagrelay/internal/experiment"
 	"sagrelay/internal/lower"
+	"sagrelay/internal/obs"
 )
 
 func main() {
@@ -49,6 +51,8 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "concurrent solves per experiment (0 = all CPUs, 1 = sequential)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
 		chart    = fs.Bool("chart", false, "also render each artifact as an ASCII chart")
+		traceOut = fs.String("trace-out", "",
+			"write the invocation's span tree (every solve of every experiment) as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +70,11 @@ func run(args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("sagbench")
+		ctx = obs.WithTrace(ctx, tr)
 	}
 	cfg := experiment.Config{
 		Runs:    *runs,
@@ -118,6 +127,16 @@ func run(args []string) error {
 				return fmt.Errorf("fig6 SVGs: %w", err)
 			}
 			fmt.Printf("wrote %d SVG panels to %s\n", len(paths), *svgDir)
+		}
+	}
+	if tr != nil {
+		tr.Finish()
+		doc, err := json.MarshalIndent(tr.Doc(), "", "  ")
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := os.WriteFile(*traceOut, append(doc, '\n'), 0o644); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@
 //	sagcli -gen -users 30 -field 500 -save sc.json   # generate + save
 //	sagcli -scenario sc.json                          # solve with SAG
 //	sagcli -scenario sc.json -coverage GAC -power baseline
+//	sagcli -scenario sc.json -trace-out trace.json   # dump the span tree
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"sagrelay/internal/core"
 	"sagrelay/internal/geom"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 )
 
@@ -69,6 +71,7 @@ func run(args []string) error {
 		conn     = fs.String("connectivity", "MBMC", "connectivity method: MBMC or MUST")
 		workers  = fs.Int("workers", 0, "concurrent per-zone solves (0 = all CPUs, 1 = sequential)")
 		timeout  = fs.Duration("timeout", 0, "overall solve deadline, e.g. 30s (0 = unbounded)")
+		traceOut = fs.String("trace-out", "", "write the solve's span tree as JSON to this file ('-' = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,12 +107,23 @@ func run(args []string) error {
 	cfg.Workers = *workers
 	ctx, cancel := solveContext(*timeout)
 	defer cancel()
-	sol, err := core.RunContext(ctx, sc, cfg)
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("sagcli")
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	sol, err := core.Run(ctx, sc, cfg)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("solve abandoned: deadline of %v exceeded", *timeout)
 		}
 		return err
+	}
+	if tr != nil {
+		tr.Finish()
+		if err := writeTrace(*traceOut, tr); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
 	}
 	out := output{
 		Method:          sol.Method,
@@ -137,6 +151,21 @@ func run(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// writeTrace dumps a finished trace as indented JSON; "-" writes to stderr
+// so the span tree never interleaves with the result document on stdout.
+func writeTrace(path string, tr *obs.Trace) error {
+	doc, err := json.MarshalIndent(tr.Doc(), "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if path == "-" {
+		_, err = os.Stderr.Write(doc)
+		return err
+	}
+	return os.WriteFile(path, doc, 0o644)
 }
 
 // solveContext bounds the solve by the -timeout flag; 0 means no deadline.

@@ -10,6 +10,7 @@
 //	sagserved -addr 127.0.0.1:0 -workers 4 -max-job-time 30s
 //	sagserved -data-dir /var/lib/sagserved      # durable journal + results
 //	sagserved -fault 'milp.node=error:p=0.01'   # chaos: arm fault injection
+//	sagserved -pprof-addr 127.0.0.1:6060        # net/http/pprof side server
 //	sagserved -smoke            # self-test: solve twice, assert cache hit
 //	sagserved -smoke-recovery   # self-test: kill -9 mid-solve, replay journal
 //
@@ -28,8 +29,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers for the -pprof-addr side server
 	"os"
 	"os/signal"
+	"regexp"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +64,8 @@ func run(args []string) error {
 		faultSeed       = fs.Int64("fault-seed", 1, "fault-injection rng seed")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second,
 			"SIGINT/SIGTERM drain budget before in-flight solves are cancelled (and journaled as interrupted)")
+		pprofAddr = fs.String("pprof-addr", "",
+			"listen address for a net/http/pprof side server (empty = profiling off; keep it loopback-only)")
 		smoke    = fs.Bool("smoke", false, "run the self-test (ephemeral port, solve twice, assert cache hit) and exit")
 		smokeRec = fs.Bool("smoke-recovery", false,
 			"run the crash-recovery self-test (kill -9 a child server mid-solve, replay its journal) and exit")
@@ -72,6 +79,22 @@ func run(args []string) error {
 			return err
 		}
 		log.Printf("sagserved: fault injection armed: %s (seed %d)", *faultSpec, *faultSeed)
+	}
+
+	if *pprofAddr != "" {
+		// The pprof import registered its handlers on http.DefaultServeMux;
+		// serve that mux on a separate listener so profiling never shares a
+		// port (or an exposure surface) with the job API.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		go func() {
+			log.Printf("sagserved: pprof on http://%s/debug/pprof/", pln.Addr())
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("sagserved: pprof server: %v", err)
+			}
+		}()
 	}
 
 	opts := serve.Options{
@@ -194,6 +217,13 @@ func runSmoke(opts serve.Options) error {
 		return fmt.Errorf("smoke: expected 1 hit / 1 miss / 1 solve, got metrics %v", m)
 	}
 
+	if err := checkResultTrace(first); err != nil {
+		return fmt.Errorf("smoke trace: %w", err)
+	}
+	if err := checkPrometheus(base, m); err != nil {
+		return fmt.Errorf("smoke prometheus: %w", err)
+	}
+
 	// /healthz and /metrics must answer over HTTP too.
 	for _, path := range []string{"/healthz", "/metrics"} {
 		resp, err := http.Get(base + path)
@@ -215,6 +245,101 @@ func runSmoke(opts serve.Options) error {
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("smoke server shutdown: %w", err)
 	}
-	log.Printf("smoke: ok (1 solve, 1 cache hit, byte-identical replay, clean shutdown)")
+	log.Printf("smoke: ok (1 solve, 1 cache hit, byte-identical replay, trace + prometheus gates, clean shutdown)")
+	return nil
+}
+
+// spanDoc mirrors the serialized span tree for the smoke gate.
+type spanDoc struct {
+	Name  string            `json:"name"`
+	DurNS int64             `json:"dur_ns"`
+	Attrs map[string]string `json:"attrs"`
+	Spans []*spanDoc        `json:"spans"`
+}
+
+// checkResultTrace asserts the result document embeds a span tree covering
+// at least four distinct pipeline stages, each with a non-zero duration.
+func checkResultTrace(doc []byte) error {
+	var res struct {
+		Trace *spanDoc `json:"trace"`
+	}
+	if err := json.Unmarshal(doc, &res); err != nil {
+		return err
+	}
+	if res.Trace == nil {
+		return errors.New("result document has no trace")
+	}
+	stages := make(map[string]bool)
+	var walk func(*spanDoc) error
+	walk = func(s *spanDoc) error {
+		if s.DurNS <= 0 {
+			return fmt.Errorf("span %q has non-positive duration %d", s.Name, s.DurNS)
+		}
+		stages[s.Name] = true
+		for _, c := range s.Spans {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(res.Trace); err != nil {
+		return err
+	}
+	for _, want := range []string{"solve", "coverage", "connectivity", "connectivity_power"} {
+		if !stages[want] {
+			return fmt.Errorf("trace lacks pipeline stage %q (have %v)", want, stages)
+		}
+	}
+	if len(stages) < 4 {
+		return fmt.Errorf("trace has %d distinct span names, want >= 4", len(stages))
+	}
+	return nil
+}
+
+// checkPrometheus fetches /metrics?format=prometheus, grammar-checks every
+// line, requires at least five histograms, and cross-checks counter values
+// against the JSON snapshot.
+func checkPrometheus(base string, jsonVals map[string]int64) error {
+	resp, err := http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	lineRE := regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE+.\-]+|)$`)
+	samples := make(map[string]float64)
+	histograms := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if !lineRE.MatchString(line) {
+			return fmt.Errorf("exposition line fails grammar: %q", line)
+		}
+		if strings.Contains(line, `_bucket{le="+Inf"}`) {
+			histograms++
+		}
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad sample in %q: %w", line, err)
+		}
+		samples[fields[0]] = v
+	}
+	if histograms < 5 {
+		return fmt.Errorf("exposition has %d histograms, want >= 5", histograms)
+	}
+	for _, key := range []string{"jobs_accepted", "jobs_completed", "cache_hits", "cache_misses", "solves"} {
+		if got, want := samples["sag_"+key], float64(jsonVals[key]); got != want {
+			return fmt.Errorf("sag_%s = %v, JSON snapshot says %v", key, got, want)
+		}
+	}
 	return nil
 }

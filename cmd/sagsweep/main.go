@@ -37,7 +37,7 @@ func main() {
 
 // sweepPoint solves one scenario and extracts the requested metric.
 func sweepPoint(ctx context.Context, sc *scenario.Scenario, cfg core.Config, metric string) (float64, error) {
-	sol, err := core.RunContext(ctx, sc, cfg)
+	sol, err := core.Run(ctx, sc, cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,7 +74,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sol, err := core.Run(sc, cfg)
+	sol, err := core.Run(context.Background(), sc, cfg)
 	if err != nil {
 		return err
 	}

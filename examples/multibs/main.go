@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -32,7 +33,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cover, err := sagrelay.SAMC(sc, sagrelay.SAMCOptions{})
+		cover, err := sagrelay.SAMC(context.Background(), sc, sagrelay.SAMCOptions{})
 		if err != nil {
 			return err
 		}
@@ -45,13 +46,13 @@ func run() error {
 				cells[b] = "N/A"
 				continue
 			}
-			must, err := sagrelay.MUST(sc, cover, b)
+			must, err := sagrelay.MUST(context.Background(), sc, cover, b)
 			if err != nil {
 				return err
 			}
 			cells[b] = fmt.Sprintf("%d", must.NumRelays())
 		}
-		mbmc, err := sagrelay.MBMC(sc, cover)
+		mbmc, err := sagrelay.MBMC(context.Background(), sc, cover)
 		if err != nil {
 			return err
 		}

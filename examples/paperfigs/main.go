@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -23,14 +24,14 @@ func run() error {
 	fmt.Println()
 
 	// Table II: MUST vs MBMC as base stations are added.
-	table2, err := sagrelay.RunExperiment("table2", sagrelay.ExperimentConfig{Runs: 1})
+	table2, err := sagrelay.RunExperiment(context.Background(), "table2", sagrelay.ExperimentConfig{Runs: 1})
 	if err != nil {
 		return err
 	}
 	fmt.Println(table2.ASCII())
 
 	// Fig. 4(d): UCPO vs max-power baseline, plotted.
-	fig4d, err := sagrelay.RunExperiment("fig4d", sagrelay.ExperimentConfig{Runs: 1})
+	fig4d, err := sagrelay.RunExperiment(context.Background(), "fig4d", sagrelay.ExperimentConfig{Runs: 1})
 	if err != nil {
 		return err
 	}

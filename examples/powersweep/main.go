@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -34,7 +35,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cover, err := sagrelay.SAMC(sc, sagrelay.SAMCOptions{})
+		cover, err := sagrelay.SAMC(context.Background(), sc, sagrelay.SAMCOptions{})
 		if err != nil {
 			return err
 		}
@@ -42,11 +43,11 @@ func run() error {
 			fmt.Printf("%8.1f %8s %10s %10s %10s %10s\n", snr, "-", "-", "-", "-", "-")
 			continue
 		}
-		pro, err := sagrelay.PRO(sc, cover)
+		pro, err := sagrelay.PRO(context.Background(), sc, cover)
 		if err != nil {
 			return err
 		}
-		opt, err := sagrelay.OptimalCoveragePower(sc, cover)
+		opt, err := sagrelay.OptimalCoveragePower(context.Background(), sc, cover)
 		if err != nil {
 			return err
 		}

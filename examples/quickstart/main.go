@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -32,7 +33,7 @@ func run() error {
 	fmt.Printf("scenario: %d subscribers, %d base stations, SNR threshold %.1f dB\n",
 		sc.NumSS(), len(sc.BaseStations), sc.SNRThresholdDB)
 
-	sol, err := sagrelay.SAG(sc, sagrelay.Config{})
+	sol, err := sagrelay.SAG(context.Background(), sc, sagrelay.Config{})
 	if err != nil {
 		return err
 	}

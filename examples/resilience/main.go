@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -26,7 +27,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sol, err := sagrelay.SAG(sc, sagrelay.Config{})
+	sol, err := sagrelay.SAG(context.Background(), sc, sagrelay.Config{})
 	if err != nil {
 		return err
 	}
@@ -35,7 +36,7 @@ func run() error {
 	}
 
 	// Link-level evaluation of the as-built network.
-	rep, err := sagrelay.Evaluate(sc, sol, sagrelay.SimOptions{Bandwidth: 10})
+	rep, err := sagrelay.Evaluate(context.Background(), sc, sol, sagrelay.SimOptions{Bandwidth: 10})
 	if err != nil {
 		return err
 	}
@@ -63,7 +64,7 @@ func run() error {
 	}
 
 	// Single-failure stress: every relay, both tiers.
-	worst, err := sagrelay.WorstSingleFailure(sc, sol)
+	worst, err := sagrelay.WorstSingleFailure(context.Background(), sc, sol)
 	if err != nil {
 		return err
 	}
@@ -74,7 +75,7 @@ func run() error {
 	// Distribution of failure impact across all coverage relays.
 	hist := map[int]int{}
 	for i := range sol.Coverage.Relays {
-		r, err := sagrelay.InjectFailure(sc, sol, sagrelay.Failure{
+		r, err := sagrelay.InjectFailure(context.Background(), sc, sol, sagrelay.Failure{
 			Kind: sagrelay.FailCoverage, Index: i,
 		})
 		if err != nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -85,11 +86,11 @@ func run() error {
 	fmt.Printf("retail park: %d sites in %d interference zones, %d base stations\n",
 		sc.NumSS(), len(zones), len(sc.BaseStations))
 
-	sag, err := sagrelay.SAG(sc, sagrelay.Config{})
+	sag, err := sagrelay.SAG(context.Background(), sc, sagrelay.Config{})
 	if err != nil {
 		return err
 	}
-	darp, err := sagrelay.DARP(sc, sagrelay.CoverSAMC, sagrelay.Config{})
+	darp, err := sagrelay.DARP(context.Background(), sc, sagrelay.CoverSAMC, sagrelay.Config{})
 	if err != nil {
 		return err
 	}

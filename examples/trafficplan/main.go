@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -46,7 +47,7 @@ func run() error {
 		}
 	}
 
-	sol, err := sagrelay.SAG(sc, sagrelay.Config{})
+	sol, err := sagrelay.SAG(context.Background(), sc, sagrelay.Config{})
 	if err != nil {
 		return err
 	}
@@ -69,7 +70,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	csol, err := sagrelay.SAG(clustered, sagrelay.Config{})
+	csol, err := sagrelay.SAG(context.Background(), clustered, sagrelay.Config{})
 	if err != nil {
 		return err
 	}

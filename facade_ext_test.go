@@ -1,6 +1,7 @@
 package sagrelay
 
 import (
+	"context"
 	"testing"
 )
 
@@ -9,14 +10,14 @@ func TestFacadeDistanceCoverageAndViolations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := DistanceCoverage(sc, SAMCOptions{})
+	res, err := DistanceCoverage(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Feasible {
 		t.Fatal("distance coverage infeasible")
 	}
-	v, err := SNRViolations(sc, res)
+	v, err := SNRViolations(context.Background(), sc, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestFacadeDualCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dual, err := DualCoverage(sc, SAMCOptions{})
+	dual, err := DualCoverage(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,14 +48,14 @@ func TestFacadeRunTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SAG(sc, Config{})
+	sol, err := SAG(context.Background(), sc, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sol.Feasible {
 		t.Skip("infeasible draw")
 	}
-	rep, err := RunTraffic(sc, sol, TrafficOptions{Slots: 100, ArrivalRate: 0.2, Seed: 1})
+	rep, err := RunTraffic(context.Background(), sc, sol, TrafficOptions{Slots: 100, ArrivalRate: 0.2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sagrelay
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -45,28 +46,28 @@ func TestFacadeEvaluateAndFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SAG(sc, Config{})
+	sol, err := SAG(context.Background(), sc, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sol.Feasible {
 		t.Skip("infeasible draw")
 	}
-	rep, err := Evaluate(sc, sol, SimOptions{})
+	rep, err := Evaluate(context.Background(), sc, sol, SimOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Subscribers) != 12 {
 		t.Errorf("evaluated %d subscribers", len(rep.Subscribers))
 	}
-	fr, err := InjectFailure(sc, sol, Failure{Kind: FailCoverage, Index: 0})
+	fr, err := InjectFailure(context.Background(), sc, sol, Failure{Kind: FailCoverage, Index: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(fr.LostSubscribers) == 0 {
 		t.Error("failing a coverage relay lost nobody")
 	}
-	worst, err := WorstSingleFailure(sc, sol)
+	worst, err := WorstSingleFailure(context.Background(), sc, sol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func TestFacadeIACGAC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	iac, err := IAC(sc, ILPOptions{})
+	iac, err := IAC(context.Background(), sc, ILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gac, err := GAC(sc, ILPOptions{GridSize: 20})
+	gac, err := GAC(context.Background(), sc, ILPOptions{GridSize: 20})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sagrelay/internal/lower"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 	"sagrelay/internal/upper"
 )
@@ -204,6 +205,11 @@ type Solution struct {
 	Degraded bool
 	// DegradedReason records each degraded stage and its cause.
 	DegradedReason string
+	// Trace is the span tree of this solve when the caller attached one to
+	// the context (obs.WithTrace); nil otherwise. It carries per-stage
+	// timings and attributes (zone counts, B&B nodes, degradation markers)
+	// and serializes via (*obs.Trace).Doc.
+	Trace *obs.Trace
 }
 
 // TotalRelays returns the number of placed relays across both tiers.
@@ -219,14 +225,10 @@ var ErrInfeasible = lower.ErrInfeasible
 
 // SAG runs Algorithm 9 with the default stages (SAMC + PRO + MBMC + UCPO):
 // L_low <- SAMC; P_L <- PRO; L_high <- MBMC; P_H <- UCPO; P_total = P_L+P_H.
-func SAG(sc *scenario.Scenario, cfg Config) (*Solution, error) {
-	return SAGContext(context.Background(), sc, cfg)
-}
-
-// SAGContext is SAG with cooperative cancellation; see RunContext.
-func SAGContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Solution, error) {
+// Cancellation behaves as in Run.
+func SAG(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Solution, error) {
 	cfg = cfg.withDefaults()
-	sol, err := RunContext(ctx, sc, cfg)
+	sol, err := Run(ctx, sc, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -239,18 +241,14 @@ func SAGContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Soluti
 
 // DARP runs an "X+DARP" baseline pipeline (Section IV-D): coverage by the
 // given method, then the upstream approach of [1] — MUST to a single base
-// station with every relay at maximum power on both tiers.
-func DARP(sc *scenario.Scenario, coverage CoverageMethod, cfg Config) (*Solution, error) {
-	return DARPContext(context.Background(), sc, coverage, cfg)
-}
-
-// DARPContext is DARP with cooperative cancellation; see RunContext.
-func DARPContext(ctx context.Context, sc *scenario.Scenario, coverage CoverageMethod, cfg Config) (*Solution, error) {
+// station with every relay at maximum power on both tiers. Cancellation
+// behaves as in Run.
+func DARP(ctx context.Context, sc *scenario.Scenario, coverage CoverageMethod, cfg Config) (*Solution, error) {
 	cfg.Coverage = coverage
 	cfg.CoveragePower = PowerBaseline
 	cfg.Connectivity = ConnMUST
 	cfg.ConnectivityPower = PowerBaseline
-	sol, err := RunContext(ctx, sc, cfg)
+	sol, err := Run(ctx, sc, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -258,24 +256,43 @@ func DARPContext(ctx context.Context, sc *scenario.Scenario, coverage CoverageMe
 	return sol, nil
 }
 
-// Run executes an arbitrary pipeline configuration.
-func Run(sc *scenario.Scenario, cfg Config) (*Solution, error) {
-	return RunContext(context.Background(), sc, cfg)
+// traced wraps a stage function so every invocation — first attempt, retry
+// and fallback each get their own — records a child span named after the
+// stage. A nil fn (no fallback) stays nil so the ladder's "has a fallback"
+// checks keep working.
+func traced[T any](name string, fn func(context.Context) (T, error)) func(context.Context) (T, error) {
+	if fn == nil {
+		return nil
+	}
+	return func(c context.Context) (T, error) {
+		c, span := obs.StartSpan(c, name)
+		v, err := fn(c)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+		return v, err
+	}
 }
 
-// RunContext executes an arbitrary pipeline configuration under ctx. The
-// context is threaded through every stage down to the branch-and-bound
-// node loops and simplex pivot iterations, so a client disconnect, per-job
-// deadline or server shutdown cancels an in-flight solve promptly; the
-// returned error then wraps ctx.Err(). Cancellation never changes the
-// result of a solve that completes: the checks only abort work, they do
-// not reorder it.
+// Run executes an arbitrary pipeline configuration under ctx. The context
+// is threaded through every stage down to the branch-and-bound node loops
+// and simplex pivot iterations, so a client disconnect, per-job deadline or
+// server shutdown cancels an in-flight solve promptly; the returned error
+// then wraps ctx.Err(). Cancellation never changes the result of a solve
+// that completes: the checks only abort work, they do not reorder it.
 //
 // With Config.Degrade set, a stage that fails or exceeds the deadline is
 // retried once and then replaced by the paper's heuristic for that stage
 // (see Config.Degrade); the solution is then tagged Degraded. A context
 // cancelled by the caller (context.Canceled) still aborts unconditionally.
-func RunContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Solution, error) {
+//
+// When ctx carries an obs trace, Run opens a "solve" span with one child
+// per pipeline stage (coverage, coverage_power, connectivity,
+// connectivity_power; fallback runs get a "_fallback" suffix) and attaches
+// the trace to Solution.Trace. Instrumentation never reorders work, so
+// traced and untraced solves are bit-identical.
+func Run(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Solution, error) {
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
@@ -310,29 +327,37 @@ func RunContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Soluti
 		return nil, fmt.Errorf("core: unknown connectivity power method %v", cfg.ConnectivityPower)
 	}
 
+	// The solve span opens before the ladder captures ctx: the ladder's
+	// detached overtime context is built with context.WithoutCancel, which
+	// preserves values, so even overtime fallback work attaches its stage
+	// spans under this root.
+	ctx, span := obs.StartSpan(ctx, "solve")
+	defer span.End()
+	span.SetAttr("method", pipelineName(cfg))
+
 	l := newLadder(ctx, cfg)
 	defer l.close()
 
 	// Coverage: the exact ILP formulations degrade to the paper's SAMC
 	// heuristic; SAMC itself has no cheaper substitute (it still gets the
 	// single retry for transient faults).
-	coverRun := func(c context.Context) (*lower.Result, error) {
+	coverRun := traced("coverage", func(c context.Context) (*lower.Result, error) {
 		switch cfg.Coverage {
 		case CoverSAMC:
-			return lower.SAMCContext(c, sc, cfg.SAMC)
+			return lower.SAMC(c, sc, cfg.SAMC)
 		case CoverIAC:
-			return lower.IACContext(c, sc, cfg.ILP)
+			return lower.IAC(c, sc, cfg.ILP)
 		case CoverGAC:
-			return lower.GACContext(c, sc, cfg.ILP)
+			return lower.GAC(c, sc, cfg.ILP)
 		default:
 			return nil, fmt.Errorf("core: unknown coverage method %v", cfg.Coverage)
 		}
-	}
+	})
 	var coverFallback func(context.Context) (*lower.Result, error)
 	if cfg.Coverage != CoverSAMC {
-		coverFallback = func(c context.Context) (*lower.Result, error) {
-			return lower.SAMCContext(c, sc, cfg.SAMC)
-		}
+		coverFallback = traced("coverage_fallback", func(c context.Context) (*lower.Result, error) {
+			return lower.SAMC(c, sc, cfg.SAMC)
+		})
 	}
 	cover, coverReason, err := degradeRun(l, coverRun, coverFallback)
 	if err != nil {
@@ -351,36 +376,37 @@ func RunContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Soluti
 	if !cover.Feasible {
 		sol.Coverage = cover
 		sol.Elapsed = time.Since(start)
+		finishSolveSpan(span, sol)
 		return sol, nil
 	}
 
 	// Coverage power: the exact LPQC optimum degrades to PRO, PRO to the
 	// max-power baseline (always feasible by construction).
-	powerRun := func(c context.Context) (*lower.PowerAllocation, error) {
+	powerRun := traced("coverage_power", func(c context.Context) (*lower.PowerAllocation, error) {
 		switch cfg.CoveragePower {
 		case PowerBaseline:
 			return lower.BaselinePower(sc, cover), nil
 		case PowerGreen:
-			return lower.PROContext(c, sc, cover)
+			return lower.PRO(c, sc, cover)
 		case PowerOptimal:
-			return lower.OptimalPowerContext(c, sc, cover)
+			return lower.OptimalPower(c, sc, cover)
 		default:
 			return nil, fmt.Errorf("core: unknown coverage power method %v", cfg.CoveragePower)
 		}
-	}
+	})
 	var powerFallback func(context.Context) (*lower.PowerAllocation, error)
 	var powerLadder string
 	switch cfg.CoveragePower {
 	case PowerOptimal:
 		powerLadder = "coverage power: LPQC -> PRO"
-		powerFallback = func(c context.Context) (*lower.PowerAllocation, error) {
-			return lower.PROContext(c, sc, cover)
-		}
+		powerFallback = traced("coverage_power_fallback", func(c context.Context) (*lower.PowerAllocation, error) {
+			return lower.PRO(c, sc, cover)
+		})
 	case PowerGreen:
 		powerLadder = "coverage power: PRO -> baseline"
-		powerFallback = func(context.Context) (*lower.PowerAllocation, error) {
+		powerFallback = traced("coverage_power_fallback", func(context.Context) (*lower.PowerAllocation, error) {
 			return lower.BaselinePower(sc, cover), nil
-		}
+		})
 	}
 	coverPower, powerReason, err := degradeRun(l, powerRun, powerFallback)
 	if err != nil {
@@ -391,39 +417,39 @@ func RunContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Soluti
 	// Connectivity: MBMC/MUST are cheap tree constructions with no cheaper
 	// substitute, so the ladder has no fallback here — only the retry (which
 	// detaches from a blown deadline) applies.
-	connRun := func(c context.Context) (*upper.Result, error) {
+	connRun := traced("connectivity", func(c context.Context) (*upper.Result, error) {
 		switch cfg.Connectivity {
 		case ConnMBMC:
-			return upper.MBMCContext(c, sc, cover)
+			return upper.MBMC(c, sc, cover)
 		case ConnMUST:
-			return upper.MUSTContext(c, sc, cover, cfg.MUSTBaseStation)
+			return upper.MUST(c, sc, cover, cfg.MUSTBaseStation)
 		default:
 			return nil, fmt.Errorf("core: unknown connectivity method %v", cfg.Connectivity)
 		}
-	}
+	})
 	conn, _, err := degradeRun(l, connRun, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: connectivity: %w", err)
 	}
 
 	// Connectivity power: UCPO degrades to the max-power baseline.
-	connPowerRun := func(c context.Context) (*upper.PowerAllocation, error) {
+	connPowerRun := traced("connectivity_power", func(c context.Context) (*upper.PowerAllocation, error) {
 		switch cfg.ConnectivityPower {
 		case PowerBaseline:
 			return upper.BaselinePower(sc, conn), nil
 		case PowerGreen:
-			return upper.UCPOContext(c, sc, cover, conn)
+			return upper.UCPO(c, sc, cover, conn)
 		case PowerOptimal:
 			return nil, errors.New("core: optimal power is only defined for the lower tier (LPQC)")
 		default:
 			return nil, fmt.Errorf("core: unknown connectivity power method %v", cfg.ConnectivityPower)
 		}
-	}
+	})
 	var connPowerFallback func(context.Context) (*upper.PowerAllocation, error)
 	if cfg.ConnectivityPower == PowerGreen {
-		connPowerFallback = func(context.Context) (*upper.PowerAllocation, error) {
+		connPowerFallback = traced("connectivity_power_fallback", func(context.Context) (*upper.PowerAllocation, error) {
 			return upper.BaselinePower(sc, conn), nil
-		}
+		})
 	}
 	connPower, connPowerReason, err := degradeRun(l, connPowerRun, connPowerFallback)
 	if err != nil {
@@ -440,7 +466,23 @@ func RunContext(ctx context.Context, sc *scenario.Scenario, cfg Config) (*Soluti
 	sol.PH = connPower.Total
 	sol.PTotal = sol.PL + sol.PH
 	sol.Elapsed = time.Since(start)
+	finishSolveSpan(span, sol)
 	return sol, nil
+}
+
+// finishSolveSpan stamps the solve outcome onto the root solve span and
+// hands the trace to the solution for serialization. Nil-safe when tracing
+// is disarmed.
+func finishSolveSpan(span *obs.Span, sol *Solution) {
+	span.SetBool("feasible", sol.Feasible)
+	if sol.Degraded {
+		span.SetBool("degraded", true)
+		span.SetAttr("degraded_reason", sol.DegradedReason)
+	}
+	if sol.Coverage != nil && sol.Coverage.Truncated {
+		span.SetBool("truncated", true)
+	}
+	sol.Trace = span.Trace()
 }
 
 func pipelineName(cfg Config) string {

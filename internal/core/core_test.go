@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -19,7 +20,7 @@ func gen(t *testing.T, side float64, n int, seed int64) *scenario.Scenario {
 
 func TestSAGEndToEnd(t *testing.T) {
 	sc := gen(t, 500, 15, 3)
-	sol, err := SAG(sc, Config{})
+	sol, err := SAG(context.Background(), sc, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSAGEndToEnd(t *testing.T) {
 
 func TestDARPBaseline(t *testing.T) {
 	sc := gen(t, 500, 15, 3)
-	sol, err := DARP(sc, CoverSAMC, Config{})
+	sol, err := DARP(context.Background(), sc, CoverSAMC, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +73,11 @@ func TestDARPBaseline(t *testing.T) {
 func TestSAGBeatsDARP(t *testing.T) {
 	// The headline Fig. 7 result: SAG's total power is below SAMC+DARP's.
 	sc := gen(t, 500, 20, 7)
-	sag, err := SAG(sc, Config{})
+	sag, err := SAG(context.Background(), sc, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	darp, err := DARP(sc, CoverSAMC, Config{})
+	darp, err := DARP(context.Background(), sc, CoverSAMC, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,30 +91,30 @@ func TestSAGBeatsDARP(t *testing.T) {
 
 func TestRunRejectsBadConfig(t *testing.T) {
 	sc := gen(t, 300, 5, 1)
-	if _, err := Run(sc, Config{Coverage: CoverageMethod(42)}); err == nil {
+	if _, err := Run(context.Background(), sc, Config{Coverage: CoverageMethod(42)}); err == nil {
 		t.Error("bad coverage method accepted")
 	}
-	if _, err := Run(sc, Config{ConnectivityPower: PowerOptimal}); err == nil {
+	if _, err := Run(context.Background(), sc, Config{ConnectivityPower: PowerOptimal}); err == nil {
 		t.Error("optimal upper-tier power accepted (undefined)")
 	}
-	if _, err := Run(sc, Config{CoveragePower: PowerMethod(9)}); err == nil {
+	if _, err := Run(context.Background(), sc, Config{CoveragePower: PowerMethod(9)}); err == nil {
 		t.Error("bad power method accepted")
 	}
-	if _, err := Run(sc, Config{Connectivity: ConnectivityMethod(9)}); err == nil {
+	if _, err := Run(context.Background(), sc, Config{Connectivity: ConnectivityMethod(9)}); err == nil {
 		t.Error("bad connectivity method accepted")
 	}
 }
 
 func TestRunWithOptimalCoveragePower(t *testing.T) {
 	sc := gen(t, 500, 10, 9)
-	sol, err := Run(sc, Config{CoveragePower: PowerOptimal})
+	sol, err := Run(context.Background(), sc, Config{CoveragePower: PowerOptimal})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sol.Feasible {
 		t.Skip("infeasible draw")
 	}
-	green, err := Run(sc, Config{CoveragePower: PowerGreen})
+	green, err := Run(context.Background(), sc, Config{CoveragePower: PowerGreen})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestMethodStrings(t *testing.T) {
 
 func TestPipelineNameForCustomRuns(t *testing.T) {
 	sc := gen(t, 300, 5, 11)
-	sol, err := Run(sc, Config{Coverage: CoverSAMC, CoveragePower: PowerBaseline})
+	sol, err := Run(context.Background(), sc, Config{Coverage: CoverSAMC, CoveragePower: PowerBaseline})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestSAGNeverAboveFullPower(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		sag, err := SAG(sc, Config{})
+		sag, err := SAG(context.Background(), sc, Config{})
 		if err != nil {
 			return false
 		}
@@ -176,7 +177,7 @@ func TestInfeasibleCoveragePropagates(t *testing.T) {
 	// infeasible for SAMC; the pipeline must report it without error.
 	sc := gen(t, 300, 20, 13)
 	sc.SNRThresholdDB = 20
-	sol, err := SAG(sc, Config{})
+	sol, err := SAG(context.Background(), sc, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func TestDegradeFallsBackToSAMC(t *testing.T) {
 	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
 
 	retriesBefore, fallbacksBefore := TotalRetries(), TotalFallbacks()
-	sol, err := RunContext(context.Background(), sc, cfg)
+	sol, err := Run(context.Background(), sc, cfg)
 	if err != nil {
 		t.Fatalf("RunContext: %v", err)
 	}
@@ -67,7 +67,7 @@ func TestDegradeDisabledStillFails(t *testing.T) {
 	armFault(t, "milp.node=error")
 	cfg := Config{Coverage: CoverGAC} // Degrade off
 
-	_, err := RunContext(context.Background(), sc, cfg)
+	_, err := Run(context.Background(), sc, cfg)
 	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("err = %v, want wrapping fault.ErrInjected", err)
 	}
@@ -80,7 +80,7 @@ func TestDegradeSkipsOnCallerCancel(t *testing.T) {
 	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
 
 	fallbacksBefore := TotalFallbacks()
-	_, err := RunContext(ctx, sc, cfg)
+	_, err := Run(ctx, sc, cfg)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -104,7 +104,7 @@ func TestDegradeExpiredDeadlineRunsInOvertime(t *testing.T) {
 		ILP: lower.ILPOptions{TimeLimit: time.Hour},
 	}
 
-	sol, err := RunContext(ctx, sc, cfg)
+	sol, err := Run(ctx, sc, cfg)
 	if err != nil {
 		t.Fatalf("RunContext: %v", err)
 	}
@@ -134,7 +134,7 @@ func TestDegradeHardStopAbortsOvertime(t *testing.T) {
 	}
 
 	start := time.Now()
-	_, err := RunContext(ctx, sc, cfg)
+	_, err := Run(ctx, sc, cfg)
 	if err == nil {
 		t.Fatal("overtime run under a closed HardStop succeeded; want cancellation")
 	}
@@ -158,7 +158,7 @@ func TestDegradeMidRunDeadlineFallsBackWithoutRetry(t *testing.T) {
 	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
 
 	retriesBefore, fallbacksBefore := TotalRetries(), TotalFallbacks()
-	sol, err := RunContext(ctx, sc, cfg)
+	sol, err := Run(ctx, sc, cfg)
 	if err != nil {
 		t.Fatalf("RunContext: %v", err)
 	}
@@ -190,7 +190,7 @@ func TestDegradeTransientErrorRecoveredByRetry(t *testing.T) {
 	}
 
 	retriesBefore, fallbacksBefore := TotalRetries(), TotalFallbacks()
-	sol, err := RunContext(context.Background(), sc, cfg)
+	sol, err := Run(context.Background(), sc, cfg)
 	if err != nil {
 		t.Fatalf("RunContext: %v", err)
 	}
@@ -215,7 +215,7 @@ func TestDegradeInjectedCancelIsNotCallerCancel(t *testing.T) {
 	armFault(t, "milp.node=cancel")
 	cfg := Config{Coverage: CoverGAC, Degrade: true, RetryBackoff: time.Millisecond}
 
-	sol, err := RunContext(context.Background(), sc, cfg)
+	sol, err := Run(context.Background(), sc, cfg)
 	if err != nil {
 		t.Fatalf("RunContext: %v", err)
 	}
@@ -227,7 +227,7 @@ func TestDegradeInjectedCancelIsNotCallerCancel(t *testing.T) {
 func TestUnknownMethodFailsFastEvenWithDegrade(t *testing.T) {
 	sc := degradeScenario(t)
 	cfg := Config{Coverage: CoverageMethod(99), Degrade: true}
-	if _, err := RunContext(context.Background(), sc, cfg); err == nil ||
+	if _, err := Run(context.Background(), sc, cfg); err == nil ||
 		!strings.Contains(err.Error(), "unknown coverage method") {
 		t.Fatalf("err = %v, want unknown coverage method", err)
 	}

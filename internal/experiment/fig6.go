@@ -34,7 +34,7 @@ func fig6Scenario(seed int64) (*scenario.Scenario, error) {
 // fig6Solve runs one Fig. 6 scheme.
 func fig6Solve(sc *scenario.Scenario, idx int, cfg Config) (*core.Solution, error) {
 	s := fig6Schemes[idx]
-	return core.RunContext(cfg.ctx(), sc, core.Config{
+	return core.Run(cfg.ctx(), sc, core.Config{
 		Coverage:     s.Coverage,
 		Connectivity: s.Conn,
 		ILP:          cfg.ILP,

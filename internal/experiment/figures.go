@@ -62,11 +62,11 @@ func coverageCount(ctx context.Context, sc *scenario.Scenario, method core.Cover
 func runCoverage(ctx context.Context, sc *scenario.Scenario, method core.CoverageMethod, ilp lower.ILPOptions) (*lower.Result, error) {
 	switch method {
 	case core.CoverSAMC:
-		return lower.SAMCContext(ctx, sc, lower.SAMCOptions{})
+		return lower.SAMC(ctx, sc, lower.SAMCOptions{})
 	case core.CoverIAC:
-		return lower.IACContext(ctx, sc, ilp)
+		return lower.IAC(ctx, sc, ilp)
 	case core.CoverGAC:
-		return lower.GACContext(ctx, sc, ilp)
+		return lower.GAC(ctx, sc, ilp)
 	default:
 		return nil, fmt.Errorf("experiment: unknown coverage method %v", method)
 	}
@@ -253,7 +253,7 @@ func figPRO(id, title string, side float64, users []int, cfg Config) (*Table, er
 		if err != nil {
 			return err
 		}
-		res, err := lower.SAMCContext(cfg.ctx(), sc, lower.SAMCOptions{})
+		res, err := lower.SAMC(cfg.ctx(), sc, lower.SAMCOptions{})
 		if err != nil {
 			return err
 		}
@@ -261,12 +261,12 @@ func figPRO(id, title string, side float64, users []int, cfg Config) (*Table, er
 			return nil
 		}
 		samples[pi][0][r] = lower.BaselinePower(sc, res).Total
-		pro, err := lower.PROContext(cfg.ctx(), sc, res)
+		pro, err := lower.PRO(cfg.ctx(), sc, res)
 		if err != nil {
 			return err
 		}
 		samples[pi][1][r] = pro.Total
-		opt, err := lower.OptimalPowerContext(cfg.ctx(), sc, res)
+		opt, err := lower.OptimalPower(cfg.ctx(), sc, res)
 		if err != nil {
 			return err
 		}
@@ -370,7 +370,7 @@ func figConnectivity(id, title string, side float64, users []int, cfg Config) (*
 		if err != nil {
 			return err
 		}
-		cover, err := lower.SAMCContext(cfg.ctx(), sc, lower.SAMCOptions{})
+		cover, err := lower.SAMC(cfg.ctx(), sc, lower.SAMCOptions{})
 		if err != nil {
 			return err
 		}
@@ -378,13 +378,13 @@ func figConnectivity(id, title string, side float64, users []int, cfg Config) (*
 			return nil
 		}
 		for b := 0; b < numBS; b++ {
-			must, err := upper.MUSTContext(cfg.ctx(), sc, cover, b)
+			must, err := upper.MUST(cfg.ctx(), sc, cover, b)
 			if err != nil {
 				return err
 			}
 			samples[pi][b][r] = float64(must.NumRelays())
 		}
-		mbmc, err := upper.MBMCContext(cfg.ctx(), sc, cover)
+		mbmc, err := upper.MBMC(cfg.ctx(), sc, cover)
 		if err != nil {
 			return err
 		}
@@ -434,19 +434,19 @@ func figUCPO(id, title string, side float64, users []int, cfg Config) (*Table, e
 		if err != nil {
 			return err
 		}
-		cover, err := lower.SAMCContext(cfg.ctx(), sc, lower.SAMCOptions{})
+		cover, err := lower.SAMC(cfg.ctx(), sc, lower.SAMCOptions{})
 		if err != nil {
 			return err
 		}
 		if !cover.Feasible {
 			return nil
 		}
-		conn, err := upper.MBMCContext(cfg.ctx(), sc, cover)
+		conn, err := upper.MBMC(cfg.ctx(), sc, cover)
 		if err != nil {
 			return err
 		}
 		samples[pi][0][r] = upper.BaselinePower(sc, conn).Total
-		ucpo, err := upper.UCPOContext(cfg.ctx(), sc, cover, conn)
+		ucpo, err := upper.UCPO(cfg.ctx(), sc, cover, conn)
 		if err != nil {
 			return err
 		}
@@ -494,13 +494,13 @@ func fig7Total(id, title string, side float64, users []int, cfg Config) (*Table,
 			return err
 		}
 		pcfg := core.Config{ILP: cfg.ILP}
-		sag, err := core.SAGContext(cfg.ctx(), sc, pcfg)
+		sag, err := core.SAG(cfg.ctx(), sc, pcfg)
 		if err != nil {
 			return err
 		}
 		samples[pi][0][r] = totalOrNaN(sag)
 		for i, m := range []core.CoverageMethod{core.CoverSAMC, core.CoverIAC, core.CoverGAC} {
-			darp, err := core.DARPContext(cfg.ctx(), sc, m, pcfg)
+			darp, err := core.DARP(cfg.ctx(), sc, m, pcfg)
 			if err != nil {
 				return err
 			}
@@ -564,7 +564,7 @@ func Table2(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		cover, err := lower.SAMCContext(cfg.ctx(), sc, lower.SAMCOptions{})
+		cover, err := lower.SAMC(cfg.ctx(), sc, lower.SAMCOptions{})
 		if err != nil {
 			return err
 		}
@@ -572,13 +572,13 @@ func Table2(cfg Config) (*Table, error) {
 			return nil
 		}
 		for b := 0; b < nbs; b++ {
-			must, err := upper.MUSTContext(cfg.ctx(), sc, cover, b)
+			must, err := upper.MUST(cfg.ctx(), sc, cover, b)
 			if err != nil {
 				return err
 			}
 			samples[pi][b][r] = float64(must.NumRelays())
 		}
-		mbmc, err := upper.MBMCContext(cfg.ctx(), sc, cover)
+		mbmc, err := upper.MBMC(cfg.ctx(), sc, cover)
 		if err != nil {
 			return err
 		}

@@ -1,12 +1,14 @@
 package lower
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"sagrelay/internal/geom"
 	"sagrelay/internal/hitting"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
 )
@@ -21,13 +23,19 @@ import (
 // callers can measure the SNR damage with Result.SIRAtSubscriber or
 // Verify(sc, true) — quantifying exactly the gap the paper's Fig. 3
 // feasibility arguments are about.
-func DistanceCoverage(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
+func DistanceCoverage(ctx context.Context, sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	opts = opts.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("lower: distance coverage: %w", err)
 	}
+	_, zpSpan := obs.StartSpan(ctx, "zone_partition")
 	zones, err := ZonePartition(sc)
+	zpSpan.SetInt("zones", int64(len(zones)))
+	zpSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("lower: distance coverage: %w", err)
 	}
@@ -35,7 +43,7 @@ func DistanceCoverage(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) 
 	// Zones are independent: solve them concurrently, then concatenate the
 	// relay lists in zone order for a worker-count-independent result.
 	zoneRelays := make([][]Relay, len(zones))
-	err = par.ForEach(opts.Workers, len(zones), func(zi int) error {
+	err = par.ForEachContext(ctx, opts.Workers, len(zones), func(zi int) error {
 		zone := zones[zi]
 		disks := make([]geom.Circle, len(zone))
 		for i, s := range zone {
@@ -84,7 +92,12 @@ func DistanceCoverage(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) 
 // SNRViolations counts the subscribers whose Definition 2 SNR (all relays
 // at PMax, zone-local interference) falls below the threshold — the
 // diagnostic that separates SNR-aware placements from distance-only ones.
-func SNRViolations(sc *scenario.Scenario, res *Result) (int, error) {
+func SNRViolations(ctx context.Context, sc *scenario.Scenario, res *Result) (int, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("lower: SNR violations: %w", err)
+		}
+	}
 	if err := res.Verify(sc, false); err != nil {
 		return 0, err
 	}

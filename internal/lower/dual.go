@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,7 +35,10 @@ type DualResult struct {
 // Sliding is intentionally skipped: moving a relay to favour its primary
 // subscribers could evict it from circles where it serves as backup. Use
 // SNRViolations to audit the SNR cost of the redundancy.
-func DualCoverage(sc *scenario.Scenario, opts SAMCOptions) (*DualResult, error) {
+func DualCoverage(ctx context.Context, sc *scenario.Scenario, opts SAMCOptions) (*DualResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	opts = opts.withDefaults()
 	if err := sc.Validate(); err != nil {
@@ -48,7 +52,7 @@ func DualCoverage(sc *scenario.Scenario, opts SAMCOptions) (*DualResult, error) 
 	// Zones are independent: solve them concurrently, then concatenate the
 	// relay lists in zone order for a worker-count-independent result.
 	zoneRelays := make([][]Relay, len(zones))
-	err = par.ForEach(opts.Workers, len(zones), func(zi int) error {
+	err = par.ForEachContext(ctx, opts.Workers, len(zones), func(zi int) error {
 		relays, err := dualZone(sc, zones[zi])
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -17,7 +18,7 @@ func TestDistanceCoverageIgnoresSNR(t *testing.T) {
 		{Pos: geom.Pt(100, 0), DistReq: 40},
 		{Pos: geom.Pt(150, 0), DistReq: 40},
 	}, 20)
-	darp, err := DistanceCoverage(sc, SAMCOptions{})
+	darp, err := DistanceCoverage(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestDistanceCoverageIgnoresSNR(t *testing.T) {
 	}
 	// The SNR audit should reveal violations at this absurd threshold
 	// whenever more than one relay was placed.
-	v, err := SNRViolations(sc, darp)
+	v, err := SNRViolations(context.Background(), sc, darp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +43,11 @@ func TestDistanceCoverageMatchesSAMCCount(t *testing.T) {
 	// Both use the same hitting set machinery, so on SNR-benign instances
 	// the counts agree (SAMC only moves relays).
 	sc := testScenario(t, 500, 15, 61)
-	samc, err := SAMC(sc, SAMCOptions{})
+	samc, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !samc.Feasible {
 		t.Fatalf("SAMC failed")
 	}
-	darp, err := DistanceCoverage(sc, SAMCOptions{})
+	darp, err := DistanceCoverage(context.Background(), sc, SAMCOptions{})
 	if err != nil || !darp.Feasible {
 		t.Fatalf("DistanceCoverage failed")
 	}
@@ -57,11 +58,11 @@ func TestDistanceCoverageMatchesSAMCCount(t *testing.T) {
 
 func TestSNRViolationsZeroOnSAMC(t *testing.T) {
 	sc := testScenario(t, 500, 12, 67)
-	samc, err := SAMC(sc, SAMCOptions{})
+	samc, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !samc.Feasible {
 		t.Fatalf("SAMC failed")
 	}
-	v, err := SNRViolations(sc, samc)
+	v, err := SNRViolations(context.Background(), sc, samc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSNRViolationsZeroOnSAMC(t *testing.T) {
 
 func TestDualCoverageBasics(t *testing.T) {
 	sc := testScenario(t, 500, 12, 71)
-	dual, err := DualCoverage(sc, SAMCOptions{})
+	dual, err := DualCoverage(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestDualCoverageBasics(t *testing.T) {
 		t.Fatalf("VerifyDual: %v", err)
 	}
 	// Dual coverage needs at least as many relays as single coverage.
-	single, err := SAMC(sc, SAMCOptions{})
+	single, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !single.Feasible {
 		t.Fatalf("SAMC failed")
 	}
@@ -105,7 +106,7 @@ func TestDualCoverageTwoSubscribers(t *testing.T) {
 		{Pos: geom.Pt(0, 0), DistReq: 40},
 		{Pos: geom.Pt(30, 0), DistReq: 40},
 	}, -15)
-	dual, err := DualCoverage(sc, SAMCOptions{})
+	dual, err := DualCoverage(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestDualCoverageUncoverable(t *testing.T) {
 	sc := handScenario(t, []scenario.Subscriber{
 		{Pos: geom.Pt(0, 0), DistReq: 30},
 	}, -15)
-	dual, err := DualCoverage(sc, SAMCOptions{})
+	dual, err := DualCoverage(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestDualCoverageProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		dual, err := DualCoverage(sc, SAMCOptions{})
+		dual, err := DualCoverage(context.Background(), sc, SAMCOptions{})
 		if err != nil {
 			return false
 		}
@@ -188,15 +189,15 @@ func TestTheorem1Bound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := SAMC(sc, SAMCOptions{})
+		res, err := SAMC(context.Background(), sc, SAMCOptions{})
 		if err != nil || !res.Feasible {
 			continue
 		}
-		pro, err := PRO(sc, res)
+		pro, err := PRO(context.Background(), sc, res)
 		if err != nil {
 			t.Fatal(err)
 		}
-		opt, err := OptimalPower(sc, res)
+		opt, err := OptimalPower(context.Background(), sc, res)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -77,7 +78,7 @@ func TestSlidingPreservesCoverage(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := SAMC(sc, SAMCOptions{})
+		res, err := SAMC(context.Background(), sc, SAMCOptions{})
 		if err != nil {
 			return false
 		}

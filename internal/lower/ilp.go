@@ -10,6 +10,7 @@ import (
 	"sagrelay/internal/hitting"
 	"sagrelay/internal/lp"
 	"sagrelay/internal/milp"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
 )
@@ -57,14 +58,11 @@ func (o ILPOptions) withDefaults() ILPOptions {
 // Intersections As Candidates (Fig. 2a): candidate relay positions are the
 // pairwise intersection points of the subscribers' feasible circles (plus
 // the circle centers, so isolated subscribers stay coverable).
-func IAC(sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
-	return IACContext(context.Background(), sc, opts)
-}
-
-// IACContext is IAC with cooperative cancellation: a cancelled ctx stops
-// unstarted zones and aborts in-flight branch-and-bound searches between
-// nodes and simplex pivots. The error wraps ctx.Err().
-func IACContext(ctx context.Context, sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
+//
+// Cancellation is cooperative: a cancelled ctx stops unstarted zones and
+// aborts in-flight branch-and-bound searches between nodes and simplex
+// pivots. The error wraps ctx.Err().
+func IAC(ctx context.Context, sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
 	return solveILP(ctx, sc, opts, "IAC", func(zone []int, disks []geom.Circle) []geom.Point {
 		return geom.IntersectionCandidates(disks)
 	})
@@ -73,13 +71,8 @@ func IACContext(ctx context.Context, sc *scenario.Scenario, opts ILPOptions) (*R
 // GAC solves the ILPQC coverage formulation with Grids As Candidates
 // (Fig. 2b): candidate relay positions are the centers of the square grid
 // cells tiling the field; smaller grid sizes give more accurate results at
-// higher cost (Section III-A).
-func GAC(sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
-	return GACContext(context.Background(), sc, opts)
-}
-
-// GACContext is GAC with cooperative cancellation; see IACContext.
-func GACContext(ctx context.Context, sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
+// higher cost (Section III-A). Cancellation behaves as in IAC.
+func GAC(ctx context.Context, sc *scenario.Scenario, opts ILPOptions) (*Result, error) {
 	opts = opts.withDefaults()
 	gridAll := geom.GridCenters(sc.Field, opts.GridSize)
 	return solveILP(ctx, sc, opts, "GAC", func(zone []int, disks []geom.Circle) []geom.Point {
@@ -101,16 +94,23 @@ func GACContext(ctx context.Context, sc *scenario.Scenario, opts ILPOptions) (*R
 // solveILP runs the shared per-zone ILPQC pipeline with the given candidate
 // construction.
 func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, method string, candidatesFor func([]int, []geom.Circle) []geom.Point) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	opts = opts.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("lower: %s: %w", method, err)
 	}
+	_, zpSpan := obs.StartSpan(ctx, "zone_partition")
 	zones, err := ZonePartition(sc)
 	if err != nil {
+		zpSpan.End()
 		return nil, fmt.Errorf("lower: %s: %w", method, err)
 	}
 	zones = SplitLargeZones(sc, zones, opts.MaxZoneSS)
+	zpSpan.SetInt("zones", int64(len(zones)))
+	zpSpan.End()
 	res := &Result{Method: method, Zones: zones}
 	// The zones are independent ILPQC subproblems: fan them out over the
 	// worker pool, collect each zone's relays into its index-addressed
@@ -122,13 +122,27 @@ func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, metho
 	zoneTrunc := make([]bool, len(zones))
 	err = par.ForEachContext(ctx, opts.Workers, len(zones), func(zi int) error {
 		zone := zones[zi]
+		// The captured ctx carries the solve span, so every worker's zone
+		// span lands under the same parent regardless of which goroutine
+		// runs it.
+		zoneStart := time.Now()
+		zCtx, zSpan := obs.StartSpan(ctx, "zone")
+		zSpan.SetInt("index", int64(zi))
+		zSpan.SetInt("subscribers", int64(len(zone)))
 		disks := make([]geom.Circle, len(zone))
 		for i, s := range zone {
 			disks[i] = sc.Subscribers[s].Circle()
 		}
-		relays, truncated, err := solveZoneILP(ctx, sc, zone, disks, candidatesFor(zone, disks), opts)
+		relays, truncated, err := solveZoneILP(zCtx, sc, zone, disks, candidatesFor(zone, disks), opts)
+		zSpan.End()
+		zoneSolveSeconds.Observe(time.Since(zoneStart).Seconds())
 		if err != nil {
+			zSpan.SetAttr("error", err.Error())
 			return err
+		}
+		zSpan.SetInt("relays", int64(len(relays)))
+		if truncated {
+			zSpan.SetBool("truncated", true)
 		}
 		zoneRelays[zi] = relays
 		zoneTrunc[zi] = truncated
@@ -294,7 +308,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 		mopts.Incumbent = inc
 		mopts.IncumbentObj = obj
 	}
-	mres, err := milp.SolveContext(ctx, prob, isInt, mopts)
+	mres, err := milp.Solve(ctx, prob, isInt, mopts)
 	if err != nil {
 		return nil, false, fmt.Errorf("branch and bound: %w", err)
 	}

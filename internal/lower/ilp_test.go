@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -19,7 +20,7 @@ func TestILPOptimalCountTinyInstance(t *testing.T) {
 		{Pos: geom.Pt(30, 0), DistReq: 40},
 		{Pos: geom.Pt(15, 25), DistReq: 40},
 	}, -15)
-	res, err := IAC(sc, ILPOptions{})
+	res, err := IAC(context.Background(), sc, ILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestILPNeedsTwoRelays(t *testing.T) {
 		{Pos: geom.Pt(20, 0), DistReq: 30},
 		{Pos: geom.Pt(400, 400), DistReq: 30},
 	}, -15)
-	res, err := IAC(sc, ILPOptions{})
+	res, err := IAC(context.Background(), sc, ILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestILPSNRConstraintBinds(t *testing.T) {
 		{Pos: geom.Pt(50, 0), DistReq: 35},
 		{Pos: geom.Pt(75, 0), DistReq: 35},
 	}, 3) // +3 dB: serving signal must exceed 2x total interference
-	res, err := IAC(sc, ILPOptions{})
+	res, err := IAC(context.Background(), sc, ILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,11 +80,11 @@ func TestILPSNRConstraintBinds(t *testing.T) {
 // coarser one on the same instance (more candidates = superset model).
 func TestGACGridSizeQuality(t *testing.T) {
 	sc := testScenario(t, 500, 10, 37)
-	coarse, err := GAC(sc, ILPOptions{GridSize: 40})
+	coarse, err := GAC(context.Background(), sc, ILPOptions{GridSize: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine, err := GAC(sc, ILPOptions{GridSize: 12})
+	fine, err := GAC(context.Background(), sc, ILPOptions{GridSize: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestGACInfeasibleWhenGridMisses(t *testing.T) {
 	sc := handScenario(t, []scenario.Subscriber{
 		{Pos: geom.Pt(30, 30), DistReq: 10},
 	}, -15)
-	res, err := GAC(sc, ILPOptions{GridSize: 200})
+	res, err := GAC(context.Background(), sc, ILPOptions{GridSize: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestGACInfeasibleWhenGridMisses(t *testing.T) {
 func TestILPRespectsTimeLimit(t *testing.T) {
 	sc := testScenario(t, 500, 15, 41)
 	start := time.Now()
-	res, err := IAC(sc, ILPOptions{MaxNodes: 1, TimeLimit: 50 * time.Millisecond})
+	res, err := IAC(context.Background(), sc, ILPOptions{MaxNodes: 1, TimeLimit: 50 * time.Millisecond})
 	if err != nil {
 		if errors.Is(err, ErrZoneDeadline) {
 			return // deadline fired before the single node on a loaded machine
@@ -147,7 +148,7 @@ func TestILPRespectsTimeLimit(t *testing.T) {
 // timeout poison deterministic caches.
 func TestILPDeadlineTruncationSurfaces(t *testing.T) {
 	sc := testScenario(t, 500, 15, 41)
-	res, err := IAC(sc, ILPOptions{TimeLimit: time.Nanosecond})
+	res, err := IAC(context.Background(), sc, ILPOptions{TimeLimit: time.Nanosecond})
 	if err != nil {
 		if !errors.Is(err, ErrZoneDeadline) {
 			t.Fatalf("err = %v, want wrapping ErrZoneDeadline", err)
@@ -192,7 +193,7 @@ func TestZoneStatusErr(t *testing.T) {
 // zones but still a valid cover.
 func TestILPZoneCapChangesDecomposition(t *testing.T) {
 	sc := testScenario(t, 500, 16, 43)
-	res, err := IAC(sc, ILPOptions{MaxZoneSS: 4})
+	res, err := IAC(context.Background(), sc, ILPOptions{MaxZoneSS: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,11 +214,11 @@ func TestILPZoneCapChangesDecomposition(t *testing.T) {
 // and feasibility cannot improve.
 func TestSkipSlidingAblation(t *testing.T) {
 	sc := testScenario(t, 500, 15, 47)
-	with, err := SAMC(sc, SAMCOptions{})
+	with, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := SAMC(sc, SAMCOptions{SkipSliding: true})
+	without, err := SAMC(context.Background(), sc, SAMCOptions{SkipSliding: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,18 +235,18 @@ func TestSkipSlidingAblation(t *testing.T) {
 // valid allocation and never beats the LP optimum.
 func TestPRONaiveOrderStillValid(t *testing.T) {
 	sc := testScenario(t, 500, 15, 53)
-	res, err := SAMC(sc, SAMCOptions{})
+	res, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !res.Feasible {
 		t.Fatalf("SAMC failed")
 	}
-	naive, err := PROWithOptions(sc, res, PROOptions{NaiveStuckOrder: true})
+	naive, err := PROWithOptions(context.Background(), sc, res, PROOptions{NaiveStuckOrder: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyPower(sc, res, naive.Powers); err != nil {
 		t.Errorf("naive allocation invalid: %v", err)
 	}
-	opt, err := OptimalPower(sc, res)
+	opt, err := OptimalPower(context.Background(), sc, res)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -225,7 +226,7 @@ func TestSlidingMovementInfeasibleWhenHopeless(t *testing.T) {
 
 func TestSAMCEndToEnd(t *testing.T) {
 	sc := testScenario(t, 500, 20, 7)
-	res, err := SAMC(sc, SAMCOptions{})
+	res, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,11 +249,11 @@ func TestSAMCEndToEnd(t *testing.T) {
 
 func TestSAMCDeterministic(t *testing.T) {
 	sc := testScenario(t, 500, 15, 11)
-	a, err := SAMC(sc, SAMCOptions{})
+	a, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SAMC(sc, SAMCOptions{})
+	b, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,12 +264,12 @@ func TestSAMCDeterministic(t *testing.T) {
 
 func TestPROReducesPower(t *testing.T) {
 	sc := testScenario(t, 500, 20, 13)
-	res, err := SAMC(sc, SAMCOptions{})
+	res, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !res.Feasible {
 		t.Fatalf("SAMC failed: %v feasible=%v", err, res != nil && res.Feasible)
 	}
 	base := BaselinePower(sc, res)
-	pro, err := PRO(sc, res)
+	pro, err := PRO(context.Background(), sc, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,15 +286,15 @@ func TestPROReducesPower(t *testing.T) {
 
 func TestOptimalPowerIsLowerBound(t *testing.T) {
 	sc := testScenario(t, 500, 15, 17)
-	res, err := SAMC(sc, SAMCOptions{})
+	res, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !res.Feasible {
 		t.Fatalf("SAMC failed")
 	}
-	opt, err := OptimalPower(sc, res)
+	opt, err := OptimalPower(context.Background(), sc, res)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pro, err := PRO(sc, res)
+	pro, err := PRO(context.Background(), sc, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestOptimalPowerIsLowerBound(t *testing.T) {
 
 func TestVerifyPowerCatchesViolations(t *testing.T) {
 	sc := testScenario(t, 500, 10, 19)
-	res, err := SAMC(sc, SAMCOptions{})
+	res, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !res.Feasible {
 		t.Fatalf("SAMC failed")
 	}
@@ -329,7 +330,7 @@ func TestVerifyPowerCatchesViolations(t *testing.T) {
 
 func TestIACEndToEnd(t *testing.T) {
 	sc := testScenario(t, 500, 12, 23)
-	res, err := IAC(sc, ILPOptions{})
+	res, err := IAC(context.Background(), sc, ILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +347,7 @@ func TestIACEndToEnd(t *testing.T) {
 
 func TestGACEndToEnd(t *testing.T) {
 	sc := testScenario(t, 500, 12, 23)
-	res, err := GAC(sc, ILPOptions{GridSize: 15})
+	res, err := GAC(context.Background(), sc, ILPOptions{GridSize: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,11 +364,11 @@ func TestSAMCNotWorseThanILPByMuch(t *testing.T) {
 	// than IAC/GAC (Fig. 3). Check the weaker, robust property: SAMC is
 	// within +2 relays of IAC on a small instance.
 	sc := testScenario(t, 500, 10, 29)
-	samc, err := SAMC(sc, SAMCOptions{})
+	samc, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !samc.Feasible {
 		t.Fatalf("SAMC failed")
 	}
-	iac, err := IAC(sc, ILPOptions{})
+	iac, err := IAC(context.Background(), sc, ILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,17 +447,17 @@ func TestPowerMonotoneInSNRThreshold(t *testing.T) {
 	// A stricter threshold can only increase optimal power on the same
 	// placement.
 	sc := testScenario(t, 500, 15, 31)
-	res, err := SAMC(sc, SAMCOptions{})
+	res, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !res.Feasible {
 		t.Fatalf("SAMC failed")
 	}
-	optLoose, err := OptimalPower(sc, res)
+	optLoose, err := OptimalPower(context.Background(), sc, res)
 	if err != nil {
 		t.Fatal(err)
 	}
 	strict := *sc
 	strict.SNRThresholdDB = -18 // looser, actually: -18dB < -15dB threshold
-	optLooser, err := OptimalPower(&strict, res)
+	optLooser, err := OptimalPower(context.Background(), &strict, res)
 	if err != nil {
 		t.Fatal(err)
 	}

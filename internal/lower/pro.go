@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"sagrelay/internal/lp"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 )
 
@@ -146,23 +147,21 @@ type PROOptions struct {
 // settles the relay with the smallest gap Psnr - Pc at its SNR power and
 // continues. The result is a (1+phi)-approximation of the optimal power
 // cost (Theorem 1).
-func PRO(sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
-	return PROWithOptions(sc, res, PROOptions{})
-}
-
-// PROContext is PRO with cooperative cancellation: the relaxation sweep
-// checks ctx once per round, so a cancelled context aborts within one
-// O(relays²) pass.
-func PROContext(ctx context.Context, sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
-	return proRun(ctx, sc, res, PROOptions{})
+//
+// Cancellation is cooperative: the relaxation sweep checks cctx once per
+// round, so a cancelled context aborts within one O(relays²) pass.
+func PRO(cctx context.Context, sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
+	return PROWithOptions(cctx, sc, res, PROOptions{})
 }
 
 // PROWithOptions runs PRO with explicit knobs (see PROOptions).
-func PROWithOptions(sc *scenario.Scenario, res *Result, popts PROOptions) (*PowerAllocation, error) {
-	return proRun(context.Background(), sc, res, popts)
-}
-
-func proRun(cctx context.Context, sc *scenario.Scenario, res *Result, popts PROOptions) (*PowerAllocation, error) {
+func PROWithOptions(cctx context.Context, sc *scenario.Scenario, res *Result, popts PROOptions) (*PowerAllocation, error) {
+	if cctx == nil {
+		cctx = context.Background()
+	}
+	_, span := obs.StartSpan(cctx, "pro")
+	span.SetInt("relays", int64(len(res.Relays)))
+	defer span.End()
 	ctx, err := newPowerContext(sc, res)
 	if err != nil {
 		return nil, err
@@ -175,10 +174,12 @@ func proRun(cctx context.Context, sc *scenario.Scenario, res *Result, popts PROO
 		powers[i] = sc.PMax
 		inK[i] = true
 	}
+	rounds := 0
 	for remaining > 0 {
 		if err := cctx.Err(); err != nil {
 			return nil, fmt.Errorf("lower: PRO: %w", err)
 		}
+		rounds++
 		changed := false
 		for i := 0; i < n; i++ {
 			if !inK[i] {
@@ -226,6 +227,7 @@ func proRun(cctx context.Context, sc *scenario.Scenario, res *Result, popts PROO
 		inK[best] = false
 		remaining--
 	}
+	span.SetInt("rounds", int64(rounds))
 	alloc := &PowerAllocation{Powers: powers, Method: "PRO"}
 	for _, p := range powers {
 		alloc.Total += p
@@ -246,14 +248,15 @@ func proRun(cctx context.Context, sc *scenario.Scenario, res *Result, popts PROO
 //	     0 <= P_i <= PMax
 //
 // It is the benchmark the paper compares PRO against ("optimal" curves in
-// Figs. 4a and 5a).
-func OptimalPower(sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
-	return OptimalPowerContext(context.Background(), sc, res)
-}
-
-// OptimalPowerContext is OptimalPower with cooperative cancellation: the
-// LP solve polls ctx between simplex pivots.
-func OptimalPowerContext(cctx context.Context, sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
+// Figs. 4a and 5a). The LP solve polls cctx between simplex pivots, so a
+// cancelled context aborts promptly.
+func OptimalPower(cctx context.Context, sc *scenario.Scenario, res *Result) (*PowerAllocation, error) {
+	if cctx == nil {
+		cctx = context.Background()
+	}
+	_, span := obs.StartSpan(cctx, "lpqc")
+	span.SetInt("relays", int64(len(res.Relays)))
+	defer span.End()
 	ctx, err := newPowerContext(sc, res)
 	if err != nil {
 		return nil, err
@@ -290,6 +293,7 @@ func OptimalPowerContext(cctx context.Context, sc *scenario.Scenario, res *Resul
 	if err != nil {
 		return nil, fmt.Errorf("lower: optimal power: %w", err)
 	}
+	span.SetInt("pivots", int64(sol.Iterations))
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("lower: optimal power: LP status %v (coverage result should be PMax-feasible)", sol.Status)
 	}

@@ -8,7 +8,16 @@ import (
 
 	"sagrelay/internal/geom"
 	"sagrelay/internal/hitting"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
+)
+
+// zoneSolveSeconds is the process-wide distribution of per-zone coverage
+// solve times, across both the SAMC heuristic and the ILP paths.
+var zoneSolveSeconds = obs.Default.NewHistogram(
+	"sag_zone_solve_seconds",
+	"Wall-clock seconds spent solving one Zone-Partition zone.",
+	obs.SecondsBuckets,
 )
 
 // SAMCOptions tune the SAMC heuristic.
@@ -64,40 +73,52 @@ var ErrZoneDeadline = errors.New("lower: zone time limit exhausted before any fe
 // The relay count equals the hitting set size per zone (no relays are added
 // or deleted while massaging SNR), so a feasible SAMC result inherits the
 // hitting set PTAS's (1+eps) approximation on the relay count.
-func SAMC(sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
-	return SAMCContext(context.Background(), sc, opts)
-}
-
-// SAMCContext is SAMC with cooperative cancellation: a cancelled ctx stops
-// the zone loop between zones and the error wraps ctx.Err(). Zones are the
-// natural check granularity — each zone's hitting-set and sliding work is
-// bounded — so cancellation is prompt without perturbing any zone's result.
-func SAMCContext(ctx context.Context, sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
+//
+// Cancellation is cooperative: a cancelled ctx stops the zone loop between
+// zones and the error wraps ctx.Err(). Zones are the natural check
+// granularity — each zone's hitting-set and sliding work is bounded — so
+// cancellation is prompt without perturbing any zone's result.
+func SAMC(ctx context.Context, sc *scenario.Scenario, opts SAMCOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	opts = opts.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("lower: SAMC: %w", err)
 	}
+	_, zpSpan := obs.StartSpan(ctx, "zone_partition")
 	zones, err := ZonePartition(sc)
+	zpSpan.SetInt("zones", int64(len(zones)))
+	zpSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("lower: SAMC: %w", err)
 	}
 	res := &Result{Method: "SAMC", Zones: zones}
-	for _, zone := range zones {
+	for zi, zone := range zones {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("lower: SAMC: %w", err)
 		}
+		zoneStart := time.Now()
+		_, zSpan := obs.StartSpan(ctx, "zone")
+		zSpan.SetInt("index", int64(zi))
+		zSpan.SetInt("subscribers", int64(len(zone)))
 		relays, err := samcZone(sc, zone, opts)
+		zSpan.End()
+		zoneSolveSeconds.Observe(time.Since(zoneStart).Seconds())
 		if err != nil {
 			if errors.Is(err, ErrInfeasible) || errors.Is(err, hitting.ErrUncoverable) {
+				zSpan.SetBool("infeasible", true)
 				res.Feasible = false
 				res.Relays = nil
 				res.AssignOf = nil
 				res.Elapsed = time.Since(start)
 				return res, nil
 			}
+			zSpan.SetAttr("error", err.Error())
 			return nil, fmt.Errorf("lower: SAMC: %w", err)
 		}
+		zSpan.SetInt("relays", int64(len(relays)))
 		res.Relays = append(res.Relays, relays...)
 	}
 	res.Feasible = true

@@ -1,0 +1,55 @@
+package lower
+
+import (
+	"context"
+	"testing"
+
+	"sagrelay/internal/obs"
+)
+
+// zoneSpanCounts runs one IAC solve with the given worker count and returns
+// (direct children of the trace root named "zone", total "zone" spans
+// anywhere in the tree). The two must agree: a zone span nested under
+// another zone's span would mean a worker attached to the wrong parent.
+func zoneSpanCounts(t *testing.T, workers int) (direct, total int) {
+	t.Helper()
+	sc := testScenario(t, 500, 15, 41)
+	tr := obs.NewTrace("root")
+	ctx := obs.WithTrace(context.Background(), tr)
+	res, err := IAC(ctx, sc, ILPOptions{Workers: workers})
+	if err != nil {
+		t.Fatalf("IAC(workers=%d): %v", workers, err)
+	}
+	if !res.Feasible {
+		t.Fatalf("IAC(workers=%d) infeasible", workers)
+	}
+	tr.Finish()
+	doc := tr.Doc()
+	for _, c := range doc.Spans {
+		if c.Name == "zone" {
+			direct++
+		}
+	}
+	return direct, doc.Count("zone")
+}
+
+// TestZoneSpansLandUnderRootParallel: with Workers > 1 the per-zone spans
+// are opened on pool-worker goroutines, yet every one of them must attach
+// directly under the span that was on the context at fan-out time — the
+// trace root here. Run under -race this also exercises the concurrent
+// child-append path.
+func TestZoneSpansLandUnderRootParallel(t *testing.T) {
+	direct, total := zoneSpanCounts(t, 4)
+	if total == 0 {
+		t.Fatal("no zone spans recorded")
+	}
+	if direct != total {
+		t.Fatalf("%d of %d zone spans are direct children of the root; workers attached to the wrong parent", direct, total)
+	}
+
+	seqDirect, seqTotal := zoneSpanCounts(t, 1)
+	if seqDirect != direct || seqTotal != total {
+		t.Fatalf("zone span tree differs by worker count: sequential %d/%d, parallel %d/%d",
+			seqDirect, seqTotal, direct, total)
+	}
+}

@@ -6,6 +6,15 @@ import (
 	"math"
 
 	"sagrelay/internal/fault"
+	"sagrelay/internal/obs"
+)
+
+// lpPivotsPerSolve is the process-wide distribution of simplex pivots per
+// completed LP solve (both phases).
+var lpPivotsPerSolve = obs.Default.NewHistogram(
+	"sag_lp_pivots_per_solve",
+	"Simplex pivots per completed LP solve.",
+	obs.CountBuckets,
 )
 
 // sitePivot is the fault-injection point inside the simplex iteration loop,
@@ -225,7 +234,17 @@ func (t *tableau) driveOutArtificials() {
 	}
 }
 
+// solve runs the two-phase simplex and records the pivot count of every
+// completed solve on the process-wide histogram registry.
 func (t *tableau) solve() (*Solution, error) {
+	sol, err := t.run()
+	if sol != nil {
+		lpPivotsPerSolve.Observe(float64(sol.Iterations))
+	}
+	return sol, err
+}
+
+func (t *tableau) run() (*Solution, error) {
 	hasArt := t.artStart < t.nCols
 	if hasArt {
 		t.installPhase1()

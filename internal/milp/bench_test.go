@@ -1,6 +1,7 @@
 package milp_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -121,7 +122,7 @@ func BenchmarkMILPSolve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := milp.Solve(p, isInt, milp.Options{})
+		res, err := milp.Solve(context.Background(), p, isInt, milp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -49,7 +49,7 @@ func TestContextDeadline(t *testing.T) {
 	defer cancel()
 
 	start := time.Now()
-	_, err := SolveContext(ctx, p, isInt, Options{MaxNodes: 1 << 30})
+	_, err := Solve(ctx, p, isInt, Options{MaxNodes: 1 << 30})
 	elapsed := time.Since(start)
 
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -67,7 +67,7 @@ func TestContextPreCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := SolveContext(ctx, p, isInt, Options{}); !errors.Is(err, context.Canceled) {
+	if _, err := Solve(ctx, p, isInt, Options{}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
@@ -77,13 +77,13 @@ func TestContextPreCancelled(t *testing.T) {
 // work, they never reorder it.
 func TestContextDoesNotChangeResults(t *testing.T) {
 	p, isInt := hardCovering(t, 12, 20, 3)
-	plain, err := Solve(p, isInt, Options{})
+	plain, err := Solve(context.Background(), p, isInt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	under, err := SolveContext(ctx, p, isInt, Options{})
+	under, err := Solve(ctx, p, isInt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,15 @@ import (
 
 	"sagrelay/internal/fault"
 	"sagrelay/internal/lp"
+	"sagrelay/internal/obs"
+)
+
+// bbNodesPerSolve is the process-wide distribution of branch-and-bound
+// nodes explored per Solve call.
+var bbNodesPerSolve = obs.Default.NewHistogram(
+	"sag_bb_nodes_per_solve",
+	"Branch-and-bound nodes explored per MILP solve.",
+	obs.CountBuckets,
 )
 
 // totalNodes counts branch-and-bound nodes explored process-wide, across
@@ -146,6 +155,8 @@ type Result struct {
 	Bound float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// Pivots is the total simplex pivot count across all node relaxations.
+	Pivots int
 	// DeadlineHit reports that the wall-clock Options.TimeLimit stopped the
 	// search. Such a result is load-dependent: how many nodes fit inside a
 	// wall-clock budget varies with machine speed and load, so the incumbent
@@ -179,19 +190,40 @@ type node struct {
 // Solve minimizes the problem with the variables marked in isInt restricted
 // to integer values. The base problem is not modified. Infeasible and
 // unbounded models are reported via Result.Status with a nil error.
-func Solve(base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
-	return SolveContext(context.Background(), base, isInt, opts)
-}
-
-// SolveContext is Solve with cooperative cancellation: the search checks
-// ctx before expanding each node and the node relaxations poll it between
-// simplex pivots, so a cancelled context aborts the solve promptly even
-// mid-relaxation. Cancellation is reported as an error wrapping ctx.Err()
-// (errors.Is against context.Canceled / context.DeadlineExceeded works); it
-// is distinct from Options.TimeLimit, which stops the search but still
+//
+// Cancellation is cooperative: the search checks ctx before expanding each
+// node and the node relaxations poll it between simplex pivots, so a
+// cancelled context aborts the solve promptly even mid-relaxation.
+// Cancellation is reported as an error wrapping ctx.Err() (errors.Is
+// against context.Canceled / context.DeadlineExceeded works); it is
+// distinct from Options.TimeLimit, which stops the search but still
 // returns the incumbent via Result.Status, flagging the load-dependent
 // truncation in Result.DeadlineHit.
-func SolveContext(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
+//
+// Each call records a "bnb" span (nodes, pivots, status, gap) when ctx
+// carries a trace, and observes the node count on the process-wide
+// histogram registry.
+func Solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "bnb")
+	res, err := solve(ctx, base, isInt, opts)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
+		return res, err
+	}
+	span.SetInt("nodes", int64(res.Nodes))
+	span.SetInt("pivots", int64(res.Pivots))
+	span.SetAttr("status", res.Status.String())
+	span.SetFloat("gap", res.Gap())
+	if res.DeadlineHit {
+		span.SetBool("deadline_hit", true)
+	}
+	span.End()
+	bbNodesPerSolve.Observe(float64(res.Nodes))
+	return res, nil
+}
+
+func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -260,6 +292,9 @@ func SolveContext(ctx context.Context, base *lp.Problem, isInt []bool, opts Opti
 		totalNodes.Add(1)
 
 		sol, err := solver.SolveContext(ctx, base, nd.lower, nd.upper)
+		if sol != nil {
+			res.Pivots += sol.Iterations
+		}
 		if err != nil {
 			if errors.Is(err, lp.ErrIterationLimit) {
 				// Treat a stalled relaxation as unexplorable; skip the node.

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -33,7 +34,7 @@ func TestKnapsackStyle(t *testing.T) {
 	if err := p.AddConstraint([]lp.Term{{Var: 0, Coef: 2}, {Var: 1, Coef: 3}, {Var: 2, Coef: 1}}, lp.LE, 5); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(p, isInt, Options{})
+	res, err := Solve(context.Background(), p, isInt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestSetCover(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := Solve(p, isInt, Options{})
+	res, err := Solve(context.Background(), p, isInt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestIntegerInfeasible(t *testing.T) {
 	if err := p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 0.6); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(p, isInt, Options{})
+	res, err := Solve(context.Background(), p, isInt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestLPInfeasible(t *testing.T) {
 	if err := p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.GE, 2); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(p, isInt, Options{})
+	res, err := Solve(context.Background(), p, isInt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestUnboundedModel(t *testing.T) {
 	y := p.AddVariable("t", 1)
 	_ = p.SetUpperBound(y, 1)
 	_ = x
-	res, err := Solve(p, []bool{false, true}, Options{})
+	res, err := Solve(context.Background(), p, []bool{false, true}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestMixedIntegerContinuous(t *testing.T) {
 	if err := p.AddConstraint([]lp.Term{{Var: tv, Coef: 1}, {Var: y, Coef: 1}}, lp.LE, 3); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(p, []bool{true, false}, Options{})
+	res, err := Solve(context.Background(), p, []bool{true, false}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,14 +146,14 @@ func TestMixedIntegerContinuous(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	if _, err := Solve(nil, nil, Options{}); err == nil {
+	if _, err := Solve(context.Background(), nil, nil, Options{}); err == nil {
 		t.Error("nil problem accepted")
 	}
 	p, _ := binProblem([]float64{1})
-	if _, err := Solve(p, []bool{true, true}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, []bool{true, true}, Options{}); err == nil {
 		t.Error("length mismatch accepted")
 	}
-	if _, err := Solve(p, []bool{false}, Options{}); !errors.Is(err, ErrNoIntegers) {
+	if _, err := Solve(context.Background(), p, []bool{false}, Options{}); !errors.Is(err, ErrNoIntegers) {
 		t.Errorf("want ErrNoIntegers, got %v", err)
 	}
 }
@@ -164,7 +165,7 @@ func TestWarmStartPrunes(t *testing.T) {
 	if err := p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.GE, 1); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(p, isInt, Options{Incumbent: []float64{1, 0}, IncumbentObj: 1})
+	res, err := Solve(context.Background(), p, isInt, Options{Incumbent: []float64{1, 0}, IncumbentObj: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestNodeLimitGivesFeasible(t *testing.T) {
 		all[i] = 1
 		total += costs[i]
 	}
-	res, err := Solve(p, isInt, Options{MaxNodes: 1, Incumbent: all, IncumbentObj: total})
+	res, err := Solve(context.Background(), p, isInt, Options{MaxNodes: 1, Incumbent: all, IncumbentObj: total})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestTimeLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	// An already-expired deadline must stop before the first node.
-	res, err := Solve(p, isInt, Options{TimeLimit: time.Nanosecond})
+	res, err := Solve(context.Background(), p, isInt, Options{TimeLimit: time.Nanosecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestNodeLimitIsNotDeadlineHit(t *testing.T) {
 	if err := p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}, {Var: 2, Coef: 1}}, lp.GE, 2); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(p, isInt, Options{MaxNodes: 1})
+	res, err := Solve(context.Background(), p, isInt, Options{MaxNodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestMatchesBruteForce(t *testing.T) {
 				return false
 			}
 		}
-		res, err := Solve(p, isInt, Options{})
+		res, err := Solve(context.Background(), p, isInt, Options{})
 		if err != nil {
 			return false
 		}
@@ -343,7 +344,7 @@ func TestBoundBelowObjective(t *testing.T) {
 		if err := p.AddConstraint(terms, lp.GE, 1+float64(rng.Intn(n))); err != nil {
 			return false
 		}
-		res, err := Solve(p, isInt, Options{})
+		res, err := Solve(context.Background(), p, isInt, Options{})
 		if err != nil || res.Status != Optimal {
 			return false
 		}

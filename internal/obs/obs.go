@@ -1,0 +1,296 @@
+// Package obs is the zero-dependency observability substrate of the solve
+// pipeline: nested timed spans carried through context.Context, and
+// fixed-bucket atomic histograms published in Prometheus text format.
+//
+// # Spans
+//
+// A Trace is a tree of Spans. The root is created by whoever owns the unit
+// of work (the solve service per job, sagcli per invocation) and attached
+// to a context with WithTrace; every layer below opens children with
+// StartSpan. When no trace is attached — the common library case —
+// StartSpan returns a nil Span and costs nothing: no allocation, no clock
+// read, and every Span method is a nil-safe no-op. Instrumentation is
+// therefore sprinkled through the hot paths unconditionally and armed only
+// by callers that want a breakdown.
+//
+// Spans are safe for concurrent use: parallel per-zone workers all open
+// children of the same parent (the context is immutable, so each worker
+// sees the same parent span) and the child list is mutex-guarded.
+//
+// # Histograms
+//
+// Histograms are fixed-bucket, lock-free counters registered on a Registry
+// (usually Default, the process-wide one). Observe is allocation-free and
+// safe for concurrent use, so solver hot paths record latencies and effort
+// counts unconditionally.
+package obs
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ctxKey carries the current span through a context chain. It is
+// deliberately value-preserving across context.WithoutCancel, so degrade
+// overtime work (internal/core's ladder) stays attached to its solve span.
+type ctxKey struct{}
+
+// Trace is one tree of timed spans rooted at the span NewTrace creates.
+type Trace struct {
+	start time.Time
+	root  *Span
+}
+
+// NewTrace starts a trace whose root span has the given name. End the root
+// (or call Finish) before serializing with Doc.
+func NewTrace(name string) *Trace {
+	t := &Trace{start: time.Now()}
+	t.root = &Span{name: name, tr: t, start: t.start}
+	return t
+}
+
+// Root returns the root span; nil-safe.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span (idempotent); nil-safe.
+func (t *Trace) Finish() { t.Root().End() }
+
+// WithTrace returns a context carrying the trace's root span, arming
+// StartSpan for everything below.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return WithSpan(ctx, t.Root())
+}
+
+// WithSpan returns a context carrying s as the current span. A nil span
+// returns ctx unchanged (tracing stays disarmed).
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil when tracing is
+// disarmed.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the span carried by ctx and returns a context
+// carrying the child. When ctx carries no span it returns (ctx, nil)
+// without allocating — the disarmed fast path — and the nil span absorbs
+// every later method call.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.StartChild(name)
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// Attr is one key/value annotation on a span. Values are strings; use the
+// typed setters for numbers and booleans.
+type Attr struct {
+	Key, Value string
+}
+
+// Span is one timed operation in a trace. All methods are nil-safe no-ops
+// so disarmed instrumentation costs nothing beyond the nil check.
+type Span struct {
+	name  string
+	tr    *Trace
+	start time.Time
+
+	mu       sync.Mutex
+	ended    bool
+	dur      time.Duration
+	attrs    []Attr
+	children []*Span
+}
+
+// Name returns the span name; nil-safe ("" when nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Trace returns the trace this span belongs to; nil-safe.
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// StartChild opens and returns a child span. Safe for concurrent use: the
+// parallel zone workers of internal/par all attach children to the same
+// parent.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, tr: s.tr, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End records the span duration once; later calls are no-ops. A span that
+// ran is never zero-length: coarse clocks are rounded up to 1ns so every
+// recorded stage has a non-zero duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+		if s.dur <= 0 {
+			s.dur = time.Nanosecond
+		}
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr sets a string attribute; the last value for a key wins.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt sets an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetBool sets a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatBool(v))
+}
+
+// SetFloat sets a float attribute (shortest round-trip formatting).
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// SpanDoc is the JSON shape of one span: offsets and durations in
+// nanoseconds relative to the trace start, attributes, and children sorted
+// by start time.
+type SpanDoc struct {
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_ns"`
+	DurNS   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Spans   []*SpanDoc        `json:"spans,omitempty"`
+}
+
+// Doc snapshots the trace as a serializable span tree; nil-safe (nil trace
+// gives nil doc). Spans still running are reported with their elapsed time
+// so far.
+func (t *Trace) Doc() *SpanDoc {
+	if t == nil {
+		return nil
+	}
+	return t.root.doc(t.start)
+}
+
+func (s *Span) doc(origin time.Time) *SpanDoc {
+	s.mu.Lock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+		if dur <= 0 {
+			dur = time.Nanosecond
+		}
+	}
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	d := &SpanDoc{
+		Name:    s.name,
+		StartNS: s.start.Sub(origin).Nanoseconds(),
+		DurNS:   dur.Nanoseconds(),
+	}
+	if len(attrs) > 0 {
+		d.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			d.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range children {
+		d.Spans = append(d.Spans, c.doc(origin))
+	}
+	// Children were appended in completion-race order under parallelism;
+	// present them by start time so the tree reads chronologically.
+	sort.SliceStable(d.Spans, func(i, j int) bool {
+		return d.Spans[i].StartNS < d.Spans[j].StartNS
+	})
+	return d
+}
+
+// Find returns the first span in the doc tree (preorder) with the given
+// name, or nil. It is a convenience for tests and CLI validation.
+func (d *SpanDoc) Find(name string) *SpanDoc {
+	if d == nil {
+		return nil
+	}
+	if d.Name == name {
+		return d
+	}
+	for _, c := range d.Spans {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Count returns the number of spans in the doc tree with the given name.
+func (d *SpanDoc) Count(name string) int {
+	if d == nil {
+		return 0
+	}
+	n := 0
+	if d.Name == name {
+		n = 1
+	}
+	for _, c := range d.Spans {
+		n += c.Count(name)
+	}
+	return n
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("solve")
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx2, cover := StartSpan(ctx, "coverage")
+	if cover == nil {
+		t.Fatal("armed StartSpan returned nil span")
+	}
+	_, zone := StartSpan(ctx2, "zone")
+	zone.SetInt("index", 3)
+	zone.End()
+	cover.SetBool("feasible", true)
+	cover.End()
+
+	_, conn := StartSpan(ctx, "connectivity")
+	conn.End()
+	tr.Finish()
+
+	doc := tr.Doc()
+	if doc == nil || doc.Name != "solve" {
+		t.Fatalf("root doc = %+v", doc)
+	}
+	if len(doc.Spans) != 2 {
+		t.Fatalf("root children = %d, want 2", len(doc.Spans))
+	}
+	z := doc.Find("zone")
+	if z == nil {
+		t.Fatal("zone span not found")
+	}
+	if z.Attrs["index"] != "3" {
+		t.Fatalf("zone attrs = %v", z.Attrs)
+	}
+	if got := doc.Find("coverage").Attrs["feasible"]; got != "true" {
+		t.Fatalf("feasible attr = %q", got)
+	}
+	// Every span must report a non-zero duration, even on coarse clocks.
+	var walk func(d *SpanDoc)
+	walk = func(d *SpanDoc) {
+		if d.DurNS <= 0 {
+			t.Errorf("span %s has non-positive duration %d", d.Name, d.DurNS)
+		}
+		for _, c := range d.Spans {
+			walk(c)
+		}
+	}
+	walk(doc)
+}
+
+func TestDisarmedSpansAreNoOps(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything")
+	if s != nil {
+		t.Fatal("disarmed StartSpan returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("disarmed StartSpan changed the context")
+	}
+	// All methods must absorb a nil receiver.
+	s.SetAttr("k", "v")
+	s.SetInt("n", 1)
+	s.SetBool("b", true)
+	s.SetFloat("f", 1.5)
+	s.End()
+	if s.StartChild("child") != nil {
+		t.Fatal("nil StartChild returned a span")
+	}
+	if s.Name() != "" || s.Trace() != nil {
+		t.Fatal("nil span accessors not zero")
+	}
+	var tr *Trace
+	if tr.Root() != nil || tr.Doc() != nil {
+		t.Fatal("nil trace accessors not zero")
+	}
+	tr.Finish()
+}
+
+// TestDisarmedAllocFree pins the acceptance bound: instrumentation on a
+// context with no trace attached must not allocate at all (the criterion
+// allows <= 1 alloc per zone solve; we hold it to zero).
+func TestDisarmedAllocFree(t *testing.T) {
+	ctx := context.Background()
+	h := NewRegistry().NewHistogram("t", "", CountBuckets)
+	allocs := testing.AllocsPerRun(100, func() {
+		c2, s := StartSpan(ctx, "zone")
+		s.SetInt("index", 7)
+		s.SetBool("truncated", false)
+		s.End()
+		_, s2 := StartSpan(c2, "inner")
+		s2.End()
+		h.Observe(42)
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed instrumentation allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTrace("root")
+	ctx := WithTrace(context.Background(), tr)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "zone")
+			s.SetInt("index", int64(i))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	tr.Finish()
+	doc := tr.Doc()
+	if got := doc.Count("zone"); got != n {
+		t.Fatalf("zone spans = %d, want %d", got, n)
+	}
+	// All children must hang off the root, not each other.
+	for _, c := range doc.Spans {
+		if len(c.Spans) != 0 {
+			t.Fatalf("zone span %v has unexpected children", c.Attrs)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace("r")
+	s := tr.Root().StartChild("once")
+	s.End()
+	d1 := s.dur
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.dur != d1 {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestSetAttrLastWins(t *testing.T) {
+	tr := NewTrace("r")
+	s := tr.Root()
+	s.SetAttr("k", "a")
+	s.SetAttr("k", "b")
+	tr.Finish()
+	if got := tr.Doc().Attrs["k"]; got != "b" {
+		t.Fatalf("attr = %q, want b", got)
+	}
+	if len(tr.Doc().Attrs) != 1 {
+		t.Fatal("duplicate attr keys in doc")
+	}
+}
+
+func TestDocJSONShape(t *testing.T) {
+	tr := NewTrace("solve")
+	tr.Root().StartChild("zone_partition").End()
+	tr.Finish()
+	b, err := json.Marshal(tr.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"solve"`, `"dur_ns"`, `"zone_partition"`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("doc JSON %s missing %s", b, want)
+		}
+	}
+}
+
+func TestChildrenSortedByStart(t *testing.T) {
+	tr := NewTrace("r")
+	root := tr.Root()
+	a := root.StartChild("a")
+	time.Sleep(time.Millisecond)
+	b := root.StartChild("b")
+	// End out of order: b first.
+	b.End()
+	a.End()
+	tr.Finish()
+	doc := tr.Doc()
+	if len(doc.Spans) != 2 || doc.Spans[0].Name != "a" || doc.Spans[1].Name != "b" {
+		t.Fatalf("children not sorted by start: %v, %v", doc.Spans[0].Name, doc.Spans[1].Name)
+	}
+}

@@ -3,8 +3,10 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
+	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 )
 
@@ -16,7 +18,8 @@ import (
 //	GET    /v1/jobs/{id}/result the finished result document
 //	DELETE /v1/jobs/{id}        request cancellation
 //	GET    /healthz             liveness probe
-//	GET    /metrics             counters (JSON, expvar-style)
+//	GET    /metrics             counters (JSON; ?format=prometheus for
+//	                            text exposition with histograms)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -163,5 +166,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len()))
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len()))
+	case "prometheus":
+		// Two registries, one exposition: the per-server counters first,
+		// then the process-wide solver histograms (zone solve time, B&B
+		// nodes, LP pivots, job latency, queue wait).
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.prom.WritePrometheus(w)
+		_ = obs.Default.WritePrometheus(w)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown metrics format %q", format))
+	}
 }

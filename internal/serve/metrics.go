@@ -6,6 +6,7 @@ import (
 	"sagrelay/internal/core"
 	"sagrelay/internal/fault"
 	"sagrelay/internal/milp"
+	"sagrelay/internal/obs"
 )
 
 // Metrics holds the service's expvar-style counters: monotonically
@@ -47,20 +48,32 @@ type Metrics struct {
 	JournalRestored, JournalReplayed atomic.Int64
 }
 
-// metricsDoc is the JSON shape served by /metrics.
+// metricsSchema versions the /metrics JSON document. Bump it when keys are
+// added, renamed or change meaning, so scrapers can detect drift instead of
+// silently misreading counters. History:
+//
+//	sagmetrics/1  (implicit) the PR-3 document, no schema field
+//	sagmetrics/2  schema field added; Prometheus exposition at
+//	              /metrics?format=prometheus serves the same counters
+const metricsSchema = "sagmetrics/2"
+
+// metricsDoc is the JSON shape served by /metrics. Field order is the wire
+// order (encoding/json preserves struct order), so keys appear in a stable,
+// documented sequence: schema first, then counters grouped by subsystem.
 type metricsDoc struct {
-	JobsAccepted  int64 `json:"jobs_accepted"`
-	JobsRejected  int64 `json:"jobs_rejected"`
-	JobsCompleted int64 `json:"jobs_completed"`
-	JobsFailed    int64 `json:"jobs_failed"`
-	JobsCancelled int64 `json:"jobs_cancelled"`
-	JobsPanicked  int64 `json:"jobs_panicked"`
-	JobsDegraded  int64 `json:"jobs_degraded"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	CacheEntries  int   `json:"cache_entries"`
-	SolveMicros   int64 `json:"solve_micros_total"`
-	Solves        int64 `json:"solves"`
+	Schema        string `json:"schema"`
+	JobsAccepted  int64  `json:"jobs_accepted"`
+	JobsRejected  int64  `json:"jobs_rejected"`
+	JobsCompleted int64  `json:"jobs_completed"`
+	JobsFailed    int64  `json:"jobs_failed"`
+	JobsCancelled int64  `json:"jobs_cancelled"`
+	JobsPanicked  int64  `json:"jobs_panicked"`
+	JobsDegraded  int64  `json:"jobs_degraded"`
+	CacheHits     int64  `json:"cache_hits"`
+	CacheMisses   int64  `json:"cache_misses"`
+	CacheEntries  int    `json:"cache_entries"`
+	SolveMicros   int64  `json:"solve_micros_total"`
+	Solves        int64  `json:"solves"`
 	// BBNodes is the process-wide branch-and-bound node count from
 	// internal/milp — the solver-effort odometer behind ILP requests.
 	BBNodes int64 `json:"bb_nodes_total"`
@@ -80,6 +93,7 @@ type metricsDoc struct {
 
 func (m *Metrics) snapshot(cacheEntries int) metricsDoc {
 	return metricsDoc{
+		Schema:          metricsSchema,
 		JobsAccepted:    m.JobsAccepted.Load(),
 		JobsRejected:    m.JobsRejected.Load(),
 		JobsCompleted:   m.JobsCompleted.Load(),
@@ -101,4 +115,40 @@ func (m *Metrics) snapshot(cacheEntries int) metricsDoc {
 		JournalRestored: m.JournalRestored.Load(),
 		JournalReplayed: m.JournalReplayed.Load(),
 	}
+}
+
+// promRegistry builds the Prometheus-side view of the service counters.
+// Every series reads the same atomic the JSON snapshot reads, through a
+// closure, so the two expositions cannot drift: a value mismatch between
+// /metrics and /metrics?format=prometheus would mean a torn read, not a
+// wiring bug. Names mirror the JSON keys with a "sag_" prefix.
+func (s *Server) promRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	m := &s.metrics
+	counter := func(key, help string, fn func() int64) {
+		r.Counter("sag_"+key, help, fn)
+	}
+	counter("jobs_accepted", "Solve submissions admitted to the queue.", m.JobsAccepted.Load)
+	counter("jobs_rejected", "Submissions refused with backpressure or during shutdown.", m.JobsRejected.Load)
+	counter("jobs_completed", "Jobs that finished with a result document.", m.JobsCompleted.Load)
+	counter("jobs_failed", "Jobs that ended in a non-cancellation error.", m.JobsFailed.Load)
+	counter("jobs_cancelled", "Jobs ended by deadline, client cancel or shutdown.", m.JobsCancelled.Load)
+	counter("jobs_panicked", "Jobs whose solve panicked (also counted in jobs_failed).", m.JobsPanicked.Load)
+	counter("jobs_degraded", "Completed jobs that used a heuristic fallback stage.", m.JobsDegraded.Load)
+	counter("cache_hits", "Result-cache hits at submit time.", m.CacheHits.Load)
+	counter("cache_misses", "Result-cache misses at submit time.", m.CacheMisses.Load)
+	r.Gauge("sag_cache_entries", "Result documents currently cached.", func() int64 {
+		return int64(s.cache.len())
+	})
+	counter("solve_micros_total", "Accumulated wall-clock solver microseconds.", m.SolveMicros.Load)
+	counter("solves", "Completed solves behind solve_micros_total.", m.Solves.Load)
+	counter("bb_nodes_total", "Process-wide branch-and-bound nodes explored.", milp.TotalNodes)
+	counter("panics_recovered", "Process-wide panics converted into errors.", fault.RecoveredPanics)
+	counter("solver_retries_total", "Degradation-ladder stage retries.", core.TotalRetries)
+	counter("solver_fallbacks_total", "Degradation-ladder fallback activations.", core.TotalFallbacks)
+	counter("faults_injected_total", "Fired fault-injection rules.", fault.FiredTotal)
+	counter("journal_errors", "Journal append/compact/result-file failures.", m.JournalErrors.Load)
+	counter("journal_restored_jobs", "Jobs restored to a terminal state from the journal.", m.JournalRestored.Load)
+	counter("journal_replayed_jobs", "Journaled unfinished jobs re-submitted at startup.", m.JournalReplayed.Load)
+	return r
 }

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sagrelay/internal/scenario"
+)
+
+// fetchMetricsJSON decodes /metrics preserving key order.
+func fetchMetricsJSON(t *testing.T, base string) (map[string]json.Number, []string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[string]json.Number)
+	var order []string
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.UseNumber()
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		t.Fatalf("metrics document is not a JSON object: %v %v", tok, err)
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := keyTok.(string)
+		order = append(order, key)
+		var v any
+		if err := dec.Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		if n, ok := v.(json.Number); ok {
+			vals[key] = n
+		} else if s, ok := v.(string); ok && key == "schema" {
+			vals[key] = json.Number(strconv.Quote(s)) // carry the schema through
+		}
+	}
+	return vals, order
+}
+
+// fetchMetricsProm returns the sample value of every un-labelled Prometheus
+// series in /metrics?format=prometheus.
+func fetchMetricsProm(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatalf("GET /metrics?format=prometheus: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want a 0.0.4 text exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
+
+// TestMetricsExpositionsAgree asserts the JSON document and the Prometheus
+// exposition report identical values for every counter: both read the same
+// atomics, so any disagreement is a wiring bug.
+func TestMetricsExpositionsAgree(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Drive some real traffic so the counters are non-trivial.
+	job := submitAndWait(t, s, tinyScenario(t), SolveOptions{})
+	if job.status().State != StateDone {
+		t.Fatalf("solve job ended %v", job.status().State)
+	}
+	job2 := submitAndWait(t, s, tinyScenario(t), SolveOptions{}) // cache hit
+	if job2.status().State != StateDone {
+		t.Fatalf("cache-hit job ended %v", job2.status().State)
+	}
+
+	jsonVals, order := fetchMetricsJSON(t, ts.URL)
+	promVals := fetchMetricsProm(t, ts.URL)
+
+	if len(order) == 0 || order[0] != "schema" {
+		t.Fatalf("metrics key order = %v, want schema first", order)
+	}
+	if got := jsonVals["schema"]; got != json.Number(strconv.Quote(metricsSchema)) {
+		t.Errorf("schema = %s, want %q", got, metricsSchema)
+	}
+
+	checked := 0
+	for key, jv := range jsonVals {
+		if key == "schema" {
+			continue
+		}
+		want, err := jv.Float64()
+		if err != nil {
+			t.Fatalf("non-numeric metric %q = %s", key, jv)
+		}
+		got, ok := promVals["sag_"+key]
+		if !ok {
+			t.Errorf("JSON key %q has no sag_%s series in the Prometheus exposition", key, key)
+			continue
+		}
+		if got != want {
+			t.Errorf("metric %q: JSON %v, Prometheus %v", key, want, got)
+		}
+		checked++
+	}
+	if checked < 15 {
+		t.Fatalf("only %d counters compared; the JSON document shrank", checked)
+	}
+	if jsonVals["jobs_completed"] == "0" {
+		t.Error("jobs_completed is zero after two completed jobs")
+	}
+}
+
+// TestMetricsPrometheusHistograms asserts the exposition carries the solver
+// and service histograms, with the grammar ci.sh checks.
+func TestMetricsPrometheusHistograms(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	job := submitAndWait(t, s, tinyScenario(t), SolveOptions{})
+	if job.status().State != StateDone {
+		t.Fatalf("solve job ended %v", job.status().State)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// One +Inf bucket line per histogram: count them to know how many
+	// histograms the exposition carries.
+	infBuckets := regexp.MustCompile(`(?m)^[a-z_]+_bucket\{le="\+Inf"\} \d+$`).FindAllString(text, -1)
+	if len(infBuckets) < 5 {
+		t.Fatalf("exposition has %d histograms, want >= 5:\n%v", len(infBuckets), infBuckets)
+	}
+	for _, name := range []string{
+		"sag_job_latency_seconds", "sag_queue_wait_seconds",
+		"sag_zone_solve_seconds", "sag_bb_nodes_per_solve", "sag_lp_pivots_per_solve",
+	} {
+		if !strings.Contains(text, "# TYPE "+name+" histogram") {
+			t.Errorf("exposition lacks histogram %s", name)
+		}
+	}
+	// Job latency must have recorded the solve above.
+	if m := regexp.MustCompile(`(?m)^sag_job_latency_seconds_count (\d+)$`).FindStringSubmatch(text); m == nil || m[1] == "0" {
+		t.Error("sag_job_latency_seconds_count missing or zero after a solve")
+	}
+
+	// promtool-style line grammar over the whole exposition.
+	lineRE := regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE+.\-]+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \+Inf|)$`)
+	for _, line := range strings.Split(text, "\n") {
+		if !lineRE.MatchString(line) {
+			t.Errorf("exposition line fails grammar: %q", line)
+		}
+	}
+}
+
+func TestMetricsUnknownFormatRejected(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics?format=yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=yaml -> %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestResultDocCarriesTrace asserts the served result document embeds the
+// solve's span tree: a job root over the pipeline stages, each with a
+// non-zero duration — and that a cache hit replays the same trace bytes.
+func TestResultDocCarriesTrace(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+
+	job := submitAndWait(t, s, tinyScenario(t), SolveOptions{})
+	doc, state := job.resultBytes()
+	if state != StateDone {
+		t.Fatalf("job ended %v", state)
+	}
+	var res ResultDoc
+	if err := json.Unmarshal(doc, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("result document has no trace")
+	}
+	if res.Trace.Name != "job" {
+		t.Fatalf("trace root = %q, want job", res.Trace.Name)
+	}
+	if res.Trace.Attrs["job_id"] != job.ID {
+		t.Errorf("trace job_id = %q, want %q", res.Trace.Attrs["job_id"], job.ID)
+	}
+	stages := []string{"solve", "coverage", "coverage_power", "connectivity", "connectivity_power"}
+	for _, stage := range stages {
+		sp := res.Trace.Find(stage)
+		if sp == nil {
+			t.Errorf("trace lacks a %q span", stage)
+			continue
+		}
+		if sp.DurNS <= 0 {
+			t.Errorf("stage %q has non-positive duration %d", stage, sp.DurNS)
+		}
+	}
+	if res.Trace.Count("zone") == 0 {
+		t.Error("trace has no zone spans")
+	}
+
+	// Cache hit: byte-identical replay, original trace included.
+	job2 := submitAndWait(t, s, tinyScenario(t), SolveOptions{})
+	doc2, state2 := job2.resultBytes()
+	if state2 != StateDone {
+		t.Fatalf("cache-hit job ended %v", state2)
+	}
+	if string(doc) != string(doc2) {
+		t.Error("cache hit served different bytes than the original solve")
+	}
+}
+
+// submitAndWait submits one request and blocks until its job settles.
+func submitAndWait(t *testing.T, s *Server, sc *scenario.Scenario, opts SolveOptions) *Job {
+	t.Helper()
+	job, err := s.Submit(SolveRequest{Scenario: sc, Options: opts})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, job, 60*time.Second)
+	return job
+}

@@ -12,6 +12,7 @@ import (
 	"sagrelay/internal/core"
 	"sagrelay/internal/geom"
 	"sagrelay/internal/lower"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 )
 
@@ -201,12 +202,19 @@ func requestKey(sc *scenario.Scenario, opts SolveOptions) string {
 }
 
 // ResultDoc is the deterministic solve result served by the API and stored
-// in the cache. It deliberately carries no timing: wall-clock varies run
-// to run and would break the byte-identical replay guarantee. Timing lives
-// on the job status instead. The one exception is Degraded: a document with
-// Degraded set came from a heuristic fallback or a wall-clock-truncated
-// branch-and-bound incumbent, is timing-dependent, and is therefore never
-// cached or content-addressed (see runJob).
+// in the cache. The solution fields carry no timing: wall-clock varies run
+// to run and would break the byte-identical replay guarantee, so solve
+// timing lives on the job status instead. Two deliberate exceptions:
+//
+//   - Degraded: a document with Degraded set came from a heuristic fallback
+//     or a wall-clock-truncated branch-and-bound incumbent, is
+//     timing-dependent, and is therefore never cached or content-addressed
+//     (see runJob).
+//   - Trace: the span tree of the solve that actually produced this
+//     document. Cache hits and journal restores replay the original solve's
+//     trace verbatim — the document is addressed and replayed as a whole,
+//     so the trace describes the work that built the answer, not the
+//     (free) lookup that served it.
 type ResultDoc struct {
 	Method             string       `json:"method"`
 	Feasible           bool         `json:"feasible"`
@@ -219,6 +227,7 @@ type ResultDoc struct {
 	PTotal             float64      `json:"total_power,omitempty"`
 	NumCoverage        int          `json:"num_coverage_relays"`
 	NumConnectivity    int          `json:"num_connectivity_relays"`
+	Trace              *obs.SpanDoc `json:"trace,omitempty"`
 }
 
 // RelayDoc is one coverage relay in a ResultDoc.
@@ -254,5 +263,6 @@ func buildResultDoc(sol *core.Solution) ([]byte, error) {
 			doc.ConnectivityRelays = append(doc.ConnectivityRelays, r.Pos)
 		}
 	}
+	doc.Trace = sol.Trace.Doc()
 	return json.Marshal(&doc)
 }

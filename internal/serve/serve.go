@@ -25,6 +25,7 @@ import (
 
 	"sagrelay/internal/core"
 	"sagrelay/internal/fault"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
 )
@@ -32,6 +33,15 @@ import (
 // siteJob is the fault-injection point at the top of job execution; one
 // atomic load per job when injection is off.
 var siteJob = fault.Register("serve.job")
+
+// Service-level latency histograms live on the process-wide registry next
+// to the solver-internal ones, so one Prometheus exposition carries both.
+var (
+	jobLatencySeconds = obs.Default.NewHistogram("sag_job_latency_seconds",
+		"Wall-clock seconds from solve start to result (cache hits excluded).", obs.SecondsBuckets)
+	queueWaitSeconds = obs.Default.NewHistogram("sag_queue_wait_seconds",
+		"Seconds a job spent queued before a pool worker picked it up.", obs.SecondsBuckets)
+)
 
 // ErrShuttingDown reports a submission against a server that has begun
 // graceful shutdown.
@@ -90,6 +100,9 @@ type Server struct {
 	pool    *par.Pool
 	cache   *cache
 	metrics Metrics
+	// prom is the Prometheus-format view over the same counters the JSON
+	// snapshot reads (see promRegistry).
+	prom *obs.Registry
 
 	// baseCtx parents every job context; cancelAll aborts all in-flight
 	// solves during forced shutdown.
@@ -125,6 +138,7 @@ func NewServer(opts Options) (*Server, error) {
 		cancelAll: cancel,
 		jobs:      make(map[string]*Job),
 	}
+	s.prom = s.promRegistry()
 	if opts.DataDir != "" {
 		j, recs, err := openJournal(opts.DataDir)
 		if err != nil {
@@ -447,11 +461,18 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 		return
 	}
 	job.markRunning()
+	queueWaitSeconds.Observe(time.Since(job.created).Seconds())
 	s.jappend(jrec{T: recStart, ID: job.ID, Key: job.Key})
 	if err := fault.Check(siteJob); err != nil {
 		s.failJob(job, err.Error())
 		return
 	}
+
+	// Every job records a span tree: the "job" root plus the solver's own
+	// stage spans, serialized into the result document's trace field.
+	tr := obs.NewTrace("job")
+	tr.Root().SetAttr("job_id", job.ID)
+	ctx = obs.WithTrace(ctx, tr)
 
 	// Bind degrade overtime to forced shutdown: once the job's deadline has
 	// expired the ladder's detached context ignores ctx, so cancelAll must
@@ -459,8 +480,10 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 	cfg.HardStop = s.baseCtx.Done()
 
 	start := time.Now()
-	sol, err := core.RunContext(ctx, sc, cfg)
+	sol, err := core.Run(ctx, sc, cfg)
 	elapsed := time.Since(start)
+	tr.Finish()
+	jobLatencySeconds.Observe(elapsed.Seconds())
 
 	if err != nil {
 		if ctx.Err() != nil {

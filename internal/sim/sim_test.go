@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -15,7 +16,7 @@ func solved(t *testing.T, nSS int, seed int64) (*scenario.Scenario, *core.Soluti
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := core.SAG(sc, core.Config{})
+	sol, err := core.SAG(context.Background(), sc, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestFailureBounds(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		sol, err := core.SAG(sc, core.Config{})
+		sol, err := core.SAG(context.Background(), sc, core.Config{})
 		if err != nil || !sol.Feasible {
 			return true
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sagrelay/internal/lower"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 )
 
@@ -44,16 +45,19 @@ func BaselinePower(sc *scenario.Scenario, conn *Result) *PowerAllocation {
 // path; the steinerization of Alg. 7 splits an edge with N relays into N+1
 // sections, so the hop length here is distance/(N_i+1) — the spacing that
 // actually realizes the feasible-distance guarantee.)
-func UCPO(sc *scenario.Scenario, cover *lower.Result, conn *Result) (*PowerAllocation, error) {
-	return UCPOContext(context.Background(), sc, cover, conn)
-}
-
-// UCPOContext is UCPO with cooperative cancellation: a single entry check,
-// since the per-relay power formula is closed form.
-func UCPOContext(ctx context.Context, sc *scenario.Scenario, cover *lower.Result, conn *Result) (*PowerAllocation, error) {
+//
+// Cancellation is a single entry check, since the per-relay power formula
+// is closed form.
+func UCPO(ctx context.Context, sc *scenario.Scenario, cover *lower.Result, conn *Result) (*PowerAllocation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("upper: UCPO: %w", err)
 	}
+	_, span := obs.StartSpan(ctx, "ucpo")
+	span.SetInt("relays", int64(len(conn.Relays)))
+	defer span.End()
 	if err := conn.Verify(sc, cover); err != nil {
 		return nil, fmt.Errorf("upper: UCPO: %w", err)
 	}

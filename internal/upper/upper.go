@@ -21,6 +21,7 @@ import (
 	"sagrelay/internal/geom"
 	"sagrelay/internal/graph"
 	"sagrelay/internal/lower"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 )
 
@@ -91,42 +92,44 @@ func (r *Result) NumRelays() int { return len(r.Relays) }
 //     (Step 6; "equals the minimum feasible distance of all its children").
 //  5. Steinerize each tree edge with w2 = ceil(len/d) - 1 evenly spaced
 //     connectivity relays (Step 7).
-func MBMC(sc *scenario.Scenario, cover *lower.Result) (*Result, error) {
-	return buildTree(sc, cover, -1, "MBMC")
-}
-
-// MBMCContext is MBMC with cooperative cancellation. Tree construction is
-// fast (an MST over the coverage relays), so a single entry check keeps
-// the context chain unbroken through the pipeline without per-edge cost.
-func MBMCContext(ctx context.Context, sc *scenario.Scenario, cover *lower.Result) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("upper: MBMC: %w", err)
+//
+// Tree construction is fast (an MST over the coverage relays), so a single
+// entry check keeps the context chain unbroken through the pipeline without
+// per-edge cost.
+func MBMC(ctx context.Context, sc *scenario.Scenario, cover *lower.Result) (*Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("upper: MBMC: %w", err)
+		}
 	}
-	return buildTree(sc, cover, -1, "MBMC")
+	return buildTree(ctx, sc, cover, -1, "MBMC")
 }
 
 // MUST is the single-base-station baseline of [1]: identical tree
 // construction, but every coverage relay may only attach to the given base
-// station. MBMC reduces to MUST when one base station exists.
-func MUST(sc *scenario.Scenario, cover *lower.Result, bsIndex int) (*Result, error) {
+// station. MBMC reduces to MUST when one base station exists. Cancellation
+// behaves as in MBMC.
+func MUST(ctx context.Context, sc *scenario.Scenario, cover *lower.Result, bsIndex int) (*Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("upper: MUST: %w", err)
+		}
+	}
 	if bsIndex < 0 || bsIndex >= len(sc.BaseStations) {
 		return nil, fmt.Errorf("upper: MUST: base station %d out of range [0,%d)", bsIndex, len(sc.BaseStations))
 	}
-	return buildTree(sc, cover, bsIndex, "MUST")
-}
-
-// MUSTContext is MUST with cooperative cancellation; see MBMCContext.
-func MUSTContext(ctx context.Context, sc *scenario.Scenario, cover *lower.Result, bsIndex int) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("upper: MUST: %w", err)
-	}
-	return MUST(sc, cover, bsIndex)
+	return buildTree(ctx, sc, cover, bsIndex, "MUST")
 }
 
 // buildTree is the shared MBMC/MUST construction; onlyBS restricts base
 // station attachment when >= 0.
-func buildTree(sc *scenario.Scenario, cover *lower.Result, onlyBS int, method string) (*Result, error) {
+func buildTree(ctx context.Context, sc *scenario.Scenario, cover *lower.Result, onlyBS int, method string) (*Result, error) {
 	start := time.Now()
+	var span *obs.Span
+	if ctx != nil {
+		_, span = obs.StartSpan(ctx, "tree_build")
+		defer span.End()
+	}
 	if err := cover.Verify(sc, false); err != nil {
 		return nil, fmt.Errorf("upper: %s needs a feasible coverage result: %w", method, err)
 	}
@@ -244,6 +247,8 @@ func buildTree(sc *scenario.Scenario, cover *lower.Result, onlyBS int, method st
 		}
 		res.Edges = append(res.Edges, e)
 	}
+	span.SetInt("edges", int64(len(res.Edges)))
+	span.SetInt("relays", int64(len(res.Relays)))
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

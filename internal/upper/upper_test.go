@@ -1,6 +1,7 @@
 package upper
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -58,7 +59,7 @@ func TestMBMCSingleRelayDirect(t *testing.T) {
 		[]lower.Relay{{Pos: geom.Pt(100, 0), Covers: []int{0}}},
 		[]scenario.Subscriber{{Pos: geom.Pt(110, 0), DistReq: 30}},
 	)
-	res, err := MBMC(sc, cover)
+	res, err := MBMC(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestMBMCPicksNearestBS(t *testing.T) {
 		[]lower.Relay{{Pos: geom.Pt(60, 0), Covers: []int{0}}},
 		[]scenario.Subscriber{{Pos: geom.Pt(65, 0), DistReq: 35}},
 	)
-	res, err := MBMC(sc, cover)
+	res, err := MBMC(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestMUSTForcesGivenBS(t *testing.T) {
 		[]lower.Relay{{Pos: geom.Pt(60, 0), Covers: []int{0}}},
 		[]scenario.Subscriber{{Pos: geom.Pt(65, 0), DistReq: 35}},
 	)
-	res, err := MUST(sc, cover, 0)
+	res, err := MUST(context.Background(), sc, cover, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,14 +112,14 @@ func TestMUSTForcesGivenBS(t *testing.T) {
 		t.Errorf("attached to BS %d, want forced (0)", res.Edges[0].ParentBS)
 	}
 	// The far BS needs more relays than MBMC's nearest choice.
-	mbmc, err := MBMC(sc, cover)
+	mbmc, err := MBMC(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.NumRelays() <= mbmc.NumRelays() {
 		t.Errorf("MUST to far BS placed %d <= MBMC %d", res.NumRelays(), mbmc.NumRelays())
 	}
-	if _, err := MUST(sc, cover, 7); err == nil {
+	if _, err := MUST(context.Background(), sc, cover, 7); err == nil {
 		t.Error("out-of-range BS accepted")
 	}
 }
@@ -137,7 +138,7 @@ func TestMBMCRoutesThroughRelays(t *testing.T) {
 			{Pos: geom.Pt(165, 0), DistReq: 30},
 		},
 	)
-	res, err := MBMC(sc, cover)
+	res, err := MBMC(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestFeasibleDistancePropagation(t *testing.T) {
 			{Pos: geom.Pt(145, 0), DistReq: 20},
 		},
 	)
-	res, err := MBMC(sc, cover)
+	res, err := MBMC(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestMBMCZeroLengthEdge(t *testing.T) {
 		[]lower.Relay{{Pos: geom.Pt(0, 0), Covers: []int{0}}},
 		[]scenario.Subscriber{{Pos: geom.Pt(5, 0), DistReq: 30}},
 	)
-	res, err := MBMC(sc, cover)
+	res, err := MBMC(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,11 +213,11 @@ func TestUCPOPowers(t *testing.T) {
 		[]lower.Relay{{Pos: geom.Pt(100, 0), Covers: []int{0}}},
 		[]scenario.Subscriber{{Pos: geom.Pt(110, 0), DistReq: 30}},
 	)
-	conn, err := MBMC(sc, cover)
+	conn, err := MBMC(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
-	alloc, err := UCPO(sc, cover, conn)
+	alloc, err := UCPO(context.Background(), sc, cover, conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,15 +244,15 @@ func TestUCPONeverExceedsPMax(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		cover, err := lower.SAMC(context.Background(), sc, lower.SAMCOptions{})
 		if err != nil || !cover.Feasible {
 			return true // skip infeasible draws
 		}
-		conn, err := MBMC(sc, cover)
+		conn, err := MBMC(context.Background(), sc, cover)
 		if err != nil {
 			return false
 		}
-		alloc, err := UCPO(sc, cover, conn)
+		alloc, err := UCPO(context.Background(), sc, cover, conn)
 		if err != nil {
 			return false
 		}
@@ -274,16 +275,16 @@ func TestMBMCNeverWorseThanEveryMUST(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		cover, err := lower.SAMC(sc, lower.SAMCOptions{})
+		cover, err := lower.SAMC(context.Background(), sc, lower.SAMCOptions{})
 		if err != nil || !cover.Feasible {
 			return true
 		}
-		mbmc, err := MBMC(sc, cover)
+		mbmc, err := MBMC(context.Background(), sc, cover)
 		if err != nil {
 			return false
 		}
 		for b := range sc.BaseStations {
-			must, err := MUST(sc, cover, b)
+			must, err := MUST(context.Background(), sc, cover, b)
 			if err != nil {
 				return false
 			}
@@ -307,7 +308,7 @@ func TestEmptyCoverageYieldsEmptyPlan(t *testing.T) {
 	empty := &lower.Result{Feasible: true, Relays: nil, AssignOf: []int{}}
 	// An empty coverage result fails Verify because the subscriber is
 	// uncovered; MBMC must reject it.
-	if _, err := MBMC(sc, empty); err == nil {
+	if _, err := MBMC(context.Background(), sc, empty); err == nil {
 		t.Error("MBMC accepted a coverage result that covers nobody")
 	}
 	_ = cover
@@ -319,7 +320,7 @@ func TestVerifyCatchesCorruptPlans(t *testing.T) {
 		[]lower.Relay{{Pos: geom.Pt(100, 0), Covers: []int{0}}},
 		[]scenario.Subscriber{{Pos: geom.Pt(110, 0), DistReq: 30}},
 	)
-	res, err := MBMC(sc, cover)
+	res, err := MBMC(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package viz
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +17,7 @@ func fixture(t *testing.T) (*scenario.Scenario, *core.Solution) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := core.SAG(sc, core.Config{})
+	sol, err := core.SAG(context.Background(), sc, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,19 +28,28 @@
 //		FieldSide: 500, NumSS: 30, NumBS: 4, Seed: 1,
 //	})
 //	if err != nil { ... }
-//	sol, err := sagrelay.SAG(sc, sagrelay.Config{})
+//	sol, err := sagrelay.SAG(context.Background(), sc, sagrelay.Config{})
 //	if err != nil { ... }
 //	fmt.Println(sol.TotalRelays(), sol.PTotal)
+//
+// Every solve function takes a context.Context first: cancellation and
+// deadlines propagate down to the branch-and-bound node loops and simplex
+// pivot iterations, and a context armed with WithTrace collects a per-stage
+// span tree on Solution.Trace.
 //
 // The experiment harness regenerating every table and figure of the
 // paper's evaluation lives behind RunExperiment and cmd/sagbench.
 package sagrelay
 
 import (
+	"context"
+	"fmt"
+
 	"sagrelay/internal/core"
 	"sagrelay/internal/experiment"
 	"sagrelay/internal/geom"
 	"sagrelay/internal/lower"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/radio"
 	"sagrelay/internal/scenario"
 	"sagrelay/internal/sim"
@@ -136,28 +145,28 @@ type (
 )
 
 // SAMC runs the SNR Aware Minimum Coverage heuristic (Alg. 1).
-func SAMC(sc *Scenario, opts SAMCOptions) (*CoverageResult, error) {
-	return lower.SAMC(sc, opts)
+func SAMC(ctx context.Context, sc *Scenario, opts SAMCOptions) (*CoverageResult, error) {
+	return lower.SAMC(ctx, sc, opts)
 }
 
 // IAC solves the coverage ILP over intersection candidates (Fig. 2a).
-func IAC(sc *Scenario, opts ILPOptions) (*CoverageResult, error) {
-	return lower.IAC(sc, opts)
+func IAC(ctx context.Context, sc *Scenario, opts ILPOptions) (*CoverageResult, error) {
+	return lower.IAC(ctx, sc, opts)
 }
 
 // GAC solves the coverage ILP over grid candidates (Fig. 2b).
-func GAC(sc *Scenario, opts ILPOptions) (*CoverageResult, error) {
-	return lower.GAC(sc, opts)
+func GAC(ctx context.Context, sc *Scenario, opts ILPOptions) (*CoverageResult, error) {
+	return lower.GAC(ctx, sc, opts)
 }
 
 // PRO runs Power Reduction Optimization (Alg. 6) on a coverage result.
-func PRO(sc *Scenario, res *CoverageResult) (*CoveragePowerAllocation, error) {
-	return lower.PRO(sc, res)
+func PRO(ctx context.Context, sc *Scenario, res *CoverageResult) (*CoveragePowerAllocation, error) {
+	return lower.PRO(ctx, sc, res)
 }
 
 // OptimalCoveragePower solves the exact LPQC power optimum (eqs. 3.6-3.9).
-func OptimalCoveragePower(sc *Scenario, res *CoverageResult) (*CoveragePowerAllocation, error) {
-	return lower.OptimalPower(sc, res)
+func OptimalCoveragePower(ctx context.Context, sc *Scenario, res *CoverageResult) (*CoveragePowerAllocation, error) {
+	return lower.OptimalPower(ctx, sc, res)
 }
 
 // ZonePartition runs Algorithm 2, returning subscriber-index groups.
@@ -176,18 +185,18 @@ type (
 )
 
 // MBMC runs Multiple Base station Minimum Connectivity (Alg. 7).
-func MBMC(sc *Scenario, cover *CoverageResult) (*ConnectivityResult, error) {
-	return upper.MBMC(sc, cover)
+func MBMC(ctx context.Context, sc *Scenario, cover *CoverageResult) (*ConnectivityResult, error) {
+	return upper.MBMC(ctx, sc, cover)
 }
 
 // MUST runs the single-base-station baseline of [1].
-func MUST(sc *Scenario, cover *CoverageResult, bsIndex int) (*ConnectivityResult, error) {
-	return upper.MUST(sc, cover, bsIndex)
+func MUST(ctx context.Context, sc *Scenario, cover *CoverageResult, bsIndex int) (*ConnectivityResult, error) {
+	return upper.MUST(ctx, sc, cover, bsIndex)
 }
 
 // UCPO runs Upper-tier Connectivity Power Optimization (Alg. 8).
-func UCPO(sc *Scenario, cover *CoverageResult, conn *ConnectivityResult) (*ConnectivityPowerAllocation, error) {
-	return upper.UCPO(sc, cover, conn)
+func UCPO(ctx context.Context, sc *Scenario, cover *CoverageResult, conn *ConnectivityResult) (*ConnectivityPowerAllocation, error) {
+	return upper.UCPO(ctx, sc, cover, conn)
 }
 
 // Pipelines.
@@ -217,15 +226,40 @@ const (
 )
 
 // SAG runs the full SNR-Aware Green pipeline (Alg. 9).
-func SAG(sc *Scenario, cfg Config) (*Solution, error) { return core.SAG(sc, cfg) }
+func SAG(ctx context.Context, sc *Scenario, cfg Config) (*Solution, error) {
+	return core.SAG(ctx, sc, cfg)
+}
 
 // DARP runs an "X+DARP" baseline pipeline (Section IV-D).
-func DARP(sc *Scenario, coverage CoverageMethod, cfg Config) (*Solution, error) {
-	return core.DARP(sc, coverage, cfg)
+func DARP(ctx context.Context, sc *Scenario, coverage CoverageMethod, cfg Config) (*Solution, error) {
+	return core.DARP(ctx, sc, coverage, cfg)
 }
 
 // RunPipeline executes an arbitrary stage configuration.
-func RunPipeline(sc *Scenario, cfg Config) (*Solution, error) { return core.Run(sc, cfg) }
+func RunPipeline(ctx context.Context, sc *Scenario, cfg Config) (*Solution, error) {
+	return core.Run(ctx, sc, cfg)
+}
+
+// Observability.
+type (
+	// Trace collects a span tree for one solve. Arm a context with
+	// WithTrace before calling SAG/RunPipeline and the finished tree
+	// appears on Solution.Trace.
+	Trace = obs.Trace
+	// Span is one timed region of a trace.
+	Span = obs.Span
+	// SpanDoc is the JSON-serializable snapshot of a span tree
+	// (Trace.Doc).
+	SpanDoc = obs.SpanDoc
+)
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// WithTrace arms ctx so solve functions record spans into t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return obs.WithTrace(ctx, t)
+}
 
 // Experiments.
 type (
@@ -236,8 +270,12 @@ type (
 )
 
 // RunExperiment regenerates the identified paper artifact ("fig3a" ...
-// "fig7c", "table2").
-func RunExperiment(id string, cfg ExperimentConfig) (*ResultTable, error) {
+// "fig7c", "table2"). The context cancels in-flight runs; an explicit
+// ExperimentConfig.Ctx takes precedence for backward compatibility.
+func RunExperiment(ctx context.Context, id string, cfg ExperimentConfig) (*ResultTable, error) {
+	if cfg.Ctx == nil {
+		cfg.Ctx = ctx
+	}
 	return experiment.Run(id, cfg)
 }
 
@@ -270,28 +308,53 @@ const (
 	FailConnectivity = sim.FailConnectivity
 )
 
+// ctxEntry is the shared entry check for facade functions whose internals
+// are fast, bounded computations: honour an already-cancelled context
+// without threading ctx through layers that would never poll it.
+func ctxEntry(ctx context.Context, what string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sagrelay: %s: %w", what, err)
+	}
+	return nil
+}
+
 // Evaluate walks every subscriber's path in a solved deployment and
 // reports per-hop SNRs, Shannon capacities and end-to-end bottlenecks.
-func Evaluate(sc *Scenario, sol *Solution, opts SimOptions) (*SimReport, error) {
+func Evaluate(ctx context.Context, sc *Scenario, sol *Solution, opts SimOptions) (*SimReport, error) {
+	if err := ctxEntry(ctx, "evaluate"); err != nil {
+		return nil, err
+	}
 	return sim.Evaluate(sc, sol, opts)
 }
 
 // InjectFailure computes which subscribers lose service when one relay
 // fails.
-func InjectFailure(sc *Scenario, sol *Solution, f Failure) (*FailureReport, error) {
+func InjectFailure(ctx context.Context, sc *Scenario, sol *Solution, f Failure) (*FailureReport, error) {
+	if err := ctxEntry(ctx, "inject failure"); err != nil {
+		return nil, err
+	}
 	return sim.InjectFailure(sc, sol, f)
 }
 
 // WorstSingleFailure scans all relays and returns the most damaging single
 // failure.
-func WorstSingleFailure(sc *Scenario, sol *Solution) (*FailureReport, error) {
+func WorstSingleFailure(ctx context.Context, sc *Scenario, sol *Solution) (*FailureReport, error) {
+	if err := ctxEntry(ctx, "worst single failure"); err != nil {
+		return nil, err
+	}
 	return sim.WorstSingleFailure(sc, sol)
 }
 
 // RunTraffic simulates slotted store-and-forward downlink traffic over a
 // solved deployment and reports delivery ratios, delays and queue
 // pressure.
-func RunTraffic(sc *Scenario, sol *Solution, opts TrafficOptions) (*TrafficReport, error) {
+func RunTraffic(ctx context.Context, sc *Scenario, sol *Solution, opts TrafficOptions) (*TrafficReport, error) {
+	if err := ctxEntry(ctx, "traffic simulation"); err != nil {
+		return nil, err
+	}
 	return sim.RunTraffic(sc, sol, opts)
 }
 
@@ -304,20 +367,20 @@ type (
 
 // DualCoverage places 2-fold coverage: every subscriber keeps a backup
 // access relay, surviving any single coverage-relay failure.
-func DualCoverage(sc *Scenario, opts SAMCOptions) (*DualCoverageResult, error) {
-	return lower.DualCoverage(sc, opts)
+func DualCoverage(ctx context.Context, sc *Scenario, opts SAMCOptions) (*DualCoverageResult, error) {
+	return lower.DualCoverage(ctx, sc, opts)
 }
 
 // DistanceCoverage runs the DARP [1] lower tier: distance-only coverage
 // with no SNR awareness (audit the damage with SNRViolations).
-func DistanceCoverage(sc *Scenario, opts SAMCOptions) (*CoverageResult, error) {
-	return lower.DistanceCoverage(sc, opts)
+func DistanceCoverage(ctx context.Context, sc *Scenario, opts SAMCOptions) (*CoverageResult, error) {
+	return lower.DistanceCoverage(ctx, sc, opts)
 }
 
 // SNRViolations counts subscribers whose Definition 2 SNR falls below the
 // scenario threshold under a coverage result at PMax.
-func SNRViolations(sc *Scenario, res *CoverageResult) (int, error) {
-	return lower.SNRViolations(sc, res)
+func SNRViolations(ctx context.Context, sc *Scenario, res *CoverageResult) (int, error) {
+	return lower.SNRViolations(ctx, sc, res)
 }
 
 // Visualization.

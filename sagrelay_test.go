@@ -1,6 +1,7 @@
 package sagrelay
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SAG(sc, Config{})
+	sol, err := SAG(context.Background(), sc, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,33 +34,33 @@ func TestFacadeTierAPIs(t *testing.T) {
 	if err != nil || len(zones) == 0 {
 		t.Fatalf("ZonePartition: %v (%d zones)", err, len(zones))
 	}
-	cover, err := SAMC(sc, SAMCOptions{})
+	cover, err := SAMC(context.Background(), sc, SAMCOptions{})
 	if err != nil || !cover.Feasible {
 		t.Fatalf("SAMC: %v", err)
 	}
-	pro, err := PRO(sc, cover)
+	pro, err := PRO(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := OptimalCoveragePower(sc, cover)
+	opt, err := OptimalCoveragePower(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opt.Total > pro.Total+1e-6 {
 		t.Errorf("optimal %v above PRO %v", opt.Total, pro.Total)
 	}
-	conn, err := MBMC(sc, cover)
+	conn, err := MBMC(context.Background(), sc, cover)
 	if err != nil {
 		t.Fatal(err)
 	}
-	must, err := MUST(sc, cover, 0)
+	must, err := MUST(context.Background(), sc, cover, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if conn.NumRelays() > must.NumRelays() {
 		t.Errorf("MBMC %d above MUST %d", conn.NumRelays(), must.NumRelays())
 	}
-	ucpo, err := UCPO(sc, cover, conn)
+	ucpo, err := UCPO(context.Background(), sc, cover, conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFacadeExperiments(t *testing.T) {
 	if len(ids) != 18 {
 		t.Errorf("got %d experiment ids", len(ids))
 	}
-	if _, err := RunExperiment("bogus", ExperimentConfig{}); err == nil {
+	if _, err := RunExperiment(context.Background(), "bogus", ExperimentConfig{}); err == nil {
 		t.Error("bogus experiment accepted")
 	}
 }
@@ -131,11 +132,11 @@ func TestFacadeDARP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	darp, err := DARP(sc, CoverSAMC, Config{})
+	darp, err := DARP(context.Background(), sc, CoverSAMC, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sag, err := SAG(sc, Config{})
+	sag, err := SAG(context.Background(), sc, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestFacadeCustomPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := RunPipeline(sc, Config{
+	sol, err := RunPipeline(context.Background(), sc, Config{
 		Coverage:          CoverSAMC,
 		CoveragePower:     PowerOptimal,
 		Connectivity:      ConnMUST,
