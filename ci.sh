@@ -5,6 +5,8 @@
 #                    # worker-count determinism regression)
 #   ./ci.sh -full    # additionally run the full-size Fig3a determinism
 #                    # check (minutes of branch-and-bound)
+#   ./ci.sh bench    # run the solver benchmark suite and write BENCH.json
+#                    # (machine-readable ns/op, allocs/op, nodes, pivots)
 #
 # The -race run covers every package, so the parallel experiment harness
 # and the per-zone solvers are exercised under the race detector on every
@@ -13,6 +15,10 @@
 set -eu
 
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "bench" ]; then
+	exec go run ./cmd/sagbench -bench-json "${2:-BENCH.json}"
+fi
 
 MODE=short
 if [ "${1:-}" = "-full" ]; then
@@ -52,6 +58,19 @@ go test -race -tags faultinject -run Chaos -count=1 -timeout 20m ./internal/serv
 
 echo "== sagserved -smoke-recovery"
 go run ./cmd/sagserved -smoke-recovery
+
+# Performance gates for the branch-and-bound hot path. The pivot-regression
+# gate solves the pinned ILPQC benchmark instance and fails if the total
+# simplex pivot count regresses past the recorded budget (half the
+# pre-warm-start baseline, so the >= 2x reduction is enforced, not just
+# recorded). The -race warm-start pass hammers the per-Solver basis
+# buffers from concurrent goroutines to prove warm-start state never leaks
+# across solvers.
+echo "== go test -run TestPivotRegressionGate ./internal/milp/"
+go test -count=1 -run TestPivotRegressionGate ./internal/milp/
+
+echo "== go test -race -run 'Warm' ./internal/lp/ ./internal/milp/"
+go test -race -count=1 -run 'Warm' -timeout 10m ./internal/lp/ ./internal/milp/
 
 # Observability gate: a traced sagcli solve must emit a span tree covering
 # every pipeline stage. (The Prometheus exposition grammar is gated inside

@@ -1,0 +1,130 @@
+// Package benchprob builds the representative benchmark problem instances
+// shared by the internal/lp and internal/milp benchmarks, tests, and the
+// cmd/sagbench -bench-json emitter. Keeping one copy of the ILPQC fixture
+// guarantees every consumer measures the identical model — pivot counts and
+// node counts recorded across PRs stay comparable.
+package benchprob
+
+import (
+	"fmt"
+	"math"
+
+	"sagrelay/internal/lp"
+)
+
+// ILPQC constructs a representative per-zone ILPQC coverage instance
+// (eqs. 3.1-3.5 of the paper): n subscribers, nC candidate positions,
+// binary placement variables T_i and assignment variables T_ij, the
+// coverage/link constraints (3.2)-(3.3) and the big-M linearized SNR rows
+// (3.5). It mirrors what sagrelay/internal/lower builds for each
+// Zone-Partition zone, sized at the MaxZoneSS default. The returned isInt
+// marks every variable integer.
+//
+// Gains are synthetic but follow the same 1/d^3 decay shape as the two-ray
+// model, so the numerical profile (many small coefficients, a few dominant
+// ones) matches the real per-zone solves. Construction is static; failures
+// are programming errors and panic.
+func ILPQC() (*lp.Problem, []bool) {
+	p := ILPQCRelaxation()
+	isInt := make([]bool, p.NumVariables())
+	for i := range isInt {
+		isInt[i] = true
+	}
+	return p, isInt
+}
+
+// ILPQCRelaxation constructs the LP relaxation of the ILPQC instance — the
+// exact relaxation branch-and-bound re-solves at every node.
+func ILPQCRelaxation() *lp.Problem {
+	const (
+		n    = 8  // subscribers in the zone (MaxZoneSS default is 10)
+		nC   = 14 // candidate positions
+		beta = 0.05
+	)
+	// Synthetic candidate-subscriber distances on a line: candidate i sits
+	// at 10*i, subscriber j at 10*j + 3. Coverage radius 25.
+	w := make([][]float64, nC)
+	covers := make([][]bool, nC)
+	for i := 0; i < nC; i++ {
+		w[i] = make([]float64, n)
+		covers[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			d := math.Abs(float64(10*i) - float64(10*j+3))
+			if d < 1 {
+				d = 1
+			}
+			w[i][j] = 1 / (d * d * d)
+			covers[i][j] = d <= 25
+		}
+	}
+
+	p := lp.NewProblem()
+	tVar := make([]int, nC)
+	for i := range tVar {
+		tVar[i] = p.AddVariable("T", 1)
+		must(p.SetUpperBound(tVar[i], 1))
+	}
+	pairVar := make(map[[2]int]int)
+	for i := 0; i < nC; i++ {
+		for j := 0; j < n; j++ {
+			if covers[i][j] {
+				v := p.AddVariable("Tij", 0)
+				must(p.SetUpperBound(v, 1))
+				pairVar[[2]int{i, j}] = v
+			}
+		}
+	}
+	// (3.2): T_i <= sum_j T_ij <= n*T_i.
+	for i := 0; i < nC; i++ {
+		low := []lp.Term{{Var: tVar[i], Coef: 1}}
+		high := []lp.Term{{Var: tVar[i], Coef: -float64(n)}}
+		for j := 0; j < n; j++ {
+			if v, ok := pairVar[[2]int{i, j}]; ok {
+				low = append(low, lp.Term{Var: v, Coef: -1})
+				high = append(high, lp.Term{Var: v, Coef: 1})
+			}
+		}
+		must(p.AddConstraint(low, lp.LE, 0))
+		must(p.AddConstraint(high, lp.LE, 0))
+	}
+	// (3.3): exactly one access link per subscriber.
+	for j := 0; j < n; j++ {
+		var terms []lp.Term
+		for i := 0; i < nC; i++ {
+			if v, ok := pairVar[[2]int{i, j}]; ok {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+		}
+		if len(terms) == 0 {
+			panic("benchprob: subscriber uncovered in fixture")
+		}
+		must(p.AddConstraint(terms, lp.EQ, 1))
+	}
+	// (3.5) big-M linearized per feasible pair.
+	for j := 0; j < n; j++ {
+		mj := 0.0
+		for k := 0; k < nC; k++ {
+			mj += w[k][j]
+		}
+		for i := 0; i < nC; i++ {
+			v, ok := pairVar[[2]int{i, j}]
+			if !ok {
+				continue
+			}
+			terms := make([]lp.Term, 0, nC+2)
+			for k := 0; k < nC; k++ {
+				terms = append(terms, lp.Term{Var: tVar[k], Coef: w[k][j]})
+			}
+			terms = append(terms, lp.Term{Var: tVar[i], Coef: -w[i][j]})
+			terms = append(terms, lp.Term{Var: v, Coef: mj})
+			must(p.AddConstraint(terms, lp.LE, w[i][j]/beta+mj))
+		}
+	}
+	return p
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("benchprob: static fixture construction failed: %v", err))
+	}
+}

@@ -1,0 +1,50 @@
+package lp
+
+// VarStatus is the state of one column — a structural variable or a
+// constraint logical — in the bounded-variable view of a simplex basis.
+type VarStatus int8
+
+// Column states. AtLower is the zero value so a zeroed status slice is the
+// natural all-at-lower-bound starting point.
+const (
+	// AtLower marks a nonbasic column sitting at its lower bound.
+	AtLower VarStatus = iota
+	// AtUpper marks a nonbasic column sitting at its (finite) upper bound.
+	AtUpper
+	// Basic marks a column currently in the basis.
+	Basic
+)
+
+// Basis is a compact snapshot of a simplex basis over the bounded-variable
+// form of a problem: one status per structural variable followed by one per
+// constraint row's logical (slack) variable. It is the warm-start currency
+// between a branch-and-bound parent and its children — one byte per column,
+// so retaining a Basis per open search-tree node costs
+// (variables + constraints) bytes, a few hundred bytes for a per-zone ILPQC
+// instance.
+//
+// A Basis is immutable by convention: WarmSolve never modifies its input,
+// so one Basis may be shared (by pointer) between both children of a
+// branch-and-bound node.
+type Basis struct {
+	status []VarStatus
+}
+
+// Len returns the number of columns (variables + constraints) covered.
+func (b *Basis) Len() int { return len(b.status) }
+
+// NumBasic returns the number of columns marked Basic.
+func (b *Basis) NumBasic() int {
+	n := 0
+	for _, s := range b.status {
+		if s == Basic {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (b *Basis) Clone() *Basis {
+	return &Basis{status: append([]VarStatus(nil), b.status...)}
+}

@@ -1,126 +1,19 @@
 package lp_test
 
 import (
-	"math"
+	"context"
 	"testing"
 
+	"sagrelay/internal/benchprob"
 	"sagrelay/internal/lp"
 )
 
-// buildILPQCRelaxation constructs the LP relaxation of a representative
-// per-zone ILPQC coverage instance (eqs. 3.1-3.5 of the paper): n
-// subscribers, nC candidate positions, binary placement variables T_i and
-// assignment variables T_ij with the big-M linearized SNR rows. Gains are
-// synthetic but follow the same 1/d^3 decay shape as the two-ray model, so
-// the numerical profile (many small coefficients, a few dominant ones)
-// matches the real per-zone solves.
-func buildILPQCRelaxation(tb testing.TB) *lp.Problem {
-	tb.Helper()
-	const (
-		n    = 8  // subscribers in the zone (MaxZoneSS default is 10)
-		nC   = 14 // candidate positions
-		beta = 0.05
-	)
-	// Synthetic candidate-subscriber distances on a line: candidate i sits
-	// at 10*i, subscriber j at 10*j + 3. Coverage radius 25.
-	w := make([][]float64, nC)
-	covers := make([][]bool, nC)
-	for i := 0; i < nC; i++ {
-		w[i] = make([]float64, n)
-		covers[i] = make([]bool, n)
-		for j := 0; j < n; j++ {
-			d := math.Abs(float64(10*i) - float64(10*j+3))
-			if d < 1 {
-				d = 1
-			}
-			w[i][j] = 1 / (d * d * d)
-			covers[i][j] = d <= 25
-		}
-	}
-
-	p := lp.NewProblem()
-	tVar := make([]int, nC)
-	for i := range tVar {
-		tVar[i] = p.AddVariable("T", 1)
-		if err := p.SetUpperBound(tVar[i], 1); err != nil {
-			tb.Fatal(err)
-		}
-	}
-	pairVar := make(map[[2]int]int)
-	for i := 0; i < nC; i++ {
-		for j := 0; j < n; j++ {
-			if covers[i][j] {
-				v := p.AddVariable("Tij", 0)
-				if err := p.SetUpperBound(v, 1); err != nil {
-					tb.Fatal(err)
-				}
-				pairVar[[2]int{i, j}] = v
-			}
-		}
-	}
-	// (3.2): T_i <= sum_j T_ij <= n*T_i.
-	for i := 0; i < nC; i++ {
-		low := []lp.Term{{Var: tVar[i], Coef: 1}}
-		high := []lp.Term{{Var: tVar[i], Coef: -float64(n)}}
-		for j := 0; j < n; j++ {
-			if v, ok := pairVar[[2]int{i, j}]; ok {
-				low = append(low, lp.Term{Var: v, Coef: -1})
-				high = append(high, lp.Term{Var: v, Coef: 1})
-			}
-		}
-		if err := p.AddConstraint(low, lp.LE, 0); err != nil {
-			tb.Fatal(err)
-		}
-		if err := p.AddConstraint(high, lp.LE, 0); err != nil {
-			tb.Fatal(err)
-		}
-	}
-	// (3.3): exactly one access link per subscriber.
-	for j := 0; j < n; j++ {
-		var terms []lp.Term
-		for i := 0; i < nC; i++ {
-			if v, ok := pairVar[[2]int{i, j}]; ok {
-				terms = append(terms, lp.Term{Var: v, Coef: 1})
-			}
-		}
-		if len(terms) == 0 {
-			tb.Fatal("subscriber uncovered in fixture")
-		}
-		if err := p.AddConstraint(terms, lp.EQ, 1); err != nil {
-			tb.Fatal(err)
-		}
-	}
-	// (3.5) big-M linearized per feasible pair.
-	for j := 0; j < n; j++ {
-		mj := 0.0
-		for k := 0; k < nC; k++ {
-			mj += w[k][j]
-		}
-		for i := 0; i < nC; i++ {
-			v, ok := pairVar[[2]int{i, j}]
-			if !ok {
-				continue
-			}
-			terms := make([]lp.Term, 0, nC+2)
-			for k := 0; k < nC; k++ {
-				terms = append(terms, lp.Term{Var: tVar[k], Coef: w[k][j]})
-			}
-			terms = append(terms, lp.Term{Var: tVar[i], Coef: -w[i][j]})
-			terms = append(terms, lp.Term{Var: v, Coef: mj})
-			if err := p.AddConstraint(terms, lp.LE, w[i][j]/beta+mj); err != nil {
-				tb.Fatal(err)
-			}
-		}
-	}
-	return p
-}
-
 // BenchmarkLPSolve measures one simplex solve of the representative
-// per-zone ILPQC relaxation — the exact relaxation branch-and-bound
-// re-solves at every node, so allocs/op here multiply across the whole
-// search tree.
+// per-zone ILPQC relaxation (built by sagrelay/internal/benchprob) — the
+// exact relaxation branch-and-bound re-solves at every node, so allocs/op
+// here multiply across the whole search tree.
 func BenchmarkLPSolve(b *testing.B) {
-	p := buildILPQCRelaxation(b)
+	p := benchprob.ILPQCRelaxation()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -138,12 +31,40 @@ func BenchmarkLPSolve(b *testing.B) {
 // the branch-and-bound configuration, where tableau memory is recycled
 // across node re-solves.
 func BenchmarkLPSolveReused(b *testing.B) {
-	p := buildILPQCRelaxation(b)
+	p := benchprob.ILPQCRelaxation()
 	s := lp.NewSolver()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sol, err := s.Solve(p, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+// BenchmarkLPWarmSolve measures a warm-started re-solve under one changed
+// bound — the branch-and-bound child-node pattern: solve the parent once,
+// then repeatedly dual-simplex from its basis with a single variable fixed.
+func BenchmarkLPWarmSolve(b *testing.B) {
+	p := benchprob.ILPQCRelaxation()
+	s := lp.NewSolver()
+	ctx := context.Background()
+	parent, err := s.WarmSolve(ctx, p, nil, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if parent.Status != lp.Optimal || parent.Basis == nil {
+		b.Fatalf("parent solve: status %v, basis %v", parent.Status, parent.Basis)
+	}
+	fix := map[int]float64{0: 1} // force placement of candidate 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := s.WarmSolve(ctx, p, fix, nil, parent.Basis)
 		if err != nil {
 			b.Fatal(err)
 		}

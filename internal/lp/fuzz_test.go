@@ -9,6 +9,103 @@ import (
 // FuzzSimplexCovering stresses the solver with randomized covering LPs: it
 // must terminate with status Optimal, and the solution must satisfy every
 // constraint (verified independently by CheckFeasible).
+// fuzzCoveringProblem builds the randomized covering LP shared by the
+// fuzzers: n variables with random costs and unit upper bounds, m GE rows.
+func fuzzCoveringProblem(t *testing.T, seed int64, n, m int) *Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem()
+	for i := 0; i < n; i++ {
+		v := p.AddVariable("x", 0.5+rng.Float64()*5)
+		if err := p.SetUpperBound(v, 1+rng.Float64()*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < m; k++ {
+		var terms []Term
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				terms = append(terms, Term{Var: i, Coef: 0.5 + rng.Float64()})
+			}
+		}
+		if len(terms) == 0 {
+			terms = []Term{{Var: rng.Intn(n), Coef: 1}}
+		}
+		if err := p.AddConstraint(terms, GE, rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// FuzzWarmStart stresses the warm-solve entry point: a randomized covering
+// LP is solved cold for its basis, then re-solved under fuzzed bound
+// overrides both warm and cold. The warm result must match the cold result
+// in status and objective, and its point must satisfy the constraints — the
+// fallback ladder may fire, but never a wrong answer.
+func FuzzWarmStart(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(5), uint16(0x0f), uint16(0x03))
+	f.Add(int64(42), uint8(9), uint8(12), uint16(0xa5), uint16(0x5a))
+	f.Add(int64(-7), uint8(2), uint8(1), uint16(1), uint16(0))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, mRaw uint8, fixUpMask, fixDownMask uint16) {
+		n := int(nRaw%12) + 1
+		m := int(mRaw%15) + 1
+		p := fuzzCoveringProblem(t, seed, n, m)
+		s := NewSolver()
+		root, err := s.WarmSolve(nil, p, nil, nil, nil)
+		if err != nil {
+			t.Fatalf("root solve: %v", err)
+		}
+		if root.Status != Optimal {
+			return // infeasible instance: nothing to warm-start from
+		}
+		lower := map[int]float64{}
+		upper := map[int]float64{}
+		for i := 0; i < n && i < 16; i++ {
+			if fixUpMask&(1<<i) != 0 {
+				lower[i] = 1
+			}
+			if fixDownMask&(1<<i) != 0 {
+				upper[i] = 0.5
+			}
+		}
+		warm, err := s.WarmSolve(nil, p, lower, upper, root.Basis)
+		if err != nil {
+			t.Fatalf("warm solve: %v", err)
+		}
+		cold, err := NewSolver().Solve(p, lower, upper)
+		if err != nil {
+			t.Fatalf("cold solve: %v", err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("warm status %v, cold %v (lower=%v upper=%v)", warm.Status, cold.Status, lower, upper)
+		}
+		if warm.Status != Optimal {
+			return
+		}
+		if math.Abs(warm.Objective-cold.Objective) > 1e-6*math.Max(1, math.Abs(cold.Objective)) {
+			t.Fatalf("warm objective %v, cold %v (lower=%v upper=%v)", warm.Objective, cold.Objective, lower, upper)
+		}
+		ok, err := p.CheckFeasible(warm.X, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("warm optimal point violates constraints: %v", warm.X)
+		}
+		for v, lb := range lower {
+			if warm.X[v] < lb-1e-6 {
+				t.Fatalf("warm point violates lower override x[%d]=%v < %v", v, warm.X[v], lb)
+			}
+		}
+		for v, ub := range upper {
+			if warm.X[v] > ub+1e-6 {
+				t.Fatalf("warm point violates upper override x[%d]=%v > %v", v, warm.X[v], ub)
+			}
+		}
+	})
+}
+
 func FuzzSimplexCovering(f *testing.F) {
 	f.Add(int64(1), uint8(4), uint8(5))
 	f.Add(int64(42), uint8(9), uint8(12))

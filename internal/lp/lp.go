@@ -10,11 +10,20 @@
 // coverage assignment is fixed, and the branch-and-bound MILP solver in
 // sagrelay/internal/milp solves its node relaxations here.
 //
-// The implementation favours robustness over speed: Bland's rule is used
-// for pivot selection (no cycling), all arithmetic is dense float64, and
-// solves are bounded by an iteration budget. Problem sizes in this
-// repository are at most a few hundred variables and constraints per zone,
-// well within dense-simplex territory.
+// Pivot selection uses Devex pricing (an inexpensive steepest-edge
+// approximation) with a deterministic anti-cycling guard: a fixed-iteration
+// stall detector switches the phase to Bland's rule, which provably
+// terminates. All tie-breaks go to the lowest variable index, so solves are
+// bit-reproducible across runs and worker counts. All arithmetic is dense
+// float64 and solves are bounded by an iteration budget. Problem sizes in
+// this repository are at most a few hundred variables and constraints per
+// zone, well within dense-simplex territory.
+//
+// For branch-and-bound, Solver.WarmSolve re-solves a problem under changed
+// variable bounds starting from a parent Basis: a bound-flipping dual
+// simplex over the bounded-variable form restores primal feasibility in a
+// few pivots, falling back to the cold two-phase path (typed ErrWarmStart,
+// never a wrong answer) when the warm basis is unusable.
 package lp
 
 import (
@@ -224,35 +233,28 @@ func (p *Problem) Objective(x []float64) (float64, error) {
 	return obj, nil
 }
 
-// Clone returns a deep copy of the problem. Branch-and-bound uses clones to
-// explore subproblems with tightened bounds without disturbing the base
-// relaxation.
-func (p *Problem) Clone() *Problem {
-	c := &Problem{
-		obj:    append([]float64(nil), p.obj...),
-		ub:     append([]float64(nil), p.ub...),
-		names:  append([]string(nil), p.names...),
-		cons:   make([]constraint, len(p.cons)),
-		maxIts: p.maxIts,
-	}
-	for i, con := range p.cons {
-		c.cons[i] = constraint{
-			terms: append([]Term(nil), con.terms...),
-			op:    con.op,
-			rhs:   con.rhs,
-		}
-	}
-	return c
-}
-
 // Solution is the result of a successful Solve with Status Optimal, or a
 // diagnosis (Infeasible/Unbounded) with zeroed values.
+//
+// (Problem.Clone was deleted with the warm-start work: Solve never modifies
+// the base problem, so branch-and-bound re-solves one shared Problem with
+// per-node bound overrides and nothing cloned it any more.)
 type Solution struct {
 	Status    Status
 	X         []float64
 	Objective float64
-	// Iterations is the total number of simplex pivots across both phases.
+	// Iterations is the total number of simplex pivots across both phases
+	// (or dual pivots, for a warm-started solve).
 	Iterations int
+	// Basis is the optimal basis snapshot for warm-starting a re-solve
+	// under changed bounds. Only (*Solver).WarmSolve populates it (on
+	// Optimal solutions); plain Solve leaves it nil so non-tree callers pay
+	// nothing.
+	Basis *Basis
+	// WarmStarted reports that the warm-started dual simplex path produced
+	// this solution (false: the cold two-phase path, whether called
+	// directly or as a fallback).
+	WarmStarted bool
 }
 
 // ErrIterationLimit is returned when the pivot budget is exhausted; it

@@ -29,9 +29,16 @@ const pivotEps = 1e-9
 // feasEps is the tolerance for phase-1 feasibility (artificial residual).
 const feasEps = 1e-7
 
-// blandSwitch is the pivot count after which the solver abandons Dantzig's
-// most-negative rule for Bland's anti-cycling rule.
-const blandSwitch = 2000
+// stallLimit is the number of consecutive pivots without objective
+// improvement after which pivot selection abandons Devex pricing for
+// Bland's anti-cycling rule (which provably terminates). The switch is
+// per-phase and one-way, so the decision depends only on the pivot
+// sequence itself — deterministic across runs and worker counts.
+const stallLimit = 100
+
+// stallEps scales the relative objective-improvement threshold of the
+// stall detector.
+const stallEps = 1e-12
 
 // ctxCheckMask gates how often the iteration loop polls the context: every
 // ctxCheckMask+1 pivots. Polling costs an atomic load plus an interface
@@ -54,6 +61,27 @@ type tableau struct {
 	maxIts   int
 	its      int
 	ctx      context.Context // polled during iteration; nil means no check
+
+	// Devex pricing state, reset at each phase install. bland pins
+	// selection to Bland's rule — either from the start (forceBland, a
+	// test hook) or after the stall detector trips.
+	devex      []float64 // per-column reference weights
+	bland      bool
+	forceBland bool
+	stall      int     // consecutive pivots without objective improvement
+	lastZ      float64 // objective row rhs at the previous pivot
+}
+
+// resetPricing restores the Devex reference framework (all weights 1) and
+// re-arms the stall detector. Called at each phase install so phase-1
+// weights never leak into phase 2.
+func (t *tableau) resetPricing() {
+	for j := range t.devex {
+		t.devex[j] = 1
+	}
+	t.bland = t.forceBland
+	t.stall = 0
+	t.lastZ = math.Inf(1)
 }
 
 func (t *tableau) pivot(r, c int) {
@@ -89,11 +117,13 @@ func (t *tableau) pivot(r, c int) {
 	t.its++
 }
 
-// chooseEntering returns the entering column or -1 at optimality. allowed
-// limits the candidate columns (nil means all). Dantzig's rule is used
-// until blandSwitch pivots, then Bland's rule.
+// chooseEntering returns the entering column or -1 at optimality,
+// considering only the first limit columns. Devex pricing picks the column
+// maximizing d_j^2 / w_j (steepest-edge approximated against a reference
+// framework); the strict > keeps ties on the lowest column index for
+// bit-reproducibility. In Bland mode the first improving column wins.
 func (t *tableau) chooseEntering(limit int) int {
-	if t.its >= blandSwitch {
+	if t.bland {
 		for j := 0; j < limit; j++ {
 			if t.objRow[j] < -pivotEps {
 				return j
@@ -101,13 +131,43 @@ func (t *tableau) chooseEntering(limit int) int {
 		}
 		return -1
 	}
-	best, bestVal := -1, -pivotEps
+	best := -1
+	bestScore := 0.0
 	for j := 0; j < limit; j++ {
-		if t.objRow[j] < bestVal {
-			best, bestVal = j, t.objRow[j]
+		d := t.objRow[j]
+		if d >= -pivotEps {
+			continue
+		}
+		if score := d * d / t.devex[j]; score > bestScore {
+			best, bestScore = j, score
 		}
 	}
 	return best
+}
+
+// updateDevex refreshes the reference weights for a pivot on (r, c), using
+// the pre-pivot row r. The entering column's weight relative to the
+// reference framework propagates to every column the pivot touches; the
+// leaving variable re-enters the nonbasic set with weight max(ref, 1).
+// Weights only steer pricing — any positive values are correct — but this
+// fixed update keeps the pivot sequence deterministic.
+func (t *tableau) updateDevex(r, c int) {
+	row := t.rows[r]
+	arc := row[c]
+	ref := t.devex[c] / (arc * arc)
+	for j := 0; j < t.nCols; j++ {
+		if j == c {
+			continue
+		}
+		a := row[j]
+		if a == 0 {
+			continue
+		}
+		if w := a * a * ref; w > t.devex[j] {
+			t.devex[j] = w
+		}
+	}
+	t.devex[t.basis[r]] = math.Max(ref, 1)
 }
 
 // chooseLeaving runs the ratio test on column c, returning the row or -1
@@ -162,13 +222,31 @@ func (t *tableau) iterate(limit int) (Status, error) {
 		if r < 0 {
 			return Unbounded, nil
 		}
+		if !t.bland {
+			t.updateDevex(r, c)
+		}
 		t.pivot(r, c)
+		if !t.bland {
+			// Stall detector: stallLimit consecutive pivots with no
+			// relative objective improvement (degenerate churn, possible
+			// cycling under Devex) switch this phase to Bland's rule.
+			z := t.objRow[t.nCols]
+			if math.Abs(z-t.lastZ) <= stallEps*(1+math.Abs(z)) {
+				if t.stall++; t.stall >= stallLimit {
+					t.bland = true
+				}
+			} else {
+				t.stall = 0
+			}
+			t.lastZ = z
+		}
 	}
 }
 
 // installPhase1 sets the reduced-cost row for minimizing the sum of
 // artificial variables given the initial basis.
 func (t *tableau) installPhase1() {
+	t.resetPricing()
 	for j := range t.objRow {
 		t.objRow[j] = 0
 	}
@@ -188,6 +266,7 @@ func (t *tableau) installPhase1() {
 // installPhase2 sets the reduced-cost row for the original objective given
 // the current basis, with artificial columns frozen out.
 func (t *tableau) installPhase2() {
+	t.resetPricing()
 	for j := range t.objRow {
 		t.objRow[j] = 0
 	}

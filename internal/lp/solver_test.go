@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"sagrelay/internal/benchprob"
 	"sagrelay/internal/lp"
 )
 
@@ -111,7 +112,7 @@ func TestSolverUnknownVariableBounds(t *testing.T) {
 // Problem.Solve — stale buffer contents from a larger solve must never
 // bleed into a smaller one.
 func TestSolverReuseAcrossShapes(t *testing.T) {
-	big := buildILPQCRelaxation(t)
+	big := benchprob.ILPQCRelaxation()
 	small := lp.NewProblem()
 	a := small.AddVariable("a", 2)
 	b := small.AddVariable("b", 3)

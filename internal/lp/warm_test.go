@@ -1,0 +1,272 @@
+package lp_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sagrelay/internal/benchprob"
+	"sagrelay/internal/lp"
+)
+
+// uniqueOptimumLP builds a bounded covering LP with generic (irrational-ish
+// random) costs, so the optimal vertex is unique with probability one and
+// warm and cold solves must agree on Solution.X, not just the objective.
+func uniqueOptimumLP(t *testing.T, seed int64, n, m int) *lp.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := lp.NewProblem()
+	for i := 0; i < n; i++ {
+		v := p.AddVariable("x", 0.5+rng.Float64()*5)
+		if err := p.SetUpperBound(v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < m; k++ {
+		var terms []lp.Term
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) != 0 {
+				terms = append(terms, lp.Term{Var: i, Coef: 0.5 + rng.Float64()})
+			}
+		}
+		if len(terms) == 0 {
+			terms = []lp.Term{{Var: rng.Intn(n), Coef: 1}}
+		}
+		if err := p.AddConstraint(terms, lp.GE, 0.5+rng.Float64()*1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestWarmVsColdEquivalence solves 1000 randomized bound perturbations of a
+// unique-optimum LP both warm (from the root basis) and cold, asserting
+// identical statuses, objectives, and solution vectors. It also requires
+// that a substantial majority of the warm attempts actually complete on the
+// dual simplex — otherwise the equivalence would be vacuously comparing the
+// cold path against itself.
+func TestWarmVsColdEquivalence(t *testing.T) {
+	p := uniqueOptimumLP(t, 1234, 14, 18)
+	warmSolver := lp.NewSolver()
+	coldSolver := lp.NewSolver()
+	ctx := context.Background()
+
+	root, err := warmSolver.WarmSolve(ctx, p, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Status != lp.Optimal || root.Basis == nil {
+		t.Fatalf("root: status %v, basis %v", root.Status, root.Basis)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	warmed, optimal := 0, 0
+	for trial := 0; trial < 1000; trial++ {
+		lower := map[int]float64{}
+		upper := map[int]float64{}
+		for k := rng.Intn(4) + 1; k > 0; k-- {
+			v := rng.Intn(p.NumVariables())
+			switch rng.Intn(3) {
+			case 0:
+				lower[v] = 1 // fix to upper bound
+			case 1:
+				upper[v] = 0 // fix to zero
+			case 2:
+				upper[v] = rng.Float64() // fractional tightening
+			}
+		}
+		warm, err := warmSolver.WarmSolve(ctx, p, lower, upper, root.Basis)
+		if err != nil {
+			t.Fatalf("trial %d: warm: %v", trial, err)
+		}
+		cold, err := coldSolver.SolveContext(ctx, p, lower, upper)
+		if err != nil {
+			t.Fatalf("trial %d: cold: %v", trial, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d (lower=%v upper=%v): warm status %v, cold %v",
+				trial, lower, upper, warm.Status, cold.Status)
+		}
+		if warm.WarmStarted {
+			warmed++
+		}
+		if warm.Status != lp.Optimal {
+			continue
+		}
+		optimal++
+		scale := 1 + math.Abs(cold.Objective)
+		if math.Abs(warm.Objective-cold.Objective) > 1e-7*scale {
+			t.Fatalf("trial %d (lower=%v upper=%v): warm objective %v, cold %v",
+				trial, lower, upper, warm.Objective, cold.Objective)
+		}
+		for i := range cold.X {
+			if math.Abs(warm.X[i]-cold.X[i]) > 1e-6 {
+				t.Fatalf("trial %d (lower=%v upper=%v): x[%d] warm %v, cold %v",
+					trial, lower, upper, i, warm.X[i], cold.X[i])
+			}
+		}
+		if warm.Basis == nil {
+			t.Fatalf("trial %d: optimal warm solution carries no basis", trial)
+		}
+	}
+	if optimal == 0 {
+		t.Fatal("no perturbation was feasible; test exercised nothing")
+	}
+	if warmed*2 < optimal {
+		t.Errorf("only %d/%d optimal solves warm-started; warm path barely exercised", warmed, optimal)
+	}
+}
+
+// TestWarmSolveNilBasis: a nil basis goes straight to the cold path but
+// still returns a basis for chaining.
+func TestWarmSolveNilBasis(t *testing.T) {
+	p := benchprob.ILPQCRelaxation()
+	sol, err := lp.NewSolver().WarmSolve(context.Background(), p, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.WarmStarted {
+		t.Error("nil-basis solve claims to be warm-started")
+	}
+	if sol.Basis == nil {
+		t.Error("nil-basis solve returned no basis")
+	}
+}
+
+// TestWarmBasisLengthMismatch: a basis from a different problem shape is a
+// typed warm-start failure, and WarmSolve still returns the right answer
+// via the fallback.
+func TestWarmBasisLengthMismatch(t *testing.T) {
+	small := lp.NewProblem()
+	a := small.AddVariable("a", 1)
+	if err := small.AddConstraint([]lp.Term{{Var: a, Coef: 1}}, lp.GE, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := lp.NewSolver()
+	smallSol, err := s.WarmSolve(context.Background(), small, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	big := benchprob.ILPQCRelaxation()
+	if _, err := s.WarmAttempt(context.Background(), big, nil, nil, smallSol.Basis); !errors.Is(err, lp.ErrWarmStart) {
+		t.Fatalf("mismatched basis: error %v, want ErrWarmStart", err)
+	}
+	sol, err := s.WarmSolve(context.Background(), big, nil, nil, smallSol.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || sol.WarmStarted {
+		t.Fatalf("fallback solve: status %v, warmStarted %v", sol.Status, sol.WarmStarted)
+	}
+}
+
+// TestWarmInfeasibleOverrides: conflicting child bounds (lb > ub) are
+// Infeasible through the warm path, mirroring the cold-path contract, and
+// must not corrupt later solves on the same Solver.
+func TestWarmInfeasibleOverrides(t *testing.T) {
+	p := benchprob.ILPQCRelaxation()
+	s := lp.NewSolver()
+	root, err := s.WarmSolve(context.Background(), p, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.WarmSolve(context.Background(), p, map[int]float64{0: 1}, map[int]float64{0: 0}, root.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Infeasible {
+		t.Fatalf("lb 1 with ub 0: status %v, want infeasible", sol.Status)
+	}
+	again, err := s.WarmSolve(context.Background(), p, nil, nil, root.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != lp.Optimal || math.Abs(again.Objective-root.Objective) > 1e-9 {
+		t.Fatalf("solve after infeasible: status %v obj %v (root %v)", again.Status, again.Objective, root.Objective)
+	}
+}
+
+// TestWarmDeterminism: the same warm solve twice, on the same Solver and on
+// a fresh one, must produce bit-identical results — pivot selection never
+// depends on buffer history or map iteration order.
+func TestWarmDeterminism(t *testing.T) {
+	p := benchprob.ILPQCRelaxation()
+	s := lp.NewSolver()
+	root, err := s.WarmSolve(context.Background(), p, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := map[int]float64{2: 1, 7: 1}
+	first, err := s.WarmSolve(context.Background(), p, fix, nil, root.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for _, solver := range []*lp.Solver{s, lp.NewSolver()} {
+			sol, err := solver.WarmSolve(context.Background(), p, fix, nil, root.Basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Status != first.Status || sol.Iterations != first.Iterations || sol.WarmStarted != first.WarmStarted {
+				t.Fatalf("round %d: (status, its, warm) = (%v, %d, %v), want (%v, %d, %v)",
+					round, sol.Status, sol.Iterations, sol.WarmStarted, first.Status, first.Iterations, first.WarmStarted)
+			}
+			for i := range first.X {
+				if sol.X[i] != first.X[i] {
+					t.Fatalf("round %d: x[%d] = %v, want bit-identical %v", round, i, sol.X[i], first.X[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWarmChain drives a chain of progressively tightened solves, each
+// warm-started from the previous solution's basis — the exact
+// branch-and-bound dive pattern — checking every step against a cold solve.
+func TestWarmChain(t *testing.T) {
+	p := benchprob.ILPQCRelaxation()
+	warm := lp.NewSolver()
+	cold := lp.NewSolver()
+	ctx := context.Background()
+	cur, err := warm.WarmSolve(ctx, p, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := map[int]float64{}
+	for depth := 0; depth < 10 && cur.Status == lp.Optimal; depth++ {
+		// Fix the first not-yet-fixed placement variable to 1, like the
+		// "place it" branch of the search tree.
+		v := -1
+		for i := 0; i < 14; i++ {
+			if _, ok := lower[i]; !ok {
+				v = i
+				break
+			}
+		}
+		if v < 0 {
+			break
+		}
+		lower[v] = 1
+		next, err := warm.WarmSolve(ctx, p, lower, nil, cur.Basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := cold.SolveContext(ctx, p, lower, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Status != ref.Status {
+			t.Fatalf("depth %d: warm status %v, cold %v", depth, next.Status, ref.Status)
+		}
+		if next.Status == lp.Optimal && math.Abs(next.Objective-ref.Objective) > 1e-7*(1+math.Abs(ref.Objective)) {
+			t.Fatalf("depth %d: warm objective %v, cold %v", depth, next.Objective, ref.Objective)
+		}
+		cur = next
+	}
+}

@@ -2,124 +2,22 @@ package milp_test
 
 import (
 	"context"
-	"math"
 	"testing"
 
-	"sagrelay/internal/lp"
+	"sagrelay/internal/benchprob"
 	"sagrelay/internal/milp"
 )
 
-// buildILPQC constructs a representative per-zone ILPQC coverage instance
-// (eqs. 3.1-3.5): binary placement variables T_i, assignment variables
-// T_ij, the coverage/link constraints (3.2)-(3.3) and the big-M linearized
-// SNR rows (3.5). It mirrors what sagrelay/internal/lower builds for each
-// Zone-Partition zone, sized at the MaxZoneSS default.
-func buildILPQC(tb testing.TB) (*lp.Problem, []bool) {
-	tb.Helper()
-	const (
-		n    = 8
-		nC   = 14
-		beta = 0.05
-	)
-	w := make([][]float64, nC)
-	covers := make([][]bool, nC)
-	for i := 0; i < nC; i++ {
-		w[i] = make([]float64, n)
-		covers[i] = make([]bool, n)
-		for j := 0; j < n; j++ {
-			d := math.Abs(float64(10*i) - float64(10*j+3))
-			if d < 1 {
-				d = 1
-			}
-			w[i][j] = 1 / (d * d * d)
-			covers[i][j] = d <= 25
-		}
-	}
-
-	p := lp.NewProblem()
-	tVar := make([]int, nC)
-	for i := range tVar {
-		tVar[i] = p.AddVariable("T", 1)
-		if err := p.SetUpperBound(tVar[i], 1); err != nil {
-			tb.Fatal(err)
-		}
-	}
-	pairVar := make(map[[2]int]int)
-	for i := 0; i < nC; i++ {
-		for j := 0; j < n; j++ {
-			if covers[i][j] {
-				v := p.AddVariable("Tij", 0)
-				if err := p.SetUpperBound(v, 1); err != nil {
-					tb.Fatal(err)
-				}
-				pairVar[[2]int{i, j}] = v
-			}
-		}
-	}
-	for i := 0; i < nC; i++ {
-		low := []lp.Term{{Var: tVar[i], Coef: 1}}
-		high := []lp.Term{{Var: tVar[i], Coef: -float64(n)}}
-		for j := 0; j < n; j++ {
-			if v, ok := pairVar[[2]int{i, j}]; ok {
-				low = append(low, lp.Term{Var: v, Coef: -1})
-				high = append(high, lp.Term{Var: v, Coef: 1})
-			}
-		}
-		if err := p.AddConstraint(low, lp.LE, 0); err != nil {
-			tb.Fatal(err)
-		}
-		if err := p.AddConstraint(high, lp.LE, 0); err != nil {
-			tb.Fatal(err)
-		}
-	}
-	for j := 0; j < n; j++ {
-		var terms []lp.Term
-		for i := 0; i < nC; i++ {
-			if v, ok := pairVar[[2]int{i, j}]; ok {
-				terms = append(terms, lp.Term{Var: v, Coef: 1})
-			}
-		}
-		if len(terms) == 0 {
-			tb.Fatal("subscriber uncovered in fixture")
-		}
-		if err := p.AddConstraint(terms, lp.EQ, 1); err != nil {
-			tb.Fatal(err)
-		}
-	}
-	for j := 0; j < n; j++ {
-		mj := 0.0
-		for k := 0; k < nC; k++ {
-			mj += w[k][j]
-		}
-		for i := 0; i < nC; i++ {
-			v, ok := pairVar[[2]int{i, j}]
-			if !ok {
-				continue
-			}
-			terms := make([]lp.Term, 0, nC+2)
-			for k := 0; k < nC; k++ {
-				terms = append(terms, lp.Term{Var: tVar[k], Coef: w[k][j]})
-			}
-			terms = append(terms, lp.Term{Var: tVar[i], Coef: -w[i][j]})
-			terms = append(terms, lp.Term{Var: v, Coef: mj})
-			if err := p.AddConstraint(terms, lp.LE, w[i][j]/beta+mj); err != nil {
-				tb.Fatal(err)
-			}
-		}
-	}
-	isInt := make([]bool, p.NumVariables())
-	for i := range isInt {
-		isInt[i] = true
-	}
-	return p, isInt
-}
-
 // BenchmarkMILPSolve measures a full branch-and-bound solve of the
-// representative per-zone ILPQC instance — the unit of work that every
-// IAC/GAC figure repeats per zone per run per data point.
+// representative per-zone ILPQC instance (built by
+// sagrelay/internal/benchprob) — the unit of work that every IAC/GAC
+// figure repeats per zone per run per data point. Custom metrics expose
+// the solver-level work: nodes, total LP pivots, and the warm/cold solve
+// split.
 func BenchmarkMILPSolve(b *testing.B) {
-	p, isInt := buildILPQC(b)
+	p, isInt := benchprob.ILPQC()
 	b.ReportAllocs()
+	var nodes, pivots, warm, cold int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := milp.Solve(context.Background(), p, isInt, milp.Options{})
@@ -129,5 +27,13 @@ func BenchmarkMILPSolve(b *testing.B) {
 		if res.Status != milp.Optimal && res.Status != milp.Feasible {
 			b.Fatalf("status %v", res.Status)
 		}
+		nodes += res.Nodes
+		pivots += res.Pivots
+		warm += res.WarmSolves
+		cold += res.ColdSolves
 	}
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+	b.ReportMetric(float64(warm)/float64(b.N), "warm/op")
+	b.ReportMetric(float64(cold)/float64(b.N), "cold/op")
 }

@@ -84,7 +84,7 @@ func TestStrategiesAgree(t *testing.T) {
 	f := func(seed int64) bool {
 		p, isInt, want := coveringInstance(seed, 2+int(uint(seed)%5), 1+int(uint(seed)%7))
 		for _, opts := range strategies {
-			res, err := Solve(context.Background(), p.Clone(), isInt, opts)
+			res, err := Solve(context.Background(), p, isInt, opts)
 			if err != nil {
 				return false
 			}
@@ -109,11 +109,11 @@ func TestStrategiesAgree(t *testing.T) {
 // nodes on pure covering models (where round-up is always feasible).
 func TestRoundingSavesNodesOnCovering(t *testing.T) {
 	p, isInt, want := coveringInstance(7, 12, 18)
-	with, err := Solve(context.Background(), p.Clone(), isInt, Options{})
+	with, err := Solve(context.Background(), p, isInt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Solve(context.Background(), p.Clone(), isInt, Options{DisableRounding: true})
+	without, err := Solve(context.Background(), p, isInt, Options{DisableRounding: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +133,11 @@ func TestBestBoundProvesOptimalityEarly(t *testing.T) {
 	// dramatically more nodes than DFS; sanity-check both terminate with
 	// identical objectives.
 	p, isInt, want := coveringInstance(11, 10, 14)
-	dfs, err := Solve(context.Background(), p.Clone(), isInt, Options{})
+	dfs, err := Solve(context.Background(), p, isInt, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bb, err := Solve(context.Background(), p.Clone(), isInt, Options{Order: OrderBestBound})
+	bb, err := Solve(context.Background(), p, isInt, Options{Order: OrderBestBound})
 	if err != nil {
 		t.Fatal(err)
 	}
