@@ -72,6 +72,15 @@ go test -count=1 -run TestPivotRegressionGate ./internal/milp/
 echo "== go test -race -run 'Warm' ./internal/lp/ ./internal/milp/"
 go test -race -count=1 -run 'Warm' -timeout 10m ./internal/lp/ ./internal/milp/
 
+# Incremental-equivalence gate: a mutation storm of every delta kind (add,
+# remove, move and traffic-change subscribers; add and remove base stations)
+# where each incremental solve through warmed zone-level stores must be
+# byte-identical to a cold solve of the same mutated scenario, for both the
+# heuristic and exact pipelines — plus the counter proof that a single
+# subscriber move re-solves no more zones than the planner marked dirty.
+echo "== go test -race -run 'TestIncr' ./internal/incr/"
+go test -race -count=1 -run 'TestIncr' -timeout 20m ./internal/incr/
+
 # Observability gate: a traced sagcli solve must emit a span tree covering
 # every pipeline stage. (The Prometheus exposition grammar is gated inside
 # sagserved -smoke above.)

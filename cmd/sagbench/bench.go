@@ -10,11 +10,15 @@ import (
 	"time"
 
 	"sagrelay/internal/benchprob"
+	"sagrelay/internal/core"
 	"sagrelay/internal/experiment"
+	"sagrelay/internal/geom"
+	"sagrelay/internal/incr"
 	"sagrelay/internal/lower"
 	"sagrelay/internal/lp"
 	"sagrelay/internal/milp"
 	"sagrelay/internal/obs"
+	"sagrelay/internal/scenario"
 )
 
 // benchSchema versions the BENCH_*.json layout so downstream tooling can
@@ -36,6 +40,10 @@ type benchEntry struct {
 	LPPivots    float64 `json:"lp_pivots,omitempty"`
 	WarmSolves  float64 `json:"warm_solves,omitempty"`
 	ColdSolves  float64 `json:"cold_solves,omitempty"`
+	// Incremental re-solve benches only: zones spliced from the zone-level
+	// stores vs zones actually re-solved.
+	ZonesReused   int64 `json:"zones_reused,omitempty"`
+	ZonesResolved int64 `json:"zones_resolved,omitempty"`
 }
 
 type benchDoc struct {
@@ -183,6 +191,15 @@ func runBenchJSON(path string) error {
 		})
 	}
 
+	// --- Incremental re-solve bench: the ISSUE's headline workload. One
+	// subscriber moves a few meters; the cold path re-solves everything, the
+	// incremental path re-solves only the dirty zone and splices the rest. ---
+	incrBenches, err := benchIncremental(ctx)
+	if err != nil {
+		return fmt.Errorf("bench incr: %w", err)
+	}
+	doc.Benches = append(doc.Benches, incrBenches...)
+
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -192,6 +209,83 @@ func runBenchJSON(path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d benches to %s\n", len(doc.Benches), path)
 	return nil
+}
+
+// benchIncremental measures the cold-vs-incremental gap for a single
+// subscriber move on a multi-zone IAC instance. Both solves are timed once
+// on identical inputs (the workloads are deterministic), with exact
+// branch-and-bound node counts and zone reuse counters as deltas of the
+// process-wide odometers.
+func benchIncremental(ctx context.Context) ([]benchEntry, error) {
+	sc, err := scenario.Generate(scenario.GenConfig{
+		FieldSide: 1400, NumSS: 48, NumBS: 3, SNRdB: -15, Seed: 9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s0 := sc.Subscribers[0]
+	d := &scenario.Delta{Version: scenario.DeltaVersion, Ops: []scenario.DeltaOp{
+		{Op: scenario.OpMoveSS, ID: s0.ID, Pos: &geom.Point{X: s0.Pos.X + 6, Y: s0.Pos.Y + 5}},
+	}}
+	mut, err := d.Apply(sc)
+	if err != nil {
+		return nil, err
+	}
+	mkCfg := func() core.Config {
+		return core.Config{
+			Coverage:          core.CoverIAC,
+			CoveragePower:     core.PowerGreen,
+			Connectivity:      core.ConnMBMC,
+			ConnectivityPower: core.PowerGreen,
+			Workers:           1,
+		}
+	}
+
+	// Cold: the mutated scenario from scratch, no caches anywhere.
+	cfgCold := mkCfg()
+	before := snapshotCounters()
+	start := time.Now()
+	if _, err := core.Run(ctx, mut, cfgCold); err != nil {
+		return nil, fmt.Errorf("cold solve: %w", err)
+	}
+	coldElapsed := time.Since(start)
+	coldDelta := before.delta()
+
+	// Incremental: warm the stores on the base, then re-solve the mutation.
+	cfgIncr := mkCfg()
+	incr.NewStores(0).Wire(&cfgIncr)
+	if _, err := core.Run(ctx, sc, cfgIncr); err != nil {
+		return nil, fmt.Errorf("base warm solve: %w", err)
+	}
+	reused0, resolved0 := incr.ZonesReused(), incr.ZonesResolved()
+	before = snapshotCounters()
+	start = time.Now()
+	if _, err := core.Run(ctx, mut, cfgIncr); err != nil {
+		return nil, fmt.Errorf("incremental solve: %w", err)
+	}
+	incrElapsed := time.Since(start)
+	incrDelta := before.delta()
+
+	return []benchEntry{
+		{
+			Name:       "incr/1ss-move-full-cold",
+			NsPerOp:    float64(coldElapsed.Nanoseconds()),
+			Iterations: 1,
+			Seconds:    coldElapsed.Seconds(),
+			BBNodes:    float64(coldDelta.nodes),
+			LPPivots:   coldDelta.pivots,
+		},
+		{
+			Name:          "incr/1ss-move-resolve",
+			NsPerOp:       float64(incrElapsed.Nanoseconds()),
+			Iterations:    1,
+			Seconds:       incrElapsed.Seconds(),
+			BBNodes:       float64(incrDelta.nodes),
+			LPPivots:      incrDelta.pivots,
+			ZonesReused:   incr.ZonesReused() - reused0,
+			ZonesResolved: incr.ZonesResolved() - resolved0,
+		},
+	}, nil
 }
 
 // entryFrom merges a testing.BenchmarkResult with the workload's exact

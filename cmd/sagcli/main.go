@@ -7,6 +7,13 @@
 //	sagcli -scenario sc.json                          # solve with SAG
 //	sagcli -scenario sc.json -coverage GAC -power baseline
 //	sagcli -scenario sc.json -trace-out trace.json   # dump the span tree
+//	sagcli -base sc.json -delta d.json                # incremental re-solve
+//	sagcli -base sc.json -delta d.json -save sc2.json # apply delta + save
+//
+// With -base and -delta the base scenario is solved first to warm the
+// zone-level stores, then the mutated scenario is solved through them, so
+// unchanged zones splice from cache; the reuse counts go to stderr. The
+// result is byte-identical to solving the mutated scenario alone.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"sagrelay/internal/core"
 	"sagrelay/internal/geom"
+	"sagrelay/internal/incr"
 	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 )
@@ -58,20 +66,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sagcli", flag.ContinueOnError)
 	var (
-		scPath   = fs.String("scenario", "", "scenario JSON file to solve")
-		gen      = fs.Bool("gen", false, "generate a scenario instead of solving")
-		save     = fs.String("save", "", "write the generated scenario to this file")
-		users    = fs.Int("users", 30, "generated subscribers")
-		field    = fs.Float64("field", 500, "generated field side")
-		numBS    = fs.Int("bs", 4, "generated base stations")
-		snr      = fs.Float64("snr", -15, "SNR threshold (dB)")
-		seed     = fs.Int64("seed", 1, "generation seed")
-		coverage = fs.String("coverage", "SAMC", "coverage method: SAMC, IAC or GAC")
-		power    = fs.String("power", "green", "power stages: green, baseline or optimal")
-		conn     = fs.String("connectivity", "MBMC", "connectivity method: MBMC or MUST")
-		workers  = fs.Int("workers", 0, "concurrent per-zone solves (0 = all CPUs, 1 = sequential)")
-		timeout  = fs.Duration("timeout", 0, "overall solve deadline, e.g. 30s (0 = unbounded)")
-		traceOut = fs.String("trace-out", "", "write the solve's span tree as JSON to this file ('-' = stderr)")
+		scPath    = fs.String("scenario", "", "scenario JSON file to solve")
+		gen       = fs.Bool("gen", false, "generate a scenario instead of solving")
+		save      = fs.String("save", "", "write the generated scenario to this file")
+		users     = fs.Int("users", 30, "generated subscribers")
+		field     = fs.Float64("field", 500, "generated field side")
+		numBS     = fs.Int("bs", 4, "generated base stations")
+		snr       = fs.Float64("snr", -15, "SNR threshold (dB)")
+		seed      = fs.Int64("seed", 1, "generation seed")
+		coverage  = fs.String("coverage", "SAMC", "coverage method: SAMC, IAC or GAC")
+		power     = fs.String("power", "green", "power stages: green, baseline or optimal")
+		conn      = fs.String("connectivity", "MBMC", "connectivity method: MBMC or MUST")
+		workers   = fs.Int("workers", 0, "concurrent per-zone solves (0 = all CPUs, 1 = sequential)")
+		timeout   = fs.Duration("timeout", 0, "overall solve deadline, e.g. 30s (0 = unbounded)")
+		traceOut  = fs.String("trace-out", "", "write the solve's span tree as JSON to this file ('-' = stderr)")
+		basePath  = fs.String("base", "", "base scenario file for -delta (defaults to -scenario)")
+		deltaPath = fs.String("delta", "", "scenario delta JSON to apply to the base scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,13 +102,45 @@ func run(args []string) error {
 		fmt.Println("wrote", *save)
 		return nil
 	}
-	if *scPath == "" {
+	var sc, warm *scenario.Scenario
+	switch {
+	case *deltaPath != "":
+		bp := *basePath
+		if bp == "" {
+			bp = *scPath
+		}
+		if bp == "" {
+			return fmt.Errorf("-delta requires -base (or -scenario) <file>")
+		}
+		base, err := scenario.Load(bp)
+		if err != nil {
+			return err
+		}
+		d, err := scenario.LoadDelta(*deltaPath)
+		if err != nil {
+			return err
+		}
+		mutated, err := d.Apply(base)
+		if err != nil {
+			return err
+		}
+		if *save != "" {
+			if err := scenario.Save(mutated, *save); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *save)
+			return nil
+		}
+		sc, warm = mutated, base
+	case *scPath != "":
+		loaded, err := scenario.Load(*scPath)
+		if err != nil {
+			return err
+		}
+		sc = loaded
+	default:
 		fs.Usage()
 		return fmt.Errorf("missing -scenario (or -gen)")
-	}
-	sc, err := scenario.Load(*scPath)
-	if err != nil {
-		return err
 	}
 	cfg, err := buildConfig(*coverage, *power, *conn)
 	if err != nil {
@@ -107,6 +149,17 @@ func run(args []string) error {
 	cfg.Workers = *workers
 	ctx, cancel := solveContext(*timeout)
 	defer cancel()
+
+	// Incremental mode: solve the base first through fresh zone-level
+	// stores, then let the mutated solve splice every unchanged zone.
+	var reused0, resolved0 int64
+	if warm != nil {
+		incr.NewStores(0).Wire(&cfg)
+		if _, err := core.Run(ctx, warm, cfg); err != nil {
+			return fmt.Errorf("base solve: %w", err)
+		}
+		reused0, resolved0 = incr.ZonesReused(), incr.ZonesResolved()
+	}
 	var tr *obs.Trace
 	if *traceOut != "" {
 		tr = obs.NewTrace("sagcli")
@@ -124,6 +177,10 @@ func run(args []string) error {
 		if err := writeTrace(*traceOut, tr); err != nil {
 			return fmt.Errorf("trace-out: %w", err)
 		}
+	}
+	if warm != nil {
+		fmt.Fprintf(os.Stderr, "sagcli: incremental: %d zones reused, %d re-solved\n",
+			incr.ZonesReused()-reused0, incr.ZonesResolved()-resolved0)
 	}
 	out := output{
 		Method:          sol.Method,

@@ -5,6 +5,11 @@
 //	sagviz -out fig6/                           # all four Fig. 6 panels
 //	sagviz -scenario sc.json -scheme SAMC+MBMC -out topo.svg
 //	sagviz -users 30 -field 600 -scheme SAMC+MUST -out topo.svg
+//	sagviz -scenario sc.json -delta d.json -scheme SAMC+MBMC -out diff.svg
+//
+// With -delta the scenario is the delta's base: both the base and the
+// mutated deployment are solved and the output is a diff rendering — added
+// relays green, removed relays red, moved relays joined by arrows.
 package main
 
 import (
@@ -38,6 +43,7 @@ func run(args []string) error {
 		numBS   = fs.Int("bs", 4, "generated base stations")
 		seed    = fs.Int64("seed", 1, "generation seed")
 		circles = fs.Bool("circles", false, "draw feasible coverage circles")
+		deltaIn = fs.String("delta", "", "scenario delta JSON; renders a deployment diff against -scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +87,30 @@ func run(args []string) error {
 	if !sol.Feasible {
 		fmt.Fprintln(os.Stderr, "warning: coverage infeasible; rendering the bare scenario")
 		sol = nil
+	}
+	if *deltaIn != "" {
+		d, err := scenario.LoadDelta(*deltaIn)
+		if err != nil {
+			return err
+		}
+		mutated, err := d.Apply(sc)
+		if err != nil {
+			return err
+		}
+		newSol, err := core.Run(context.Background(), mutated, cfg)
+		if err != nil {
+			return err
+		}
+		if !newSol.Feasible {
+			fmt.Fprintln(os.Stderr, "warning: mutated coverage infeasible; diff shows removals only")
+			newSol = nil
+		}
+		style := viz.Style{Title: *scheme + " delta"}
+		if err := viz.RenderDiffToFile(sc, mutated, sol, newSol, style, *out); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *out)
+		return nil
 	}
 	style := viz.Style{ShowEdges: true, ShowCircles: *circles, Title: *scheme}
 	if err := viz.RenderToFile(sc, sol, style, *out); err != nil {

@@ -1,0 +1,66 @@
+// Package incr is the incremental re-solve engine: it turns "the same field
+// again, slightly changed" from a full-pipeline solve into a splice of
+// cached per-zone work plus re-solves of only the dirty zones.
+//
+// The design leans entirely on content addressing rather than explicit
+// invalidation. The zone partition (Alg. 2) makes zones independent
+// subproblems, so every per-zone artifact — coverage placement, PRO power
+// block, and the whole upper tier keyed by the relay set — is cached under
+// a canonical hash of exactly its inputs. Applying a scenario delta and
+// re-solving through the same caches then reuses every zone whose inputs
+// are unchanged *mechanically*: a mutation that moves a subscriber, splits
+// a zone, or merges two zones simply produces zones whose hashes miss.
+// There is no dirty-set bookkeeping to get wrong, which is what makes the
+// central invariant cheap to uphold: an incremental solve is byte-for-byte
+// identical to a cold full solve of the mutated scenario, because cache
+// hits splice values a cold solve would have recomputed bit-identically.
+//
+// The Planner (Plan) computes the dirty set anyway — by diffing the base
+// and mutated partitions' coverage-variant zone hashes — for observability
+// (the dirty-fraction histogram, span attributes) and to assemble fast-mode
+// warm-start seeds. Fast mode (WireFast) additionally seeds dirty-zone
+// branch-and-bound searches with the base scenario's incumbent and final
+// simplex basis; that trades the byte-identity guarantee for latency, so
+// fast solves run against read-only stores and are never cached.
+package incr
+
+import (
+	"sync/atomic"
+
+	"sagrelay/internal/fault"
+	"sagrelay/internal/obs"
+)
+
+// siteZone is the fault-injection point checked on every zone-store lookup;
+// one atomic load when injection is off. Arming it makes incremental solves
+// fail mid-splice, which the chaos suite uses to prove jobs stay terminal.
+var siteZone = fault.Register("incr.zone")
+
+// FractionBuckets are histogram bounds for ratio-valued observations in
+// [0, 1], bucketed around the interesting "how much of the work was dirty"
+// break points.
+var FractionBuckets = []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+
+// dirtyFraction records, per planned resolve, the fraction of the mutated
+// scenario's zones whose inputs changed.
+var dirtyFraction = obs.Default.NewHistogram(
+	"sag_incr_dirty_fraction",
+	"Fraction of zones re-solved (not cache-spliced) per incremental resolve.",
+	FractionBuckets,
+)
+
+// zonesReused / zonesResolved count zone-level coverage outcomes
+// process-wide across all jobs: a reuse is a zone-store hit spliced into a
+// result, a resolve is a zone actually solved (and offered to the store).
+var (
+	zonesReused   atomic.Int64
+	zonesResolved atomic.Int64
+)
+
+// ZonesReused returns the process-wide count of zone coverage solutions
+// spliced from the zone store.
+func ZonesReused() int64 { return zonesReused.Load() }
+
+// ZonesResolved returns the process-wide count of zone coverage solutions
+// computed by an actual solve.
+func ZonesResolved() int64 { return zonesResolved.Load() }

@@ -1,0 +1,194 @@
+package incr
+
+import (
+	"container/list"
+	"sync"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/fault"
+	"sagrelay/internal/lower"
+)
+
+// Stores bundles the three zone-level content-addressed LRUs that make
+// incremental re-solves (and cross-job reuse during full solves) work:
+//
+//	zones — per-zone coverage placements (lower.ZoneEntry)
+//	power — per-zone PRO power blocks
+//	upper — whole connectivity-stage results (core.UpperEntry)
+//
+// One Stores instance is shared by every job of a server; all three LRUs
+// are safe for concurrent use.
+type Stores struct {
+	zones *lruStore
+	power *lruStore
+	upper *lruStore
+}
+
+// NewStores sizes each store to maxEntries (0 means 1024).
+func NewStores(maxEntries int) *Stores {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	return &Stores{
+		zones: newLRUStore(maxEntries),
+		power: newLRUStore(maxEntries),
+		upper: newLRUStore(maxEntries),
+	}
+}
+
+// Wire installs the stores into a pipeline configuration in exact mode:
+// zone placements, power blocks and upper-tier results are consulted and
+// populated, and every splice is byte-identical to re-solving. Safe for
+// full solves and incremental re-solves alike.
+func (s *Stores) Wire(cfg *core.Config) {
+	cfg.SAMC.Cache = &zoneAdapter{s: s.zones}
+	cfg.ILP.Cache = &zoneAdapter{s: s.zones}
+	cfg.ZonePowerCache = &powerAdapter{s: s.power}
+	cfg.UpperCache = &upperAdapter{s: s.upper}
+}
+
+// WireFast installs the stores read-only plus fast-mode warm-start seeding
+// for dirty zones. A fast solve may land on a different (equally good)
+// optimum than a cold solve, so nothing it produces may enter any cache —
+// the adapters still serve hits (those splices are exact) but drop every
+// Put, and the caller must also keep the result out of whole-result caches.
+func (s *Stores) WireFast(cfg *core.Config, seed lower.ZoneSeed) {
+	cfg.SAMC.Cache = &zoneAdapter{s: s.zones, readOnly: true}
+	cfg.ILP.Cache = &zoneAdapter{s: s.zones, readOnly: true}
+	cfg.ILP.Seed = seed
+	cfg.ZonePowerCache = &powerAdapter{s: s.power, readOnly: true}
+	cfg.UpperCache = &upperAdapter{s: s.upper, readOnly: true}
+}
+
+// zoneAdapter implements lower.ZoneCache over the zone store, carrying the
+// incr.zone fault-injection site and the reuse/resolve counters.
+type zoneAdapter struct {
+	s        *lruStore
+	readOnly bool
+}
+
+func (a *zoneAdapter) Get(key string) (*lower.ZoneEntry, bool, error) {
+	if err := fault.Check(siteZone); err != nil {
+		return nil, false, err
+	}
+	v, ok := a.s.get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	zonesReused.Add(1)
+	return v.(*lower.ZoneEntry), true, nil
+}
+
+func (a *zoneAdapter) Put(key string, e *lower.ZoneEntry) {
+	zonesResolved.Add(1)
+	// Truncated entries are load-dependent incumbents; storing one would
+	// let a later solve splice a non-reproducible placement.
+	if e.Truncated || a.readOnly {
+		return
+	}
+	a.s.put(key, e)
+}
+
+// powerAdapter implements lower.ZonePowerCache over the power store.
+type powerAdapter struct {
+	s        *lruStore
+	readOnly bool
+}
+
+func (a *powerAdapter) GetPower(key string) ([]float64, bool) {
+	v, ok := a.s.get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.([]float64), true
+}
+
+func (a *powerAdapter) PutPower(key string, powers []float64) {
+	if a.readOnly {
+		return
+	}
+	a.s.put(key, powers)
+}
+
+// upperAdapter implements core.UpperCache over the upper store.
+type upperAdapter struct {
+	s        *lruStore
+	readOnly bool
+}
+
+func (a *upperAdapter) Get(key string) (*core.UpperEntry, bool) {
+	v, ok := a.s.get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*core.UpperEntry), true
+}
+
+func (a *upperAdapter) Put(key string, e *core.UpperEntry) {
+	if a.readOnly {
+		return
+	}
+	a.s.put(key, e)
+}
+
+// lruStore is a mutex-guarded LRU map (the same container/list shape as the
+// solve service's whole-result cache). First put wins: a concurrent
+// duplicate insert keeps the existing value, so two jobs racing on the same
+// key can never observe two different entries for it.
+type lruStore struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+}
+
+type lruItem struct {
+	key string
+	val any
+}
+
+func newLRUStore(max int) *lruStore {
+	return &lruStore{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+func (c *lruStore) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+func (c *lruStore) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		_ = el // first put is authoritative; keep the existing value
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruItem{key: key, val: val})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*lruItem).key)
+	}
+}
+
+func (c *lruStore) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Len returns (zones, power, upper) entry counts, for metrics.
+func (s *Stores) Len() (zones, power, upper int) {
+	return s.zones.len(), s.power.len(), s.upper.len()
+}

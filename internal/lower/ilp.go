@@ -36,14 +36,29 @@ type ILPOptions struct {
 	// rounding heuristic) through to the branch-and-bound solver; its
 	// MaxNodes/TimeLimit/Incumbent fields are overridden per zone.
 	MILP milp.Options
+	// Cache, when non-nil, is consulted before each zone's branch-and-bound
+	// solve and handed every solved zone afterwards (see ZoneCache). A hit
+	// splices the cached placement verbatim, which is byte-identical to
+	// re-solving: the key covers every determinism-relevant input.
+	Cache ZoneCache
+	// Seed, when non-nil, supplies fast-mode warm starts (previous
+	// incumbent + final basis) for zones the cache misses. Seeding is NOT
+	// byte-reproducible — see ZoneSeed — so callers must not combine it
+	// with result caching.
+	Seed ZoneSeed
 }
+
+// DefaultMaxZoneSS is the default sub-zone size cap applied when
+// ILPOptions.MaxZoneSS is zero; exported so the incremental planner
+// (internal/incr) reproduces the exact zone partition a solve will use.
+const DefaultMaxZoneSS = 10
 
 func (o ILPOptions) withDefaults() ILPOptions {
 	if o.GridSize <= 0 {
 		o.GridSize = 15
 	}
 	if o.MaxZoneSS <= 0 {
-		o.MaxZoneSS = 10
+		o.MaxZoneSS = DefaultMaxZoneSS
 	}
 	if o.MaxNodes <= 0 {
 		o.MaxNodes = 3000
@@ -129,20 +144,53 @@ func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, metho
 		zCtx, zSpan := obs.StartSpan(ctx, "zone")
 		zSpan.SetInt("index", int64(zi))
 		zSpan.SetInt("subscribers", int64(len(zone)))
+		var cacheKey string
+		if opts.Cache != nil {
+			cacheKey = ilpZoneKey(sc, zone, method, opts)
+			e, hit, cerr := opts.Cache.Get(cacheKey)
+			if cerr != nil {
+				zSpan.SetAttr("error", cerr.Error())
+				zSpan.End()
+				return cerr
+			}
+			if hit {
+				if relays, ok := globalizeRelays(e.Relays, zone); ok {
+					zSpan.SetBool("cache_hit", true)
+					zSpan.SetInt("relays", int64(len(relays)))
+					zSpan.End()
+					zoneSolveSeconds.Observe(time.Since(zoneStart).Seconds())
+					zoneRelays[zi] = relays
+					return nil
+				}
+			}
+		}
 		disks := make([]geom.Circle, len(zone))
 		for i, s := range zone {
 			disks[i] = sc.Subscribers[s].Circle()
 		}
-		relays, truncated, err := solveZoneILP(zCtx, sc, zone, disks, candidatesFor(zone, disks), opts)
+		relays, mres, err := solveZoneILP(zCtx, sc, zone, disks, candidatesFor(zone, disks), opts)
 		zSpan.End()
 		zoneSolveSeconds.Observe(time.Since(zoneStart).Seconds())
 		if err != nil {
 			zSpan.SetAttr("error", err.Error())
 			return err
 		}
+		truncated := mres != nil && mres.DeadlineHit
 		zSpan.SetInt("relays", int64(len(relays)))
 		if truncated {
 			zSpan.SetBool("truncated", true)
+		}
+		if opts.Cache != nil && mres != nil {
+			if local, ok := localizeRelays(relays, zone); ok {
+				opts.Cache.Put(cacheKey, &ZoneEntry{
+					Relays:    local,
+					X:         mres.X,
+					Obj:       mres.Objective,
+					Basis:     mres.Basis,
+					NumVars:   len(mres.X),
+					Truncated: truncated,
+				})
+			}
 		}
 		zoneRelays[zi] = relays
 		zoneTrunc[zi] = truncated
@@ -189,9 +237,9 @@ func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, metho
 // M_j = sum_k w_kj (the largest possible interference at j): when T_ij = 1
 // the relay at i serves j, so the total received power minus the serving
 // signal must be at most signal/beta.
-func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks []geom.Circle, candidates []geom.Point, opts ILPOptions) (relays []Relay, truncated bool, err error) {
+func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks []geom.Circle, candidates []geom.Point, opts ILPOptions) (relays []Relay, mres *milp.Result, err error) {
 	if len(zone) == 0 {
-		return nil, false, nil
+		return nil, nil, nil
 	}
 	// Keep only candidates that cover at least one subscriber.
 	var cands []geom.Point
@@ -204,7 +252,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 		}
 	}
 	if len(cands) == 0 {
-		return nil, false, ErrInfeasible
+		return nil, nil, ErrInfeasible
 	}
 	n := len(zone)
 	nC := len(cands)
@@ -224,7 +272,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 	for i := range tVar {
 		tVar[i] = prob.AddVariable(fmt.Sprintf("T%d", i), 1)
 		if err := prob.SetUpperBound(tVar[i], 1); err != nil {
-			return nil, false, err
+			return nil, nil, err
 		}
 	}
 	// Feasible pairs and their variables.
@@ -236,7 +284,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			if disks[j].Contains(cands[i], coverTol) {
 				v := prob.AddVariable(fmt.Sprintf("T%d_%d", i, j), 0)
 				if err := prob.SetUpperBound(v, 1); err != nil {
-					return nil, false, err
+					return nil, nil, err
 				}
 				pairVar[[2]int{i, j}] = v
 				pairsOfCand[i] = append(pairsOfCand[i], j)
@@ -246,7 +294,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 	}
 	for j := range zone {
 		if len(pairsOfSS[j]) == 0 {
-			return nil, false, ErrInfeasible // no candidate covers this subscriber
+			return nil, nil, ErrInfeasible // no candidate covers this subscriber
 		}
 	}
 	// (3.2): T_i - sum_j T_ij <= 0 and sum_j T_ij - n*T_i <= 0.
@@ -259,10 +307,10 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			highTerms = append(highTerms, lp.Term{Var: v, Coef: 1})
 		}
 		if err := prob.AddConstraint(lowTerms, lp.LE, 0); err != nil {
-			return nil, false, err
+			return nil, nil, err
 		}
 		if err := prob.AddConstraint(highTerms, lp.LE, 0); err != nil {
-			return nil, false, err
+			return nil, nil, err
 		}
 	}
 	// (3.3): exactly one access link per subscriber.
@@ -272,7 +320,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			terms = append(terms, lp.Term{Var: pairVar[[2]int{i, j}], Coef: 1})
 		}
 		if err := prob.AddConstraint(terms, lp.EQ, 1); err != nil {
-			return nil, false, err
+			return nil, nil, err
 		}
 	}
 	// (3.5) big-M linearized per feasible pair.
@@ -290,7 +338,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			terms = append(terms, lp.Term{Var: pairVar[[2]int{i, j}], Coef: mj})
 			rhs := w[i][j]/beta + mj
 			if err := prob.AddConstraint(terms, lp.LE, rhs); err != nil {
-				return nil, false, err
+				return nil, nil, err
 			}
 		}
 	}
@@ -308,12 +356,28 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 		mopts.Incumbent = inc
 		mopts.IncumbentObj = obj
 	}
-	mres, err := milp.Solve(ctx, prob, isInt, mopts)
+	// Fast-mode warm start: adopt a previous solve's incumbent when it is
+	// still feasible for (and cheaper than the greedy start of) the current
+	// model, and seed the root relaxation with its final basis. Both only
+	// steer the search; CheckFeasible re-verifies the point against the
+	// current constraints before adoption.
+	if opts.Seed != nil {
+		if x, basis, ok := opts.Seed.SeedFor(zone, prob.NumVariables()); ok {
+			if feas, ferr := prob.CheckFeasible(x, 1e-6); ferr == nil && feas {
+				if obj, oerr := prob.Objective(x); oerr == nil && (mopts.Incumbent == nil || obj < mopts.IncumbentObj) {
+					mopts.Incumbent = x
+					mopts.IncumbentObj = obj
+				}
+			}
+			mopts.SeedBasis = basis
+		}
+	}
+	mres, err = milp.Solve(ctx, prob, isInt, mopts)
 	if err != nil {
-		return nil, false, fmt.Errorf("branch and bound: %w", err)
+		return nil, nil, fmt.Errorf("branch and bound: %w", err)
 	}
 	if err := zoneStatusErr(mres.Status, mres.DeadlineHit); err != nil {
-		return nil, false, err
+		return nil, nil, err
 	}
 	// Extract placement and assignment.
 	covers := make(map[int][]int)
@@ -330,7 +394,7 @@ func solveZoneILP(ctx context.Context, sc *scenario.Scenario, zone []int, disks 
 			relays = append(relays, Relay{Pos: cands[i], Covers: covers[i]})
 		}
 	}
-	return relays, mres.DeadlineHit, nil
+	return relays, mres, nil
 }
 
 // zoneStatusErr maps a zone's branch-and-bound outcome to the error the

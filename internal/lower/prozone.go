@@ -1,0 +1,165 @@
+package lower
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"sagrelay/internal/obs"
+	"sagrelay/internal/scenario"
+)
+
+// PROZoned runs Power Reduction Optimization zone by zone with a per-zone
+// power cache, producing bit-identical output to the global PRO.
+//
+// Why the decomposition is exact: interferenceAt sums only same-zone relays
+// (zone independence, Alg. 2), so one zone's power trajectory is a
+// deterministic function of zone-local state alone. In the global sweep, a
+// failed drop attempt restores the exact previous float, extra sweeps over
+// an already-stuck zone are no-ops, and a stuck-settle that lands in a zone
+// always settles that zone's own min-delta relay (the global minimum is a
+// fortiori the zone minimum; delta values involve only same-zone relays).
+// Within a zone both runs visit relays in the same ascending index order
+// and accumulate interference sums in the same order, so every float op is
+// reproduced exactly; the final Total is summed in global relay order.
+//
+// The decomposition requires every relay to belong to a zone and the relay
+// list to be grouped contiguously in zone order (which every coverage
+// solver in this package produces). When that does not hold — or when the
+// result has no zones — PROZoned falls back to the global PRO.
+func PROZoned(cctx context.Context, sc *scenario.Scenario, res *Result, cache ZonePowerCache) (*PowerAllocation, error) {
+	if cache == nil {
+		return PRO(cctx, sc, res)
+	}
+	if cctx == nil {
+		cctx = context.Background()
+	}
+	ctx, err := newPowerContext(sc, res)
+	if err != nil {
+		return nil, err
+	}
+	blocks, ok := zoneBlocks(ctx)
+	if !ok {
+		return PRO(cctx, sc, res)
+	}
+	_, span := obs.StartSpan(cctx, "pro")
+	span.SetInt("relays", int64(len(res.Relays)))
+	span.SetInt("zones", int64(len(blocks)))
+	defer span.End()
+	n := len(res.Relays)
+	powers := make([]float64, n)
+	reused := 0
+	for _, blk := range blocks {
+		key := powerZoneKey(sc, res.Relays[blk.lo:blk.hi])
+		if cached, hit := cache.GetPower(key); hit && len(cached) == blk.hi-blk.lo {
+			copy(powers[blk.lo:blk.hi], cached)
+			reused++
+			continue
+		}
+		if err := ctx.proBlock(cctx, blk.lo, blk.hi, powers); err != nil {
+			return nil, err
+		}
+		cache.PutPower(key, append([]float64(nil), powers[blk.lo:blk.hi]...))
+	}
+	span.SetInt("zones_reused", int64(reused))
+	alloc := &PowerAllocation{Powers: powers, Method: "PRO"}
+	for _, p := range powers {
+		alloc.Total += p
+	}
+	if err := VerifyPower(sc, res, powers); err != nil {
+		return nil, fmt.Errorf("lower: PRO: produced invalid allocation: %w", err)
+	}
+	return alloc, nil
+}
+
+// block is a contiguous relay index range [lo, hi) belonging to one zone.
+type block struct{ lo, hi int }
+
+// zoneBlocks splits the relay list into per-zone contiguous blocks.
+// ok=false when a relay has no zone (empty Covers) or the list is not
+// grouped in non-decreasing zone order — the caller must then fall back to
+// the global algorithm.
+func zoneBlocks(ctx *powerContext) ([]block, bool) {
+	var blocks []block
+	prev := -1
+	for i, z := range ctx.rZone {
+		if z < 0 {
+			return nil, false
+		}
+		if z != prev {
+			if z < prev {
+				return nil, false
+			}
+			blocks = append(blocks, block{lo: i, hi: i + 1})
+			prev = z
+		} else {
+			blocks[len(blocks)-1].hi = i + 1
+		}
+	}
+	return blocks, true
+}
+
+// proBlock runs the PRO relaxation restricted to relays [lo, hi), writing
+// their powers into the full-length powers vector. It reuses the global
+// powerContext helpers: interferenceAt and psnr skip cross-zone relays, so
+// evaluating them with a partially-filled global vector is exact — entries
+// outside the block are never read.
+func (ctx *powerContext) proBlock(cctx context.Context, lo, hi int, powers []float64) error {
+	sc := ctx.sc
+	remaining := hi - lo
+	inK := make([]bool, hi-lo)
+	for i := lo; i < hi; i++ {
+		powers[i] = sc.PMax
+		inK[i-lo] = true
+	}
+	for remaining > 0 {
+		if err := cctx.Err(); err != nil {
+			return fmt.Errorf("lower: PRO: %w", err)
+		}
+		changed := false
+		for i := lo; i < hi; i++ {
+			if !inK[i-lo] {
+				continue
+			}
+			old := powers[i]
+			powers[i] = ctx.pmin[i]
+			if ctx.snrOKForRelay(i, powers) {
+				inK[i-lo] = false
+				remaining--
+				changed = true
+			} else {
+				powers[i] = old
+			}
+		}
+		if changed || remaining == 0 {
+			continue
+		}
+		// Stuck: settle the relay with minimal delta = Psnr - Pc at Psnr
+		// (Alg. 6, Steps 10-13), exactly as the global sweep would for this
+		// zone.
+		best, bestDelta := -1, math.Inf(1)
+		bestP := 0.0
+		for i := lo; i < hi; i++ {
+			if !inK[i-lo] {
+				continue
+			}
+			p := ctx.psnr(i, powers)
+			if p < ctx.pmin[i] {
+				p = ctx.pmin[i]
+			}
+			if p > sc.PMax {
+				p = sc.PMax
+			}
+			if delta := p - ctx.pmin[i]; delta < bestDelta {
+				best, bestDelta, bestP = i, delta, p
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("lower: PRO: internal: stuck with %d relays unresolved", remaining)
+		}
+		powers[best] = bestP
+		inK[best-lo] = false
+		remaining--
+	}
+	return nil
+}

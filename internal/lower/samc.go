@@ -35,6 +35,11 @@ type SAMCOptions struct {
 	// means runtime.GOMAXPROCS(0). Zone results are assembled in zone
 	// order, so any worker count yields the identical placement.
 	Workers int
+	// Cache, when non-nil, is consulted before each zone's hitting-set +
+	// sliding solve and handed every solved zone afterwards (see
+	// ZoneCache). A hit splices the cached placement verbatim — SAMC is
+	// deterministic per zone, so the splice is byte-identical to solving.
+	Cache ZoneCache
 }
 
 func (o SAMCOptions) withDefaults() SAMCOptions {
@@ -103,6 +108,26 @@ func SAMC(ctx context.Context, sc *scenario.Scenario, opts SAMCOptions) (*Result
 		_, zSpan := obs.StartSpan(ctx, "zone")
 		zSpan.SetInt("index", int64(zi))
 		zSpan.SetInt("subscribers", int64(len(zone)))
+		var cacheKey string
+		if opts.Cache != nil {
+			cacheKey = samcZoneKey(sc, zone, opts)
+			e, hit, cerr := opts.Cache.Get(cacheKey)
+			if cerr != nil {
+				zSpan.SetAttr("error", cerr.Error())
+				zSpan.End()
+				return nil, fmt.Errorf("lower: SAMC: %w", cerr)
+			}
+			if hit {
+				if relays, ok := globalizeRelays(e.Relays, zone); ok {
+					zSpan.SetBool("cache_hit", true)
+					zSpan.SetInt("relays", int64(len(relays)))
+					zSpan.End()
+					zoneSolveSeconds.Observe(time.Since(zoneStart).Seconds())
+					res.Relays = append(res.Relays, relays...)
+					continue
+				}
+			}
+		}
 		relays, err := samcZone(sc, zone, opts)
 		zSpan.End()
 		zoneSolveSeconds.Observe(time.Since(zoneStart).Seconds())
@@ -119,6 +144,11 @@ func SAMC(ctx context.Context, sc *scenario.Scenario, opts SAMCOptions) (*Result
 			return nil, fmt.Errorf("lower: SAMC: %w", err)
 		}
 		zSpan.SetInt("relays", int64(len(relays)))
+		if opts.Cache != nil {
+			if local, ok := localizeRelays(relays, zone); ok {
+				opts.Cache.Put(cacheKey, &ZoneEntry{Relays: local})
+			}
+		}
 		res.Relays = append(res.Relays, relays...)
 	}
 	res.Feasible = true

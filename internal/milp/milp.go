@@ -128,6 +128,14 @@ type Options struct {
 	// DisableRounding turns off the rounding primal heuristic that tries
 	// to convert each fractional node relaxation into an incumbent.
 	DisableRounding bool
+	// SeedBasis, when non-nil, warm-starts the ROOT relaxation from a
+	// stored simplex basis (e.g. the final basis of a previous solve of a
+	// closely related model) instead of solving it cold. The basis must
+	// cover variables + constraints columns of the current model; a
+	// mismatched length is ignored. Like every warm start, this changes
+	// only which vertex of a degenerate optimal face the simplex lands on
+	// — callers with a byte-reproducibility contract must not seed.
+	SeedBasis *lp.Basis
 }
 
 func (o Options) withDefaults() Options {
@@ -171,6 +179,13 @@ type Result struct {
 	// must treat DeadlineHit results as approximate (see internal/lower's
 	// Truncated flag and the solve service's no-cache rule).
 	DeadlineHit bool
+	// Basis is the optimal simplex basis of the node relaxation that
+	// produced the final incumbent, when that incumbent was adopted from an
+	// integer-feasible relaxation (nil when the incumbent came from the
+	// rounding heuristic or the Options.Incumbent seed, or when there is no
+	// incumbent). Stored by zone caches and replayed through
+	// Options.SeedBasis to warm-start re-solves of closely related models.
+	Basis *lp.Basis
 }
 
 // Gap returns the relative optimality gap |obj-bound|/max(1,|obj|), or 0
@@ -272,7 +287,11 @@ func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*
 	}
 
 	front := newFrontier(opts.Order)
-	front.push(node{lower: nil, upper: nil, bound: math.Inf(-1)})
+	root := node{lower: nil, upper: nil, bound: math.Inf(-1)}
+	if opts.SeedBasis != nil && opts.SeedBasis.Len() == base.NumVariables()+base.NumConstraints() {
+		root.basis = opts.SeedBasis
+	}
+	front.push(root)
 	rootSolved := false
 
 	// One Solver serves every node: the base problem is never cloned — each
@@ -359,6 +378,7 @@ func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*
 			res.X = sol.X
 			res.Objective = sol.Objective
 			res.Status = Feasible
+			res.Basis = sol.Basis
 			continue
 		}
 		if !opts.DisableRounding {
@@ -366,6 +386,7 @@ func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*
 				res.X = x
 				res.Objective = obj
 				res.Status = Feasible
+				res.Basis = nil
 			}
 		}
 		v := sol.X[branchVar]

@@ -24,6 +24,31 @@ var ErrNonFinite = errors.New("scenario: non-finite value")
 // caps).
 var ErrNonPositive = errors.New("scenario: non-positive value")
 
+// ErrCoincident reports two same-type entities at the exact same position.
+// Coincident subscribers create zero-area feasible-circle intersections and
+// duplicate rows in the coverage formulations; coincident base stations make
+// nearest-BS attachment ambiguous. Both are degenerate inputs, so they are
+// rejected at the edge with a typed error instead of ill-conditioning the
+// geometry downstream.
+var ErrCoincident = errors.New("scenario: coincident entities")
+
+// CoincidentError identifies the colliding pair. It wraps ErrCoincident so
+// errors.Is classifies the failure while Kind and the two IDs name the
+// offenders for diagnostics.
+type CoincidentError struct {
+	// Kind is "subscriber" or "base_station".
+	Kind string
+	// ID1, ID2 are the IDs of the colliding entities (ID1 appears first).
+	ID1, ID2 int
+}
+
+func (e *CoincidentError) Error() string {
+	return fmt.Sprintf("%v: %ss %d and %d share a position", ErrCoincident, e.Kind, e.ID1, e.ID2)
+}
+
+// Unwrap exposes the category sentinel to errors.Is.
+func (e *CoincidentError) Unwrap() error { return ErrCoincident }
+
 // ValueError pinpoints an invalid numeric field in a scenario document. It
 // wraps ErrNonFinite or ErrNonPositive, so errors.Is classifies the
 // failure while the Field path names the offending entry for diagnostics.
@@ -158,7 +183,9 @@ func (sc *Scenario) FeasibleCircles() []geom.Circle {
 
 // Validate checks structural invariants of the instance: positive power
 // caps and field extents, finite coordinates everywhere, positive distance
-// requirements, and unique IDs. Numeric failures are *ValueError values
+// requirements, unique IDs, and no two same-type entities at the same
+// position (*CoincidentError wrapping ErrCoincident). Numeric failures are
+// *ValueError values
 // wrapping ErrNonFinite / ErrNonPositive, so loaders can classify bad
 // input without string matching; NaN and Inf are rejected here rather than
 // being allowed to flow into geometry and the LP, where they would corrupt
@@ -189,6 +216,7 @@ func (sc *Scenario) Validate() error {
 		return errors.New("scenario: no base stations")
 	}
 	seen := make(map[int]bool, len(sc.Subscribers))
+	atPos := make(map[geom.Point]int, len(sc.Subscribers))
 	for i, s := range sc.Subscribers {
 		for _, check := range []error{
 			finite(fmt.Sprintf("subscriber[%d].pos.x", i), s.Pos.X),
@@ -207,8 +235,13 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario: duplicate subscriber id %d", s.ID)
 		}
 		seen[s.ID] = true
+		if j, dup := atPos[s.Pos]; dup {
+			return &CoincidentError{Kind: "subscriber", ID1: sc.Subscribers[j].ID, ID2: s.ID}
+		}
+		atPos[s.Pos] = i
 	}
 	seenBS := make(map[int]bool, len(sc.BaseStations))
+	atPosBS := make(map[geom.Point]int, len(sc.BaseStations))
 	for i, b := range sc.BaseStations {
 		for _, check := range []error{
 			finite(fmt.Sprintf("base_station[%d].pos.x", i), b.Pos.X),
@@ -222,6 +255,10 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario: duplicate base station id %d", b.ID)
 		}
 		seenBS[b.ID] = true
+		if j, dup := atPosBS[b.Pos]; dup {
+			return &CoincidentError{Kind: "base_station", ID1: sc.BaseStations[j].ID, ID2: b.ID}
+		}
+		atPosBS[b.Pos] = i
 	}
 	return nil
 }

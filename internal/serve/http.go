@@ -13,6 +13,8 @@ import (
 // Handler returns the service's HTTP routes on a fresh mux:
 //
 //	POST   /v1/solve            submit {scenario, options}; ?wait=1 blocks
+//	POST   /v1/resolve          submit {base_job|base_scenario_hash, delta,
+//	                            options}; incremental re-solve, ?wait=1 blocks
 //	GET    /v1/jobs             list retained jobs, newest first
 //	GET    /v1/jobs/{id}        one job's status
 //	GET    /v1/jobs/{id}/result the finished result document
@@ -23,6 +25,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/resolve", s.handleResolve)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -71,21 +74,53 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(req)
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			writeError(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, ErrShuttingDown):
-			writeError(w, http.StatusServiceUnavailable, err)
-		default:
-			writeError(w, http.StatusBadRequest, err)
-		}
+		writeSubmitError(w, err)
 		return
 	}
+	s.answerSubmit(w, r, job)
+}
 
+// handleResolve is handleSolve's incremental twin: the request names a base
+// scenario plus a delta, and a missing base is a 404 rather than a 400.
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var req ResolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Resolve(req)
+	if err != nil {
+		if errors.Is(err, ErrNoBase) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeSubmitError(w, err)
+		return
+	}
+	s.answerSubmit(w, r, job)
+}
+
+// writeSubmitError maps a Submit/Resolve error to its status code: 429 for
+// backpressure, 503 during shutdown, 400 for everything else (validation,
+// malformed deltas, unknown entities).
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// answerSubmit finishes a successful submission: 202 with the job status,
+// or — with ?wait=1 — block until the job finishes and serve its result. A
+// client disconnect while waiting cancels the solve — the whole point of
+// the context plumbing — and the handler just unwinds.
+func (s *Server) answerSubmit(w http.ResponseWriter, r *http.Request, job *Job) {
 	if r.URL.Query().Get("wait") == "1" {
-		// Synchronous mode: block until the job finishes. A client
-		// disconnect cancels the solve — the whole point of the context
-		// plumbing — and the handler just unwinds.
 		select {
 		case <-job.done:
 		case <-r.Context().Done():
@@ -168,7 +203,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
-		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len()))
+		zones, _, _ := s.incrStores.Len()
+		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), zones))
 	case "prometheus":
 		// Two registries, one exposition: the per-server counters first,
 		// then the process-wide solver histograms (zone solve time, B&B

@@ -26,6 +26,14 @@ type Job struct {
 	ID string
 	// Key is the content address of (scenario, options).
 	Key string
+	// ScenarioHash is the canonical hash of the job's scenario alone —
+	// the handle /v1/resolve uses to name this job's scenario as a delta
+	// base. Empty for journal-restored jobs whose request bytes were not
+	// retained. Immutable after publication.
+	ScenarioHash string
+	// incr is non-nil for jobs submitted through Resolve: the dirty-set
+	// plan and fast flag runJob consults. Immutable after publication.
+	incr *incrMeta
 
 	// done is closed exactly once when the job reaches a terminal state;
 	// synchronous waiters (POST /v1/solve?wait=1) select on it.
@@ -47,14 +55,21 @@ type Job struct {
 
 // jobStatus is the JSON shape of GET /v1/jobs/{id}.
 type jobStatus struct {
-	ID       string   `json:"id"`
-	Key      string   `json:"key"`
-	State    JobState `json:"state"`
-	CacheHit bool     `json:"cache_hit"`
-	Error    string   `json:"error,omitempty"`
-	Created  string   `json:"created"`
+	ID           string   `json:"id"`
+	Key          string   `json:"key"`
+	ScenarioHash string   `json:"scenario_hash,omitempty"`
+	State        JobState `json:"state"`
+	CacheHit     bool     `json:"cache_hit"`
+	Error        string   `json:"error,omitempty"`
+	Created      string   `json:"created"`
 	// ElapsedMS is queue+solve wall-clock so far (or total once terminal).
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// The incremental fields appear on jobs submitted through /v1/resolve:
+	// how many of the mutated scenario's zones the planner found dirty.
+	TotalZones    int     `json:"total_zones,omitempty"`
+	DirtyZones    int     `json:"dirty_zones,omitempty"`
+	DirtyFraction float64 `json:"dirty_fraction,omitempty"`
+	Fast          bool    `json:"fast,omitempty"`
 }
 
 func (j *Job) status() jobStatus {
@@ -64,15 +79,23 @@ func (j *Job) status() jobStatus {
 	if end.IsZero() {
 		end = time.Now()
 	}
-	return jobStatus{
-		ID:        j.ID,
-		Key:       j.Key,
-		State:     j.state,
-		CacheHit:  j.cacheHit,
-		Error:     j.err,
-		Created:   j.created.UTC().Format(time.RFC3339Nano),
-		ElapsedMS: end.Sub(j.created).Milliseconds(),
+	st := jobStatus{
+		ID:           j.ID,
+		Key:          j.Key,
+		ScenarioHash: j.ScenarioHash,
+		State:        j.state,
+		CacheHit:     j.cacheHit,
+		Error:        j.err,
+		Created:      j.created.UTC().Format(time.RFC3339Nano),
+		ElapsedMS:    end.Sub(j.created).Milliseconds(),
 	}
+	if m := j.incr; m != nil {
+		st.TotalZones = m.plan.TotalZones
+		st.DirtyZones = m.plan.DirtyZones
+		st.DirtyFraction = m.plan.DirtyFraction
+		st.Fast = m.fast
+	}
+	return st
 }
 
 // resultBytes returns the finished document, or nil when the job is not

@@ -5,6 +5,7 @@ import (
 
 	"sagrelay/internal/core"
 	"sagrelay/internal/fault"
+	"sagrelay/internal/incr"
 	"sagrelay/internal/milp"
 	"sagrelay/internal/obs"
 )
@@ -34,6 +35,9 @@ type Metrics struct {
 	JobsDegraded atomic.Int64
 	// CacheHits and CacheMisses count result-cache lookups at submit time.
 	CacheHits, CacheMisses atomic.Int64
+	// Resolves counts accepted /v1/resolve submissions (before queueing; a
+	// resolve that turns out to be a whole-result cache hit still counts).
+	Resolves atomic.Int64
 	// SolveMicros accumulates wall-clock solver time (cache hits excluded),
 	// and Solves the number of solves it spans, so mean latency is
 	// SolveMicros/Solves.
@@ -55,7 +59,10 @@ type Metrics struct {
 //	sagmetrics/1  (implicit) the PR-3 document, no schema field
 //	sagmetrics/2  schema field added; Prometheus exposition at
 //	              /metrics?format=prometheus serves the same counters
-const metricsSchema = "sagmetrics/2"
+//	sagmetrics/3  incremental re-solve keys added: incr_resolves,
+//	              incr_zones_reused_total, incr_zones_resolved_total,
+//	              zone_cache_entries
+const metricsSchema = "sagmetrics/3"
 
 // metricsDoc is the JSON shape served by /metrics. Field order is the wire
 // order (encoding/json preserves struct order), so keys appear in a stable,
@@ -72,8 +79,17 @@ type metricsDoc struct {
 	CacheHits     int64  `json:"cache_hits"`
 	CacheMisses   int64  `json:"cache_misses"`
 	CacheEntries  int    `json:"cache_entries"`
-	SolveMicros   int64  `json:"solve_micros_total"`
-	Solves        int64  `json:"solves"`
+	// Resolves counts accepted /v1/resolve submissions; the two incr zone
+	// counters are process-wide (internal/incr): a reuse is a zone coverage
+	// solution spliced from the zone store, a resolve a zone actually solved.
+	Resolves          int64 `json:"incr_resolves"`
+	IncrZonesReused   int64 `json:"incr_zones_reused_total"`
+	IncrZonesResolved int64 `json:"incr_zones_resolved_total"`
+	// ZoneCacheEntries is the current zone-placement store size (the
+	// coverage-level store; power and upper stores are bounded alike).
+	ZoneCacheEntries int   `json:"zone_cache_entries"`
+	SolveMicros      int64 `json:"solve_micros_total"`
+	Solves           int64 `json:"solves"`
 	// BBNodes is the process-wide branch-and-bound node count from
 	// internal/milp — the solver-effort odometer behind ILP requests.
 	BBNodes int64 `json:"bb_nodes_total"`
@@ -91,29 +107,33 @@ type metricsDoc struct {
 	JournalReplayed int64 `json:"journal_replayed_jobs"`
 }
 
-func (m *Metrics) snapshot(cacheEntries int) metricsDoc {
+func (m *Metrics) snapshot(cacheEntries, zoneCacheEntries int) metricsDoc {
 	return metricsDoc{
-		Schema:          metricsSchema,
-		JobsAccepted:    m.JobsAccepted.Load(),
-		JobsRejected:    m.JobsRejected.Load(),
-		JobsCompleted:   m.JobsCompleted.Load(),
-		JobsFailed:      m.JobsFailed.Load(),
-		JobsCancelled:   m.JobsCancelled.Load(),
-		JobsPanicked:    m.JobsPanicked.Load(),
-		JobsDegraded:    m.JobsDegraded.Load(),
-		CacheHits:       m.CacheHits.Load(),
-		CacheMisses:     m.CacheMisses.Load(),
-		CacheEntries:    cacheEntries,
-		SolveMicros:     m.SolveMicros.Load(),
-		Solves:          m.Solves.Load(),
-		BBNodes:         milp.TotalNodes(),
-		PanicsRecovered: fault.RecoveredPanics(),
-		SolverRetries:   core.TotalRetries(),
-		SolverFallbacks: core.TotalFallbacks(),
-		FaultsInjected:  fault.FiredTotal(),
-		JournalErrors:   m.JournalErrors.Load(),
-		JournalRestored: m.JournalRestored.Load(),
-		JournalReplayed: m.JournalReplayed.Load(),
+		Schema:            metricsSchema,
+		JobsAccepted:      m.JobsAccepted.Load(),
+		JobsRejected:      m.JobsRejected.Load(),
+		JobsCompleted:     m.JobsCompleted.Load(),
+		JobsFailed:        m.JobsFailed.Load(),
+		JobsCancelled:     m.JobsCancelled.Load(),
+		JobsPanicked:      m.JobsPanicked.Load(),
+		JobsDegraded:      m.JobsDegraded.Load(),
+		CacheHits:         m.CacheHits.Load(),
+		CacheMisses:       m.CacheMisses.Load(),
+		CacheEntries:      cacheEntries,
+		Resolves:          m.Resolves.Load(),
+		IncrZonesReused:   incr.ZonesReused(),
+		IncrZonesResolved: incr.ZonesResolved(),
+		ZoneCacheEntries:  zoneCacheEntries,
+		SolveMicros:       m.SolveMicros.Load(),
+		Solves:            m.Solves.Load(),
+		BBNodes:           milp.TotalNodes(),
+		PanicsRecovered:   fault.RecoveredPanics(),
+		SolverRetries:     core.TotalRetries(),
+		SolverFallbacks:   core.TotalFallbacks(),
+		FaultsInjected:    fault.FiredTotal(),
+		JournalErrors:     m.JournalErrors.Load(),
+		JournalRestored:   m.JournalRestored.Load(),
+		JournalReplayed:   m.JournalReplayed.Load(),
 	}
 }
 
@@ -139,6 +159,13 @@ func (s *Server) promRegistry() *obs.Registry {
 	counter("cache_misses", "Result-cache misses at submit time.", m.CacheMisses.Load)
 	r.Gauge("sag_cache_entries", "Result documents currently cached.", func() int64 {
 		return int64(s.cache.len())
+	})
+	counter("incr_resolves", "Accepted /v1/resolve submissions.", m.Resolves.Load)
+	counter("incr_zones_reused_total", "Zone coverage solutions spliced from the zone store.", incr.ZonesReused)
+	counter("incr_zones_resolved_total", "Zone coverage solutions computed by an actual solve.", incr.ZonesResolved)
+	r.Gauge("sag_zone_cache_entries", "Zone placement entries currently stored.", func() int64 {
+		zones, _, _ := s.incrStores.Len()
+		return int64(zones)
 	})
 	counter("solve_micros_total", "Accumulated wall-clock solver microseconds.", m.SolveMicros.Load)
 	counter("solves", "Completed solves behind solve_micros_total.", m.Solves.Load)

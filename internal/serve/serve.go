@@ -25,6 +25,7 @@ import (
 
 	"sagrelay/internal/core"
 	"sagrelay/internal/fault"
+	"sagrelay/internal/incr"
 	"sagrelay/internal/obs"
 	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
@@ -75,6 +76,13 @@ type Options struct {
 	// the previous process never finished are re-run. Empty means fully
 	// in-memory operation, as before.
 	DataDir string
+	// ZoneCacheEntries bounds each of the zone-level stores (coverage
+	// placements, power blocks, upper-tier results) shared by every job of
+	// this server (default 1024 entries each).
+	ZoneCacheEntries int
+	// ScenarioRetention bounds the LRU of scenarios kept so POST /v1/resolve
+	// can name a base by job ID or scenario hash (default 256 scenarios).
+	ScenarioRetention int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +108,13 @@ type Server struct {
 	pool    *par.Pool
 	cache   *cache
 	metrics Metrics
+	// incrStores are the zone-level content-addressed stores shared by every
+	// job: full solves populate them and incremental re-solves splice from
+	// them (see internal/incr).
+	incrStores *incr.Stores
+	// scenarios retains recently-submitted scenarios by canonical hash so
+	// /v1/resolve can locate a delta's base.
+	scenarios *scenarioStore
 	// prom is the Prometheus-format view over the same counters the JSON
 	// snapshot reads (see promRegistry).
 	prom *obs.Registry
@@ -131,12 +146,14 @@ func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:      opts,
-		pool:      par.NewPool(opts.Workers, opts.QueueDepth),
-		cache:     newCache(opts.CacheEntries),
-		baseCtx:   ctx,
-		cancelAll: cancel,
-		jobs:      make(map[string]*Job),
+		opts:       opts,
+		pool:       par.NewPool(opts.Workers, opts.QueueDepth),
+		cache:      newCache(opts.CacheEntries),
+		incrStores: incr.NewStores(opts.ZoneCacheEntries),
+		scenarios:  newScenarioStore(opts.ScenarioRetention),
+		baseCtx:    ctx,
+		cancelAll:  cancel,
+		jobs:       make(map[string]*Job),
 	}
 	s.prom = s.promRegistry()
 	if opts.DataDir != "" {
@@ -221,6 +238,16 @@ func (s *Server) replay(recs []jrec) {
 			created: time.Now(),
 			cancel:  func() {},
 		}
+		// Parse the journaled request up front (when one was journaled): even
+		// terminally-restored jobs then carry their scenario hash and retain
+		// the scenario, so they can serve as a base for /v1/resolve.
+		var req SolveRequest
+		haveReq := len(f.submit.Req) > 0 &&
+			json.Unmarshal(f.submit.Req, &req) == nil && req.Scenario != nil
+		if haveReq {
+			job.ScenarioHash = req.Scenario.CanonicalHash()
+			s.scenarios.put(job.ScenarioHash, req.Scenario)
+		}
 		s.jobs[id] = job
 		s.order = append(s.order, id)
 
@@ -256,8 +283,7 @@ func (s *Server) replay(recs []jrec) {
 			}
 		}
 
-		var req SolveRequest
-		if err := json.Unmarshal(f.submit.Req, &req); err != nil || req.Scenario == nil {
+		if !haveReq {
 			s.metrics.JournalErrors.Add(1)
 			msg := "journal: submit record has no readable request"
 			job.finish(StateFailed, nil, msg)
@@ -328,6 +354,12 @@ func (s *Server) replay(recs []jrec) {
 // error is ErrShuttingDown, ErrQueueFull, or a validation error from the
 // scenario or options (the HTTP layer maps these to 503, 429 and 400).
 func (s *Server) Submit(req SolveRequest) (*Job, error) {
+	return s.submit(req, nil)
+}
+
+// submit is Submit plus the resolve path's incremental metadata, attached to
+// the job before it is published so runJob sees it race-free.
+func (s *Server) submit(req SolveRequest, meta *incrMeta) (*Job, error) {
 	if req.Scenario == nil {
 		return nil, fmt.Errorf("serve: request has no scenario")
 	}
@@ -340,6 +372,10 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	key := requestKey(req.Scenario, opts)
+	// Retain the scenario before the job is visible: a client that reads the
+	// accepted job's scenario_hash may immediately resolve against it.
+	scHash := req.Scenario.CanonicalHash()
+	s.scenarios.put(scHash, req.Scenario)
 
 	// The job's context (and its cancel func) exist before the job is
 	// published into the table, so a concurrent DELETE /v1/jobs/{id} can
@@ -361,12 +397,14 @@ func (s *Server) Submit(req SolveRequest) (*Job, error) {
 	}
 	s.seq++
 	job := &Job{
-		ID:      "j-" + strconv.FormatInt(s.seq, 10),
-		Key:     key,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   StateQueued,
-		created: time.Now(),
+		ID:           "j-" + strconv.FormatInt(s.seq, 10),
+		Key:          key,
+		ScenarioHash: scHash,
+		incr:         meta,
+		cancel:       cancel,
+		done:         make(chan struct{}),
+		state:        StateQueued,
+		created:      time.Now(),
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
@@ -474,6 +512,26 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 	tr.Root().SetAttr("job_id", job.ID)
 	ctx = obs.WithTrace(ctx, tr)
 
+	// Every job runs through the shared zone-level stores: full solves
+	// populate them, repeat or delta'd scenarios splice from them. Fast
+	// resolves get read-only stores plus warm-start seeds instead — their
+	// results may differ from a cold solve and must not contaminate caches.
+	fast := job.incr != nil && job.incr.fast
+	if fast {
+		s.incrStores.WireFast(&cfg, job.incr.plan.Seeder)
+	} else {
+		s.incrStores.Wire(&cfg)
+	}
+	if m := job.incr; m != nil {
+		sp := tr.Root().StartChild("incr")
+		sp.SetAttr("base_scenario_hash", m.baseHash)
+		sp.SetInt("total_zones", int64(m.plan.TotalZones))
+		sp.SetInt("dirty_zones", int64(m.plan.DirtyZones))
+		sp.SetFloat("dirty_fraction", m.plan.DirtyFraction)
+		sp.SetBool("fast", m.fast)
+		sp.End()
+	}
+
 	// Bind degrade overtime to forced shutdown: once the job's deadline has
 	// expired the ladder's detached context ignores ctx, so cancelAll must
 	// reach it through HardStop or Shutdown would block out DegradeTimeout.
@@ -502,13 +560,17 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 	s.metrics.Solves.Add(1)
 	s.metrics.SolveMicros.Add(elapsed.Microseconds())
 	s.metrics.JobsCompleted.Add(1)
-	if sol.Degraded {
+	if sol.Degraded || fast {
 		// Degraded results are timing-dependent (which stage fell back
-		// depends on when the deadline hit), so they must never enter the
-		// content-addressed cache or results directory — both promise
-		// byte-identical replay. The journal carries the document inline so
-		// a restart can still serve this job's result.
-		s.metrics.JobsDegraded.Add(1)
+		// depends on when the deadline hit) and fast-mode results are
+		// seed-dependent (warm starts may land on a different equally-good
+		// optimum), so neither may enter the content-addressed cache or
+		// results directory — both promise byte-identical replay. The
+		// journal carries the document inline so a restart can still serve
+		// this job's result.
+		if sol.Degraded {
+			s.metrics.JobsDegraded.Add(1)
+		}
 		s.jappend(jrec{T: recDone, ID: job.ID, Key: job.Key, Doc: doc})
 		job.finish(StateDone, doc, "")
 		return
@@ -648,27 +710,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // MetricsSnapshot returns the current counters (exported for tests and the
 // smoke harness; the HTTP layer serves the same document at /metrics).
 func (s *Server) MetricsSnapshot() map[string]int64 {
-	d := s.metrics.snapshot(s.cache.len())
+	zones, _, _ := s.incrStores.Len()
+	d := s.metrics.snapshot(s.cache.len(), zones)
 	return map[string]int64{
-		"jobs_accepted":          d.JobsAccepted,
-		"jobs_rejected":          d.JobsRejected,
-		"jobs_completed":         d.JobsCompleted,
-		"jobs_failed":            d.JobsFailed,
-		"jobs_cancelled":         d.JobsCancelled,
-		"jobs_panicked":          d.JobsPanicked,
-		"jobs_degraded":          d.JobsDegraded,
-		"cache_hits":             d.CacheHits,
-		"cache_misses":           d.CacheMisses,
-		"cache_entries":          int64(d.CacheEntries),
-		"solve_micros_total":     d.SolveMicros,
-		"solves":                 d.Solves,
-		"bb_nodes_total":         d.BBNodes,
-		"panics_recovered":       d.PanicsRecovered,
-		"solver_retries_total":   d.SolverRetries,
-		"solver_fallbacks_total": d.SolverFallbacks,
-		"faults_injected_total":  d.FaultsInjected,
-		"journal_errors":         d.JournalErrors,
-		"journal_restored_jobs":  d.JournalRestored,
-		"journal_replayed_jobs":  d.JournalReplayed,
+		"jobs_accepted":             d.JobsAccepted,
+		"jobs_rejected":             d.JobsRejected,
+		"jobs_completed":            d.JobsCompleted,
+		"jobs_failed":               d.JobsFailed,
+		"jobs_cancelled":            d.JobsCancelled,
+		"jobs_panicked":             d.JobsPanicked,
+		"jobs_degraded":             d.JobsDegraded,
+		"cache_hits":                d.CacheHits,
+		"cache_misses":              d.CacheMisses,
+		"cache_entries":             int64(d.CacheEntries),
+		"incr_resolves":             d.Resolves,
+		"incr_zones_reused_total":   d.IncrZonesReused,
+		"incr_zones_resolved_total": d.IncrZonesResolved,
+		"zone_cache_entries":        int64(d.ZoneCacheEntries),
+		"solve_micros_total":        d.SolveMicros,
+		"solves":                    d.Solves,
+		"bb_nodes_total":            d.BBNodes,
+		"panics_recovered":          d.PanicsRecovered,
+		"solver_retries_total":      d.SolverRetries,
+		"solver_fallbacks_total":    d.SolverFallbacks,
+		"faults_injected_total":     d.FaultsInjected,
+		"journal_errors":            d.JournalErrors,
+		"journal_restored_jobs":     d.JournalRestored,
+		"journal_replayed_jobs":     d.JournalReplayed,
 	}
 }

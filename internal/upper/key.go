@@ -1,0 +1,75 @@
+package upper
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+
+	"sagrelay/internal/lower"
+	"sagrelay/internal/scenario"
+)
+
+// CacheKey content-addresses the connectivity stage: everything the tree
+// construction (MBMC/MUST) and the connectivity power allocation
+// (UCPO/baseline) read, and nothing else. The upper tier never looks at
+// subscriber positions except through the cover relays' Covers sets, so
+// the key encodes the referenced subscribers' data (not their indices) and
+// an entry keyed this way is valid across unrelated jobs whose coverage
+// stage produced the same relay set:
+//
+//   - the tree/power method names and the MUST base-station restriction;
+//   - the radio model and PMax (edge feasibility and power clamping);
+//   - every base-station position (nearest-BS attachment, Steiner points);
+//   - every subscriber's DistReq (MBMC's global d_min bound) in order;
+//   - per cover relay: position plus each covered subscriber's
+//     (position, DistReq, MinRxPower) in cover order (UCPO's receive-floor
+//     maximum; Verify's reachability checks).
+//
+// A relay-set change — the only thing a delta can do to the upper tier's
+// inputs — changes the key, which is exactly the ISSUE's "UCRA re-runs
+// only when the relay set changed" rule.
+func CacheKey(sc *scenario.Scenario, cover *lower.Result, method string, mustBS int, powerMethod string) string {
+	var b bytes.Buffer
+	field := func(label string, vals ...float64) {
+		b.WriteString(label)
+		for _, v := range vals {
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	count := func(label string, n int) {
+		b.WriteString(label)
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(n))
+		b.WriteByte('\n')
+	}
+	b.WriteString("sagupper/1\n")
+	b.WriteString(method)
+	b.WriteByte('\n')
+	count("mustbs", mustBS)
+	b.WriteString(powerMethod)
+	b.WriteByte('\n')
+	field("model", sc.Model.Gt, sc.Model.Gr, sc.Model.Ht, sc.Model.Hr, sc.Model.Alpha, sc.Model.MinDist)
+	field("pmax", sc.PMax)
+	count("bs", len(sc.BaseStations))
+	for _, bs := range sc.BaseStations {
+		field("b", bs.Pos.X, bs.Pos.Y)
+	}
+	count("ss", len(sc.Subscribers))
+	for _, s := range sc.Subscribers {
+		field("d", s.DistReq)
+	}
+	count("cover", len(cover.Relays))
+	for _, r := range cover.Relays {
+		field("r", r.Pos.X, r.Pos.Y)
+		count("covers", len(r.Covers))
+		for _, j := range r.Covers {
+			s := sc.Subscribers[j]
+			field("c", s.Pos.X, s.Pos.Y, s.DistReq, s.MinRxPower)
+		}
+	}
+	sum := sha256.Sum256(b.Bytes())
+	return hex.EncodeToString(sum[:])
+}

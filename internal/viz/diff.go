@@ -1,0 +1,233 @@
+package viz
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sagrelay/internal/core"
+	"sagrelay/internal/geom"
+	"sagrelay/internal/lower"
+	"sagrelay/internal/scenario"
+)
+
+// RenderDiff draws what a scenario delta did to a deployment: the mutated
+// scenario's stations over a comparison of the two coverage placements.
+// Relays present only in the new solution are drawn green (added), relays
+// present only in the base solution red (removed), and relays that serve
+// mostly the same subscribers from a different position are joined by an
+// arrow (moved). Unchanged relays stay the usual green-square-on-gray
+// rendering, dimmed. Either solution may be nil or infeasible; the diff then
+// degenerates to all-added or all-removed.
+func RenderDiff(base, mutated *scenario.Scenario, baseSol, newSol *core.Solution, style Style) (string, error) {
+	if err := base.Validate(); err != nil {
+		return "", fmt.Errorf("viz: base: %w", err)
+	}
+	if err := mutated.Validate(); err != nil {
+		return "", fmt.Errorf("viz: mutated: %w", err)
+	}
+	style = style.withDefaults()
+	field := unionRect(base.Field, mutated.Field)
+	cv := canvas{field: field.Expand(style.Margin), size: float64(style.SizePx)}
+
+	var baseRelays, newRelays []lower.Relay
+	if baseSol != nil && baseSol.Feasible {
+		baseRelays = baseSol.Coverage.Relays
+	}
+	if newSol != nil && newSol.Feasible {
+		newRelays = newSol.Coverage.Relays
+	}
+	d := diffRelays(base, mutated, baseRelays, newRelays)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		style.SizePx, style.SizePx, style.SizePx, style.SizePx)
+	b.WriteString(`<defs><marker id="mvarrow" markerWidth="8" markerHeight="8" refX="6" refY="3" orient="auto">` +
+		`<path d="M0,0 L6,3 L0,6 z" fill="#ff7f0e"/></marker></defs>` + "\n")
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888" stroke-width="1"/>`+"\n",
+		cv.x(field.Min), cv.y(field.Max), cv.scale(field.Width()), cv.scale(field.Height()))
+	if style.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="14" font-size="13" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			style.SizePx/2, escape(style.Title))
+	}
+
+	// Subscribers the delta removed: hollow gray dots on the mutated plot.
+	newIDs := make(map[int]bool, len(mutated.Subscribers))
+	for _, s := range mutated.Subscribers {
+		newIDs[s.ID] = true
+	}
+	for _, s := range base.Subscribers {
+		if !newIDs[s.ID] {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="none" stroke="#aaa" stroke-width="1"><title>SS %d (removed)</title></circle>`+"\n",
+				cv.x(s.Pos), cv.y(s.Pos), s.ID)
+		}
+	}
+	// Mutated scenario's subscribers and base stations, as in Render.
+	for _, s := range mutated.Subscribers {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="#1f77b4"><title>SS %d</title></circle>`+"\n",
+			cv.x(s.Pos), cv.y(s.Pos), s.ID)
+	}
+	for _, bs := range mutated.BaseStations {
+		x, y := cv.x(bs.Pos), cv.y(bs.Pos)
+		fmt.Fprintf(&b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="#d62728"><title>BS %d</title></polygon>`+"\n",
+			x, y-6, x-5, y+4, x+5, y+4, bs.ID)
+	}
+
+	// Move arrows first, then markers on top of their endpoints.
+	for _, mv := range d.moved {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ff7f0e" stroke-width="1.5" marker-end="url(#mvarrow)"/>`+"\n",
+			cv.x(mv[0]), cv.y(mv[0]), cv.x(mv[1]), cv.y(mv[1]))
+	}
+	for _, p := range d.kept {
+		x, y := cv.x(p), cv.y(p)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="8" height="8" fill="#2ca02c" fill-opacity="0.35"><title>RS unchanged</title></rect>`+"\n",
+			x-4, y-4)
+	}
+	for _, mv := range d.moved {
+		x, y := cv.x(mv[1]), cv.y(mv[1])
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="8" height="8" fill="none" stroke="#ff7f0e" stroke-width="2"><title>RS moved</title></rect>`+"\n",
+			x-4, y-4)
+	}
+	for _, p := range d.removed {
+		x, y := cv.x(p), cv.y(p)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="8" height="8" fill="#d62728"><title>RS removed</title></rect>`+"\n",
+			x-4, y-4)
+	}
+	for _, p := range d.added {
+		x, y := cv.x(p), cv.y(p)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="8" height="8" fill="#2ca02c"><title>RS added</title></rect>`+"\n",
+			x-4, y-4)
+	}
+	b.WriteString(diffLegend(style.SizePx))
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// RenderDiffToFile renders the diff and writes the SVG to path.
+func RenderDiffToFile(base, mutated *scenario.Scenario, baseSol, newSol *core.Solution, style Style, path string) error {
+	svg, err := RenderDiff(base, mutated, baseSol, newSol, style)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return fmt.Errorf("viz: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// relayChanges classifies the two placements' relays against each other.
+type relayChanges struct {
+	added   []geom.Point    // in the new placement only
+	removed []geom.Point    // in the base placement only
+	moved   [][2]geom.Point // matched pair at different positions: {from, to}
+	kept    []geom.Point    // matched pair at the same position
+}
+
+// diffRelays matches relays across the two placements by greedy maximum
+// overlap of covered subscriber IDs (IDs survive deltas; indices do not).
+// Each relay matches at most one counterpart; pairs are taken in decreasing
+// overlap order with index order breaking ties, so the diff is
+// deterministic. A matched pair at the same position is "kept", at different
+// positions "moved"; unmatched relays are added or removed.
+func diffRelays(base, mutated *scenario.Scenario, baseRelays, newRelays []lower.Relay) relayChanges {
+	coveredIDs := func(sc *scenario.Scenario, r lower.Relay) map[int]bool {
+		ids := make(map[int]bool, len(r.Covers))
+		for _, j := range r.Covers {
+			if j >= 0 && j < len(sc.Subscribers) {
+				ids[sc.Subscribers[j].ID] = true
+			}
+		}
+		return ids
+	}
+	baseIDs := make([]map[int]bool, len(baseRelays))
+	for i, r := range baseRelays {
+		baseIDs[i] = coveredIDs(base, r)
+	}
+	type cand struct{ bi, ni, overlap int }
+	var cands []cand
+	for ni, r := range newRelays {
+		ids := coveredIDs(mutated, r)
+		for bi := range baseRelays {
+			overlap := 0
+			for id := range ids {
+				if baseIDs[bi][id] {
+					overlap++
+				}
+			}
+			if overlap > 0 {
+				cands = append(cands, cand{bi: bi, ni: ni, overlap: overlap})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].overlap != cands[b].overlap {
+			return cands[a].overlap > cands[b].overlap
+		}
+		if cands[a].bi != cands[b].bi {
+			return cands[a].bi < cands[b].bi
+		}
+		return cands[a].ni < cands[b].ni
+	})
+	baseTaken := make([]bool, len(baseRelays))
+	newTaken := make([]bool, len(newRelays))
+	var d relayChanges
+	for _, c := range cands {
+		if baseTaken[c.bi] || newTaken[c.ni] {
+			continue
+		}
+		baseTaken[c.bi], newTaken[c.ni] = true, true
+		from, to := baseRelays[c.bi].Pos, newRelays[c.ni].Pos
+		if from == to {
+			d.kept = append(d.kept, to)
+		} else {
+			d.moved = append(d.moved, [2]geom.Point{from, to})
+		}
+	}
+	for i, r := range baseRelays {
+		if !baseTaken[i] {
+			d.removed = append(d.removed, r.Pos)
+		}
+	}
+	for i, r := range newRelays {
+		if !newTaken[i] {
+			d.added = append(d.added, r.Pos)
+		}
+	}
+	return d
+}
+
+func unionRect(a, b geom.Rect) geom.Rect {
+	out := a
+	if b.Min.X < out.Min.X {
+		out.Min.X = b.Min.X
+	}
+	if b.Min.Y < out.Min.Y {
+		out.Min.Y = b.Min.Y
+	}
+	if b.Max.X > out.Max.X {
+		out.Max.X = b.Max.X
+	}
+	if b.Max.Y > out.Max.Y {
+		out.Max.Y = b.Max.Y
+	}
+	return out
+}
+
+func diffLegend(size int) string {
+	var b strings.Builder
+	y := size - 12
+	x := 10
+	entry := func(marker, label string) {
+		b.WriteString(marker)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n", x+10, y+4, label)
+		x += 20 + 8*len(label)
+	}
+	entry(fmt.Sprintf(`<circle cx="%d" cy="%d" r="3" fill="#1f77b4"/>`, x, y), "SS")
+	entry(fmt.Sprintf(`<polygon points="%d,%d %d,%d %d,%d" fill="#d62728"/>`, x, y-4, x-4, y+3, x+4, y+3), "BS")
+	entry(fmt.Sprintf(`<rect x="%d" y="%d" width="7" height="7" fill="#2ca02c"/>`, x-3, y-3), "added")
+	entry(fmt.Sprintf(`<rect x="%d" y="%d" width="7" height="7" fill="#d62728"/>`, x-3, y-3), "removed")
+	entry(fmt.Sprintf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ff7f0e" stroke-width="2"/>`, x-4, y, x+4, y), "moved")
+	return b.String()
+}
