@@ -59,6 +59,15 @@ go test -race -tags faultinject -run Chaos -count=1 -timeout 20m ./internal/serv
 echo "== sagserved -smoke-recovery"
 go run ./cmd/sagserved -smoke-recovery
 
+# Overload gate: a seeded admission-fault storm must shed the same fixed
+# request indices on two fresh servers (determinism), shed jobs must cost
+# zero solver work with accepted answers byte-identical to an unloaded
+# server's, /healthz must stay under 100ms through a queue-saturating delay
+# storm, and a journaled server must quarantine a bit-rotted mid-file WAL
+# record on restart while restoring every intact job byte-identically.
+echo "== sagserved -smoke-overload"
+go run ./cmd/sagserved -smoke-overload
+
 # Performance gates for the branch-and-bound hot path. The pivot-regression
 # gate solves the pinned ILPQC benchmark instance and fails if the total
 # simplex pivot count regresses past the recorded budget (half the

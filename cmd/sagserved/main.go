@@ -11,8 +11,10 @@
 //	sagserved -data-dir /var/lib/sagserved      # durable journal + results
 //	sagserved -fault 'milp.node=error:p=0.01'   # chaos: arm fault injection
 //	sagserved -pprof-addr 127.0.0.1:6060        # net/http/pprof side server
+//	sagserved -rate 5 -burst 10                 # per-client rate limiting
 //	sagserved -smoke            # self-test: solve twice, assert cache hit
 //	sagserved -smoke-recovery   # self-test: kill -9 mid-solve, replay journal
+//	sagserved -smoke-overload   # self-test: shedding, breaker, journal checksums
 //
 // See the README quickstart for the curl workflow and the crash-recovery
 // runbook for -data-dir operations.
@@ -38,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"sagrelay/internal/admit"
 	"sagrelay/internal/fault"
 	"sagrelay/internal/scenario"
 	"sagrelay/internal/serve"
@@ -66,9 +69,19 @@ func run(args []string) error {
 			"SIGINT/SIGTERM drain budget before in-flight solves are cancelled (and journaled as interrupted)")
 		pprofAddr = fs.String("pprof-addr", "",
 			"listen address for a net/http/pprof side server (empty = profiling off; keep it loopback-only)")
+		rate = fs.Float64("rate", 0,
+			"per-client request rate limit in requests/second (0 = no rate limiting)")
+		burst = fs.Int("burst", 0,
+			"per-client token-bucket burst (0 = derive from -rate)")
+		maxInflight = fs.Int("max-inflight", 0,
+			"AIMD adaptive-concurrency ceiling (0 = the worker count)")
+		breakerThreshold = fs.Float64("breaker-threshold", 0,
+			"degrade circuit breaker bad-outcome fraction that trips heuristic-first mode (0 = default 0.5)")
 		smoke    = fs.Bool("smoke", false, "run the self-test (ephemeral port, solve twice, assert cache hit) and exit")
 		smokeRec = fs.Bool("smoke-recovery", false,
 			"run the crash-recovery self-test (kill -9 a child server mid-solve, replay its journal) and exit")
+		smokeOverload = fs.Bool("smoke-overload", false,
+			"run the overload-resilience self-test (deterministic shedding, healthz under storm, checksummed-journal recovery) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,12 +116,21 @@ func run(args []string) error {
 		CacheEntries: *cacheEnts,
 		MaxJobTime:   *maxJobTime,
 		DataDir:      *dataDir,
+		Admit: admit.Options{
+			Rate:             *rate,
+			Burst:            *burst,
+			MaxInflight:      *maxInflight,
+			BreakerThreshold: *breakerThreshold,
+		},
 	}
 	if *smoke {
 		return runSmoke(opts)
 	}
 	if *smokeRec {
 		return runSmokeRecovery(opts)
+	}
+	if *smokeOverload {
+		return runSmokeOverload(opts)
 	}
 
 	srv, err := serve.NewServer(opts)

@@ -1,0 +1,416 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"sagrelay/internal/admit"
+	"sagrelay/internal/fault"
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/serve"
+)
+
+// runSmokeOverload is the overload-resilience end-to-end gate:
+//
+//  1. determinism: a seeded admit.shed fault storm over a fixed submission
+//     sequence must shed exactly the same requests on two fresh servers —
+//     the shed pattern is a function of (spec, seed, order), not of timing;
+//  2. isolation: with shedding forced on every request, rejected jobs must
+//     never reach the solver — zero branch-and-bound nodes, zero solves —
+//     and once the storm lifts, an accepted result must be byte-identical
+//     (modulo its wall-clock trace) to an unloaded server's answer;
+//  3. liveness: while a delay storm grinds through a queue-saturating burst,
+//     /healthz must keep answering in under 100ms;
+//  4. recovery: a journaled server whose WAL loses one committed mid-file
+//     record to bit rot must quarantine exactly that record on restart,
+//     restore the surviving job byte-identically, and re-solve the wounded
+//     one under its original ID.
+func runSmokeOverload(opts serve.Options) error {
+	if err := overloadDeterminism(opts); err != nil {
+		return fmt.Errorf("overload determinism: %w", err)
+	}
+	if err := overloadShedIsolation(opts); err != nil {
+		return fmt.Errorf("overload shed isolation: %w", err)
+	}
+	if err := overloadHealthz(opts); err != nil {
+		return fmt.Errorf("overload healthz: %w", err)
+	}
+	if err := overloadJournalRecovery(opts); err != nil {
+		return fmt.Errorf("overload journal recovery: %w", err)
+	}
+	log.Printf("smoke-overload: ok (deterministic shedding, zero solver work for shed jobs, healthz under storm, checksummed-journal recovery)")
+	return nil
+}
+
+func overloadScenario(seed int64) (*scenario.Scenario, error) {
+	return scenario.Generate(scenario.GenConfig{
+		FieldSide: 300, NumSS: 8, NumBS: 2, SNRdB: -15, Seed: seed,
+	})
+}
+
+// shedFingerprint runs the fixed storm sequence on a fresh server and
+// returns which submission indices were shed, e.g. "2,3,7,11".
+func shedFingerprint(opts serve.Options) (string, error) {
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		return "", err
+	}
+	defer shutdownServe(srv)
+	if err := fault.EnableSpec("admit.shed=error:p=0.4", 7); err != nil {
+		return "", err
+	}
+	defer fault.Disable()
+
+	var shed []string
+	var jobs []*serve.Job
+	for i := 0; i < 24; i++ {
+		sc, err := overloadScenario(int64(500 + i))
+		if err != nil {
+			return "", err
+		}
+		job, err := srv.Submit(serve.SolveRequest{Scenario: sc})
+		if err != nil {
+			var se *admit.ShedError
+			if !errors.As(err, &se) {
+				return "", fmt.Errorf("submit %d: unexpected error %v", i, err)
+			}
+			shed = append(shed, fmt.Sprint(i))
+			continue
+		}
+		jobs = append(jobs, job)
+	}
+	if len(shed) == 0 || len(jobs) == 0 {
+		return "", fmt.Errorf("degenerate storm: %d shed, %d accepted", len(shed), len(jobs))
+	}
+	if got := srv.MetricsSnapshot()["jobs_shed_total"]; got != int64(len(shed)) {
+		return "", fmt.Errorf("jobs_shed_total = %d, want %d", got, len(shed))
+	}
+	for i, job := range jobs {
+		if err := waitJob(job, 2*time.Minute); err != nil {
+			return "", fmt.Errorf("accepted job %d: %w", i, err)
+		}
+	}
+	return strings.Join(shed, ","), nil
+}
+
+func overloadDeterminism(opts serve.Options) error {
+	first, err := shedFingerprint(opts)
+	if err != nil {
+		return err
+	}
+	second, err := shedFingerprint(opts)
+	if err != nil {
+		return err
+	}
+	if first != second {
+		return fmt.Errorf("shed pattern not deterministic: run 1 shed [%s], run 2 shed [%s]", first, second)
+	}
+	log.Printf("smoke-overload: deterministic shedding, both runs shed indices [%s]", first)
+	return nil
+}
+
+func overloadShedIsolation(opts serve.Options) error {
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		return err
+	}
+	defer shutdownServe(srv)
+
+	before := srv.MetricsSnapshot()
+	if err := fault.EnableSpec("admit.shed=error:p=1", 7); err != nil {
+		return err
+	}
+	for i := 0; i < 6; i++ {
+		sc, err := overloadScenario(int64(600 + i))
+		if err != nil {
+			return err
+		}
+		_, err = srv.Submit(serve.SolveRequest{
+			Scenario: sc,
+			Options:  serve.SolveOptions{Coverage: "GAC"},
+		})
+		var se *admit.ShedError
+		if !errors.As(err, &se) {
+			fault.Disable()
+			return fmt.Errorf("submit %d under p=1 shedding: err = %v, want every request shed", i, err)
+		}
+	}
+	fault.Disable()
+	after := srv.MetricsSnapshot()
+	if d := after["bb_nodes_total"] - before["bb_nodes_total"]; d != 0 {
+		return fmt.Errorf("shed jobs explored %d branch-and-bound nodes, want 0", d)
+	}
+	if d := after["solves"] - before["solves"]; d != 0 {
+		return fmt.Errorf("shed jobs performed %d solves, want 0", d)
+	}
+	if after["jobs_shed_total"] != 6 {
+		return fmt.Errorf("jobs_shed_total = %d, want 6", after["jobs_shed_total"])
+	}
+
+	// Storm lifted: the same server's accepted answer must match an
+	// unloaded server's, bit for bit outside the trace.
+	sc, err := overloadScenario(699)
+	if err != nil {
+		return err
+	}
+	req := serve.SolveRequest{Scenario: sc, Options: serve.SolveOptions{Coverage: "GAC"}}
+	stormed, err := solveOn(srv, req)
+	if err != nil {
+		return err
+	}
+	fresh, err := serve.NewServer(serve.Options{Workers: opts.Workers})
+	if err != nil {
+		return err
+	}
+	defer shutdownServe(fresh)
+	unloaded, err := solveOn(fresh, req)
+	if err != nil {
+		return err
+	}
+	a, err := stripTraceField(stormed)
+	if err != nil {
+		return err
+	}
+	b, err := stripTraceField(unloaded)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return errors.New("post-storm result differs from the unloaded server's")
+	}
+	log.Printf("smoke-overload: 6 shed jobs cost zero solver work; accepted result matches unloaded server")
+	return nil
+}
+
+func overloadHealthz(opts serve.Options) error {
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		return err
+	}
+	defer shutdownServe(srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	if err := fault.EnableSpec("lp.pivot=delay:p=0.3:d=2ms,serve.job=delay:p=0.8:d=10ms", 7); err != nil {
+		return err
+	}
+	defer fault.Disable()
+
+	var wg sync.WaitGroup
+	jobCh := make(chan *serve.Job, 12)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sc, err := overloadScenario(seed)
+			if err != nil {
+				return
+			}
+			job, err := srv.Submit(serve.SolveRequest{
+				Scenario: sc,
+				Options:  serve.SolveOptions{Coverage: "GAC"},
+			})
+			if err == nil {
+				jobCh <- job
+			}
+		}(int64(700 + i))
+	}
+
+	// Probe liveness while the burst grinds through the delay storm.
+	var worst time.Duration
+	for i := 0; i < 25; i++ {
+		t0 := time.Now()
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return fmt.Errorf("healthz probe %d: %w", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if d := time.Since(t0); d > worst {
+			worst = d
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("healthz probe %d: %s", i, resp.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if worst >= 100*time.Millisecond {
+		return fmt.Errorf("worst healthz latency %v under storm, want < 100ms", worst)
+	}
+
+	wg.Wait()
+	close(jobCh)
+	for job := range jobCh {
+		if err := waitJob(job, 2*time.Minute); err != nil {
+			return fmt.Errorf("storm job: %w", err)
+		}
+	}
+	log.Printf("smoke-overload: healthz stayed live under storm (worst probe %v)", worst)
+	return nil
+}
+
+func overloadJournalRecovery(opts serve.Options) error {
+	dir, err := os.MkdirTemp("", "sagserved-overload-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	jopts := opts
+	jopts.Workers = 1 // sequential: j-1's records precede j-2's in the WAL
+	jopts.DataDir = dir
+	srv, err := serve.NewServer(jopts)
+	if err != nil {
+		return err
+	}
+	docs := map[string][]byte{}
+	for i := 0; i < 2; i++ {
+		sc, err := overloadScenario(int64(800 + i))
+		if err != nil {
+			return err
+		}
+		job, err := srv.Submit(serve.SolveRequest{Scenario: sc})
+		if err != nil {
+			return err
+		}
+		if err := waitJob(job, 2*time.Minute); err != nil {
+			return err
+		}
+		doc, _ := job.ResultDocument()
+		docs[job.ID] = doc
+	}
+	if err := shutdownServe(srv); err != nil {
+		return err
+	}
+
+	// Bit rot strikes j-1's committed done record, mid-file.
+	path := dir + "/journal.jsonl"
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(raw), "\n")
+	target := -1
+	for i, line := range lines {
+		if strings.Contains(line, `"t":"done"`) && strings.Contains(line, `"id":"j-1"`) {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return errors.New("no done record for j-1 in the journal")
+	}
+	b := []byte(lines[target])
+	b[len(b)/2] ^= 0x40
+	lines[target] = string(b)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		return err
+	}
+
+	srv2, err := serve.NewServer(jopts)
+	if err != nil {
+		return err
+	}
+	defer shutdownServe(srv2)
+	if got := srv2.MetricsSnapshot()["journal_corrupt_records"]; got != 1 {
+		return fmt.Errorf("journal_corrupt_records = %d, want 1", got)
+	}
+	j2, ok := srv2.Job("j-2")
+	if !ok {
+		return errors.New("j-2 not restored")
+	}
+	doc2, state := j2.ResultDocument()
+	if state != serve.StateDone {
+		return fmt.Errorf("j-2 restored as %v, want done", state)
+	}
+	if !bytes.Equal(doc2, docs["j-2"]) {
+		return errors.New("j-2's restored document is not byte-identical")
+	}
+	j1, ok := srv2.Job("j-1")
+	if !ok {
+		return errors.New("j-1 not restored")
+	}
+	if err := waitJob(j1, 2*time.Minute); err != nil {
+		return fmt.Errorf("j-1 re-run: %w", err)
+	}
+	doc1, state := j1.ResultDocument()
+	if state != serve.StateDone {
+		return fmt.Errorf("j-1 re-ran to %v, want done", state)
+	}
+	a, err := stripTraceField(doc1)
+	if err != nil {
+		return err
+	}
+	bref, err := stripTraceField(docs["j-1"])
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, bref) {
+		return errors.New("j-1's re-solved answer differs from the original beyond its trace")
+	}
+	log.Printf("smoke-overload: corrupt record quarantined, intact job restored byte-identically, wounded job re-solved")
+	return nil
+}
+
+// solveOn submits req and returns the finished result document.
+func solveOn(srv *serve.Server, req serve.SolveRequest) ([]byte, error) {
+	job, err := srv.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := waitJob(job, 2*time.Minute); err != nil {
+		return nil, err
+	}
+	doc, state := job.ResultDocument()
+	if state != serve.StateDone {
+		return nil, fmt.Errorf("job finished %v", state)
+	}
+	return doc, nil
+}
+
+func waitJob(job *serve.Job, within time.Duration) error {
+	select {
+	case <-job.Done():
+	case <-time.After(within):
+		return fmt.Errorf("job still unfinished after %v", within)
+	}
+	return nil
+}
+
+func shutdownServe(srv *serve.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// stripTraceField removes the wall-clock trace from a result document so two
+// solves of the same request compare equal exactly when their answers agree.
+func stripTraceField(doc []byte) ([]byte, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &m); err != nil {
+		return nil, err
+	}
+	delete(m, "trace")
+	return json.Marshal(m)
+}

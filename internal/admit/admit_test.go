@@ -1,0 +1,351 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sagrelay/internal/fault"
+)
+
+func TestSizeClassBuckets(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {8, 0}, {9, 1}, {16, 1}, {18, 2}, {32, 2}, {64, 3}, {1000, 7},
+	}
+	for _, c := range cases {
+		if got := SizeClass(c.n); got != c.want {
+			t.Errorf("SizeClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCostModelColdThenWarm(t *testing.T) {
+	m := NewCostModel()
+	if _, _, ok := m.Estimate(0); ok {
+		t.Fatal("cold model claims an estimate")
+	}
+	m.Observe(0, 1.0)
+	m.Observe(0, 1.0)
+	if _, _, ok := m.Estimate(0); ok {
+		t.Fatalf("model with %d obs sheds before costMinSamples=%d", 2, costMinSamples)
+	}
+	m.Observe(0, 1.0)
+	est, mean, ok := m.Estimate(0)
+	if !ok || est != 1.0 || mean != 1.0 {
+		t.Fatalf("Estimate = (%v, %v, %v), want (1, 1, true)", est, mean, ok)
+	}
+	// An unseen class falls back to the overall mean.
+	est2, _, ok := m.Estimate(5)
+	if !ok || est2 != mean {
+		t.Fatalf("unseen class estimate %v, want overall mean %v", est2, mean)
+	}
+	// A slow class dominates its own estimate but only nudges the overall.
+	for i := 0; i < 5; i++ {
+		m.Observe(3, 10.0)
+	}
+	est3, mean3, _ := m.Estimate(3)
+	if est3 < 5.0 {
+		t.Fatalf("class-3 estimate %v should approach 10", est3)
+	}
+	if mean3 >= est3 {
+		t.Fatalf("overall mean %v should lag the slow class %v", mean3, est3)
+	}
+}
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	l := NewRateLimiter(1.0, 2, 16)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if _, ok := l.Allow("a", t0); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	retry, ok := l.Allow("a", t0)
+	if ok {
+		t.Fatal("third immediate request admitted past burst=2")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", retry)
+	}
+	// A different client has its own bucket.
+	if _, ok := l.Allow("b", t0); !ok {
+		t.Fatal("client b denied by client a's bucket")
+	}
+	// After a second, one token has accrued.
+	if _, ok := l.Allow("a", t0.Add(time.Second)); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if _, ok := l.Allow("a", t0.Add(time.Second)); ok {
+		t.Fatal("second token admitted after only one refill")
+	}
+	// rate <= 0 disables limiting.
+	off := NewRateLimiter(0, 1, 16)
+	for i := 0; i < 100; i++ {
+		if _, ok := off.Allow("a", t0); !ok {
+			t.Fatal("disabled limiter denied a request")
+		}
+	}
+}
+
+func TestAIMDAcquireReleaseAndClamps(t *testing.T) {
+	a := NewAIMD(1, 4)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := a.Acquire(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fifth acquire blocks until a release.
+	acquired := make(chan error, 1)
+	go func() { acquired <- a.Acquire(ctx) }()
+	select {
+	case <-acquired:
+		t.Fatal("acquire beyond the limit did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	a.Release(true)
+	if err := <-acquired; err != nil {
+		t.Fatal(err)
+	}
+	// Bad completions halve the limit: 4 -> 2 -> 1, clamped at min.
+	a.Release(false)
+	a.Release(false)
+	if got := a.Limit(); got != 1 {
+		t.Fatalf("limit after two bad releases = %d, want 1", got)
+	}
+	a.Release(false)
+	if got := a.Limit(); got != 1 {
+		t.Fatalf("limit clamps at min: got %d", got)
+	}
+	// Good completions climb back one at a time, capped at max.
+	for i := 0; i < 10; i++ {
+		a.Release(true)
+	}
+	if got := a.Limit(); got != 4 {
+		t.Fatalf("limit after recovery = %d, want max 4", got)
+	}
+}
+
+func TestAIMDAcquireHonorsContext(t *testing.T) {
+	a := NewAIMD(1, 1)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.Acquire(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked acquire returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled acquire never returned")
+	}
+	if got := a.Inflight(); got != 1 {
+		t.Fatalf("inflight after cancelled acquire = %d, want 1 (no leaked slot)", got)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	b := NewBreaker(0.5, 4, 3, time.Second)
+	if hf, probe := b.Allow(t0); hf || probe {
+		t.Fatal("closed breaker must issue the exact pipeline")
+	}
+	b.Record(false, false, t0)
+	b.Record(true, false, t0)
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped below minSamples")
+	}
+	b.Record(true, false, t0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("2/3 bad >= 0.5 should open the breaker; state %v", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+
+	// While open and inside the cooldown: heuristic-first, no probe.
+	if hf, probe := b.Allow(t0.Add(100 * time.Millisecond)); !hf || probe {
+		t.Fatal("open breaker inside cooldown must issue heuristic-first")
+	}
+	// After cooldown: exactly one probe, everyone else heuristic-first.
+	hf, probe := b.Allow(t0.Add(2 * time.Second))
+	if hf || !probe {
+		t.Fatal("first job past cooldown must be the probe")
+	}
+	if hf2, probe2 := b.Allow(t0.Add(2 * time.Second)); !hf2 || probe2 {
+		t.Fatal("second job during half-open must be heuristic-first")
+	}
+	// A bad probe re-opens (and re-counts the trip).
+	b.Record(true, true, t0.Add(2*time.Second))
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("bad probe: state %v trips %d, want open/2", b.State(), b.Trips())
+	}
+	// An aborted probe hands the claim back.
+	_, probe = b.Allow(t0.Add(4 * time.Second))
+	if !probe {
+		t.Fatal("expected a new probe after the second cooldown")
+	}
+	b.AbortProbe()
+	_, probe = b.Allow(t0.Add(4 * time.Second))
+	if !probe {
+		t.Fatal("aborted probe claim was not reissued")
+	}
+	// A clean probe closes the breaker and resets the window.
+	b.Record(false, true, t0.Add(4*time.Second))
+	if b.State() != BreakerClosed {
+		t.Fatalf("clean probe left state %v", b.State())
+	}
+	// The reset window means one new bad outcome cannot instantly re-trip.
+	b.Record(true, false, t0.Add(5*time.Second))
+	if b.State() != BreakerClosed {
+		t.Fatal("window was not reset by the clean probe")
+	}
+}
+
+func TestBreakerSlidingWindowEvicts(t *testing.T) {
+	b := NewBreaker(0.75, 4, 4, time.Second)
+	t0 := time.Unix(3000, 0)
+	// Two bad then two good: 0.5 < 0.75, stays closed.
+	b.Record(true, false, t0)
+	b.Record(true, false, t0)
+	b.Record(false, false, t0)
+	b.Record(false, false, t0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("2/4 bad tripped a 0.75 breaker (state %v)", b.State())
+	}
+	// Four goods age the two bads out of the window entirely...
+	for i := 0; i < 4; i++ {
+		b.Record(false, false, t0)
+	}
+	// ...so two fresh bads are again only 2/4, not 4/8.
+	b.Record(true, false, t0)
+	b.Record(true, false, t0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("aged-out failures still counted (state %v)", b.State())
+	}
+	// One more bad makes 3/4 >= 0.75 within the current window: trip.
+	b.Record(true, false, t0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("3/4 bad did not trip (state %v)", b.State())
+	}
+}
+
+func TestControllerShedsWhenDeadlineTooTight(t *testing.T) {
+	c := New(Options{MaxInflight: 2, BreakerThreshold: 2})
+	// Warm the model: three one-second solves.
+	for i := 0; i < 3; i++ {
+		g, err := c.Begin(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Finish(g, Outcome{SizeClass: 0, Seconds: 1.0})
+	}
+	// Plenty of budget: admitted, with estimates attached.
+	d, err := c.Admit(0, 0, time.Minute)
+	if err != nil {
+		t.Fatalf("generous deadline shed: %v", err)
+	}
+	if d.EstSolve <= 0 {
+		t.Fatal("warm model returned no estimate")
+	}
+	// 10ms budget against a ~1s estimate: shed with a typed error.
+	_, err = c.Admit(0, 4, 10*time.Millisecond)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("tight deadline returned %v, want *ShedError", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatal("ShedError carries no RetryAfter")
+	}
+	if shed.EstWait <= 0 {
+		t.Fatal("queued jobs contribute no estimated wait")
+	}
+}
+
+func TestControllerColdModelAdmitsEverything(t *testing.T) {
+	c := New(Options{MaxInflight: 1})
+	if _, err := c.Admit(3, 1000, time.Nanosecond); err != nil {
+		t.Fatalf("cold model shed a job: %v", err)
+	}
+}
+
+func TestControllerRateLimitTyped(t *testing.T) {
+	c := New(Options{Rate: 1, Burst: 1, MaxInflight: 1})
+	if err := c.AllowClient("k"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.AllowClient("k")
+	var rl *RateLimitError
+	if !errors.As(err, &rl) {
+		t.Fatalf("second immediate request returned %v, want *RateLimitError", err)
+	}
+	if rl.RetryAfter <= 0 {
+		t.Fatal("RateLimitError carries no RetryAfter")
+	}
+	if err := c.AllowClient(""); err != nil {
+		t.Fatal("internal (empty) client must never be limited")
+	}
+}
+
+func TestForcedShedAndTripFaultSites(t *testing.T) {
+	if err := fault.EnableSpec("admit.shed=error:n=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Disable)
+	c := New(Options{MaxInflight: 1})
+	_, err := c.Admit(0, 0, time.Minute)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("armed admit.shed returned %v, want *ShedError", err)
+	}
+	if _, err := c.Admit(0, 0, time.Minute); err != nil {
+		t.Fatalf("n=1 rule still firing: %v", err)
+	}
+
+	// Panic-kind rules are recovered into the forced decision.
+	if err := fault.EnableSpec("admit.shed=panic:n=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit(0, 0, time.Minute); !errors.As(err, &shed) {
+		t.Fatalf("panic-kind shed returned %v, want *ShedError", err)
+	}
+
+	// admit.breaker forces a deterministic trip at Finish.
+	if err := fault.EnableSpec("admit.breaker=error:n=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Finish(g, Outcome{SizeClass: 0, Seconds: 0.01})
+	if c.BreakerState() != int64(BreakerOpen) {
+		t.Fatalf("armed admit.breaker left state %d, want open", c.BreakerState())
+	}
+	if c.BreakerTrips() != 1 {
+		t.Fatalf("trips = %d, want 1", c.BreakerTrips())
+	}
+}
+
+func TestFinishIsIdempotent(t *testing.T) {
+	c := New(Options{MaxInflight: 2})
+	g, err := c.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Finish(g, Outcome{Seconds: 0.1})
+	c.Finish(g, Outcome{Failed: true}) // backstop call: must not double-release
+	if got := c.aimd.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d after double Finish, want 0", got)
+	}
+	if got := c.InflightLimit(); got != 2 {
+		t.Fatalf("limit = %d, want untouched 2 (second Finish must not halve)", got)
+	}
+	c.Finish(nil, Outcome{}) // nil grant no-op
+}

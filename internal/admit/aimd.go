@@ -1,0 +1,113 @@
+package admit
+
+import (
+	"context"
+	"sync"
+)
+
+// AIMD is an additive-increase / multiplicative-decrease limiter on
+// concurrent solves, the same control law TCP uses for its congestion
+// window: every good completion (on time, no failure) raises the limit by
+// one, every bad one halves it. It sits below the worker pool's static
+// count, so under a storm of deadline misses the server voluntarily runs
+// fewer solves at once and each one gets more of the machine — bounding
+// latency instead of thrashing.
+type AIMD struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// limit is kept as a float so halving accumulates fractionally; the
+	// effective integer limit is max(min, int(limit)) capped at max.
+	limit    float64
+	inflight int
+	min, max int
+}
+
+// NewAIMD builds a limiter starting at its ceiling.
+func NewAIMD(min, max int) *AIMD {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	a := &AIMD{limit: float64(max), min: min, max: max}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+func (a *AIMD) limitLocked() int {
+	l := int(a.limit)
+	if l < a.min {
+		l = a.min
+	}
+	if l > a.max {
+		l = a.max
+	}
+	return l
+}
+
+// Limit returns the current effective concurrency limit.
+func (a *AIMD) Limit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limitLocked()
+}
+
+// Inflight returns how many slots are currently held.
+func (a *AIMD) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Acquire blocks until an in-flight slot is free or ctx is done. The
+// watcher goroutine takes the mutex before broadcasting, so a waiter is
+// either parked in Wait (and woken) or has not yet re-checked ctx — no
+// lost wakeups.
+func (a *AIMD) Acquire(ctx context.Context) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			a.mu.Lock()
+			a.mu.Unlock() //nolint:staticcheck // empty section: fence against check-then-Wait race
+			a.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if a.inflight < a.limitLocked() {
+			a.inflight++
+			return nil
+		}
+		a.cond.Wait()
+	}
+}
+
+// Release frees a slot and adjusts the limit: +1 on a good completion,
+// halved on a bad one, clamped to [min, max].
+func (a *AIMD) Release(good bool) {
+	a.mu.Lock()
+	if a.inflight > 0 {
+		a.inflight--
+	}
+	if good {
+		a.limit++
+		if a.limit > float64(a.max) {
+			a.limit = float64(a.max)
+		}
+	} else {
+		a.limit /= 2
+		if a.limit < float64(a.min) {
+			a.limit = float64(a.min)
+		}
+	}
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}

@@ -1,0 +1,172 @@
+package admit
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: normal operation, every outcome is windowed.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: heuristic-first mode; after the cooldown the next job
+	// becomes the half-open probe.
+	BreakerOpen
+	// BreakerHalfOpen: one probe job is running (or owed) the exact
+	// pipeline; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// Breaker is a count-based circuit breaker over the degradation ladder.
+// Outcomes of exact-pipeline jobs fill a sliding window; when the bad
+// fraction reaches the threshold (with at least minSamples outcomes) the
+// breaker opens and the server runs heuristic-first. After cooldown, a
+// single probe job runs the exact pipeline: a clean probe closes the
+// breaker and resets the window, a bad one re-opens it for another
+// cooldown. All transitions are driven by counts and recorded timestamps —
+// no timers — so a fault-seeded test can walk the full lifecycle
+// deterministically.
+type Breaker struct {
+	threshold  float64
+	window     int
+	minSamples int
+	cooldown   time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	outcomes []bool // ring buffer of bad flags
+	next     int    // ring write position
+	count    int    // filled entries, <= window
+	bad      int    // bad entries currently in the ring
+	openedAt time.Time
+	probing  bool // a probe grant is outstanding
+
+	trips atomic.Int64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(threshold float64, window, minSamples int, cooldown time.Duration) *Breaker {
+	if window < 1 {
+		window = 1
+	}
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	return &Breaker{
+		threshold:  threshold,
+		window:     window,
+		minSamples: minSamples,
+		cooldown:   cooldown,
+		outcomes:   make([]bool, window),
+	}
+}
+
+// State returns the breaker's position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened (re-opens after a
+// failed probe included).
+func (b *Breaker) Trips() int64 { return b.trips.Load() }
+
+// Allow issues the execution mode for a job about to run: closed means
+// exact pipeline; open means heuristic-first — unless the cooldown has
+// elapsed and no probe is outstanding, in which case this job becomes the
+// half-open probe (probe=true, exact pipeline).
+func (b *Breaker) Allow(now time.Time) (heuristicFirst, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return false, false
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return false, true
+		}
+		return true, false
+	default: // BreakerHalfOpen
+		if !b.probing {
+			// The previous probe was aborted before it ran; issue another.
+			b.probing = true
+			return false, true
+		}
+		return true, false
+	}
+}
+
+// AbortProbe returns an unused probe claim (the probe job died before its
+// solve ran); the breaker stays half-open and the next Allow issues a new
+// probe.
+func (b *Breaker) AbortProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Record feeds one finished exact-pipeline job into the breaker. A probe
+// outcome settles the half-open state: clean closes the breaker (window
+// reset), bad re-opens it. Non-probe outcomes only matter while closed,
+// where they fill the window and may trip it.
+func (b *Breaker) Record(bad, probe bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if bad {
+			b.tripLocked(now)
+			return
+		}
+		b.state = BreakerClosed
+		b.resetWindowLocked()
+		return
+	}
+	if b.state != BreakerClosed {
+		return
+	}
+	if b.count == b.window {
+		if b.outcomes[b.next] {
+			b.bad--
+		}
+	} else {
+		b.count++
+	}
+	b.outcomes[b.next] = bad
+	if bad {
+		b.bad++
+	}
+	b.next = (b.next + 1) % b.window
+	if b.count >= b.minSamples && float64(b.bad) >= b.threshold*float64(b.count) {
+		b.tripLocked(now)
+	}
+}
+
+// ForceTrip opens the breaker unconditionally (the admit.breaker fault
+// site's deterministic chaos hook).
+func (b *Breaker) ForceTrip(now time.Time) {
+	b.mu.Lock()
+	b.tripLocked(now)
+	b.mu.Unlock()
+}
+
+func (b *Breaker) tripLocked(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.probing = false
+	b.trips.Add(1)
+	b.resetWindowLocked()
+}
+
+func (b *Breaker) resetWindowLocked() {
+	b.next, b.count, b.bad = 0, 0, 0
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+}

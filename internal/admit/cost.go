@@ -1,0 +1,90 @@
+package admit
+
+import "sync"
+
+// costAlpha is the EWMA weight of the newest observation: high enough to
+// track load shifts within a few jobs, low enough that one outlier cannot
+// swing the estimate by itself.
+const costAlpha = 0.3
+
+// costMinSamples is how many completed solves the model wants before it is
+// willing to shed anything: a cold server admits everything, because a
+// wrong early estimate that rejects work is strictly worse than a queue
+// that briefly runs long.
+const costMinSamples = 3
+
+// sizeClassBase is the subscriber count covered by size class 0; each
+// further class doubles it.
+const sizeClassBase = 8
+
+// SizeClass buckets a scenario by subscriber count into log2-spaced
+// classes: class 0 holds scenarios up to sizeClassBase subscribers, class 1
+// up to twice that, and so on. Solve cost grows superlinearly in scenario
+// size (more zones, bigger ILPs), so latency within one class is far more
+// homogeneous than across the whole workload.
+func SizeClass(subscribers int) int {
+	class := 0
+	for n := subscribers; n > sizeClassBase; n >>= 1 {
+		class++
+	}
+	return class
+}
+
+type ewma struct {
+	mean float64
+	n    int64
+}
+
+func (e *ewma) observe(v float64) {
+	e.n++
+	if e.n == 1 {
+		e.mean = v
+		return
+	}
+	e.mean += costAlpha * (v - e.mean)
+}
+
+// CostModel estimates solve seconds from recent completions: one EWMA per
+// size class, plus an overall EWMA that both gates shedding (via
+// costMinSamples) and stands in for classes never seen.
+type CostModel struct {
+	mu      sync.Mutex
+	byClass map[int]*ewma
+	overall ewma
+}
+
+// NewCostModel returns an empty (never-shedding) model.
+func NewCostModel() *CostModel {
+	return &CostModel{byClass: make(map[int]*ewma)}
+}
+
+// Observe feeds one completed solve's wall-clock seconds into the model.
+func (m *CostModel) Observe(class int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.byClass[class]
+	if !ok {
+		e = &ewma{}
+		m.byClass[class] = e
+	}
+	e.observe(seconds)
+	m.overall.observe(seconds)
+}
+
+// Estimate returns the estimated solve seconds for class (falling back to
+// the overall mean for unseen classes) and the overall mean (the per-slot
+// drain rate for queue-wait estimates). ok is false until costMinSamples
+// observations exist — callers must then admit unconditionally.
+func (m *CostModel) Estimate(class int) (est, mean float64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.overall.n < costMinSamples {
+		return 0, 0, false
+	}
+	mean = m.overall.mean
+	est = mean
+	if e, found := m.byClass[class]; found && e.n > 0 {
+		est = e.mean
+	}
+	return est, mean, true
+}

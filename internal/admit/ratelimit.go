@@ -1,0 +1,83 @@
+package admit
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-client token-bucket limiter: each client key owns a
+// bucket of burst tokens refilled at rate tokens/second, and one submission
+// costs one token. The bucket table is LRU-bounded so a scan of unique
+// client keys cannot grow it without bound; an evicted client re-enters
+// with a full bucket (erring toward admitting).
+type RateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu   sync.Mutex
+	max  int
+	ll   *list.List // front = most recently used
+	ents map[string]*list.Element
+}
+
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter; rate <= 0 disables it (Allow always
+// admits).
+func NewRateLimiter(rate float64, burst, maxClients int) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxClients < 1 {
+		maxClients = 4096
+	}
+	return &RateLimiter{
+		rate:  rate,
+		burst: float64(burst),
+		max:   maxClients,
+		ll:    list.New(),
+		ents:  make(map[string]*list.Element),
+	}
+}
+
+// Allow spends one token from key's bucket at time now. When the bucket is
+// empty it returns ok=false and how long until the next token accrues. The
+// explicit now keeps the limiter deterministic under test.
+func (l *RateLimiter) Allow(key string, now time.Time) (retryAfter time.Duration, ok bool) {
+	if l == nil || l.rate <= 0 || key == "" {
+		return 0, true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var b *bucket
+	if el, found := l.ents[key]; found {
+		l.ll.MoveToFront(el)
+		b = el.Value.(*bucket)
+	} else {
+		b = &bucket{key: key, tokens: l.burst, last: now}
+		l.ents[key] = l.ll.PushFront(b)
+		for l.ll.Len() > l.max {
+			oldest := l.ll.Back()
+			l.ll.Remove(oldest)
+			delete(l.ents, oldest.Value.(*bucket).key)
+		}
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / l.rate
+	return time.Duration(need * float64(time.Second)), false
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestHeuristicFirstDowngradesExactStages: with HeuristicFirst set, an
+// exact-pipeline request runs the heuristics instead, is tagged Degraded
+// with a heuristic-first reason, and its answer matches a plain SAMC/PRO
+// run bit for bit (the downgrade is a config rewrite, not a new algorithm).
+func TestHeuristicFirstDowngradesExactStages(t *testing.T) {
+	sc := gen(t, 500, 12, 3)
+
+	hf, err := Run(context.Background(), sc, Config{
+		Coverage:       CoverGAC,
+		CoveragePower:  PowerOptimal,
+		HeuristicFirst: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hf.Degraded {
+		t.Fatal("heuristic-first downgrade did not tag the solution Degraded")
+	}
+	if !strings.Contains(hf.DegradedReason, "heuristic-first") {
+		t.Fatalf("DegradedReason %q lacks the heuristic-first marker", hf.DegradedReason)
+	}
+	if !strings.Contains(hf.DegradedReason, "GAC -> SAMC") ||
+		!strings.Contains(hf.DegradedReason, "LPQC -> PRO") {
+		t.Fatalf("DegradedReason %q does not name both downgrades", hf.DegradedReason)
+	}
+
+	plain, err := Run(context.Background(), sc, Config{
+		Coverage:      CoverSAMC,
+		CoveragePower: PowerGreen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf.Method != plain.Method {
+		t.Fatalf("downgraded method %q != plain heuristic method %q", hf.Method, plain.Method)
+	}
+	if hf.PTotal != plain.PTotal {
+		t.Fatalf("downgraded total power %v != plain heuristic %v", hf.PTotal, plain.PTotal)
+	}
+}
+
+// TestHeuristicFirstNoOpOnHeuristicConfig: a request that already asks for
+// the heuristics is untouched — not Degraded, so it stays cacheable.
+func TestHeuristicFirstNoOpOnHeuristicConfig(t *testing.T) {
+	sc := gen(t, 500, 12, 3)
+	sol, err := Run(context.Background(), sc, Config{HeuristicFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Degraded {
+		t.Fatalf("heuristic-only config was tagged Degraded: %q", sol.DegradedReason)
+	}
+}
+
+// TestHeuristicFirstStillValidates: configuration errors must fail fast,
+// never be masked by the downgrade.
+func TestHeuristicFirstStillValidates(t *testing.T) {
+	sc := gen(t, 500, 12, 3)
+	_, err := Run(context.Background(), sc, Config{
+		Coverage:       CoverageMethod(99),
+		HeuristicFirst: true,
+	})
+	if err == nil {
+		t.Fatal("unknown coverage method accepted under HeuristicFirst")
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"time"
 
+	"sagrelay/internal/admit"
 	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 )
@@ -72,9 +75,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.Submit(req)
+	job, err := s.SubmitFrom(clientKey(r), req)
 	if err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	s.answerSubmit(w, r, job)
@@ -89,27 +92,84 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.Resolve(req)
+	job, err := s.ResolveFrom(clientKey(r), req)
 	if err != nil {
 		if errors.Is(err, ErrNoBase) {
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	s.answerSubmit(w, r, job)
 }
 
+// clientKey identifies the submitting client for rate limiting: the
+// X-API-Key header when present, else the remote address with its ephemeral
+// port stripped (so one host is one bucket across connections).
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	if host == "" {
+		return ""
+	}
+	return "addr:" + host
+}
+
+// overloadDoc is the JSON body of every overload rejection (429/503): the
+// machine-readable reason plus enough queue state for a client to make an
+// informed retry decision. retry_after_ms mirrors the Retry-After header at
+// millisecond precision.
+type overloadDoc struct {
+	Error         string `json:"error"`
+	Reason        string `json:"reason"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	RetryAfterMS  int64  `json:"retry_after_ms"`
+}
+
+// writeOverload answers an admission rejection with a Retry-After header
+// (whole seconds, rounded up, at least 1 — the header does not admit finer
+// precision) and the structured overload body.
+func (s *Server) writeOverload(w http.ResponseWriter, code int, err error, reason string, retryAfter time.Duration) {
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSON(w, code, overloadDoc{
+		Error:         err.Error(),
+		Reason:        reason,
+		QueueDepth:    s.pool.Len(),
+		QueueCapacity: s.pool.Cap(),
+		RetryAfterMS:  retryAfter.Milliseconds(),
+	})
+}
+
 // writeSubmitError maps a Submit/Resolve error to its status code: 429 for
-// backpressure, 503 during shutdown, 400 for everything else (validation,
-// malformed deltas, unknown entities).
-func writeSubmitError(w http.ResponseWriter, err error) {
+// rate limiting and queue backpressure, 503 for load shedding and shutdown
+// (all four with Retry-After and the overload body), 400 for everything
+// else (validation, malformed deltas, unknown entities).
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var rl *admit.RateLimitError
+	var shed *admit.ShedError
 	switch {
+	case errors.As(err, &rl):
+		s.writeOverload(w, http.StatusTooManyRequests, err, "rate_limited", rl.RetryAfter)
+	case errors.As(err, &shed):
+		s.writeOverload(w, http.StatusServiceUnavailable, err, "shed", shed.RetryAfter)
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+		s.writeOverload(w, http.StatusTooManyRequests, err, "queue_full", time.Second)
 	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeOverload(w, http.StatusServiceUnavailable, err, "shutting_down", time.Second)
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}
@@ -204,7 +264,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		zones, _, _ := s.incrStores.Len()
-		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), zones))
+		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), zones, s.admit))
 	case "prometheus":
 		// Two registries, one exposition: the per-server counters first,
 		// then the process-wide solver histograms (zone solve time, B&B

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"sagrelay/internal/admit"
 )
 
 // JobState is the lifecycle of a submitted solve.
@@ -34,6 +36,10 @@ type Job struct {
 	// incr is non-nil for jobs submitted through Resolve: the dirty-set
 	// plan and fast flag runJob consults. Immutable after publication.
 	incr *incrMeta
+	// admit carries the cost-model estimates behind this job's admission
+	// (zero for cache hits and journal-replayed jobs), reported on the
+	// job's admit span. Immutable after publication.
+	admit admit.Decision
 
 	// done is closed exactly once when the job reaches a terminal state;
 	// synchronous waiters (POST /v1/solve?wait=1) select on it.
@@ -105,6 +111,15 @@ func (j *Job) resultBytes() ([]byte, JobState) {
 	defer j.mu.Unlock()
 	return j.result, j.state
 }
+
+// Done returns a channel closed when the job reaches a terminal state —
+// the library-client equivalent of POST ...?wait=1.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// ResultDocument returns the finished result document alongside the job's
+// current state; the document is nil unless the state is StateDone. The
+// bytes are shared and must not be modified.
+func (j *Job) ResultDocument() ([]byte, JobState) { return j.resultBytes() }
 
 func (j *Job) markRunning() {
 	j.mu.Lock()

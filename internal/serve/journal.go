@@ -4,10 +4,16 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 )
+
+// crcTable is the CRC32C (Castagnoli) polynomial table used to checksum
+// journal lines; Castagnoli has hardware support on amd64/arm64 and better
+// error-detection properties than IEEE for short records.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Journal record types. A job's durable lifecycle is submit -> start ->
 // done|fail|cancel|interrupt. Records whose job never reached done, fail or
@@ -45,9 +51,15 @@ type jrec struct {
 //	<dir>/results/<key>.json finished result documents, written tmp+rename
 //
 // Every append is flushed and fsynced before it returns: a record the
-// server acted on (a 202 answered, a result served) survives kill -9. The
-// reader tolerates a torn final line — the one partial write a crash can
-// leave behind — by stopping at the first line that does not parse.
+// server acted on (a 202 answered, a result served) survives kill -9.
+//
+// Each line is written as "%08x <json>" — a CRC32C checksum over the JSON
+// bytes, then the record. The reader distinguishes two failure shapes: a
+// bad FINAL line is a torn tail (the one partial write a crash can leave)
+// and is dropped silently; a bad MID-FILE line is bit rot or tampering —
+// the record is quarantined (skipped and counted) while every verifiable
+// record around it is restored. Legacy lines that start with '{' (written
+// before checksumming) are accepted on their JSON alone.
 type journal struct {
 	dir string
 
@@ -60,61 +72,110 @@ func resultsDir(dir string) string  { return filepath.Join(dir, "results") }
 
 // openJournal creates dir (and its results subdirectory) as needed, reads
 // whatever journal survives there, and returns the parsed records alongside
-// a journal opened for appending.
-func openJournal(dir string) (*journal, []jrec, error) {
+// a journal opened for appending, plus the count of quarantined mid-file
+// corrupt records.
+func openJournal(dir string) (*journal, []jrec, int64, error) {
 	if err := os.MkdirAll(resultsDir(dir), 0o755); err != nil {
-		return nil, nil, fmt.Errorf("serve: journal: %w", err)
+		return nil, nil, 0, fmt.Errorf("serve: journal: %w", err)
 	}
-	recs, err := readJournal(journalPath(dir))
+	recs, corrupt, err := readJournal(journalPath(dir))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	f, err := os.OpenFile(journalPath(dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("serve: journal: %w", err)
+		return nil, nil, 0, fmt.Errorf("serve: journal: %w", err)
 	}
-	return &journal{dir: dir, f: f}, recs, nil
+	return &journal{dir: dir, f: f}, recs, corrupt, nil
 }
 
-// readJournal parses a JSONL journal, stopping silently at the first
-// malformed line (a torn tail from a crash mid-append). A missing file is
-// an empty journal.
-func readJournal(path string) ([]jrec, error) {
+// encodeLine renders a record as its checksummed journal line, newline
+// included.
+func encodeLine(r *jrec) ([]byte, error) {
+	js, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(js)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(js, crcTable))
+	line = append(line, js...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// parseJournalLine verifies and decodes one journal line. Checksummed lines
+// are "%08x <json>"; legacy lines start with '{' and carry no checksum.
+func parseJournalLine(line []byte) (jrec, bool) {
+	var r jrec
+	js := line
+	if len(line) > 0 && line[0] != '{' {
+		if len(line) < 10 || line[8] != ' ' {
+			return r, false
+		}
+		var sum uint32
+		if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+			return r, false
+		}
+		js = line[9:]
+		if crc32.Checksum(js, crcTable) != sum {
+			return r, false
+		}
+	}
+	if err := json.Unmarshal(js, &r); err != nil || r.T == "" || r.ID == "" {
+		return jrec{}, false
+	}
+	return r, true
+}
+
+// readJournal parses a checksummed JSONL journal. A malformed final line is
+// a torn tail from a crash mid-append and is dropped silently; a malformed
+// line with verifiable records after it is corruption — it is quarantined
+// (skipped) and counted, and parsing continues. A missing file is an empty
+// journal.
+func readJournal(path string) ([]jrec, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, fmt.Errorf("serve: journal: %w", err)
+		return nil, 0, fmt.Errorf("serve: journal: %w", err)
 	}
 	defer f.Close()
-	var recs []jrec
+	var lines [][]byte
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
 	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		var r jrec
-		if err := json.Unmarshal(line, &r); err != nil || r.T == "" || r.ID == "" {
-			break
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("serve: journal: %w", err)
+	}
+	var recs []jrec
+	var corrupt int64
+	for i, line := range lines {
+		r, ok := parseJournalLine(line)
+		if !ok {
+			if i == len(lines)-1 {
+				break // torn tail: the crash-truncated final append
+			}
+			corrupt++
+			continue
 		}
 		recs = append(recs, r)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("serve: journal: %w", err)
-	}
-	return recs, nil
+	return recs, corrupt, nil
 }
 
-// append writes one record, flushed and fsynced before returning.
+// append writes one checksummed record, flushed and fsynced before
+// returning.
 func (j *journal) append(r jrec) error {
-	line, err := json.Marshal(&r)
+	line, err := encodeLine(&r)
 	if err != nil {
 		return err
 	}
-	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if _, err := j.f.Write(line); err != nil {
@@ -134,14 +195,13 @@ func (j *journal) compact(recs []jrec) error {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	for _, r := range recs {
-		line, err := json.Marshal(&r)
+	for i := range recs {
+		line, err := encodeLine(&recs[i])
 		if err != nil {
 			f.Close()
 			return err
 		}
 		w.Write(line)
-		w.WriteByte('\n')
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()

@@ -3,6 +3,7 @@ package serve
 import (
 	"sync/atomic"
 
+	"sagrelay/internal/admit"
 	"sagrelay/internal/core"
 	"sagrelay/internal/fault"
 	"sagrelay/internal/incr"
@@ -33,6 +34,12 @@ type Metrics struct {
 	// JobsDegraded counts completed jobs whose solution used a heuristic
 	// fallback for at least one pipeline stage.
 	JobsDegraded atomic.Int64
+	// JobsShed counts submissions rejected by deadline-aware load shedding
+	// (estimated queue wait + solve exceeded the job's deadline), before
+	// they consumed a queue slot.
+	JobsShed atomic.Int64
+	// RateLimited counts submissions rejected by per-client rate limiting.
+	RateLimited atomic.Int64
 	// CacheHits and CacheMisses count result-cache lookups at submit time.
 	CacheHits, CacheMisses atomic.Int64
 	// Resolves counts accepted /v1/resolve submissions (before queueing; a
@@ -50,6 +57,11 @@ type Metrics struct {
 	// journal at startup, and JournalReplayed counts journaled jobs the
 	// previous process never finished that were re-submitted for solving.
 	JournalRestored, JournalReplayed atomic.Int64
+	// JournalCorrupt counts mid-file journal records quarantined at startup
+	// because their CRC32C checksum (or JSON) did not verify. A torn final
+	// line — the one partial write a crash can leave — is not corruption
+	// and is not counted.
+	JournalCorrupt atomic.Int64
 }
 
 // metricsSchema versions the /metrics JSON document. Bump it when keys are
@@ -62,7 +74,10 @@ type Metrics struct {
 //	sagmetrics/3  incremental re-solve keys added: incr_resolves,
 //	              incr_zones_reused_total, incr_zones_resolved_total,
 //	              zone_cache_entries
-const metricsSchema = "sagmetrics/3"
+//	sagmetrics/4  admission-control keys added: jobs_shed_total,
+//	              rate_limited_total, breaker_state, breaker_trips_total,
+//	              inflight_limit, journal_corrupt_records
+const metricsSchema = "sagmetrics/4"
 
 // metricsDoc is the JSON shape served by /metrics. Field order is the wire
 // order (encoding/json preserves struct order), so keys appear in a stable,
@@ -76,6 +91,15 @@ type metricsDoc struct {
 	JobsCancelled int64  `json:"jobs_cancelled"`
 	JobsPanicked  int64  `json:"jobs_panicked"`
 	JobsDegraded  int64  `json:"jobs_degraded"`
+	// JobsShed and RateLimited are admission-control rejections (neither
+	// consumed a queue slot); BreakerState is a gauge (0 closed, 1 open =
+	// heuristic-first, 2 half-open probe) and InflightLimit the AIMD
+	// limiter's current concurrency ceiling.
+	JobsShed      int64  `json:"jobs_shed_total"`
+	RateLimited   int64  `json:"rate_limited_total"`
+	BreakerState  int64  `json:"breaker_state"`
+	BreakerTrips  int64  `json:"breaker_trips_total"`
+	InflightLimit int64  `json:"inflight_limit"`
 	CacheHits     int64  `json:"cache_hits"`
 	CacheMisses   int64  `json:"cache_misses"`
 	CacheEntries  int    `json:"cache_entries"`
@@ -105,9 +129,10 @@ type metricsDoc struct {
 	JournalErrors   int64 `json:"journal_errors"`
 	JournalRestored int64 `json:"journal_restored_jobs"`
 	JournalReplayed int64 `json:"journal_replayed_jobs"`
+	JournalCorrupt  int64 `json:"journal_corrupt_records"`
 }
 
-func (m *Metrics) snapshot(cacheEntries, zoneCacheEntries int) metricsDoc {
+func (m *Metrics) snapshot(cacheEntries, zoneCacheEntries int, adm *admit.Controller) metricsDoc {
 	return metricsDoc{
 		Schema:            metricsSchema,
 		JobsAccepted:      m.JobsAccepted.Load(),
@@ -117,6 +142,11 @@ func (m *Metrics) snapshot(cacheEntries, zoneCacheEntries int) metricsDoc {
 		JobsCancelled:     m.JobsCancelled.Load(),
 		JobsPanicked:      m.JobsPanicked.Load(),
 		JobsDegraded:      m.JobsDegraded.Load(),
+		JobsShed:          m.JobsShed.Load(),
+		RateLimited:       m.RateLimited.Load(),
+		BreakerState:      adm.BreakerState(),
+		BreakerTrips:      adm.BreakerTrips(),
+		InflightLimit:     adm.InflightLimit(),
 		CacheHits:         m.CacheHits.Load(),
 		CacheMisses:       m.CacheMisses.Load(),
 		CacheEntries:      cacheEntries,
@@ -134,6 +164,7 @@ func (m *Metrics) snapshot(cacheEntries, zoneCacheEntries int) metricsDoc {
 		JournalErrors:     m.JournalErrors.Load(),
 		JournalRestored:   m.JournalRestored.Load(),
 		JournalReplayed:   m.JournalReplayed.Load(),
+		JournalCorrupt:    m.JournalCorrupt.Load(),
 	}
 }
 
@@ -155,6 +186,11 @@ func (s *Server) promRegistry() *obs.Registry {
 	counter("jobs_cancelled", "Jobs ended by deadline, client cancel or shutdown.", m.JobsCancelled.Load)
 	counter("jobs_panicked", "Jobs whose solve panicked (also counted in jobs_failed).", m.JobsPanicked.Load)
 	counter("jobs_degraded", "Completed jobs that used a heuristic fallback stage.", m.JobsDegraded.Load)
+	counter("jobs_shed_total", "Submissions rejected by deadline-aware load shedding.", m.JobsShed.Load)
+	counter("rate_limited_total", "Submissions rejected by per-client rate limiting.", m.RateLimited.Load)
+	r.Gauge("sag_breaker_state", "Degrade circuit breaker state (0 closed, 1 open, 2 half-open).", s.admit.BreakerState)
+	counter("breaker_trips_total", "Degrade circuit breaker trips (closed/half-open to open).", s.admit.BreakerTrips)
+	r.Gauge("sag_inflight_limit", "Current AIMD adaptive concurrency ceiling.", s.admit.InflightLimit)
 	counter("cache_hits", "Result-cache hits at submit time.", m.CacheHits.Load)
 	counter("cache_misses", "Result-cache misses at submit time.", m.CacheMisses.Load)
 	r.Gauge("sag_cache_entries", "Result documents currently cached.", func() int64 {
@@ -177,5 +213,6 @@ func (s *Server) promRegistry() *obs.Registry {
 	counter("journal_errors", "Journal append/compact/result-file failures.", m.JournalErrors.Load)
 	counter("journal_restored_jobs", "Jobs restored to a terminal state from the journal.", m.JournalRestored.Load)
 	counter("journal_replayed_jobs", "Journaled unfinished jobs re-submitted at startup.", m.JournalReplayed.Load)
+	counter("journal_corrupt_records", "Mid-file journal records quarantined by checksum at startup.", m.JournalCorrupt.Load)
 	return r
 }

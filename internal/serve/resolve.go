@@ -55,6 +55,12 @@ type incrMeta struct {
 // incremental. Errors wrap ErrNoBase for a missing base, scenario.ErrBadDelta
 // / scenario.ErrUnknownEntity for a malformed or dangling delta.
 func (s *Server) Resolve(req ResolveRequest) (*Job, error) {
+	return s.ResolveFrom("", req)
+}
+
+// ResolveFrom is Resolve with a client identity for per-client rate
+// limiting; an empty client is never limited.
+func (s *Server) ResolveFrom(client string, req ResolveRequest) (*Job, error) {
 	if req.Delta == nil {
 		return nil, fmt.Errorf("serve: %w: resolve request has no delta", scenario.ErrBadDelta)
 	}
@@ -95,7 +101,7 @@ func (s *Server) Resolve(req ResolveRequest) (*Job, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s.metrics.Resolves.Add(1)
-	return s.submit(SolveRequest{Scenario: mutated, Options: opts}, &incrMeta{
+	return s.submit(client, SolveRequest{Scenario: mutated, Options: opts}, &incrMeta{
 		baseHash: hash,
 		plan:     plan,
 		fast:     req.Fast,

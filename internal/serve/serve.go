@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"sagrelay/internal/admit"
 	"sagrelay/internal/core"
 	"sagrelay/internal/fault"
 	"sagrelay/internal/incr"
@@ -83,6 +84,12 @@ type Options struct {
 	// ScenarioRetention bounds the LRU of scenarios kept so POST /v1/resolve
 	// can name a base by job ID or scenario hash (default 256 scenarios).
 	ScenarioRetention int
+	// Admit tunes the admission-control and overload-resilience layer:
+	// per-client rate limiting, deadline-aware load shedding, the AIMD
+	// in-flight limiter and the degrade circuit breaker. Zero values mean
+	// the admit package defaults, with MaxInflight defaulting to this
+	// server's worker count.
+	Admit admit.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +125,10 @@ type Server struct {
 	// prom is the Prometheus-format view over the same counters the JSON
 	// snapshot reads (see promRegistry).
 	prom *obs.Registry
+	// admit is the admission-control layer: rate limiting and deadline-aware
+	// shedding at submit, AIMD concurrency and the degrade circuit breaker
+	// around each solve.
+	admit *admit.Controller
 
 	// baseCtx parents every job context; cancelAll aborts all in-flight
 	// solves during forced shutdown.
@@ -144,6 +155,12 @@ type Server struct {
 // answer again once NewServer returns.
 func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	aopts := opts.Admit
+	if aopts.MaxInflight <= 0 {
+		// The AIMD ceiling defaults to the worker count: the limiter can only
+		// shrink concurrency below what the pool would run anyway.
+		aopts.MaxInflight = par.DefaultWorkers(opts.Workers)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       opts,
@@ -151,18 +168,20 @@ func NewServer(opts Options) (*Server, error) {
 		cache:      newCache(opts.CacheEntries),
 		incrStores: incr.NewStores(opts.ZoneCacheEntries),
 		scenarios:  newScenarioStore(opts.ScenarioRetention),
+		admit:      admit.New(aopts),
 		baseCtx:    ctx,
 		cancelAll:  cancel,
 		jobs:       make(map[string]*Job),
 	}
 	s.prom = s.promRegistry()
 	if opts.DataDir != "" {
-		j, recs, err := openJournal(opts.DataDir)
+		j, recs, corrupt, err := openJournal(opts.DataDir)
 		if err != nil {
 			cancel()
 			s.pool.Close()
 			return nil, err
 		}
+		s.metrics.JournalCorrupt.Add(corrupt)
 		s.journal = j
 		s.replay(recs)
 	}
@@ -354,14 +373,27 @@ func (s *Server) replay(recs []jrec) {
 // error is ErrShuttingDown, ErrQueueFull, or a validation error from the
 // scenario or options (the HTTP layer maps these to 503, 429 and 400).
 func (s *Server) Submit(req SolveRequest) (*Job, error) {
-	return s.submit(req, nil)
+	return s.submit("", req, nil)
+}
+
+// SubmitFrom is Submit with a client identity for per-client rate limiting
+// (the HTTP layer passes the API key or remote address). An empty client is
+// never rate limited.
+func (s *Server) SubmitFrom(client string, req SolveRequest) (*Job, error) {
+	return s.submit(client, req, nil)
 }
 
 // submit is Submit plus the resolve path's incremental metadata, attached to
 // the job before it is published so runJob sees it race-free.
-func (s *Server) submit(req SolveRequest, meta *incrMeta) (*Job, error) {
+func (s *Server) submit(client string, req SolveRequest, meta *incrMeta) (*Job, error) {
 	if req.Scenario == nil {
 		return nil, fmt.Errorf("serve: request has no scenario")
+	}
+	// Rate limiting comes first: a client past its budget is refused before
+	// any per-request work (even a cache hit costs API capacity).
+	if err := s.admit.AllowClient(client); err != nil {
+		s.metrics.RateLimited.Add(1)
+		return nil, err
 	}
 	if err := req.Scenario.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -377,15 +409,32 @@ func (s *Server) submit(req SolveRequest, meta *incrMeta) (*Job, error) {
 	scHash := req.Scenario.CanonicalHash()
 	s.scenarios.put(scHash, req.Scenario)
 
-	// The job's context (and its cancel func) exist before the job is
-	// published into the table, so a concurrent DELETE /v1/jobs/{id} can
-	// never observe a job without a cancel function.
 	timeout := s.opts.MaxJobTime
 	if ms := opts.TimeoutMS; ms > 0 {
 		if d := time.Duration(ms) * time.Millisecond; d < timeout {
 			timeout = d
 		}
 	}
+
+	// Deadline-aware shedding, decided before the job takes a queue slot.
+	// Cache hits skip it — they are answered without any solver work, so
+	// shedding them would refuse free requests. The one-time cache lookup
+	// here is reused below (a concurrent fill between lookup and publication
+	// only means an admitted job re-solves to identical bytes).
+	cachedDoc, cacheHit := s.cache.get(key)
+	var admitDec admit.Decision
+	if !cacheHit {
+		dec, err := s.admit.Admit(admit.SizeClass(len(req.Scenario.Subscribers)), s.pool.Len(), timeout)
+		if err != nil {
+			s.metrics.JobsShed.Add(1)
+			return nil, err
+		}
+		admitDec = dec
+	}
+
+	// The job's context (and its cancel func) exist before the job is
+	// published into the table, so a concurrent DELETE /v1/jobs/{id} can
+	// never observe a job without a cancel function.
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 
 	s.mu.Lock()
@@ -401,6 +450,7 @@ func (s *Server) submit(req SolveRequest, meta *incrMeta) (*Job, error) {
 		Key:          key,
 		ScenarioHash: scHash,
 		incr:         meta,
+		admit:        admitDec,
 		cancel:       cancel,
 		done:         make(chan struct{}),
 		state:        StateQueued,
@@ -411,7 +461,7 @@ func (s *Server) submit(req SolveRequest, meta *incrMeta) (*Job, error) {
 	s.evictOldLocked()
 	s.mu.Unlock()
 
-	if doc, ok := s.cache.get(key); ok {
+	if cacheHit {
 		cancel() // nothing will run; release the deadline timer
 		s.metrics.JobsAccepted.Add(1)
 		s.metrics.CacheHits.Add(1)
@@ -423,7 +473,7 @@ func (s *Server) submit(req SolveRequest, meta *incrMeta) (*Job, error) {
 		// the journal is on, so submit+done suffices for replay.
 		s.jappend(jrec{T: recSubmit, ID: job.ID, Key: key})
 		s.jappend(jrec{T: recDone, ID: job.ID, Key: key})
-		job.finish(StateDone, doc, "")
+		job.finish(StateDone, cachedDoc, "")
 		return job, nil
 	}
 	s.metrics.CacheMisses.Add(1)
@@ -506,11 +556,41 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 		return
 	}
 
+	// Admission control around the solve itself: the breaker decides the
+	// execution mode (exact, heuristic-first, or half-open probe) and the
+	// AIMD limiter may hold the job here until an in-flight slot frees up —
+	// this worker goroutine idling is exactly how concurrency shrinks below
+	// the pool's static count.
+	grant, gerr := s.admit.Begin(ctx)
+	if gerr != nil {
+		// The job's deadline expired (or shutdown began) while it waited for
+		// a slot; no slot is held.
+		s.cancelJob(job, gerr.Error())
+		return
+	}
+	sizeClass := admit.SizeClass(len(sc.Subscribers))
+	outcome := admit.Outcome{SizeClass: sizeClass, Failed: true}
+	// The deferred Finish is the panic backstop (Finish is idempotent; the
+	// first call wins, and outcome defaults to Failed until the solve
+	// settles it below).
+	defer func() { s.admit.Finish(grant, outcome) }()
+	if grant.HeuristicFirst() {
+		cfg.HeuristicFirst = true
+	}
+
 	// Every job records a span tree: the "job" root plus the solver's own
 	// stage spans, serialized into the result document's trace field.
 	tr := obs.NewTrace("job")
 	tr.Root().SetAttr("job_id", job.ID)
 	ctx = obs.WithTrace(ctx, tr)
+	asp := tr.Root().StartChild("admit")
+	asp.SetInt("size_class", int64(sizeClass))
+	asp.SetFloat("est_solve_s", job.admit.EstSolve.Seconds())
+	asp.SetFloat("est_wait_s", job.admit.EstWait.Seconds())
+	asp.SetBool("heuristic_first", grant.HeuristicFirst())
+	asp.SetBool("probe", grant.Probe())
+	asp.SetInt("inflight_limit", s.admit.InflightLimit())
+	asp.End()
 
 	// Every job runs through the shared zone-level stores: full solves
 	// populate them, repeat or delta'd scenarios splice from them. Fast
@@ -542,21 +622,27 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 	elapsed := time.Since(start)
 	tr.Finish()
 	jobLatencySeconds.Observe(elapsed.Seconds())
+	outcome.Seconds = elapsed.Seconds()
+	outcome.DeadlineMiss = errors.Is(ctx.Err(), context.DeadlineExceeded)
 
 	if err != nil {
 		if ctx.Err() != nil {
+			// Deadline misses are the breaker's signal; a client cancel is
+			// nobody's fault and must not shrink concurrency or trip anything.
+			outcome.Failed = outcome.DeadlineMiss
 			s.cancelJob(job, err.Error())
 		} else {
 			s.failJob(job, err.Error())
 		}
 		return
 	}
-
 	doc, err := buildResultDoc(sol)
 	if err != nil {
 		s.failJob(job, "encode result: "+err.Error())
 		return
 	}
+	outcome.Failed = false
+	outcome.Degraded = sol.Degraded
 	s.metrics.Solves.Add(1)
 	s.metrics.SolveMicros.Add(elapsed.Microseconds())
 	s.metrics.JobsCompleted.Add(1)
@@ -711,7 +797,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // smoke harness; the HTTP layer serves the same document at /metrics).
 func (s *Server) MetricsSnapshot() map[string]int64 {
 	zones, _, _ := s.incrStores.Len()
-	d := s.metrics.snapshot(s.cache.len(), zones)
+	d := s.metrics.snapshot(s.cache.len(), zones, s.admit)
 	return map[string]int64{
 		"jobs_accepted":             d.JobsAccepted,
 		"jobs_rejected":             d.JobsRejected,
@@ -720,6 +806,11 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"jobs_cancelled":            d.JobsCancelled,
 		"jobs_panicked":             d.JobsPanicked,
 		"jobs_degraded":             d.JobsDegraded,
+		"jobs_shed_total":           d.JobsShed,
+		"rate_limited_total":        d.RateLimited,
+		"breaker_state":             d.BreakerState,
+		"breaker_trips_total":       d.BreakerTrips,
+		"inflight_limit":            d.InflightLimit,
 		"cache_hits":                d.CacheHits,
 		"cache_misses":              d.CacheMisses,
 		"cache_entries":             int64(d.CacheEntries),
@@ -737,5 +828,6 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"journal_errors":            d.JournalErrors,
 		"journal_restored_jobs":     d.JournalRestored,
 		"journal_replayed_jobs":     d.JournalReplayed,
+		"journal_corrupt_records":   d.JournalCorrupt,
 	}
 }
