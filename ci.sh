@@ -68,6 +68,13 @@ go run ./cmd/sagserved -smoke-recovery
 echo "== sagserved -smoke-overload"
 go run ./cmd/sagserved -smoke-overload
 
+# Batch gate: stream a seeded grid batch over NDJSON, then re-request every
+# cell through /v1/solve — each answer must be byte-identical to its streamed
+# line and cost zero further solver work (all cache hits), with the batch
+# counters and the sagmetrics/5 schema agreeing.
+echo "== sagserved -smoke-batch"
+go run ./cmd/sagserved -smoke-batch
+
 # Performance gates for the branch-and-bound hot path. The pivot-regression
 # gate solves the pinned ILPQC benchmark instance and fails if the total
 # simplex pivot count regresses past the recorded budget (half the

@@ -15,6 +15,7 @@
 //	sagserved -smoke            # self-test: solve twice, assert cache hit
 //	sagserved -smoke-recovery   # self-test: kill -9 mid-solve, replay journal
 //	sagserved -smoke-overload   # self-test: shedding, breaker, journal checksums
+//	sagserved -smoke-batch      # self-test: grid batch stream, cache-hit replays
 //
 // See the README quickstart for the curl workflow and the crash-recovery
 // runbook for -data-dir operations.
@@ -82,6 +83,8 @@ func run(args []string) error {
 			"run the crash-recovery self-test (kill -9 a child server mid-solve, replay its journal) and exit")
 		smokeOverload = fs.Bool("smoke-overload", false,
 			"run the overload-resilience self-test (deterministic shedding, healthz under storm, checksummed-journal recovery) and exit")
+		smokeBatch = fs.Bool("smoke-batch", false,
+			"run the batch-engine self-test (stream a seeded grid batch, byte-identical solo replays, batch counters) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,6 +134,9 @@ func run(args []string) error {
 	}
 	if *smokeOverload {
 		return runSmokeOverload(opts)
+	}
+	if *smokeBatch {
+		return runSmokeBatch(opts)
 	}
 
 	srv, err := serve.NewServer(opts)

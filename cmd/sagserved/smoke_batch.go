@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"sagrelay/internal/experiment"
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/serve"
+)
+
+// runSmokeBatch is the CI gate for the batch engine: it streams a seeded
+// grid batch over NDJSON, then re-requests every cell through /v1/solve and
+// requires the individual answers to be byte-identical to the streamed ones
+// — served from cache, with zero additional solver work. It also checks the
+// batch counters, the sagmetrics/5 schema, and the batch status document.
+func runSmokeBatch(opts serve.Options) error {
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	log.Printf("smoke-batch: serving on %s", base)
+
+	// The grid the server will expand, and its local twin for verification.
+	template := serve.GridTemplate{FieldSide: 300, NumSS: 8, NumBS: 2, SNRdB: -15}
+	dims := []experiment.GridDim{{Name: experiment.DimUsers, Values: []float64{6, 8}}}
+	const gridRuns, gridSeed = 2, 5
+	spec := experiment.GridSpec{
+		Base: scenario.GenConfig{FieldSide: 300, NumSS: 8, NumBS: 2, SNRdB: -15},
+		Dims: dims, Runs: gridRuns, Seed: gridSeed,
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+
+	body, err := json.Marshal(serve.BatchRequest{
+		Grid: &serve.BatchGrid{Template: template, Dims: dims, Runs: gridRuns, Seed: gridSeed},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/batch?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("smoke-batch post: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("smoke-batch post: %s: %s", resp.Status, data)
+	}
+
+	batchID, streamed, err := readBatchStream(resp.Body, len(cells))
+	if err != nil {
+		return fmt.Errorf("smoke-batch stream: %w", err)
+	}
+	log.Printf("smoke-batch: batch %s streamed %d items", batchID, len(streamed))
+
+	// Every cell re-requested individually must come back byte-identical to
+	// the streamed result document: same bytes means same cache entry, which
+	// the solve counter below proves cost no further solver work.
+	for i, cell := range cells {
+		sc, err := scenario.Generate(cell.Gen)
+		if err != nil {
+			return err
+		}
+		req, err := json.Marshal(serve.SolveRequest{Scenario: sc})
+		if err != nil {
+			return err
+		}
+		r, err := http.Post(base+"/v1/solve?wait=1", "application/json", bytes.NewReader(req))
+		if err != nil {
+			return fmt.Errorf("smoke-batch solve %d: %w", i, err)
+		}
+		doc, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			return err
+		}
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("smoke-batch solve %d: %s: %s", i, r.Status, doc)
+		}
+		if !bytes.Equal(bytes.TrimSpace(doc), bytes.TrimSpace(streamed[i])) {
+			return fmt.Errorf("smoke-batch: item %d individual solve is not byte-identical to the streamed result", i)
+		}
+	}
+
+	m := srv.MetricsSnapshot()
+	n := int64(len(cells))
+	if m["batches_total"] != 1 || m["batch_items_total"] != n || m["batch_items_shed"] != 0 {
+		return fmt.Errorf("smoke-batch: batch counters off: %d batches, %d items, %d shed",
+			m["batches_total"], m["batch_items_total"], m["batch_items_shed"])
+	}
+	if m["solves"] != n || m["cache_hits"] != n {
+		return fmt.Errorf("smoke-batch: want %d solves and %d cache hits (batch solved once, solo calls all hit), got %d / %d",
+			n, n, m["solves"], m["cache_hits"])
+	}
+
+	// The JSON metrics document must carry the v5 schema and batch counters.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var mdoc struct {
+		Schema     string `json:"schema"`
+		Batches    int64  `json:"batches_total"`
+		BatchItems int64  `json:"batch_items_total"`
+	}
+	if err := json.Unmarshal(mbody, &mdoc); err != nil {
+		return fmt.Errorf("smoke-batch metrics: %w", err)
+	}
+	if mdoc.Schema != "sagmetrics/5" {
+		return fmt.Errorf("smoke-batch: metrics schema %q, want sagmetrics/5", mdoc.Schema)
+	}
+	if mdoc.Batches != 1 || mdoc.BatchItems != n {
+		return fmt.Errorf("smoke-batch: metrics doc says %d batches / %d items", mdoc.Batches, mdoc.BatchItems)
+	}
+
+	// The batch status document must agree and carry the finished span tree.
+	sresp, err := http.Get(base + "/v1/batch/" + batchID)
+	if err != nil {
+		return err
+	}
+	sbody, err := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if sresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke-batch status: %s: %s", sresp.Status, sbody)
+	}
+	var status struct {
+		Schema    string          `json:"schema"`
+		State     string          `json:"state"`
+		ItemsDone int             `json:"items_done"`
+		Trace     json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal(sbody, &status); err != nil {
+		return err
+	}
+	if status.Schema != "sagbatch/1" || status.State != "done" || status.ItemsDone != len(cells) {
+		return fmt.Errorf("smoke-batch: status doc %s state=%s done=%d, want sagbatch/1 done %d",
+			status.Schema, status.State, status.ItemsDone, len(cells))
+	}
+	if len(status.Trace) == 0 {
+		return fmt.Errorf("smoke-batch: finished batch status has no trace")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("smoke-batch http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("smoke-batch server shutdown: %w", err)
+	}
+	log.Printf("smoke-batch: ok (%d items streamed, byte-identical solo replays from cache, counters + sagmetrics/5 + status doc, clean shutdown)", len(cells))
+	return nil
+}
+
+// readBatchStream consumes a batch NDJSON stream, returning the batch ID
+// from the header and the raw result document per item index. It fails on a
+// missing header, a non-done item, a missing item, or an incomplete trailer.
+func readBatchStream(r io.Reader, want int) (string, map[int][]byte, error) {
+	dec := json.NewDecoder(r)
+	var (
+		batchID string
+		results = make(map[int][]byte)
+		trailer bool
+	)
+	for dec.More() {
+		var line struct {
+			Schema   string          `json:"schema"`
+			ID       string          `json:"id"`
+			Item     *int            `json:"item"`
+			State    string          `json:"state"`
+			Result   json.RawMessage `json:"result"`
+			Error    *serve.APIError `json:"error"`
+			Done     *bool           `json:"done"`
+			Complete bool            `json:"complete"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			return "", nil, err
+		}
+		switch {
+		case line.Done != nil:
+			trailer = true
+			if !line.Complete {
+				return "", nil, fmt.Errorf("trailer reports an incomplete batch")
+			}
+		case line.Schema != "":
+			if line.Schema != "sagbatch/1" {
+				return "", nil, fmt.Errorf("stream header schema %q, want sagbatch/1", line.Schema)
+			}
+			batchID = line.ID
+		case line.Item != nil:
+			if line.State != "done" {
+				detail := line.State
+				if line.Error != nil {
+					detail = fmt.Sprintf("%s: %s", line.Error.Code, line.Error.Message)
+				}
+				return "", nil, fmt.Errorf("item %d not done (%s)", *line.Item, detail)
+			}
+			var doc struct {
+				Schema string `json:"schema"`
+			}
+			if err := json.Unmarshal(line.Result, &doc); err != nil || doc.Schema != "sagresult/1" {
+				return "", nil, fmt.Errorf("item %d result schema %q, want sagresult/1", *line.Item, doc.Schema)
+			}
+			results[*line.Item] = append([]byte(nil), line.Result...)
+		}
+	}
+	if batchID == "" {
+		return "", nil, fmt.Errorf("stream had no header line")
+	}
+	if !trailer {
+		return "", nil, fmt.Errorf("stream ended without a trailer")
+	}
+	if len(results) != want {
+		return "", nil, fmt.Errorf("streamed %d items, want %d", len(results), want)
+	}
+	return batchID, results, nil
+}

@@ -8,23 +8,37 @@
 //	sagsweep -dim snr -from -25 -to -10 -step 2.5 -metric coverage-relays
 //	sagsweep -dim field -from 300 -to 900 -step 200 -metric conn-relays -chart
 //	sagsweep -dim users -from 5 -to 30 -step 5 -coverage GAC -metric runtime-ms
+//	sagsweep -dim users -from 5 -to 30 -step 5 -server http://localhost:8080
 //
 // Dimensions: users, snr, field, bs. Metrics: total-power, coverage-power,
 // conn-power, coverage-relays, conn-relays, total-relays, runtime-ms,
 // delivery-ratio.
+//
+// With -server URL the sweep ships its scenarios to a sagserved instance as
+// one POST /v1/batch?wait=1 call and folds the streamed NDJSON results into
+// the same table a local run prints — byte-identical, because both modes
+// expand the identical experiment.GridSpec and aggregate in the same order.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"sagrelay/internal/core"
 	"sagrelay/internal/experiment"
 	"sagrelay/internal/scenario"
+	"sagrelay/internal/serve"
 	"sagrelay/internal/sim"
 )
 
@@ -35,7 +49,19 @@ func main() {
 	}
 }
 
-// sweepPoint solves one scenario and extracts the requested metric.
+func run(args []string) error {
+	tbl, chart, err := sweep(args)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.ASCII())
+	if chart {
+		fmt.Println(tbl.Chart(0, 0))
+	}
+	return nil
+}
+
+// sweepPoint solves one scenario locally and extracts the requested metric.
 func sweepPoint(ctx context.Context, sc *scenario.Scenario, cfg core.Config, metric string) (float64, error) {
 	sol, err := core.Run(ctx, sc, cfg)
 	if err != nil {
@@ -70,7 +96,36 @@ func sweepPoint(ctx context.Context, sc *scenario.Scenario, cfg core.Config, met
 	}
 }
 
-func run(args []string) error {
+// metricFromDoc extracts the requested metric from a server result document.
+// It mirrors sweepPoint exactly for the metrics a ResultDoc can answer; the
+// two runtime-observable metrics need the local solve and are rejected up
+// front by sweep.
+func metricFromDoc(doc serve.ResultDoc, metric string) (float64, error) {
+	if !doc.Feasible {
+		return math.NaN(), nil
+	}
+	switch metric {
+	case "total-power":
+		return doc.PTotal, nil
+	case "coverage-power":
+		return doc.PL, nil
+	case "conn-power":
+		return doc.PH, nil
+	case "coverage-relays":
+		return float64(doc.NumCoverage), nil
+	case "conn-relays":
+		return float64(doc.NumConnectivity), nil
+	case "total-relays":
+		return float64(doc.NumCoverage + doc.NumConnectivity), nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", metric)
+	}
+}
+
+// sweep parses flags, runs the sweep locally or against a server, and
+// returns the finished table plus whether a chart was requested. run prints;
+// sweep stays side-effect free so tests can compare tables across modes.
+func sweep(args []string) (*experiment.Table, bool, error) {
 	fs := flag.NewFlagSet("sagsweep", flag.ContinueOnError)
 	var (
 		dim      = fs.String("dim", "users", "sweep dimension: users, snr, field or bs")
@@ -87,16 +142,18 @@ func run(args []string) error {
 		coverage = fs.String("coverage", "SAMC", "coverage method: SAMC, IAC or GAC")
 		workers  = fs.Int("workers", 0, "concurrent per-zone solves (0 = all CPUs, 1 = sequential)")
 		timeout  = fs.Duration("timeout", 0, "deadline for the whole sweep, e.g. 2m (0 = unbounded)")
+		server   = fs.String("server", "", "base URL of a sagserved instance; runs the sweep via POST /v1/batch")
 		chart    = fs.Bool("chart", false, "render an ASCII chart")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, false, err
 	}
-	if *step <= 0 {
-		return fmt.Errorf("step %v must be positive", *step)
+	if *runs < 1 {
+		return nil, false, fmt.Errorf("runs %d must be at least 1", *runs)
 	}
-	if *to < *from {
-		return fmt.Errorf("empty range [%v,%v]", *from, *to)
+	values, err := experiment.SeqValues(*from, *to, *step)
+	if err != nil {
+		return nil, false, err
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -114,7 +171,32 @@ func run(args []string) error {
 	case "GAC", "gac":
 		cfg.Coverage = core.CoverGAC
 	default:
-		return fmt.Errorf("unknown coverage method %q", *coverage)
+		return nil, false, fmt.Errorf("unknown coverage method %q", *coverage)
+	}
+
+	spec := experiment.GridSpec{
+		Base: scenario.GenConfig{
+			FieldSide: *field, NumSS: *users, NumBS: *numBS, SNRdB: *snr,
+		},
+		Dims: []experiment.GridDim{{Name: *dim, Values: values}},
+		Runs: *runs,
+		Seed: *seed,
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, false, err
+	}
+
+	// One metric value per cell, in expansion order; NaN means infeasible.
+	var vals []float64
+	if *server != "" {
+		opts := serve.SolveOptions{Coverage: *coverage, Workers: *workers}
+		vals, err = serverSweep(ctx, *server, cells, opts, *metric)
+	} else {
+		vals, err = localSweep(ctx, cells, cfg, *metric, *dim, *timeout)
+	}
+	if err != nil {
+		return nil, false, err
 	}
 
 	tbl := &experiment.Table{
@@ -123,40 +205,12 @@ func run(args []string) error {
 		XLabel:  *dim,
 		Columns: []string{*metric},
 	}
-	for x := *from; x <= *to+1e-9; x += *step {
-		gen := scenario.GenConfig{
-			FieldSide: *field, NumSS: *users, NumBS: *numBS, SNRdB: *snr,
-		}
-		switch *dim {
-		case "users":
-			gen.NumSS = int(x)
-		case "snr":
-			gen.SNRdB = x
-		case "field":
-			gen.FieldSide = x
-		case "bs":
-			gen.NumBS = int(x)
-		default:
-			return fmt.Errorf("unknown dimension %q", *dim)
-		}
-		if gen.NumSS <= 0 || gen.NumBS <= 0 || gen.FieldSide <= 0 {
-			return fmt.Errorf("dimension value %v yields an invalid scenario", x)
-		}
+	// Fold runs into per-point means in run order, so local and server modes
+	// perform identical float additions and the tables match byte for byte.
+	for pi, x := range values {
 		sum, n := 0.0, 0
 		for r := 0; r < *runs; r++ {
-			gen.Seed = *seed + int64(r) + int64(x*7919)
-			sc, err := scenario.Generate(gen)
-			if err != nil {
-				return err
-			}
-			v, err := sweepPoint(ctx, sc, cfg, *metric)
-			if err != nil {
-				if errors.Is(err, context.DeadlineExceeded) {
-					return fmt.Errorf("sweep abandoned at %s=%v: deadline of %v exceeded", *dim, x, *timeout)
-				}
-				return err
-			}
-			if !math.IsNaN(v) {
+			if v := vals[pi**runs+r]; !math.IsNaN(v) {
 				sum += v
 				n++
 			}
@@ -166,12 +220,136 @@ func run(args []string) error {
 			val = sum / float64(n)
 		}
 		if err := tbl.AddRow(x, val); err != nil {
-			return err
+			return nil, false, err
 		}
 	}
-	fmt.Println(tbl.ASCII())
-	if *chart {
-		fmt.Println(tbl.Chart(0, 0))
+	return tbl, *chart, nil
+}
+
+// localSweep solves every cell in process, in expansion order.
+func localSweep(ctx context.Context, cells []experiment.GridCell, cfg core.Config, metric, dim string, timeout time.Duration) ([]float64, error) {
+	vals := make([]float64, len(cells))
+	for i, cell := range cells {
+		sc, err := scenario.Generate(cell.Gen)
+		if err != nil {
+			return nil, err
+		}
+		v, err := sweepPoint(ctx, sc, cfg, metric)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("sweep abandoned at %s=%v: deadline of %v exceeded", dim, cell.Values[0], timeout)
+			}
+			return nil, err
+		}
+		vals[i] = v
 	}
-	return nil
+	return vals, nil
+}
+
+// serverSweep generates every cell's scenario locally (the same bytes a
+// local run would solve), ships them as one explicit-items POST /v1/batch
+// and reads the NDJSON stream, mapping each item line back to its cell.
+func serverSweep(ctx context.Context, baseURL string, cells []experiment.GridCell, opts serve.SolveOptions, metric string) ([]float64, error) {
+	switch metric {
+	case "runtime-ms", "delivery-ratio":
+		return nil, fmt.Errorf("metric %q is measured during a local solve and is not part of the server's result document; drop -server", metric)
+	case "total-power", "coverage-power", "conn-power", "coverage-relays", "conn-relays", "total-relays":
+	default:
+		return nil, fmt.Errorf("unknown metric %q", metric)
+	}
+	req := serve.BatchRequest{Options: opts}
+	for _, cell := range cells {
+		sc, err := scenario.Generate(cell.Gen)
+		if err != nil {
+			return nil, err
+		}
+		req.Items = append(req.Items, serve.BatchItemRequest{Scenario: sc})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/v1/batch?wait=1"
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var env struct {
+			Error serve.APIError `json:"error"`
+		}
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			return nil, fmt.Errorf("server rejected batch (%s): %s", env.Error.Code, env.Error.Message)
+		}
+		return nil, fmt.Errorf("server rejected batch: HTTP %d", resp.StatusCode)
+	}
+
+	vals := make([]float64, len(cells))
+	got := make([]bool, len(cells))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	sawTrailer, complete := false, false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var msg struct {
+			Schema   string          `json:"schema"`
+			Item     *int            `json:"item"`
+			State    string          `json:"state"`
+			Result   json.RawMessage `json:"result"`
+			Error    *serve.APIError `json:"error"`
+			Done     *bool           `json:"done"`
+			Complete bool            `json:"complete"`
+		}
+		if err := json.Unmarshal(line, &msg); err != nil {
+			return nil, fmt.Errorf("bad stream line from server: %w", err)
+		}
+		switch {
+		case msg.Done != nil: // trailer
+			sawTrailer, complete = true, msg.Complete
+		case msg.Schema != "": // header
+		case msg.Item != nil: // per-item result
+			i := *msg.Item
+			if i < 0 || i >= len(cells) {
+				return nil, fmt.Errorf("server streamed unknown item index %d", i)
+			}
+			if msg.State != "done" {
+				detail := msg.State
+				if msg.Error != nil {
+					detail = fmt.Sprintf("%s: %s", msg.Error.Code, msg.Error.Message)
+				}
+				return nil, fmt.Errorf("batch item %d did not complete (%s)", i, detail)
+			}
+			var doc serve.ResultDoc
+			if err := json.Unmarshal(msg.Result, &doc); err != nil {
+				return nil, fmt.Errorf("bad result document for item %d: %w", i, err)
+			}
+			v, err := metricFromDoc(doc, metric)
+			if err != nil {
+				return nil, err
+			}
+			vals[i], got[i] = v, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading batch stream: %w", err)
+	}
+	if !sawTrailer || !complete {
+		return nil, fmt.Errorf("batch stream ended before all %d items finished", len(cells))
+	}
+	for i, ok := range got {
+		if !ok {
+			return nil, fmt.Errorf("server never streamed a result for item %d", i)
+		}
+	}
+	return vals, nil
 }

@@ -2,10 +2,14 @@ package main
 
 import (
 	"context"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"sagrelay/internal/core"
 	"sagrelay/internal/scenario"
+	"sagrelay/internal/serve"
 )
 
 func TestSweepValidation(t *testing.T) {
@@ -57,6 +61,73 @@ func TestSweepPointMetrics(t *testing.T) {
 	}
 	if _, err := sweepPoint(context.Background(), sc, core.Config{}, "nope"); err == nil {
 		t.Error("unknown metric accepted")
+	}
+}
+
+// TestServerSweepMatchesLocal runs the same sweep twice — once solving in
+// process, once through a live batch server — and requires the rendered
+// tables to be byte-identical. This is the contract -server advertises:
+// shipping a sweep to a shared solver changes where the work runs, never
+// what the table says.
+func TestServerSweepMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	srv, err := serve.NewServer(serve.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	base := []string{
+		"-dim", "users", "-from", "4", "-to", "8", "-step", "2",
+		"-runs", "2", "-seed", "7", "-field", "300", "-bs", "2",
+		"-metric", "total-power",
+	}
+	local, _, err := sweep(base)
+	if err != nil {
+		t.Fatalf("local sweep: %v", err)
+	}
+	remote, _, err := sweep(append(append([]string(nil), base...), "-server", ts.URL))
+	if err != nil {
+		t.Fatalf("server sweep: %v", err)
+	}
+	if local.ASCII() != remote.ASCII() {
+		t.Errorf("server table differs from local\nlocal:\n%s\nserver:\n%s", local.ASCII(), remote.ASCII())
+	}
+
+	// A relay-count metric takes the integer extraction path; check it too.
+	relays := append(append([]string(nil), base...), "-metric", "total-relays")
+	localR, _, err := sweep(relays)
+	if err != nil {
+		t.Fatalf("local relay sweep: %v", err)
+	}
+	remoteR, _, err := sweep(append(append([]string(nil), relays...), "-server", ts.URL))
+	if err != nil {
+		t.Fatalf("server relay sweep: %v", err)
+	}
+	if localR.ASCII() != remoteR.ASCII() {
+		t.Errorf("relay table differs from local\nlocal:\n%s\nserver:\n%s", localR.ASCII(), remoteR.ASCII())
+	}
+}
+
+// TestServerSweepRejectsLocalOnlyMetrics checks that the two metrics a
+// result document cannot answer fail fast instead of shipping a batch.
+func TestServerSweepRejectsLocalOnlyMetrics(t *testing.T) {
+	for _, metric := range []string{"runtime-ms", "delivery-ratio"} {
+		_, _, err := sweep([]string{
+			"-dim", "users", "-from", "4", "-to", "4", "-step", "2",
+			"-runs", "1", "-metric", metric, "-server", "http://127.0.0.1:1",
+		})
+		if err == nil || !strings.Contains(err.Error(), "drop -server") {
+			t.Errorf("metric %s: want local-only rejection, got %v", metric, err)
+		}
 	}
 }
 

@@ -194,6 +194,23 @@ func (c *Controller) AllowClient(client string) error {
 // returned error, if any, is a *ShedError; a cold cost model admits
 // everything.
 func (c *Controller) Admit(sizeClass, queued int, deadline time.Duration) (Decision, error) {
+	// Queue wait: the backlog drains at roughly (mean solve time / effective
+	// concurrency); the AIMD limit is the honest concurrency, not the static
+	// worker count. A lone submission has no batch siblings ahead of it.
+	return c.AdmitBatch(sizeClass, queued, 0, deadline)
+}
+
+// AdmitBatch is Admit for one item of a batch submission. Batch items are
+// admitted together, before any of them holds a queue slot, so the queue
+// depth alone under-counts the work ahead of item k: its k-1 admitted
+// siblings are invisible to the pool until the batch feeder enqueues them.
+// batchAhead is the summed EstSolve of those earlier, admitted-but-not-yet-
+// queued siblings; it is divided by the same effective concurrency as the
+// generic backlog, so the estimate stays honest for both the first item of
+// a batch (batchAhead 0 — identical to Admit) and the hundredth. Each item
+// is shed individually: a returned *ShedError rejects this item only, never
+// the batch.
+func (c *Controller) AdmitBatch(sizeClass, queued int, batchAhead, deadline time.Duration) (Decision, error) {
 	var d Decision
 	if err := fireSite(siteShed); err != nil {
 		return d, &ShedError{Reason: "fault injection: " + err.Error(), RetryAfter: time.Second}
@@ -205,14 +222,11 @@ func (c *Controller) Admit(sizeClass, queued int, deadline time.Duration) (Decis
 	if !ok {
 		return d, nil
 	}
-	// Queue wait: the backlog drains at roughly (mean solve time / effective
-	// concurrency); the AIMD limit is the honest concurrency, not the static
-	// worker count.
 	workers := c.aimd.Limit()
 	if workers < 1 {
 		workers = 1
 	}
-	wait := mean * float64(queued) / float64(workers)
+	wait := (mean*float64(queued) + batchAhead.Seconds()) / float64(workers)
 	d.EstSolve = time.Duration(est * float64(time.Second))
 	d.EstWait = time.Duration(wait * float64(time.Second))
 	admitEstSeconds.Observe(est + wait)

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+
+	"sagrelay/internal/scenario"
+)
+
+// Grid expansion: one template scenario generator plus a cartesian product
+// of swept dimensions, expanded into a deterministic, seed-addressed list of
+// scenario generator configs. It is the shared vocabulary between the
+// sagsweep CLI (which sweeps one dimension locally) and the solve service's
+// POST /v1/batch grid form (which fans a whole SS-count x field-size x runs
+// grid out server-side), so a sweep run locally and the same sweep shipped
+// to a server expand to bit-identical scenarios.
+
+// Grid dimension names. Each overrides one field of the template GenConfig.
+const (
+	DimUsers = "users" // number of subscriber stations
+	DimSNR   = "snr"   // SNR threshold in dB
+	DimField = "field" // field side length
+	DimBS    = "bs"    // number of base stations
+)
+
+// GridDim is one swept dimension: a name from the Dim* constants and the
+// values it takes. The expansion is the cartesian product over all dims.
+type GridDim struct {
+	Name   string    `json:"dim"`
+	Values []float64 `json:"values"`
+}
+
+// GridSpec describes a scenario grid: a template generator config, the
+// swept dimensions, and the number of seeded repetitions per grid cell.
+type GridSpec struct {
+	// Base is the template; swept dimensions override its fields cell by
+	// cell, everything else (distance bounds, PMax, radio model, ...) is
+	// shared by every cell.
+	Base scenario.GenConfig
+	// Dims are the swept dimensions; empty means a single cell (the
+	// template itself, repeated Runs times).
+	Dims []GridDim
+	// Runs is the number of seeded repetitions per cell; 0 means 1.
+	Runs int
+	// Seed is the base seed. Cell (values v_1..v_k, run r) derives
+	// Seed + r + sum_i int64(v_i * 7919) — the sagsweep seed rule, kept
+	// verbatim so a single-dim grid reproduces historical sweep scenarios.
+	Seed int64
+}
+
+// GridCell is one expanded grid entry: the resolved generator config (seed
+// included) plus its provenance — the point index in the cartesian product,
+// the run index, and the dimension values that shaped it.
+type GridCell struct {
+	// Index is the cell's position in expansion order: point-major,
+	// run-minor (Index = Point*Runs + Run).
+	Index int
+	// Point indexes the cartesian product of dimension values.
+	Point int
+	// Run is the repetition index within the point.
+	Run int
+	// Values holds the swept dimension values, aligned with GridSpec.Dims.
+	Values []float64
+	// Gen is the fully resolved generator config for this cell.
+	Gen scenario.GenConfig
+}
+
+// Points returns the number of cartesian-product points the spec expands to
+// (before the Runs multiplier), or an error for an empty dimension.
+func (g GridSpec) Points() (int, error) {
+	points := 1
+	for _, d := range g.Dims {
+		if len(d.Values) == 0 {
+			return 0, fmt.Errorf("experiment: grid dimension %q has no values", d.Name)
+		}
+		points *= len(d.Values)
+	}
+	return points, nil
+}
+
+// Expand resolves the grid into its cells, ordered point-major (the
+// cartesian product iterates the last dimension fastest) and run-minor
+// within each point. Every cell is validated to yield a generable scenario.
+func (g GridSpec) Expand() ([]GridCell, error) {
+	runs := g.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	points, err := g.Points()
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]GridCell, 0, points*runs)
+	values := make([]float64, len(g.Dims))
+	for pi := 0; pi < points; pi++ {
+		// Decompose the point index into per-dimension value indices, last
+		// dimension fastest.
+		rem := pi
+		for di := len(g.Dims) - 1; di >= 0; di-- {
+			n := len(g.Dims[di].Values)
+			values[di] = g.Dims[di].Values[rem%n]
+			rem /= n
+		}
+		gen := g.Base
+		var seedOff int64
+		for di, d := range g.Dims {
+			v := values[di]
+			seedOff += int64(v * 7919)
+			switch d.Name {
+			case DimUsers:
+				gen.NumSS = int(v)
+			case DimSNR:
+				gen.SNRdB = v
+			case DimField:
+				gen.FieldSide = v
+			case DimBS:
+				gen.NumBS = int(v)
+			default:
+				return nil, fmt.Errorf("experiment: unknown grid dimension %q", d.Name)
+			}
+		}
+		if gen.NumSS <= 0 || gen.NumBS <= 0 || gen.FieldSide <= 0 {
+			return nil, fmt.Errorf("experiment: grid point %v yields an invalid scenario (users=%d bs=%d field=%v)",
+				values, gen.NumSS, gen.NumBS, gen.FieldSide)
+		}
+		for r := 0; r < runs; r++ {
+			gen.Seed = g.Seed + int64(r) + seedOff
+			cells = append(cells, GridCell{
+				Index:  pi*runs + r,
+				Point:  pi,
+				Run:    r,
+				Values: append([]float64(nil), values...),
+				Gen:    gen,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// SeqValues expands a from/to/step range into the inclusive value list used
+// by sagsweep-style sweeps (to is included within a 1e-9 tolerance).
+func SeqValues(from, to, step float64) ([]float64, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("experiment: step %v must be positive", step)
+	}
+	if to < from {
+		return nil, fmt.Errorf("experiment: empty range [%v,%v]", from, to)
+	}
+	var vs []float64
+	for x := from; x <= to+1e-9; x += step {
+		vs = append(vs, x)
+	}
+	return vs, nil
+}

@@ -106,18 +106,25 @@ func TestRateLimitHTTPRetryAfterAndBody(t *testing.T) {
 	if ra := second.Header.Get("Retry-After"); ra == "" {
 		t.Error("429 response has no Retry-After header")
 	}
-	var doc overloadDoc
+	var doc errorEnvelope
 	if err := json.NewDecoder(second.Body).Decode(&doc); err != nil {
-		t.Fatalf("429 body not an overload doc: %v", err)
+		t.Fatalf("429 body not an error envelope: %v", err)
 	}
+	if doc.Error.Code != CodeRateLimited {
+		t.Errorf("error.code = %q, want rate_limited", doc.Error.Code)
+	}
+	if doc.Error.RetryAfterS <= 0 {
+		t.Errorf("error.retry_after_s = %v, want > 0", doc.Error.RetryAfterS)
+	}
+	// The pre-v5 top-level fields ride along as deprecated aliases.
 	if doc.Reason != "rate_limited" {
-		t.Errorf("reason = %q, want rate_limited", doc.Reason)
+		t.Errorf("reason alias = %q, want rate_limited", doc.Reason)
 	}
 	if doc.QueueCapacity <= 0 {
-		t.Errorf("queue_capacity = %d, want > 0", doc.QueueCapacity)
+		t.Errorf("queue_capacity alias = %d, want > 0", doc.QueueCapacity)
 	}
 	if doc.RetryAfterMS <= 0 {
-		t.Errorf("retry_after_ms = %d, want > 0", doc.RetryAfterMS)
+		t.Errorf("retry_after_ms alias = %d, want > 0", doc.RetryAfterMS)
 	}
 }
 
@@ -153,12 +160,15 @@ func TestForcedShedIsTypedCountedAndA503(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("503 shed response has no Retry-After header")
 	}
-	var doc overloadDoc
+	var doc errorEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		t.Fatalf("503 body not an overload doc: %v", err)
+		t.Fatalf("503 body not an error envelope: %v", err)
+	}
+	if doc.Error.Code != CodeShed {
+		t.Errorf("error.code = %q, want shed", doc.Error.Code)
 	}
 	if doc.Reason != "shed" {
-		t.Errorf("reason = %q, want shed", doc.Reason)
+		t.Errorf("reason alias = %q, want shed", doc.Reason)
 	}
 }
 

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sagrelay/internal/admit"
+	"sagrelay/internal/scenario"
+)
+
+// Error codes of the unified API error envelope. Every non-2xx JSON answer
+// from the service carries exactly one of these in error.code, so clients
+// branch on a stable machine-readable token instead of parsing messages or
+// mapping status codes themselves (two codes can share a status: shed and
+// shutting_down are both 503). The README's error-code table documents each.
+const (
+	CodeBadRequest   = "bad_request"    // 400: malformed JSON, invalid scenario or options
+	CodeBadDelta     = "bad_delta"      // 400: malformed delta or unknown entity in /v1/resolve
+	CodeBatchLimit   = "batch_limit"    // 400: batch expands past the server's item bound
+	CodeNotFound     = "not_found"      // 404: unknown job, batch, or resolve base
+	CodeRateLimited  = "rate_limited"   // 429: per-client token bucket exhausted
+	CodeQueueFull    = "queue_full"     // 429: job queue backpressure
+	CodeShed         = "shed"           // 503: deadline-aware load shedding
+	CodeShuttingDown = "shutting_down"  // 503: graceful shutdown in progress
+	CodeUnprocessable = "unprocessable" // 422: job finished without a result document
+
+	// Batch stream-only codes: these appear inline on per-item NDJSON lines
+	// and batch status entries, never as an HTTP status.
+	CodeSolveFailed = "solve_failed" // batch item's solve ended in an error
+	CodeCancelled   = "cancelled"    // batch item cancelled (deadline, client, shutdown)
+)
+
+// APIError is the typed error body: the envelope every HTTP error response
+// nests under its "error" key, and the shape batch NDJSON streams embed
+// inline for per-item failures.
+type APIError struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is the human-readable error text.
+	Message string `json:"message"`
+	// RetryAfterS suggests, in seconds, when a retry could succeed; only
+	// overload rejections (shed, rate_limited, queue_full, shutting_down)
+	// set it, mirroring the Retry-After header at sub-second precision.
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
+	// Details carries code-specific structured context: queue_depth and
+	// queue_capacity for overload codes, field for validation errors, item
+	// for batch expansion errors.
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// errorEnvelope is the JSON document of every HTTP error response:
+// {"error":{"code","message","retry_after_s","details"}} plus the pre-v5
+// top-level fields kept as deprecated aliases for one release (the old
+// string-valued "error" key is gone — its text now lives at error.message).
+type errorEnvelope struct {
+	Error APIError `json:"error"`
+
+	// Deprecated: reason duplicated error.code for overload rejections.
+	Reason string `json:"reason,omitempty"`
+	// Deprecated: field duplicated error.details.field for validation errors.
+	Field string `json:"field,omitempty"`
+	// Deprecated: queue state now lives under error.details.
+	QueueDepth    int `json:"queue_depth,omitempty"`
+	QueueCapacity int `json:"queue_capacity,omitempty"`
+	// Deprecated: retry_after_ms duplicated error.retry_after_s.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// apiError classifies err into its envelope body and HTTP status. It is the
+// single mapping every handler (and the batch stream) goes through, so the
+// same error can never wear two codes on two endpoints.
+func apiError(err error) (int, APIError) {
+	var rl *admit.RateLimitError
+	var shed *admit.ShedError
+	var ve *scenario.ValueError
+	switch {
+	case errors.As(err, &rl):
+		return http.StatusTooManyRequests, APIError{
+			Code: CodeRateLimited, Message: err.Error(),
+			RetryAfterS: rl.RetryAfter.Seconds(),
+		}
+	case errors.As(err, &shed):
+		return http.StatusServiceUnavailable, APIError{
+			Code: CodeShed, Message: err.Error(),
+			RetryAfterS: shed.RetryAfter.Seconds(),
+		}
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, APIError{
+			Code: CodeQueueFull, Message: err.Error(), RetryAfterS: 1,
+		}
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable, APIError{
+			Code: CodeShuttingDown, Message: err.Error(), RetryAfterS: 1,
+		}
+	case errors.Is(err, ErrNoBase):
+		return http.StatusNotFound, APIError{Code: CodeNotFound, Message: err.Error()}
+	case errors.Is(err, ErrBatchTooLarge):
+		return http.StatusBadRequest, APIError{Code: CodeBatchLimit, Message: err.Error()}
+	case errors.Is(err, scenario.ErrBadDelta), errors.Is(err, scenario.ErrUnknownEntity):
+		return http.StatusBadRequest, APIError{Code: CodeBadDelta, Message: err.Error()}
+	case errors.As(err, &ve):
+		return http.StatusBadRequest, APIError{
+			Code: CodeBadRequest, Message: err.Error(),
+			Details: map[string]any{"field": ve.Field},
+		}
+	default:
+		return http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: err.Error()}
+	}
+}
+
+// isOverloadCode reports whether code is an overload rejection that carries
+// queue state and a Retry-After header.
+func isOverloadCode(code string) bool {
+	switch code {
+	case CodeRateLimited, CodeQueueFull, CodeShed, CodeShuttingDown:
+		return true
+	}
+	return false
+}
+
+// writeAPIError writes the unified envelope for err. Overload codes gain
+// queue state in details, the deprecated top-level aliases, and a
+// Retry-After header (whole seconds, rounded up, at least 1 — the header
+// does not admit finer precision).
+func (s *Server) writeAPIError(w http.ResponseWriter, err error) {
+	status, body := apiError(err)
+	s.writeAPIErrorBody(w, status, body)
+}
+
+// writeAPIErrorBody finishes an already-classified error: alias fields and
+// the Retry-After header derive from the body, never from the caller.
+func (s *Server) writeAPIErrorBody(w http.ResponseWriter, status int, body APIError) {
+	env := errorEnvelope{Error: body}
+	if f, ok := body.Details["field"].(string); ok {
+		env.Field = f
+	}
+	if isOverloadCode(body.Code) {
+		depth, capacity := s.pool.Len(), s.pool.Cap()
+		if body.Details == nil {
+			body.Details = map[string]any{}
+		}
+		body.Details["queue_depth"] = depth
+		body.Details["queue_capacity"] = capacity
+		env.Error = body
+		env.Reason = body.Code
+		env.QueueDepth = depth
+		env.QueueCapacity = capacity
+		retry := time.Duration(body.RetryAfterS * float64(time.Second))
+		if retry <= 0 {
+			retry = time.Second
+		}
+		env.RetryAfterMS = retry.Milliseconds()
+		secs := int64((retry + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, env)
+}

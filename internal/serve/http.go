@@ -2,33 +2,43 @@ package serve
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
 	"net/http"
-	"time"
 
-	"sagrelay/internal/admit"
 	"sagrelay/internal/obs"
-	"sagrelay/internal/scenario"
 )
 
 // Handler returns the service's HTTP routes on a fresh mux:
 //
-//	POST   /v1/solve            submit {scenario, options}; ?wait=1 blocks
-//	POST   /v1/resolve          submit {base_job|base_scenario_hash, delta,
-//	                            options}; incremental re-solve, ?wait=1 blocks
-//	GET    /v1/jobs             list retained jobs, newest first
-//	GET    /v1/jobs/{id}        one job's status
-//	GET    /v1/jobs/{id}/result the finished result document
-//	DELETE /v1/jobs/{id}        request cancellation
-//	GET    /healthz             liveness probe
-//	GET    /metrics             counters (JSON; ?format=prometheus for
-//	                            text exposition with histograms)
+//	POST   /v1/solve             submit {scenario, options}; ?wait=1 blocks
+//	POST   /v1/resolve           submit {base_job|base_scenario_hash, delta,
+//	                             options}; incremental re-solve, ?wait=1 blocks
+//	POST   /v1/batch             submit {items|grid, options}; ?wait=1 streams
+//	                             per-item results as NDJSON as they complete
+//	GET    /v1/batch/{id}        one batch's per-item status
+//	GET    /v1/batch/{id}/results NDJSON of finished item results; ?wait=1
+//	                             streams the rest as they complete
+//	DELETE /v1/batch/{id}        cancel every unfinished item
+//	GET    /v1/jobs              list retained jobs, newest first
+//	GET    /v1/jobs/{id}         one job's status
+//	GET    /v1/jobs/{id}/result  the finished result document
+//	DELETE /v1/jobs/{id}         request cancellation
+//	GET    /healthz              liveness probe
+//	GET    /metrics              counters (JSON; ?format=prometheus for
+//	                             text exposition with histograms)
+//
+// Every non-2xx JSON answer is the unified error envelope
+// {"error":{"code","message","retry_after_s","details"}} (see apierror.go;
+// pre-v5 top-level overload fields ride along as deprecated aliases).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/resolve", s.handleResolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/batch/{id}", s.handleBatchStatus)
+	mux.HandleFunc("GET /v1/batch/{id}/results", s.handleBatchResults)
+	mux.HandleFunc("DELETE /v1/batch/{id}", s.handleBatchCancel)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -38,26 +48,12 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-type errorDoc struct {
-	Error string `json:"error"`
-	Field string `json:"field,omitempty"`
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	doc := errorDoc{Error: err.Error()}
-	var ve *scenario.ValueError
-	if errors.As(err, &ve) {
-		doc.Field = ve.Field
-	}
-	writeJSON(w, code, doc)
 }
 
 // writeRawResult serves pre-marshaled result bytes untouched, preserving
@@ -72,12 +68,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeAPIError(w, err)
 		return
 	}
 	job, err := s.SubmitFrom(clientKey(r), req)
 	if err != nil {
-		s.writeSubmitError(w, err)
+		s.writeAPIError(w, err)
 		return
 	}
 	s.answerSubmit(w, r, job)
@@ -89,16 +85,12 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	var req ResolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeAPIError(w, err)
 		return
 	}
 	job, err := s.ResolveFrom(clientKey(r), req)
 	if err != nil {
-		if errors.Is(err, ErrNoBase) {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		s.writeSubmitError(w, err)
+		s.writeAPIError(w, err)
 		return
 	}
 	s.answerSubmit(w, r, job)
@@ -121,60 +113,6 @@ func clientKey(r *http.Request) string {
 	return "addr:" + host
 }
 
-// overloadDoc is the JSON body of every overload rejection (429/503): the
-// machine-readable reason plus enough queue state for a client to make an
-// informed retry decision. retry_after_ms mirrors the Retry-After header at
-// millisecond precision.
-type overloadDoc struct {
-	Error         string `json:"error"`
-	Reason        string `json:"reason"`
-	QueueDepth    int    `json:"queue_depth"`
-	QueueCapacity int    `json:"queue_capacity"`
-	RetryAfterMS  int64  `json:"retry_after_ms"`
-}
-
-// writeOverload answers an admission rejection with a Retry-After header
-// (whole seconds, rounded up, at least 1 — the header does not admit finer
-// precision) and the structured overload body.
-func (s *Server) writeOverload(w http.ResponseWriter, code int, err error, reason string, retryAfter time.Duration) {
-	if retryAfter <= 0 {
-		retryAfter = time.Second
-	}
-	secs := int64((retryAfter + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-	writeJSON(w, code, overloadDoc{
-		Error:         err.Error(),
-		Reason:        reason,
-		QueueDepth:    s.pool.Len(),
-		QueueCapacity: s.pool.Cap(),
-		RetryAfterMS:  retryAfter.Milliseconds(),
-	})
-}
-
-// writeSubmitError maps a Submit/Resolve error to its status code: 429 for
-// rate limiting and queue backpressure, 503 for load shedding and shutdown
-// (all four with Retry-After and the overload body), 400 for everything
-// else (validation, malformed deltas, unknown entities).
-func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
-	var rl *admit.RateLimitError
-	var shed *admit.ShedError
-	switch {
-	case errors.As(err, &rl):
-		s.writeOverload(w, http.StatusTooManyRequests, err, "rate_limited", rl.RetryAfter)
-	case errors.As(err, &shed):
-		s.writeOverload(w, http.StatusServiceUnavailable, err, "shed", shed.RetryAfter)
-	case errors.Is(err, ErrQueueFull):
-		s.writeOverload(w, http.StatusTooManyRequests, err, "queue_full", time.Second)
-	case errors.Is(err, ErrShuttingDown):
-		s.writeOverload(w, http.StatusServiceUnavailable, err, "shutting_down", time.Second)
-	default:
-		writeError(w, http.StatusBadRequest, err)
-	}
-}
-
 // answerSubmit finishes a successful submission: 202 with the job status,
 // or — with ?wait=1 — block until the job finishes and serve its result. A
 // client disconnect while waiting cancels the solve — the whole point of
@@ -192,11 +130,26 @@ func (s *Server) answerSubmit(w http.ResponseWriter, r *http.Request, job *Job) 
 			writeRawResult(w, doc)
 			return
 		}
-		st := job.status()
-		writeJSON(w, http.StatusUnprocessableEntity, st)
+		s.writeUnprocessable(w, job)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.status())
+}
+
+// writeUnprocessable answers a result fetch for a job that finished without
+// a result document (failed or cancelled): the unified envelope, with the
+// job's terminal status under details.
+func (s *Server) writeUnprocessable(w http.ResponseWriter, job *Job) {
+	st := job.status()
+	msg := st.Error
+	if msg == "" {
+		msg = "job finished without a result document"
+	}
+	s.writeAPIErrorBody(w, http.StatusUnprocessableEntity, APIError{
+		Code:    CodeUnprocessable,
+		Message: msg,
+		Details: map[string]any{"job": st},
+	})
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
@@ -213,7 +166,7 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		s.writeNotFound(w, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, job.status())
@@ -222,7 +175,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		s.writeNotFound(w, "no such job")
 		return
 	}
 	doc, state := job.resultBytes()
@@ -233,7 +186,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		// 202: try again later.
 		writeJSON(w, http.StatusAccepted, job.status())
 	default:
-		writeJSON(w, http.StatusUnprocessableEntity, job.status())
+		s.writeUnprocessable(w, job)
 	}
 }
 
@@ -243,7 +196,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	// from the job that was actually cancelled.
 	job, ok := s.Cancel(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		s.writeNotFound(w, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, job.status())
@@ -273,6 +226,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_ = s.prom.WritePrometheus(w)
 		_ = obs.Default.WritePrometheus(w)
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown metrics format %q", format))
+		s.writeAPIErrorBody(w, http.StatusBadRequest, APIError{
+			Code:    CodeBadRequest,
+			Message: fmt.Sprintf("unknown metrics format %q", format),
+		})
 	}
+}
+
+// writeNotFound answers a lookup miss (job, batch) with the unified envelope.
+func (s *Server) writeNotFound(w http.ResponseWriter, msg string) {
+	s.writeAPIErrorBody(w, http.StatusNotFound, APIError{Code: CodeNotFound, Message: msg})
 }

@@ -59,8 +59,13 @@ type Job struct {
 	result   []byte
 }
 
+// jobSchema is the version tag of the job status document, serialized
+// first-keyed like the metrics document.
+const jobSchema = "sagjob/1"
+
 // jobStatus is the JSON shape of GET /v1/jobs/{id}.
 type jobStatus struct {
+	Schema       string   `json:"schema"`
 	ID           string   `json:"id"`
 	Key          string   `json:"key"`
 	ScenarioHash string   `json:"scenario_hash,omitempty"`
@@ -86,6 +91,7 @@ func (j *Job) status() jobStatus {
 		end = time.Now()
 	}
 	st := jobStatus{
+		Schema:       jobSchema,
 		ID:           j.ID,
 		Key:          j.Key,
 		ScenarioHash: j.ScenarioHash,

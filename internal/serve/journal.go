@@ -28,6 +28,11 @@ const (
 	recFail      = "fail"
 	recCancel    = "cancel"
 	recInterrupt = "interrupt"
+	// recBatch groups already-journaled jobs into a batch: the record's ID
+	// is the batch ID and its Doc holds the membership (item -> job ID or
+	// inline rejection). Item lifecycles live in the member jobs' own
+	// records, so a crashed batch resumes exactly its unfinished items.
+	recBatch = "batch"
 )
 
 // jrec is one JSONL line in the journal. Submit records carry the full

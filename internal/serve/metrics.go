@@ -40,6 +40,11 @@ type Metrics struct {
 	JobsShed atomic.Int64
 	// RateLimited counts submissions rejected by per-client rate limiting.
 	RateLimited atomic.Int64
+	// BatchesTotal counts accepted POST /v1/batch submissions;
+	// BatchItemsTotal the items they expanded to (accepted jobs plus
+	// rejections), and BatchItemsShed the items refused individually by
+	// deadline-aware shedding while the rest of their batch proceeded.
+	BatchesTotal, BatchItemsTotal, BatchItemsShed atomic.Int64
 	// CacheHits and CacheMisses count result-cache lookups at submit time.
 	CacheHits, CacheMisses atomic.Int64
 	// Resolves counts accepted /v1/resolve submissions (before queueing; a
@@ -77,7 +82,9 @@ type Metrics struct {
 //	sagmetrics/4  admission-control keys added: jobs_shed_total,
 //	              rate_limited_total, breaker_state, breaker_trips_total,
 //	              inflight_limit, journal_corrupt_records
-const metricsSchema = "sagmetrics/4"
+//	sagmetrics/5  batch keys added: batches_total, batch_items_total,
+//	              batch_items_shed
+const metricsSchema = "sagmetrics/5"
 
 // metricsDoc is the JSON shape served by /metrics. Field order is the wire
 // order (encoding/json preserves struct order), so keys appear in a stable,
@@ -97,6 +104,11 @@ type metricsDoc struct {
 	// limiter's current concurrency ceiling.
 	JobsShed      int64  `json:"jobs_shed_total"`
 	RateLimited   int64  `json:"rate_limited_total"`
+	// The batch counters: batches accepted, the items they expanded to, and
+	// the items individually refused by shedding (batch survives).
+	BatchesTotal   int64 `json:"batches_total"`
+	BatchItemsTot  int64 `json:"batch_items_total"`
+	BatchItemsShed int64 `json:"batch_items_shed"`
 	BreakerState  int64  `json:"breaker_state"`
 	BreakerTrips  int64  `json:"breaker_trips_total"`
 	InflightLimit int64  `json:"inflight_limit"`
@@ -144,6 +156,9 @@ func (m *Metrics) snapshot(cacheEntries, zoneCacheEntries int, adm *admit.Contro
 		JobsDegraded:      m.JobsDegraded.Load(),
 		JobsShed:          m.JobsShed.Load(),
 		RateLimited:       m.RateLimited.Load(),
+		BatchesTotal:      m.BatchesTotal.Load(),
+		BatchItemsTot:     m.BatchItemsTotal.Load(),
+		BatchItemsShed:    m.BatchItemsShed.Load(),
 		BreakerState:      adm.BreakerState(),
 		BreakerTrips:      adm.BreakerTrips(),
 		InflightLimit:     adm.InflightLimit(),
@@ -188,6 +203,9 @@ func (s *Server) promRegistry() *obs.Registry {
 	counter("jobs_degraded", "Completed jobs that used a heuristic fallback stage.", m.JobsDegraded.Load)
 	counter("jobs_shed_total", "Submissions rejected by deadline-aware load shedding.", m.JobsShed.Load)
 	counter("rate_limited_total", "Submissions rejected by per-client rate limiting.", m.RateLimited.Load)
+	counter("batches_total", "Accepted POST /v1/batch submissions.", m.BatchesTotal.Load)
+	counter("batch_items_total", "Items accepted batches expanded to (jobs plus rejections).", m.BatchItemsTotal.Load)
+	counter("batch_items_shed", "Batch items individually refused by deadline-aware shedding.", m.BatchItemsShed.Load)
 	r.Gauge("sag_breaker_state", "Degrade circuit breaker state (0 closed, 1 open, 2 half-open).", s.admit.BreakerState)
 	counter("breaker_trips_total", "Degrade circuit breaker trips (closed/half-open to open).", s.admit.BreakerTrips)
 	r.Gauge("sag_inflight_limit", "Current AIMD adaptive concurrency ceiling.", s.admit.InflightLimit)

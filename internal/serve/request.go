@@ -158,7 +158,11 @@ func (o SolveOptions) coreConfig() (core.Config, error) {
 
 // requestKeyVersion tags the request-key encoding; bump on any change to
 // the option set or layout so stale keys cannot alias new requests.
-const requestKeyVersion = "sagreq/1"
+const requestKeyVersion = "sagreq/2"
+
+// resultSchema is the version tag of ResultDoc, serialized first-keyed like
+// the metrics document; bump alongside any wire-visible shape change.
+const resultSchema = "sagresult/1"
 
 // requestKey returns the content address of (scenario, options): the
 // SHA-256 hex over the canonical scenario encoding plus a canonical
@@ -216,6 +220,7 @@ func requestKey(sc *scenario.Scenario, opts SolveOptions) string {
 //     so the trace describes the work that built the answer, not the
 //     (free) lookup that served it.
 type ResultDoc struct {
+	Schema             string       `json:"schema"`
 	Method             string       `json:"method"`
 	Feasible           bool         `json:"feasible"`
 	Degraded           bool         `json:"degraded,omitempty"`
@@ -243,6 +248,7 @@ type RelayDoc struct {
 // bytes.
 func buildResultDoc(sol *core.Solution) ([]byte, error) {
 	doc := ResultDoc{
+		Schema:         resultSchema,
 		Method:         sol.Method,
 		Feasible:       sol.Feasible,
 		Degraded:       sol.Degraded,

@@ -84,6 +84,12 @@ type Options struct {
 	// ScenarioRetention bounds the LRU of scenarios kept so POST /v1/resolve
 	// can name a base by job ID or scenario hash (default 256 scenarios).
 	ScenarioRetention int
+	// MaxBatchItems bounds the number of items one POST /v1/batch may expand
+	// to (default 1024); a larger grid is refused with ErrBatchTooLarge.
+	MaxBatchItems int
+	// MaxBatches bounds the in-memory batch table; the oldest finished
+	// batches are forgotten beyond it (default 64).
+	MaxBatches int
 	// Admit tunes the admission-control and overload-resilience layer:
 	// per-client rate limiting, deadline-aware load shedding, the AIMD
 	// in-flight limiter and the degrade circuit breaker. Zero values mean
@@ -104,6 +110,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
+	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = 1024
+	}
+	if o.MaxBatches <= 0 {
+		o.MaxBatches = 64
 	}
 	return o
 }
@@ -144,6 +156,9 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string // job IDs in submission order, oldest first
 	seq      int64
+	batches  map[string]*Batch
+	border   []string // batch IDs in submission order, oldest first
+	bseq     int64
 	closed   bool
 	draining bool // Shutdown has begun: cancelled jobs journal as interrupted
 }
@@ -172,6 +187,7 @@ func NewServer(opts Options) (*Server, error) {
 		baseCtx:    ctx,
 		cancelAll:  cancel,
 		jobs:       make(map[string]*Job),
+		batches:    make(map[string]*Batch),
 	}
 	s.prom = s.promRegistry()
 	if opts.DataDir != "" {
@@ -214,8 +230,18 @@ func (s *Server) replay(recs []jrec) {
 	}
 	byID := make(map[string]*folded)
 	var order []string
-	var maxSeq int64
+	var maxSeq, maxBSeq int64
+	var batchRecs []jrec
 	for _, r := range recs {
+		if r.T == recBatch {
+			// Batch membership records ride along; the member jobs' own
+			// records carry their lifecycles, so batches fold after jobs.
+			if n, err := strconv.ParseInt(strings.TrimPrefix(r.ID, "b-"), 10, 64); err == nil && n > maxBSeq {
+				maxBSeq = n
+			}
+			batchRecs = append(batchRecs, r)
+			continue
+		}
 		if r.T == recSubmit {
 			if _, ok := byID[r.ID]; !ok {
 				byID[r.ID] = &folded{submit: r}
@@ -238,6 +264,7 @@ func (s *Server) replay(recs []jrec) {
 		// recStart and recInterrupt leave the job pending: it owes a re-run.
 	}
 	s.seq = maxSeq
+	s.bseq = maxBSeq
 
 	type pendingJob struct {
 		job  *Job
@@ -332,7 +359,9 @@ func (s *Server) replay(recs []jrec) {
 	}
 	s.evictOldLocked() // NewServer is single-threaded here; lock not yet needed
 
-	// Compact before the re-runs append fresh start/terminal records.
+	// Compact before the re-runs append fresh start/terminal records. Batch
+	// membership records come after every member job's records, matching the
+	// order appends produce.
 	var compacted []jrec
 	for _, id := range s.order {
 		f := byID[id]
@@ -341,8 +370,16 @@ func (s *Server) replay(recs []jrec) {
 			compacted = append(compacted, tr)
 		}
 	}
+	compacted = append(compacted, batchRecs...)
 	if err := s.journal.compact(compacted); err != nil {
 		s.metrics.JournalErrors.Add(1)
+	}
+
+	// Rebuild batches over the restored jobs: watchers re-attach to pending
+	// members, so a batch whose items the crash left unfinished completes
+	// once the re-runs below finish them.
+	for _, r := range batchRecs {
+		s.restoreBatch(r.ID, r.Doc)
 	}
 
 	for _, p := range pending {
@@ -808,6 +845,9 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"jobs_degraded":             d.JobsDegraded,
 		"jobs_shed_total":           d.JobsShed,
 		"rate_limited_total":        d.RateLimited,
+		"batches_total":             d.BatchesTotal,
+		"batch_items_total":         d.BatchItemsTot,
+		"batch_items_shed":          d.BatchItemsShed,
 		"breaker_state":             d.BreakerState,
 		"breaker_trips_total":       d.BreakerTrips,
 		"inflight_limit":            d.InflightLimit,
