@@ -71,9 +71,18 @@ go run ./cmd/sagserved -smoke-overload
 # Batch gate: stream a seeded grid batch over NDJSON, then re-request every
 # cell through /v1/solve — each answer must be byte-identical to its streamed
 # line and cost zero further solver work (all cache hits), with the batch
-# counters and the sagmetrics/5 schema agreeing.
+# counters and the sagmetrics/6 schema agreeing.
 echo "== sagserved -smoke-batch"
 go run ./cmd/sagserved -smoke-batch
+
+# Introspection gate: submit a live multi-zone solve, tail its NDJSON
+# progress stream (at least one mid-solve snapshot with a per-zone gap must
+# precede the terminal one), fetch the finished job's flight record with its
+# span tree and convergence curve, and match one captured JSON log line to
+# the job by its job_id correlation field. The disarmed progress hook is
+# additionally pinned at zero allocations by the milp benchmark suite.
+echo "== sagserved -smoke-progress"
+go run ./cmd/sagserved -smoke-progress
 
 # Performance gates for the branch-and-bound hot path. The pivot-regression
 # gate solves the pinned ILPQC benchmark instance and fails if the total

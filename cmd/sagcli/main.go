@@ -7,6 +7,7 @@
 //	sagcli -scenario sc.json                          # solve with SAG
 //	sagcli -scenario sc.json -coverage GAC -power baseline
 //	sagcli -scenario sc.json -trace-out trace.json   # dump the span tree
+//	sagcli -scenario sc.json -coverage IAC -progress  # live gap meter on stderr
 //	sagcli -base sc.json -delta d.json                # incremental re-solve
 //	sagcli -base sc.json -delta d.json -save sc2.json # apply delta + save
 //
@@ -29,6 +30,7 @@ import (
 	"sagrelay/internal/core"
 	"sagrelay/internal/geom"
 	"sagrelay/internal/incr"
+	"sagrelay/internal/milp"
 	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 )
@@ -79,6 +81,7 @@ func run(args []string) error {
 		conn      = fs.String("connectivity", "MBMC", "connectivity method: MBMC or MUST")
 		workers   = fs.Int("workers", 0, "concurrent per-zone solves (0 = all CPUs, 1 = sequential)")
 		timeout   = fs.Duration("timeout", 0, "overall solve deadline, e.g. 30s (0 = unbounded)")
+		progress  = fs.Bool("progress", false, "print a live convergence meter (zones done, nodes, worst gap) to stderr during IAC/GAC solves")
 		traceOut  = fs.String("trace-out", "", "write the solve's span tree as JSON to this file ('-' = stderr)")
 		basePath  = fs.String("base", "", "base scenario file for -delta (defaults to -scenario)")
 		deltaPath = fs.String("delta", "", "scenario delta JSON to apply to the base scenario")
@@ -165,7 +168,18 @@ func run(args []string) error {
 		tr = obs.NewTrace("sagcli")
 		ctx = obs.WithTrace(ctx, tr)
 	}
+	// Arm the meter after the warm base solve so it only narrates the solve
+	// whose result is printed. Progress is observational: the placement is
+	// byte-identical with or without it.
+	var meter *progressMeter
+	if *progress {
+		meter = newProgressMeter(os.Stderr)
+		ctx = milp.WithProgress(ctx, meter.observe)
+	}
 	sol, err := core.Run(ctx, sc, cfg)
+	if meter != nil {
+		meter.finish()
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("solve abandoned: deadline of %v exceeded", *timeout)

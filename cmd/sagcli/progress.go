@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sagrelay/internal/milp"
+)
+
+// meterInterval throttles the -progress stderr meter: at most one line per
+// interval, plus one final summary line.
+const meterInterval = 100 * time.Millisecond
+
+// progressMeter renders milp progress events as a live convergence meter on
+// w. observe is installed via milp.WithProgress and is called concurrently
+// from every zone worker.
+type progressMeter struct {
+	w    io.Writer
+	mu   sync.Mutex
+	rows map[int]*meterRow
+	last time.Time
+}
+
+type meterRow struct {
+	nodes  int
+	gap    float64
+	hasGap bool
+	done   bool
+}
+
+func newProgressMeter(w io.Writer) *progressMeter {
+	return &progressMeter{w: w, rows: make(map[int]*meterRow)}
+}
+
+func (m *progressMeter) observe(ev milp.Progress) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	row := m.rows[ev.Zone]
+	if row == nil {
+		row = &meterRow{}
+		m.rows[ev.Zone] = row
+	}
+	if ev.Kind == milp.KindZoneReused {
+		row.done = true
+	} else {
+		row.nodes = ev.Nodes
+		if ev.HasIncumbent {
+			row.gap, row.hasGap = ev.Gap, true
+		}
+		row.done = ev.Final
+	}
+	now := time.Now()
+	if now.Sub(m.last) < meterInterval {
+		return
+	}
+	m.last = now
+	m.printLocked("")
+}
+
+// finish prints the terminal meter line once the solve returns.
+func (m *progressMeter) finish() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.rows) == 0 {
+		return
+	}
+	m.printLocked(" (final)")
+}
+
+func (m *progressMeter) printLocked(suffix string) {
+	var zones, done, nodes int
+	worst := -1.0
+	for _, row := range m.rows {
+		zones++
+		nodes += row.nodes
+		if row.done {
+			done++
+		} else if row.hasGap && row.gap > worst {
+			worst = row.gap
+		}
+	}
+	line := fmt.Sprintf("sagcli: zones %d/%d done, %d nodes", done, zones, nodes)
+	if worst >= 0 {
+		line += fmt.Sprintf(", worst gap %.2f%%", worst*100)
+	}
+	fmt.Fprintln(m.w, line+suffix)
+}

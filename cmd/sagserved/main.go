@@ -12,10 +12,18 @@
 //	sagserved -fault 'milp.node=error:p=0.01'   # chaos: arm fault injection
 //	sagserved -pprof-addr 127.0.0.1:6060        # net/http/pprof side server
 //	sagserved -rate 5 -burst 10                 # per-client rate limiting
+//	sagserved -log-format json -log-level debug # structured logs on stderr
 //	sagserved -smoke            # self-test: solve twice, assert cache hit
 //	sagserved -smoke-recovery   # self-test: kill -9 mid-solve, replay journal
 //	sagserved -smoke-overload   # self-test: shedding, breaker, journal checksums
 //	sagserved -smoke-batch      # self-test: grid batch stream, cache-hit replays
+//	sagserved -smoke-progress   # self-test: live progress stream, flight record
+//
+// Logs go to stderr through log/slog with job_id/batch_id/client correlation
+// fields. The -pprof-addr side listener additionally serves the flight
+// recorder at /debug/flight (last K completed jobs, failures retained
+// preferentially); SIGQUIT dumps the ring to stderr without stopping the
+// process.
 //
 // See the README quickstart for the curl workflow and the crash-recovery
 // runbook for -data-dir operations.
@@ -43,6 +51,7 @@ import (
 
 	"sagrelay/internal/admit"
 	"sagrelay/internal/fault"
+	"sagrelay/internal/obs"
 	"sagrelay/internal/scenario"
 	"sagrelay/internal/serve"
 )
@@ -85,8 +94,23 @@ func run(args []string) error {
 			"run the overload-resilience self-test (deterministic shedding, healthz under storm, checksummed-journal recovery) and exit")
 		smokeBatch = fs.Bool("smoke-batch", false,
 			"run the batch-engine self-test (stream a seeded grid batch, byte-identical solo replays, batch counters) and exit")
+		smokeProgress = fs.Bool("smoke-progress", false,
+			"run the introspection self-test (tail a live progress stream, fetch the flight record, match a JSON log line) and exit")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		flightRec = fs.Int("flight-records", obs.DefaultFlightRecords,
+			"completed-job flight records retained in memory (failures kept preferentially)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	lvl, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, lvl)
+	if err != nil {
 		return err
 	}
 
@@ -94,31 +118,17 @@ func run(args []string) error {
 		if err := fault.EnableSpec(*faultSpec, *faultSeed); err != nil {
 			return err
 		}
-		log.Printf("sagserved: fault injection armed: %s (seed %d)", *faultSpec, *faultSeed)
-	}
-
-	if *pprofAddr != "" {
-		// The pprof import registered its handlers on http.DefaultServeMux;
-		// serve that mux on a separate listener so profiling never shares a
-		// port (or an exposure surface) with the job API.
-		pln, err := net.Listen("tcp", *pprofAddr)
-		if err != nil {
-			return fmt.Errorf("pprof listen: %w", err)
-		}
-		go func() {
-			log.Printf("sagserved: pprof on http://%s/debug/pprof/", pln.Addr())
-			if err := http.Serve(pln, nil); err != nil {
-				log.Printf("sagserved: pprof server: %v", err)
-			}
-		}()
+		logger.Warn("fault injection armed", "spec", *faultSpec, "seed", *faultSeed)
 	}
 
 	opts := serve.Options{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEnts,
-		MaxJobTime:   *maxJobTime,
-		DataDir:      *dataDir,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cacheEnts,
+		MaxJobTime:    *maxJobTime,
+		DataDir:       *dataDir,
+		FlightRecords: *flightRec,
+		Logger:        logger,
 		Admit: admit.Options{
 			Rate:             *rate,
 			Burst:            *burst,
@@ -138,6 +148,9 @@ func run(args []string) error {
 	if *smokeBatch {
 		return runSmokeBatch(opts)
 	}
+	if *smokeProgress {
+		return runSmokeProgress(opts)
+	}
 
 	srv, err := serve.NewServer(opts)
 	if err != nil {
@@ -145,15 +158,49 @@ func run(args []string) error {
 	}
 	if *dataDir != "" {
 		m := srv.MetricsSnapshot()
-		log.Printf("sagserved: journal %s: restored %d finished jobs, replaying %d unfinished",
-			*dataDir, m["journal_restored_jobs"], m["journal_replayed_jobs"])
+		logger.Info("journal opened", "dir", *dataDir,
+			"restored", m["journal_restored_jobs"], "replaying", m["journal_replayed_jobs"])
 	}
+
+	// The flight recorder rides the pprof side listener: both are debug
+	// surfaces that must never share a port with the job API.
+	fh := srv.FlightHandler()
+	http.Handle("GET /debug/flight", fh)
+	http.Handle("GET /debug/flight/", fh)
+	if *pprofAddr != "" {
+		// The pprof import registered its handlers on http.DefaultServeMux;
+		// serve that mux on a separate listener so profiling never shares a
+		// port (or an exposure surface) with the job API.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		go func() {
+			logger.Info(fmt.Sprintf("pprof and flight recorder on http://%s", pln.Addr()))
+			if err := http.Serve(pln, nil); err != nil {
+				logger.Error("pprof server stopped", "err", err)
+			}
+		}()
+	}
+
+	// SIGQUIT dumps the flight ring to stderr and keeps serving — the
+	// in-flight postmortem tool for a wedged or misbehaving deployment.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			logger.Warn("SIGQUIT: dumping flight recorder")
+			os.Stderr.Write(srv.FlightRecorder().Dump())
+			os.Stderr.Write([]byte("\n"))
+		}
+	}()
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	log.Printf("sagserved: listening on http://%s", ln.Addr())
+	logger.Info(fmt.Sprintf("listening on http://%s", ln.Addr()))
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -164,7 +211,7 @@ func run(args []string) error {
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		log.Printf("sagserved: %v: draining (budget %v)", sig, *shutdownTimeout)
+		logger.Info("draining", "signal", sig.String(), "budget", shutdownTimeout.String())
 	}
 
 	// Graceful shutdown: stop the listener, then drain in-flight jobs; past
@@ -174,12 +221,12 @@ func run(args []string) error {
 	defer cancel()
 	httpErr := httpSrv.Shutdown(ctx)
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("sagserved: drain budget expired, in-flight jobs interrupted: %v", err)
+		logger.Warn("drain budget expired, in-flight jobs interrupted", "err", err)
 	}
 	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
 		return httpErr
 	}
-	log.Printf("sagserved: shut down cleanly")
+	logger.Info("shut down cleanly")
 	return nil
 }
 

@@ -20,7 +20,7 @@ import (
 // grid batch over NDJSON, then re-requests every cell through /v1/solve and
 // requires the individual answers to be byte-identical to the streamed ones
 // — served from cache, with zero additional solver work. It also checks the
-// batch counters, the sagmetrics/5 schema, and the batch status document.
+// batch counters, the sagmetrics/6 schema, and the batch status document.
 func runSmokeBatch(opts serve.Options) error {
 	srv, err := serve.NewServer(opts)
 	if err != nil {
@@ -128,8 +128,8 @@ func runSmokeBatch(opts serve.Options) error {
 	if err := json.Unmarshal(mbody, &mdoc); err != nil {
 		return fmt.Errorf("smoke-batch metrics: %w", err)
 	}
-	if mdoc.Schema != "sagmetrics/5" {
-		return fmt.Errorf("smoke-batch: metrics schema %q, want sagmetrics/5", mdoc.Schema)
+	if mdoc.Schema != "sagmetrics/6" {
+		return fmt.Errorf("smoke-batch: metrics schema %q, want sagmetrics/6", mdoc.Schema)
 	}
 	if mdoc.Batches != 1 || mdoc.BatchItems != n {
 		return fmt.Errorf("smoke-batch: metrics doc says %d batches / %d items", mdoc.Batches, mdoc.BatchItems)
@@ -173,7 +173,7 @@ func runSmokeBatch(opts serve.Options) error {
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("smoke-batch server shutdown: %w", err)
 	}
-	log.Printf("smoke-batch: ok (%d items streamed, byte-identical solo replays from cache, counters + sagmetrics/5 + status doc, clean shutdown)", len(cells))
+	log.Printf("smoke-batch: ok (%d items streamed, byte-identical solo replays from cache, counters + sagmetrics/6 + status doc, clean shutdown)", len(cells))
 	return nil
 }
 

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"sagrelay/internal/obs"
+	"sagrelay/internal/scenario"
+	"sagrelay/internal/serve"
+)
+
+// syncBuffer is a mutex-guarded log sink: the smoke gate reads captured log
+// lines while server goroutines may still be writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// runSmokeProgress is the live-introspection end-to-end gate:
+//
+//  1. start a server logging JSON to a captured sink, submit a multi-zone
+//     IAC solve asynchronously;
+//  2. tail GET /v1/jobs/{id}/progress?stream=1 and require at least one
+//     mid-solve snapshot carrying a per-zone gap before the terminal one,
+//     with monotone node counts;
+//  3. fetch the finished job's flight record at /debug/flight/{id} and
+//     require the span tree, the final progress snapshot and a non-empty
+//     convergence curve;
+//  4. find one captured JSON log line ("job done") whose job_id matches,
+//     proving the correlation fields flow end to end;
+//  5. SIGQUIT-equivalent: dump the flight ring and require it to parse.
+func runSmokeProgress(opts serve.Options) error {
+	var logBuf syncBuffer
+	logger, err := obs.NewLogger(io.MultiWriter(os.Stderr, &logBuf), "json", slog.LevelInfo)
+	if err != nil {
+		return err
+	}
+	opts.Logger = logger
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	fh := srv.FlightHandler()
+	mux.Handle("GET /debug/flight", fh)
+	mux.Handle("GET /debug/flight/", fh)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: mux}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	log.Printf("smoke-progress: serving on %s", base)
+
+	// Multi-zone, branch-and-bound-heavy instance: slow enough that the
+	// stream reliably catches the solve mid-flight.
+	sc, err := scenario.Generate(scenario.GenConfig{
+		FieldSide: 600, NumSS: 24, NumBS: 2, SNRdB: -15, Seed: 3,
+	})
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.SolveRequest{
+		Scenario: sc,
+		Options:  serve.SolveOptions{Coverage: "IAC", TimeoutMS: 600_000},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil || submitted.ID == "" {
+		return fmt.Errorf("smoke-progress: submit answered %s (%v)", resp.Status, err)
+	}
+	jobID := submitted.ID
+
+	// Stage 2: tail the live stream to completion.
+	stream, err := http.Get(base + "/v1/jobs/" + jobID + "/progress?stream=1")
+	if err != nil {
+		return err
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return fmt.Errorf("smoke-progress: stream Content-Type = %q", ct)
+	}
+	type zoneLine struct {
+		Zone   int     `json:"zone"`
+		Gap    float64 `json:"gap"`
+		HasGap bool    `json:"has_gap"`
+	}
+	type progressLine struct {
+		JobID string     `json:"job_id"`
+		Nodes int        `json:"nodes"`
+		Final bool       `json:"final"`
+		Zones []zoneLine `json:"zones"`
+	}
+	var lines []progressLine
+	scanner := bufio.NewScanner(stream.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var pl progressLine
+		if err := json.Unmarshal(scanner.Bytes(), &pl); err != nil {
+			return fmt.Errorf("smoke-progress: bad NDJSON line %q: %w", scanner.Text(), err)
+		}
+		lines = append(lines, pl)
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("smoke-progress: stream read: %w", err)
+	}
+	if len(lines) < 2 {
+		return fmt.Errorf("smoke-progress: stream emitted %d snapshots, want >= 2", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if !last.Final {
+		return errors.New("smoke-progress: stream did not close with a final snapshot")
+	}
+	midGap := false
+	prevNodes := -1
+	for i, pl := range lines {
+		if pl.JobID != jobID {
+			return fmt.Errorf("smoke-progress: line %d job_id = %q, want %q", i, pl.JobID, jobID)
+		}
+		if pl.Nodes < prevNodes {
+			return fmt.Errorf("smoke-progress: nodes went backwards (%d -> %d)", prevNodes, pl.Nodes)
+		}
+		prevNodes = pl.Nodes
+		if !pl.Final {
+			for _, z := range pl.Zones {
+				if z.HasGap {
+					midGap = true
+				}
+			}
+		}
+	}
+	if !midGap {
+		return errors.New("smoke-progress: no mid-solve snapshot carried a per-zone gap")
+	}
+
+	// Stage 3: the flight record must carry the postmortem evidence. The
+	// record lands just after the job's done channel closes, so allow a
+	// moment for it to appear.
+	var fresp *http.Response
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fresp, err = http.Get(base + "/debug/flight/" + jobID)
+		if err != nil {
+			return err
+		}
+		if fresp.StatusCode == http.StatusOK {
+			break
+		}
+		io.Copy(io.Discard, fresp.Body)
+		fresp.Body.Close()
+		if time.Now().After(deadline) {
+			return fmt.Errorf("smoke-progress: /debug/flight/%s answered %s", jobID, fresp.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer fresp.Body.Close()
+	var rec struct {
+		Outcome string `json:"outcome"`
+		Detail  struct {
+			Trace    *json.RawMessage `json:"trace"`
+			Progress struct {
+				Final     bool `json:"final"`
+				ZonesSeen int  `json:"zones_seen"`
+			} `json:"progress"`
+			Curve []json.RawMessage `json:"curve"`
+		} `json:"detail"`
+	}
+	if err := json.NewDecoder(fresp.Body).Decode(&rec); err != nil {
+		return fmt.Errorf("smoke-progress: flight record not JSON: %w", err)
+	}
+	if rec.Outcome != "done" {
+		return fmt.Errorf("smoke-progress: flight outcome = %q, want done", rec.Outcome)
+	}
+	if rec.Detail.Trace == nil {
+		return errors.New("smoke-progress: flight record has no span tree")
+	}
+	if !rec.Detail.Progress.Final || rec.Detail.Progress.ZonesSeen == 0 {
+		return fmt.Errorf("smoke-progress: flight progress final=%v zones=%d",
+			rec.Detail.Progress.Final, rec.Detail.Progress.ZonesSeen)
+	}
+	if len(rec.Detail.Curve) == 0 {
+		return errors.New("smoke-progress: flight record has no convergence curve")
+	}
+
+	// Stage 4: one captured JSON log line must correlate by job_id.
+	found := false
+	for _, line := range strings.Split(logBuf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var entry struct {
+			Msg   string `json:"msg"`
+			JobID string `json:"job_id"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			return fmt.Errorf("smoke-progress: captured log line is not JSON: %q", line)
+		}
+		if entry.Msg == "job done" && entry.JobID == jobID {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("smoke-progress: no JSON log line with msg=%q job_id=%q", "job done", jobID)
+	}
+
+	// Stage 5: the SIGQUIT dump path must produce a parseable document.
+	dump := srv.FlightRecorder().Dump()
+	var dumped struct {
+		Schema string `json:"schema"`
+		Count  int    `json:"count"`
+	}
+	if err := json.Unmarshal(dump, &dumped); err != nil {
+		return fmt.Errorf("smoke-progress: flight dump not JSON: %w", err)
+	}
+	if dumped.Count < 1 {
+		return fmt.Errorf("smoke-progress: flight dump count = %d, want >= 1", dumped.Count)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	log.Printf("smoke-progress: ok (%d stream snapshots, mid-solve gap, flight record with trace+curve, correlated log line, parseable dump)", len(lines))
+	return nil
+}

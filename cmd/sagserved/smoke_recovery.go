@@ -142,6 +142,23 @@ func runSmokeRecovery(opts serve.Options) error {
 	if !doc.Feasible {
 		return fmt.Errorf("recovery: replayed solve infeasible: %s", result)
 	}
+	// The re-run produced live evidence: the replayed job must have a flight
+	// record in the new process (the ring lands it just after completion).
+	flightDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if rec, ok := srv.FlightRecorder().Get(jobID); ok {
+			// A replay may settle "done" or "degraded" (the ladder can fire
+			// on a re-run); either way the ring has live evidence.
+			if rec.Outcome != "done" && rec.Outcome != "degraded" {
+				return fmt.Errorf("recovery: replayed job flight outcome = %q, want done or degraded", rec.Outcome)
+			}
+			break
+		}
+		if time.Now().After(flightDeadline) {
+			return errors.New("recovery: replayed job has no flight record after restart")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -181,7 +198,13 @@ func runSmokeRecovery(opts serve.Options) error {
 		return fmt.Errorf("recovery: second restart restored=%d solves=%d, want >=1 and 0",
 			m["journal_restored_jobs"], m["solves"])
 	}
-	log.Printf("recovery: ok (kill -9 mid-solve, journal replayed %s to a 200, restored byte-identically with 0 solves)", jobID)
+	// The flight ring is memory-only and died with each process — the
+	// journal-restored job has no record, and its loss must not have
+	// affected recovery: the result above is still byte-identical.
+	if n := srv2.FlightRecorder().Len(); n != 0 {
+		return fmt.Errorf("recovery: restored-only restart has %d flight records, want 0 (ring is volatile)", n)
+	}
+	log.Printf("recovery: ok (kill -9 mid-solve, journal replayed %s to a 200 with a fresh flight record, restored byte-identically with 0 solves and an empty ring)", jobID)
 	return nil
 }
 
@@ -193,7 +216,9 @@ func scanListenAddr(r io.Reader) (string, error) {
 	for scanner.Scan() {
 		line := scanner.Text()
 		if i := strings.Index(line, "listening on http://"); i >= 0 {
-			return strings.TrimSpace(line[i+len("listening on "):]), nil
+			// The address may be the tail of a quoted slog message
+			// (msg="listening on http://...") — strip the closing quote.
+			return strings.Trim(strings.TrimSpace(line[i+len("listening on "):]), `"`), nil
 		}
 		if time.Now().After(deadline) {
 			break

@@ -82,6 +82,10 @@ type Options struct {
 	// AIMD limiter and the breaker are unaffected). Forced sheds via the
 	// admit.shed fault site still fire.
 	DisableShed bool
+	// OnBreakerChange, when set, observes breaker state transitions (for
+	// structured logging). Called with the breaker lock held; it must be
+	// fast and must not call back into the Controller.
+	OnBreakerChange func(from, to BreakerState)
 }
 
 func (o Options) withDefaults() Options {
@@ -164,7 +168,7 @@ type Controller struct {
 // New returns a Controller with opts' defaults applied.
 func New(opts Options) *Controller {
 	opts = opts.withDefaults()
-	return &Controller{
+	c := &Controller{
 		opts: opts,
 		cost: NewCostModel(),
 		rl:   NewRateLimiter(opts.Rate, opts.Burst, opts.MaxClients),
@@ -172,6 +176,10 @@ func New(opts Options) *Controller {
 		br: NewBreaker(opts.BreakerThreshold, opts.BreakerWindow,
 			opts.BreakerMinSamples, opts.BreakerCooldown),
 	}
+	if opts.OnBreakerChange != nil {
+		c.br.SetOnChange(opts.OnBreakerChange)
+	}
+	return c
 }
 
 // AllowClient applies per-client rate limiting. An empty client (internal

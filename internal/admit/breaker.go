@@ -1,6 +1,7 @@
 package admit
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,8 +44,45 @@ type Breaker struct {
 	bad      int    // bad entries currently in the ring
 	openedAt time.Time
 	probing  bool // a probe grant is outstanding
+	// onChange, when set, observes every state transition. Called with the
+	// breaker lock held: it must be fast and must not call back into the
+	// Breaker (logging and counters only).
+	onChange func(from, to BreakerState)
 
 	trips atomic.Int64
+}
+
+// SetOnChange installs a state-transition observer (see onChange). Install
+// it before the breaker sees traffic; it is not safe to swap concurrently
+// with Allow/Record.
+func (b *Breaker) SetOnChange(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onChange = fn
+	b.mu.Unlock()
+}
+
+// setStateLocked moves the breaker to the given state, notifying onChange
+// on a real transition.
+func (b *Breaker) setStateLocked(to BreakerState) {
+	from := b.state
+	b.state = to
+	if from != to && b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
+// String renders the breaker state for logs and documents.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int32(s))
+	}
 }
 
 // NewBreaker builds a closed breaker.
@@ -87,7 +125,7 @@ func (b *Breaker) Allow(now time.Time) (heuristicFirst, probe bool) {
 		return false, false
 	case BreakerOpen:
 		if now.Sub(b.openedAt) >= b.cooldown {
-			b.state = BreakerHalfOpen
+			b.setStateLocked(BreakerHalfOpen)
 			b.probing = true
 			return false, true
 		}
@@ -124,7 +162,7 @@ func (b *Breaker) Record(bad, probe bool, now time.Time) {
 			b.tripLocked(now)
 			return
 		}
-		b.state = BreakerClosed
+		b.setStateLocked(BreakerClosed)
 		b.resetWindowLocked()
 		return
 	}
@@ -157,7 +195,7 @@ func (b *Breaker) ForceTrip(now time.Time) {
 }
 
 func (b *Breaker) tripLocked(now time.Time) {
-	b.state = BreakerOpen
+	b.setStateLocked(BreakerOpen)
 	b.openedAt = now
 	b.probing = false
 	b.trips.Add(1)

@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"sagrelay/internal/lower"
+	"sagrelay/internal/milp"
 )
 
 // cellsEqual compares two tables cell by cell with bit-identical equality
@@ -49,17 +52,29 @@ func deterministicILP() lower.ILPOptions {
 // the cheap always-on guard; TestFig3aDeterminismAcrossWorkers covers the
 // full-size artifact.
 func TestDeterminismAcrossWorkers(t *testing.T) {
-	run := func(workers int) *Table {
+	var events atomic.Int64
+	run := func(workers int, armed bool) *Table {
 		cfg := Config{Runs: 2, Workers: workers, ILP: deterministicILP()}
+		if armed {
+			// Progress is observational: arming the hook on the parallel run
+			// must not perturb a single cell relative to the disarmed
+			// sequential run.
+			cfg.Ctx = milp.WithProgress(context.Background(), func(milp.Progress) {
+				events.Add(1)
+			})
+		}
 		tbl, err := fig3Coverage("det", "det", 300, []int{6}, -15, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return tbl
 	}
-	seq := run(1)
-	par := run(8)
+	seq := run(1, false)
+	par := run(8, true)
 	cellsEqual(t, seq, par)
+	if events.Load() == 0 {
+		t.Error("armed run emitted no progress events; the hook is not wired")
+	}
 }
 
 // TestFig3aDeterminismAcrossWorkers is the full-size regression from the
@@ -69,17 +84,22 @@ func TestFig3aDeterminismAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Fig3a determinism check skipped in -short mode")
 	}
-	run := func(workers int) *Table {
+	run := func(workers int, armed bool) *Table {
 		cfg := QuickConfig()
 		cfg.Workers = workers
 		cfg.ILP = deterministicILP()
+		if armed {
+			// The acceptance check: Fig. 3(a) relay counts must be
+			// byte-identical with the live-progress hook armed.
+			cfg.Ctx = milp.WithProgress(context.Background(), func(milp.Progress) {})
+		}
 		tbl, err := Fig3a(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return tbl
 	}
-	seq := run(1)
-	par := run(8)
+	seq := run(1, false)
+	par := run(8, true)
 	cellsEqual(t, seq, par)
 }

@@ -38,6 +38,12 @@ type Plan struct {
 	DirtyZones int
 	// DirtyFraction is DirtyZones/TotalZones (0 for an empty partition).
 	DirtyFraction float64
+	// Dirty marks, per mutated-scenario zone index, the zones that must
+	// re-solve; len(Dirty) == TotalZones. ZoneSizes gives each zone's
+	// subscriber count. Both let a progress consumer pre-seed per-zone rows
+	// for a resolve before any solver event arrives.
+	Dirty     []bool
+	ZoneSizes []int
 	// Seeder supplies fast-mode warm starts for the dirty zones, matching
 	// each to the base zone sharing the most subscriber IDs; nil unless
 	// PlanOptions.Fast was set and base entries were available.
@@ -62,15 +68,21 @@ func (s *Stores) Plan(base, mutated *scenario.Scenario, opts PlanOptions) (*Plan
 	for _, z := range baseZones {
 		baseHashes[base.CanonicalZoneHash(z, scenario.ZoneHashCoverage)]++
 	}
-	p := &Plan{TotalZones: len(mutZones)}
+	p := &Plan{
+		TotalZones: len(mutZones),
+		Dirty:      make([]bool, len(mutZones)),
+		ZoneSizes:  make([]int, len(mutZones)),
+	}
 	var dirty [][]int
-	for _, z := range mutZones {
+	for zi, z := range mutZones {
+		p.ZoneSizes[zi] = len(z)
 		h := mutated.CanonicalZoneHash(z, scenario.ZoneHashCoverage)
 		if baseHashes[h] > 0 {
 			baseHashes[h]--
 			continue
 		}
 		p.DirtyZones++
+		p.Dirty[zi] = true
 		dirty = append(dirty, z)
 	}
 	if p.TotalZones > 0 {

@@ -144,6 +144,18 @@ func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, metho
 		zCtx, zSpan := obs.StartSpan(ctx, "zone")
 		zSpan.SetInt("index", int64(zi))
 		zSpan.SetInt("subscribers", int64(len(zone)))
+		// Re-arm any installed progress hook with zone identity stamped on
+		// every event, so a consumer watching the whole solve can keep
+		// per-zone convergence rows. The wrapper is built only when a hook
+		// is armed; disarmed solves stay allocation-free.
+		pfn := milp.ProgressFrom(ctx)
+		if pfn != nil {
+			zCtx = milp.WithProgress(zCtx, func(p milp.Progress) {
+				p.Zone = zi
+				p.Subscribers = len(zone)
+				pfn(p)
+			})
+		}
 		var cacheKey string
 		if opts.Cache != nil {
 			cacheKey = ilpZoneKey(sc, zone, method, opts)
@@ -160,6 +172,14 @@ func solveILP(ctx context.Context, sc *scenario.Scenario, opts ILPOptions, metho
 					zSpan.End()
 					zoneSolveSeconds.Observe(time.Since(zoneStart).Seconds())
 					zoneRelays[zi] = relays
+					if pfn != nil {
+						pfn(milp.Progress{
+							Kind:        milp.KindZoneReused,
+							Zone:        zi,
+							Subscribers: len(zone),
+							Final:       true,
+						})
+					}
 					return nil
 				}
 			}

@@ -274,6 +274,10 @@ func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*
 	}
 	opts = opts.withDefaults()
 
+	// Armed at most once per solve; nil when no ProgressFunc is installed,
+	// in which case every emit below is a single pointer comparison.
+	progress := ProgressFrom(ctx)
+
 	var deadline time.Time
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
@@ -333,6 +337,9 @@ func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*
 				res.ColdSolves++
 			}
 		}
+		if progress != nil && res.Nodes%progressNodes == 0 {
+			emitProgress(progress, KindSample, res, false)
+		}
 		if err != nil {
 			if errors.Is(err, lp.ErrIterationLimit) {
 				// Treat a stalled relaxation as unexplorable; skip the node.
@@ -349,10 +356,16 @@ func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*
 			case lp.Infeasible:
 				if res.X == nil {
 					res.Status = Infeasible
+					if progress != nil {
+						emitProgress(progress, KindFinal, res, true)
+					}
 					return res, nil
 				}
 			case lp.Unbounded:
 				res.Status = Unbounded
+				if progress != nil {
+					emitProgress(progress, KindFinal, res, true)
+				}
 				return res, nil
 			case lp.Optimal:
 				res.Bound = sol.Objective
@@ -379,6 +392,9 @@ func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*
 			res.Objective = sol.Objective
 			res.Status = Feasible
 			res.Basis = sol.Basis
+			if progress != nil {
+				emitProgress(progress, KindIncumbent, res, false)
+			}
 			continue
 		}
 		if !opts.DisableRounding {
@@ -387,6 +403,9 @@ func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*
 				res.Objective = obj
 				res.Status = Feasible
 				res.Basis = nil
+				if progress != nil {
+					emitProgress(progress, KindIncumbent, res, false)
+				}
 			}
 		}
 		v := sol.X[branchVar]
@@ -410,10 +429,16 @@ func solve(ctx context.Context, base *lp.Problem, isInt []bool, opts Options) (*
 			res.Status = Optimal
 			res.Bound = res.Objective
 		}
+		if progress != nil {
+			emitProgress(progress, KindFinal, res, true)
+		}
 		return res, nil
 	}
 	if front.len() == 0 {
 		res.Status = Infeasible
+	}
+	if progress != nil {
+		emitProgress(progress, KindFinal, res, true)
 	}
 	return res, nil
 }

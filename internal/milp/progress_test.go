@@ -1,0 +1,165 @@
+package milp
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sagrelay/internal/lp"
+)
+
+// coverInstance builds a seeded random set-cover instance large enough to
+// explore a nontrivial branch-and-bound tree.
+func coverInstance(t testing.TB, n, rows int, seed int64) (*lp.Problem, []bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1 + rng.Float64()
+	}
+	p, isInt := binProblem(costs)
+	for r := 0; r < rows; r++ {
+		k := 2 + rng.Intn(3)
+		seen := map[int]bool{}
+		var terms []lp.Term
+		for len(terms) < k {
+			v := rng.Intn(n)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			terms = append(terms, lp.Term{Var: v, Coef: 1})
+		}
+		if err := p.AddConstraint(terms, lp.GE, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, isInt
+}
+
+func TestProgressEvents(t *testing.T) {
+	p, isInt := coverInstance(t, 24, 40, 7)
+
+	var mu sync.Mutex
+	var events []Progress
+	ctx := WithProgress(context.Background(), func(pr Progress) {
+		mu.Lock()
+		events = append(events, pr)
+		mu.Unlock()
+	})
+	res, err := Solve(ctx, p, isInt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events emitted")
+	}
+
+	last := events[len(events)-1]
+	if !last.Final || last.Kind != KindFinal {
+		t.Fatalf("last event = %+v, want final", last)
+	}
+	if last.Status != res.Status {
+		t.Errorf("final status = %v, want %v", last.Status, res.Status)
+	}
+	if last.Nodes != res.Nodes || last.Pivots != res.Pivots {
+		t.Errorf("final counts (%d nodes, %d pivots) != result (%d, %d)",
+			last.Nodes, last.Pivots, res.Nodes, res.Pivots)
+	}
+	if !last.HasIncumbent || last.Incumbent != res.Objective {
+		t.Errorf("final incumbent = %+v, want objective %v", last, res.Objective)
+	}
+	if last.Gap != 0 {
+		t.Errorf("final gap = %v on an optimal solve, want 0", last.Gap)
+	}
+
+	sawIncumbent := false
+	prevNodes := 0
+	prevGap := 0.0
+	hadGap := false
+	for i, ev := range events {
+		if ev.Final && i != len(events)-1 {
+			t.Fatalf("final event at index %d of %d", i, len(events))
+		}
+		if ev.Kind == KindIncumbent {
+			sawIncumbent = true
+			if !ev.HasIncumbent {
+				t.Errorf("incumbent event without HasIncumbent: %+v", ev)
+			}
+		}
+		if ev.Nodes < prevNodes {
+			t.Fatalf("nodes went backwards: %d after %d", ev.Nodes, prevNodes)
+		}
+		prevNodes = ev.Nodes
+		if ev.HasIncumbent {
+			if hadGap && ev.Gap > prevGap+1e-12 {
+				t.Fatalf("gap increased: %v after %v (event %d)", ev.Gap, prevGap, i)
+			}
+			prevGap, hadGap = ev.Gap, true
+		}
+		if ev.Zone != -1 {
+			t.Errorf("zone = %d at the milp layer, want -1", ev.Zone)
+		}
+	}
+	if !sawIncumbent {
+		t.Error("no incumbent event emitted")
+	}
+}
+
+// TestProgressObservational proves arming the hook changes nothing about
+// the search: node-for-node identical results with and without a callback.
+func TestProgressObservational(t *testing.T) {
+	p, isInt := coverInstance(t, 24, 40, 11)
+
+	plain, err := Solve(context.Background(), p, isInt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed, err := Solve(WithProgress(context.Background(), func(Progress) {}), p, isInt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Objective != armed.Objective || plain.Nodes != armed.Nodes ||
+		plain.Pivots != armed.Pivots || plain.Status != armed.Status {
+		t.Fatalf("armed solve diverged: %+v vs %+v", plain, armed)
+	}
+	for i := range plain.X {
+		if plain.X[i] != armed.X[i] {
+			t.Fatalf("solution diverged at variable %d", i)
+		}
+	}
+}
+
+// TestProgressDisarmedAllocFree pins the disarmed hook at zero
+// allocations: looking up the absent callback and skipping every emit must
+// not allocate, mirroring obs.StartSpan's disarmed contract.
+func TestProgressDisarmedAllocFree(t *testing.T) {
+	ctx := context.Background()
+	res := &Result{Status: Feasible, Objective: 3, Bound: 2, Nodes: 10}
+	allocs := testing.AllocsPerRun(200, func() {
+		if fn := ProgressFrom(ctx); fn != nil {
+			emitProgress(fn, KindSample, res, false)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed progress hook allocates %.1f/op, want 0", allocs)
+	}
+	if WithProgress(ctx, nil) != ctx {
+		t.Error("WithProgress(nil) should return ctx unchanged")
+	}
+}
+
+func BenchmarkProgressDisarmed(b *testing.B) {
+	ctx := context.Background()
+	res := &Result{Status: Feasible, Objective: 3, Bound: 2, Nodes: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if fn := ProgressFrom(ctx); fn != nil {
+			emitProgress(fn, KindSample, res, false)
+		}
+	}
+}

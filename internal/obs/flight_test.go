@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRetention(t *testing.T) {
+	f := NewFlightRecorder(8) // 4 good + 4 bad slots
+	for i := 0; i < 20; i++ {
+		f.Record(FlightRecord{ID: fmt.Sprintf("good-%d", i), Outcome: "done"})
+	}
+	f.Record(FlightRecord{ID: "bad-0", Outcome: "failed", Bad: true, Error: "boom"})
+	for i := 20; i < 40; i++ {
+		f.Record(FlightRecord{ID: fmt.Sprintf("good-%d", i), Outcome: "done"})
+	}
+
+	// The bad record must survive 20 newer good records: good traffic only
+	// evicts good records.
+	if _, ok := f.Get("bad-0"); !ok {
+		t.Fatal("bad record evicted by good traffic")
+	}
+	if f.Len() != 5 {
+		t.Fatalf("len = %d, want 5 (4 good + 1 bad)", f.Len())
+	}
+
+	recs := f.Records()
+	if recs[0].ID != "good-39" {
+		t.Fatalf("newest record = %s, want good-39", recs[0].ID)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].seq > recs[i-1].seq {
+			t.Fatal("records not newest-first")
+		}
+	}
+
+	// Bad records evict only older bad records.
+	for i := 1; i <= 4; i++ {
+		f.Record(FlightRecord{ID: fmt.Sprintf("bad-%d", i), Bad: true})
+	}
+	if _, ok := f.Get("bad-0"); ok {
+		t.Fatal("bad-0 should have been evicted by 4 newer bad records")
+	}
+	if _, ok := f.Get("bad-4"); !ok {
+		t.Fatal("bad-4 missing")
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	f := NewFlightRecorder(8)
+	detail, _ := json.Marshal(map[string]any{"relays": 3})
+	f.Record(FlightRecord{
+		ID: "job-1", Kind: "solve", Outcome: "done",
+		Client: "cli-a", Start: time.Unix(100, 0), End: time.Unix(101, 0),
+		WallMS: 1000, Detail: detail,
+	})
+	h := f.Handler("/debug/flight")
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rr.Code != 200 {
+		t.Fatalf("index status %d", rr.Code)
+	}
+	var idx flightIndex
+	if err := json.Unmarshal(rr.Body.Bytes(), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Schema != "sagflight/1" || idx.Count != 1 || idx.Records[0].ID != "job-1" {
+		t.Fatalf("index = %+v", idx)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight/job-1", nil))
+	if rr.Code != 200 {
+		t.Fatalf("record status %d", rr.Code)
+	}
+	var rec FlightRecord
+	if err := json.Unmarshal(rr.Body.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != "job-1" || !strings.Contains(string(rec.Detail), "relays") {
+		t.Fatalf("record = %+v", rec)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight/nope", nil))
+	if rr.Code != 404 {
+		t.Fatalf("missing record status %d, want 404", rr.Code)
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(FlightRecord{ID: "a", Outcome: "done"})
+	f.Record(FlightRecord{ID: "b", Outcome: "failed", Bad: true})
+	var doc struct {
+		Schema  string         `json:"schema"`
+		Count   int            `json:"count"`
+		Records []FlightRecord `json:"records"`
+	}
+	if err := json.Unmarshal(f.Dump(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "sagflight/1" || doc.Count != 2 {
+		t.Fatalf("dump = %+v", doc)
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Correlation field names used across the serve stack's structured logs.
+// Every log line about a unit of work carries the relevant subset, so a
+// single grep on job_id stitches submit, start, finish, journal, and
+// flight-recorder activity together.
+const (
+	LogJobID   = "job_id"
+	LogBatchID = "batch_id"
+	LogClient  = "client"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format ("text"
+// or "json") at the given minimum level. It is the single logging setup
+// for the repo: zero dependencies, one line per event, correlation fields
+// as ordinary attrs.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// ParseLogLevel maps a flag string to a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		var lv slog.Level
+		if err := lv.UnmarshalText([]byte(s)); err != nil {
+			return 0, fmt.Errorf("obs: unknown log level %q", s)
+		}
+		return lv, nil
+	}
+}
+
+// nopHandler discards everything before formatting; Enabled is false for
+// every level so disabled log calls cost one interface call and no
+// allocations.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// NopLogger returns a logger that drops every record. Library layers take
+// it as the default so callers never nil-check.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("job done", LogJobID, "j-7", LogClient, "cli")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("not one JSON line: %v (%q)", err, buf.String())
+	}
+	if line["job_id"] != "j-7" || line["client"] != "cli" || line["msg"] != "job done" {
+		t.Fatalf("line = %v", line)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", slog.LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", LogBatchID, "b-1")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "batch_id=b-1") {
+		t.Fatalf("text output = %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "xml", slog.LevelInfo); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "error": slog.LevelError, "INFO": slog.LevelInfo,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("expected error for unknown level")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	lg := NopLogger()
+	allocs := testing.AllocsPerRun(100, func() {
+		lg.Info("never", "k", 1)
+	})
+	// Enabled() short-circuits before formatting; the only cost is the
+	// variadic slice, which the compiler keeps on the stack.
+	if allocs != 0 {
+		t.Fatalf("nop logger allocates %.1f/op", allocs)
+	}
+}

@@ -254,6 +254,7 @@ func (s *Server) SubmitBatch(req BatchRequest) (*Batch, error) {
 func (s *Server) SubmitBatchFrom(client string, req BatchRequest) (*Batch, error) {
 	if err := s.admit.AllowClient(client); err != nil {
 		s.metrics.RateLimited.Add(1)
+		s.log.Warn("batch submission rate limited", obs.LogClient, client)
 		return nil, err
 	}
 	preps, err := s.expandBatch(req)
@@ -328,11 +329,13 @@ func (s *Server) SubmitBatchFrom(client string, req BatchRequest) (*Batch, error
 			done:         make(chan struct{}),
 			state:        StateQueued,
 			created:      time.Now(),
+			client:       client,
 		}
 		if !plans[i].hit {
 			ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 			plans[i].ctx = ctx
 			job.cancel = cancel
+			job.progress = newJobProgress()
 		}
 		it.Job = job
 		s.jobs[job.ID] = job
@@ -406,6 +409,17 @@ func (s *Server) SubmitBatchFrom(client string, req BatchRequest) (*Batch, error
 			s.metrics.JournalErrors.Add(1)
 		}
 	}
+
+	shed, hits := 0, 0
+	for i, it := range b.items {
+		if it.Reject != nil {
+			shed++
+		} else if plans[i].hit {
+			hits++
+		}
+	}
+	s.log.Info("batch accepted", obs.LogBatchID, b.ID, obs.LogClient, client,
+		"items", len(b.items), "shed", shed, "cache_hits", hits)
 
 	b.arm()
 	s.inFlight.Add(1)

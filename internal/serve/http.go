@@ -23,6 +23,9 @@ import (
 //	GET    /v1/jobs              list retained jobs, newest first
 //	GET    /v1/jobs/{id}         one job's status
 //	GET    /v1/jobs/{id}/result  the finished result document
+//	GET    /v1/jobs/{id}/progress live convergence snapshot (per-zone B&B
+//	                             gap/phase rows); ?stream=1 tails NDJSON
+//	                             snapshots until the job finishes
 //	DELETE /v1/jobs/{id}         request cancellation
 //	GET    /healthz              liveness probe
 //	GET    /metrics              counters (JSON; ?format=prometheus for
@@ -42,6 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -216,8 +220,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
-		zones, _, _ := s.incrStores.Len()
-		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), zones, s.admit))
+		writeJSON(w, http.StatusOK, s.snapshotDoc())
 	case "prometheus":
 		// Two registries, one exposition: the per-server counters first,
 		// then the process-wide solver histograms (zone solve time, B&B

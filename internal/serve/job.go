@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sagrelay/internal/admit"
+	"sagrelay/internal/obs"
 )
 
 // JobState is the lifecycle of a submitted solve.
@@ -40,6 +41,14 @@ type Job struct {
 	// (zero for cache hits and journal-replayed jobs), reported on the
 	// job's admit span. Immutable after publication.
 	admit admit.Decision
+	// client is the submitting client's rate-limit identity (empty for
+	// internal callers), carried into logs and the flight record.
+	// Immutable after publication.
+	client string
+	// progress accumulates live solver telemetry for /v1/jobs/{id}/progress;
+	// nil for cache hits and journal-restored terminal jobs. Immutable
+	// after publication.
+	progress *jobProgress
 
 	// done is closed exactly once when the job reaches a terminal state;
 	// synchronous waiters (POST /v1/solve?wait=1) select on it.
@@ -57,6 +66,9 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	result   []byte
+	// trace is the finished solve's span-tree document, retained for the
+	// flight record (the result document embeds its own copy).
+	trace *obs.SpanDoc
 }
 
 // jobSchema is the version tag of the job status document, serialized
@@ -164,6 +176,24 @@ func (j *Job) cancelNow() {
 	if fn != nil {
 		fn()
 	}
+}
+
+// progressState returns the job's live progress accumulator, nil when the
+// job never ran a solver (cache hit, restored terminal job).
+func (j *Job) progressState() *jobProgress { return j.progress }
+
+// setTrace retains the finished solve's span-tree document.
+func (j *Job) setTrace(doc *obs.SpanDoc) {
+	j.mu.Lock()
+	j.trace = doc
+	j.mu.Unlock()
+}
+
+// flightInfo snapshots the fields the flight recorder needs.
+func (j *Job) flightInfo() (errMsg string, cacheHit bool, created, started, finished time.Time, trace *obs.SpanDoc) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err, j.cacheHit, j.created, j.started, j.finished, j.trace
 }
 
 // terminal reports whether the job has reached a final state.

@@ -67,6 +67,9 @@ type Metrics struct {
 	// line — the one partial write a crash can leave — is not corruption
 	// and is not counted.
 	JournalCorrupt atomic.Int64
+	// ProgressStreams counts opened GET /v1/jobs/{id}/progress?stream=1
+	// live tails (lifetime total, not currently open).
+	ProgressStreams atomic.Int64
 }
 
 // metricsSchema versions the /metrics JSON document. Bump it when keys are
@@ -84,7 +87,9 @@ type Metrics struct {
 //	              inflight_limit, journal_corrupt_records
 //	sagmetrics/5  batch keys added: batches_total, batch_items_total,
 //	              batch_items_shed
-const metricsSchema = "sagmetrics/5"
+//	sagmetrics/6  introspection keys added: job_queue_depth and
+//	              flight_records gauges, progress_streams_total counter
+const metricsSchema = "sagmetrics/6"
 
 // metricsDoc is the JSON shape served by /metrics. Field order is the wire
 // order (encoding/json preserves struct order), so keys appear in a stable,
@@ -142,6 +147,12 @@ type metricsDoc struct {
 	JournalRestored int64 `json:"journal_restored_jobs"`
 	JournalReplayed int64 `json:"journal_replayed_jobs"`
 	JournalCorrupt  int64 `json:"journal_corrupt_records"`
+	// The introspection trio: JobQueueDepth is the queued-but-not-running
+	// gauge, FlightRecords the flight ring's current size, and
+	// ProgressStreams the lifetime count of opened live progress tails.
+	JobQueueDepth   int64 `json:"job_queue_depth"`
+	FlightRecords   int64 `json:"flight_records"`
+	ProgressStreams int64 `json:"progress_streams_total"`
 }
 
 func (m *Metrics) snapshot(cacheEntries, zoneCacheEntries int, adm *admit.Controller) metricsDoc {
@@ -180,7 +191,18 @@ func (m *Metrics) snapshot(cacheEntries, zoneCacheEntries int, adm *admit.Contro
 		JournalRestored:   m.JournalRestored.Load(),
 		JournalReplayed:   m.JournalReplayed.Load(),
 		JournalCorrupt:    m.JournalCorrupt.Load(),
+		ProgressStreams:   m.ProgressStreams.Load(),
 	}
+}
+
+// snapshotDoc is the server-level snapshot: the counter document plus the
+// gauges only the Server can read (queue depth, flight ring size).
+func (s *Server) snapshotDoc() metricsDoc {
+	zones, _, _ := s.incrStores.Len()
+	d := s.metrics.snapshot(s.cache.len(), zones, s.admit)
+	d.JobQueueDepth = int64(s.pool.Len())
+	d.FlightRecords = int64(s.flight.Len())
+	return d
 }
 
 // promRegistry builds the Prometheus-side view of the service counters.
@@ -232,5 +254,12 @@ func (s *Server) promRegistry() *obs.Registry {
 	counter("journal_restored_jobs", "Jobs restored to a terminal state from the journal.", m.JournalRestored.Load)
 	counter("journal_replayed_jobs", "Journaled unfinished jobs re-submitted at startup.", m.JournalReplayed.Load)
 	counter("journal_corrupt_records", "Mid-file journal records quarantined by checksum at startup.", m.JournalCorrupt.Load)
+	r.Gauge("sag_job_queue_depth", "Jobs queued but not yet running.", func() int64 {
+		return int64(s.pool.Len())
+	})
+	r.Gauge("sag_flight_records", "Completed-job records currently retained by the flight recorder.", func() int64 {
+		return int64(s.flight.Len())
+	})
+	counter("progress_streams_total", "Opened live progress streams (?stream=1).", m.ProgressStreams.Load)
 	return r
 }

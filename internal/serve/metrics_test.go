@@ -62,8 +62,8 @@ func fetchMetricsProm(t *testing.T, base string) map[string]float64 {
 		t.Fatalf("GET /metrics?format=prometheus: %v", err)
 	}
 	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
-		t.Errorf("Content-Type = %q, want a 0.0.4 text exposition", ct)
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want exactly %q", ct, "text/plain; version=0.0.4; charset=utf-8")
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -134,11 +134,24 @@ func TestMetricsExpositionsAgree(t *testing.T) {
 		}
 		checked++
 	}
-	if checked < 15 {
+	if checked < 18 {
 		t.Fatalf("only %d counters compared; the JSON document shrank", checked)
 	}
 	if jsonVals["jobs_completed"] == "0" {
 		t.Error("jobs_completed is zero after two completed jobs")
+	}
+	// sagmetrics/6 introspection keys must be present in both expositions.
+	for _, key := range []string{"job_queue_depth", "flight_records", "progress_streams_total"} {
+		if _, ok := jsonVals[key]; !ok {
+			t.Errorf("JSON document is missing introspection key %q", key)
+		}
+		if _, ok := promVals["sag_"+key]; !ok {
+			t.Errorf("Prometheus exposition is missing sag_%s", key)
+		}
+	}
+	// Two finished jobs (one solved, one cache hit) leave flight records.
+	if v, _ := jsonVals["flight_records"].Float64(); v < 2 {
+		t.Errorf("flight_records = %v after two finished jobs, want >= 2", v)
 	}
 }
 

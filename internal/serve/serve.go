@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"sagrelay/internal/core"
 	"sagrelay/internal/fault"
 	"sagrelay/internal/incr"
+	"sagrelay/internal/milp"
 	"sagrelay/internal/obs"
 	"sagrelay/internal/par"
 	"sagrelay/internal/scenario"
@@ -96,6 +98,14 @@ type Options struct {
 	// the admit package defaults, with MaxInflight defaulting to this
 	// server's worker count.
 	Admit admit.Options
+	// FlightRecords bounds the flight recorder's retained completed-job
+	// records (default obs.DefaultFlightRecords; half the capacity is
+	// reserved for failures/degrades/sheds).
+	FlightRecords int
+	// Logger receives the server's structured event log (submit, start,
+	// finish, shed, breaker transitions, journal replay) with job_id /
+	// batch_id / client correlation fields. nil discards everything.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -141,6 +151,11 @@ type Server struct {
 	// shedding at submit, AIMD concurrency and the degrade circuit breaker
 	// around each solve.
 	admit *admit.Controller
+	// flight retains the last K completed-job records for postmortems (see
+	// obs.FlightRecorder); log is the structured event logger (never nil —
+	// a nil Options.Logger becomes obs.NopLogger).
+	flight *obs.FlightRecorder
+	log    *slog.Logger
 
 	// baseCtx parents every job context; cancelAll aborts all in-flight
 	// solves during forced shutdown.
@@ -170,11 +185,22 @@ type Server struct {
 // answer again once NewServer returns.
 func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	aopts := opts.Admit
 	if aopts.MaxInflight <= 0 {
 		// The AIMD ceiling defaults to the worker count: the limiter can only
 		// shrink concurrency below what the pool would run anyway.
 		aopts.MaxInflight = par.DefaultWorkers(opts.Workers)
+	}
+	if aopts.OnBreakerChange == nil {
+		// Breaker transitions are rare and load-bearing for operators:
+		// always log them unless the caller installed their own observer.
+		aopts.OnBreakerChange = func(from, to admit.BreakerState) {
+			logger.Warn("breaker state change", "from", from.String(), "to", to.String())
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -184,6 +210,8 @@ func NewServer(opts Options) (*Server, error) {
 		incrStores: incr.NewStores(opts.ZoneCacheEntries),
 		scenarios:  newScenarioStore(opts.ScenarioRetention),
 		admit:      admit.New(aopts),
+		flight:     obs.NewFlightRecorder(opts.FlightRecords),
+		log:        logger,
 		baseCtx:    ctx,
 		cancelAll:  cancel,
 		jobs:       make(map[string]*Job),
@@ -197,9 +225,15 @@ func NewServer(opts Options) (*Server, error) {
 			s.pool.Close()
 			return nil, err
 		}
+		if corrupt > 0 {
+			s.log.Warn("journal corrupt records quarantined", "records", corrupt)
+		}
 		s.metrics.JournalCorrupt.Add(corrupt)
 		s.journal = j
 		s.replay(recs)
+		s.log.Info("journal replay finished",
+			"restored", s.metrics.JournalRestored.Load(),
+			"replayed", s.metrics.JournalReplayed.Load())
 	}
 	return s, nil
 }
@@ -355,6 +389,9 @@ func (s *Server) replay(recs []jrec) {
 			termRecs[id] = jrec{T: recDone, ID: id, Key: job.Key}
 			continue
 		}
+		// Re-run jobs are live again: they get progress state like any
+		// fresh submission.
+		job.progress = newJobProgress()
 		pending = append(pending, pendingJob{job: job, sc: req.Scenario, opts: opts, cfg: cfg})
 	}
 	s.evictOldLocked() // NewServer is single-threaded here; lock not yet needed
@@ -430,6 +467,7 @@ func (s *Server) submit(client string, req SolveRequest, meta *incrMeta) (*Job, 
 	// any per-request work (even a cache hit costs API capacity).
 	if err := s.admit.AllowClient(client); err != nil {
 		s.metrics.RateLimited.Add(1)
+		s.log.Warn("submission rate limited", obs.LogClient, client)
 		return nil, err
 	}
 	if err := req.Scenario.Validate(); err != nil {
@@ -464,6 +502,8 @@ func (s *Server) submit(client string, req SolveRequest, meta *incrMeta) (*Job, 
 		dec, err := s.admit.Admit(admit.SizeClass(len(req.Scenario.Subscribers)), s.pool.Len(), timeout)
 		if err != nil {
 			s.metrics.JobsShed.Add(1)
+			s.log.Warn("job shed", obs.LogClient, client, "error", err.Error())
+			s.recordShed("shed", client, err.Error())
 			return nil, err
 		}
 		admitDec = dec
@@ -488,10 +528,20 @@ func (s *Server) submit(client string, req SolveRequest, meta *incrMeta) (*Job, 
 		ScenarioHash: scHash,
 		incr:         meta,
 		admit:        admitDec,
+		client:       client,
 		cancel:       cancel,
 		done:         make(chan struct{}),
 		state:        StateQueued,
 		created:      time.Now(),
+	}
+	if !cacheHit {
+		job.progress = newJobProgress()
+		if meta != nil {
+			// The resolve planner already knows the zone partition and the
+			// dirty set; pre-seed the rows so a watcher sees the full zone
+			// map before the first solver event.
+			job.progress.seed(meta.plan.ZoneSizes, meta.plan.Dirty)
+		}
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
@@ -511,6 +561,8 @@ func (s *Server) submit(client string, req SolveRequest, meta *incrMeta) (*Job, 
 		s.jappend(jrec{T: recSubmit, ID: job.ID, Key: key})
 		s.jappend(jrec{T: recDone, ID: job.ID, Key: key})
 		job.finish(StateDone, cachedDoc, "")
+		s.log.Info("job done from cache", obs.LogJobID, job.ID, obs.LogClient, client, "key", key)
+		s.recordFlight(job, "cache_hit", false, false)
 		return job, nil
 	}
 	s.metrics.CacheMisses.Add(1)
@@ -546,6 +598,7 @@ func (s *Server) submit(client string, req SolveRequest, meta *incrMeta) (*Job, 
 		return nil, err
 	}
 	s.metrics.JobsAccepted.Add(1)
+	s.log.Info("job accepted", obs.LogJobID, job.ID, obs.LogClient, client, "key", key)
 	return job, nil
 }
 
@@ -576,6 +629,7 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 		if v := recover(); v != nil {
 			pe := fault.NewPanicError("serve.job", v)
 			s.metrics.JobsPanicked.Add(1)
+			s.log.Error("job panicked", obs.LogJobID, job.ID, "panic", pe.Error())
 			s.failJob(job, pe.Error())
 		}
 	}()
@@ -588,6 +642,14 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 	job.markRunning()
 	queueWaitSeconds.Observe(time.Since(job.created).Seconds())
 	s.jappend(jrec{T: recStart, ID: job.ID, Key: job.Key})
+	s.log.Info("job start", obs.LogJobID, job.ID)
+	if p := job.progressState(); p != nil {
+		// Arm the branch-and-bound progress hook: every zone solve under
+		// this context reports into the job's per-zone rows. Observational
+		// only — the solver's search is identical armed or disarmed.
+		p.markStart()
+		ctx = milp.WithProgress(ctx, p.observe)
+	}
 	if err := fault.Check(siteJob); err != nil {
 		s.failJob(job, err.Error())
 		return
@@ -658,6 +720,7 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 	sol, err := core.Run(ctx, sc, cfg)
 	elapsed := time.Since(start)
 	tr.Finish()
+	job.setTrace(tr.Doc())
 	jobLatencySeconds.Observe(elapsed.Seconds())
 	outcome.Seconds = elapsed.Seconds()
 	outcome.DeadlineMiss = errors.Is(ctx.Err(), context.DeadlineExceeded)
@@ -696,6 +759,9 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 		}
 		s.jappend(jrec{T: recDone, ID: job.ID, Key: job.Key, Doc: doc})
 		job.finish(StateDone, doc, "")
+		s.log.Warn("job done degraded", obs.LogJobID, job.ID,
+			"elapsed_ms", elapsed.Milliseconds(), "degraded", sol.Degraded, "fast", fast)
+		s.recordFlight(job, "degraded", true, sol.Degraded)
 		return
 	}
 	s.cache.put(job.Key, doc)
@@ -708,6 +774,8 @@ func (s *Server) runJob(ctx context.Context, job *Job, sc *scenario.Scenario, cf
 		s.jappend(jrec{T: recDone, ID: job.ID, Key: job.Key})
 	}
 	job.finish(StateDone, doc, "")
+	s.log.Info("job done", obs.LogJobID, job.ID, "elapsed_ms", elapsed.Milliseconds())
+	s.recordFlight(job, "done", false, false)
 }
 
 // failJob finishes a job as failed, with the journal and counters agreeing.
@@ -715,6 +783,8 @@ func (s *Server) failJob(job *Job, msg string) {
 	s.metrics.JobsFailed.Add(1)
 	s.jappend(jrec{T: recFail, ID: job.ID, Err: msg})
 	job.finish(StateFailed, nil, msg)
+	s.log.Error("job failed", obs.LogJobID, job.ID, "error", msg)
+	s.recordFlight(job, "failed", true, false)
 }
 
 // cancelJob finishes a cancelled job. During shutdown the journal records an
@@ -726,10 +796,13 @@ func (s *Server) cancelJob(job *Job, msg string) {
 	if s.isDraining() {
 		s.jappend(jrec{T: recInterrupt, ID: job.ID, Err: msg})
 		job.finish(StateCancelled, nil, "interrupted by shutdown: "+msg)
+		s.log.Info("job interrupted by shutdown", obs.LogJobID, job.ID)
 		return
 	}
 	s.jappend(jrec{T: recCancel, ID: job.ID, Err: msg})
 	job.finish(StateCancelled, nil, msg)
+	s.log.Info("job cancelled", obs.LogJobID, job.ID, "error", msg)
+	s.recordFlight(job, "cancelled", true, false)
 }
 
 func (s *Server) isDraining() bool {
@@ -833,8 +906,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // MetricsSnapshot returns the current counters (exported for tests and the
 // smoke harness; the HTTP layer serves the same document at /metrics).
 func (s *Server) MetricsSnapshot() map[string]int64 {
-	zones, _, _ := s.incrStores.Len()
-	d := s.metrics.snapshot(s.cache.len(), zones, s.admit)
+	d := s.snapshotDoc()
 	return map[string]int64{
 		"jobs_accepted":             d.JobsAccepted,
 		"jobs_rejected":             d.JobsRejected,
@@ -869,5 +941,8 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"journal_restored_jobs":     d.JournalRestored,
 		"journal_replayed_jobs":     d.JournalReplayed,
 		"journal_corrupt_records":   d.JournalCorrupt,
+		"job_queue_depth":           d.JobQueueDepth,
+		"flight_records":            d.FlightRecords,
+		"progress_streams_total":    d.ProgressStreams,
 	}
 }
